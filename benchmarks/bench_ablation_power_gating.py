@@ -1,0 +1,80 @@
+"""Ablation: Priority-SM packing with and without power gating.
+
+DESIGN.md calls out the two separable mechanisms in P-CNN's runtime
+scheduler: (1) PSM packing confines CTAs to optSM SMs; (2) power
+gating removes the static power of the SMs PSM never touches.  This
+ablation runs AlexNet batch-1 under all three combinations and
+attributes the energy saving.
+"""
+
+from common import emit, run_once
+
+from repro.analysis import format_table
+from repro.core.offline import OfflineCompiler
+from repro.core.runtime import RuntimeKernelManager
+from repro.gpu import JETSON_TX1, K20C
+from repro.nn import alexnet
+
+MODES = (
+    ("RR, no gating", False, False),
+    ("PSM, no gating", True, False),
+    ("PSM + gating", True, True),
+)
+
+
+def reproduce():
+    net = alexnet()
+    rows = []
+    results = {}
+    for arch in (K20C, JETSON_TX1):
+        plan = OfflineCompiler(arch).compile_with_batch(net, 1)
+        for label, psm, gating in MODES:
+            manager = RuntimeKernelManager(
+                arch, power_gating=gating, use_priority_sm=psm
+            )
+            report = manager.execute(plan)
+            results[(arch.name, label)] = report
+            rows.append(
+                (
+                    arch.name,
+                    label,
+                    "%.2f" % (report.total_time_s * 1e3),
+                    "%.3f" % report.total_energy_joules,
+                    report.max_powered_sms,
+                )
+            )
+    return rows, results
+
+
+def test_ablation_power_gating(benchmark):
+    rows, results = run_once(benchmark, reproduce)
+    emit(
+        "ablation_power_gating",
+        format_table(
+            ["GPU", "mode", "time ms", "energy J", "powered SMs"],
+            rows,
+            title="Ablation: PSM packing and power gating",
+        ),
+    )
+    for arch_name in ("K20c", "TX1"):
+        rr = results[(arch_name, "RR, no gating")]
+        psm = results[(arch_name, "PSM, no gating")]
+        gated = results[(arch_name, "PSM + gating")]
+        # Gating never costs energy...
+        assert gated.total_energy_joules <= psm.total_energy_joules
+        # ... and PSM packing alone costs only a little time.
+        assert psm.total_time_s < 1.3 * rr.total_time_s
+
+    # On the 13-SM K20c there are idle SMs to gate: strict saving, and
+    # the small-grid layers visibly power down part of the chip.
+    k20_rr = results[("K20c", "RR, no gating")]
+    k20_gated = results[("K20c", "PSM + gating")]
+    assert k20_gated.total_energy_joules < k20_rr.total_energy_joules
+    assert min(l.powered_sms for l in k20_gated.layers) < K20C.n_sms
+
+    # On the 2-SM TX1 every layer needs both SMs: gating has nothing
+    # to remove (the paper's QPE+ == QPE observation at high Util).
+    tx1_rr = results[("TX1", "RR, no gating")]
+    tx1_gated = results[("TX1", "PSM + gating")]
+    assert tx1_gated.total_energy_joules <= tx1_rr.total_energy_joules * 1.05
+    assert all(l.powered_sms == JETSON_TX1.n_sms for l in tx1_gated.layers)

@@ -1,0 +1,64 @@
+"""Extension: the scheduler comparison on post-paper Pascal GPUs.
+
+Pervasiveness means the framework keeps working on microarchitectures
+that did not exist when it was designed.  This bench reruns the Fig. 15
+comparison on the GTX 1080 (desktop Pascal) and Jetson TX2 (mobile
+Pascal) for the interactive and background tasks and checks the paper's
+qualitative conclusions carry over unchanged.
+"""
+
+from common import emit, run_once
+
+from repro.analysis import format_table
+from repro.gpu import GTX_1080, JETSON_TX2
+from repro.schedulers import compare_schedulers, make_context
+from repro.workloads import age_detection, image_tagging
+
+
+def reproduce():
+    rows = []
+    results = {}
+    for arch in (GTX_1080, JETSON_TX2):
+        for scenario in (age_detection(), image_tagging()):
+            ctx = make_context(arch, scenario.network, scenario.spec)
+            outcomes = compare_schedulers(ctx)
+            results[(arch.name, scenario.name)] = outcomes
+            for name, outcome in outcomes.items():
+                rows.append(
+                    (
+                        arch.name,
+                        scenario.name,
+                        name,
+                        outcome.batch,
+                        "%.2f" % (outcome.latency_s * 1e3),
+                        "%.4f" % outcome.energy_per_item_j,
+                        "%.3f" % outcome.soc.value,
+                        "" if outcome.meets_satisfaction else "x",
+                    )
+                )
+    return rows, results
+
+
+def test_extension_pascal(benchmark):
+    rows, results = run_once(benchmark, reproduce)
+    emit(
+        "extension_pascal",
+        format_table(
+            ["GPU", "task", "scheduler", "batch", "latency ms",
+             "J/item", "SoC", "fail"],
+            rows,
+            title="Extension: Fig. 15 conclusions on Pascal",
+        ),
+    )
+    for (arch_name, task), outcomes in results.items():
+        pcnn = outcomes["p-cnn"].soc.value
+        ideal = outcomes["ideal"].soc.value
+        # The paper's conclusions transfer across the generation gap:
+        for outcome in outcomes.values():
+            assert ideal >= outcome.soc.value - 1e-9
+        for name in ("performance-preferred", "qpe", "qpe+"):
+            assert pcnn >= outcomes[name].soc.value * 0.97
+        # and every realizable scheduler still satisfies these two
+        # accuracy-tolerant tasks on Pascal (only the training-batch
+        # scheduler can fall out of the interactive window).
+        assert outcomes["p-cnn"].meets_satisfaction

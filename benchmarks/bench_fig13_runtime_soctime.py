@@ -1,0 +1,86 @@
+"""Fig. 13: normalized runtime and SoC_time per scheduler/task/GPU.
+
+Paper's observations reproduced as assertions:
+* runtime is normalized to the Performance-preferred scheduler, which
+  is the fastest configuration everywhere;
+* every time-model-equipped scheduler stays (near-)imperceptible for
+  the interactive task; the Energy-efficient scheduler's training-size
+  batch pushes it into the tolerable region on K20c;
+* on TX1, the real-time deadline is missed by every scheduler except
+  P-CNN (via approximation) -- SoC_time 0 for the rest.
+"""
+
+from common import emit, run_once
+
+from repro.analysis import format_table
+
+ORDER = (
+    "performance-preferred",
+    "energy-efficient",
+    "qpe",
+    "qpe+",
+    "p-cnn",
+    "ideal",
+)
+
+
+def reproduce(matrix):
+    rows = []
+    for (arch, task), (_ctx, outcomes) in sorted(matrix.items()):
+        perf = outcomes["performance-preferred"]
+        for name in ORDER:
+            outcome = outcomes[name]
+            rows.append(
+                (
+                    arch,
+                    task,
+                    name,
+                    outcome.batch,
+                    "%.4f" % outcome.latency_s,
+                    "%.2f" % (outcome.latency_s / perf.latency_s),
+                    "%.2f" % outcome.soc.soc_time,
+                )
+            )
+    return rows
+
+
+def test_fig13_runtime_soctime(benchmark, scenario_outcomes):
+    rows = run_once(benchmark, lambda: reproduce(scenario_outcomes))
+    emit(
+        "fig13_runtime_soctime",
+        format_table(
+            ["GPU", "task", "scheduler", "batch", "latency s",
+             "norm runtime", "SoC_time"],
+            rows,
+            title="Fig. 13: normalized runtime and SoC_time",
+        ),
+    )
+    cells = {(r[0], r[1], r[2]): r for r in rows}
+
+    # Performance-preferred is the normalization baseline (1.0) and
+    # the fastest *dense* configuration in every scenario (P-CNN may
+    # beat it outright by perforating).
+    for (arch, task), (_ctx, outcomes) in scenario_outcomes.items():
+        perf = outcomes["performance-preferred"]
+        baseline_entropy = outcomes["qpe"].entropy
+        for outcome in outcomes.values():
+            if outcome.entropy <= baseline_entropy + 1e-9:
+                assert outcome.latency_s >= perf.latency_s - 1e-9
+
+    # K20c interactive: all imperceptible except energy-efficient.
+    for name in ORDER:
+        soc_time = float(cells[("K20c", "age-detection", name)][6])
+        if name == "energy-efficient":
+            assert 0.0 < soc_time < 1.0
+        else:
+            assert soc_time > 0.95
+
+    # TX1 real-time: P-CNN (and Ideal) make the deadline; the
+    # baselines' SoC_time collapses to 0.
+    for name in ("performance-preferred", "energy-efficient", "qpe", "qpe+"):
+        assert float(cells[("TX1", "video-surveillance", name)][6]) == 0.0
+    assert float(cells[("TX1", "video-surveillance", "p-cnn")][6]) == 1.0
+
+    # Background tasks: runtime does not affect satisfaction.
+    for name in ORDER:
+        assert float(cells[("K20c", "image-tagging", name)][6]) == 1.0

@@ -1,0 +1,82 @@
+"""Fig. 15: Satisfaction-of-CNN (Eq. 15) scores.
+
+Paper's headline results reproduced as assertions:
+* P-CNN achieves the best SoC among realizable schedulers on every
+  (task, GPU) pair, and never beats the Ideal oracle;
+* the Energy-efficient scheduler's SoC is 0 ('x') for real-time tasks
+  (deadline blown by batching);
+* on TX1 every scheduler except P-CNN and Ideal scores 0 for the
+  real-time task -- P-CNN's approximate kernels are the only way
+  under the deadline.
+"""
+
+from common import emit, run_once
+
+from repro.analysis import format_table
+
+ORDER = (
+    "performance-preferred",
+    "energy-efficient",
+    "qpe",
+    "qpe+",
+    "p-cnn",
+    "ideal",
+)
+
+
+def reproduce(matrix):
+    rows = []
+    for (arch, task), (_ctx, outcomes) in sorted(matrix.items()):
+        for name in ORDER:
+            outcome = outcomes[name]
+            rows.append(
+                (
+                    arch,
+                    task,
+                    name,
+                    "%.2f" % outcome.soc.soc_time,
+                    "%.2f" % outcome.soc.soc_accuracy,
+                    "%.4f" % outcome.soc.value,
+                    "" if outcome.meets_satisfaction else "x",
+                )
+            )
+    return rows
+
+
+def test_fig15_soc(benchmark, scenario_outcomes):
+    rows = run_once(benchmark, lambda: reproduce(scenario_outcomes))
+    emit(
+        "fig15_soc",
+        format_table(
+            ["GPU", "task", "scheduler", "SoC_time", "SoC_acc", "SoC", "fail"],
+            rows,
+            title="Fig. 15: Satisfaction-of-CNN",
+        ),
+    )
+    for (arch, task), (_ctx, outcomes) in scenario_outcomes.items():
+        pcnn = outcomes["p-cnn"].soc.value
+        ideal = outcomes["ideal"].soc.value
+
+        # Ideal is the oracle upper bound.
+        for outcome in outcomes.values():
+            assert ideal >= outcome.soc.value - 1e-9
+
+        # P-CNN tops every realizable scheduler (up to ~3% of
+        # scheduler-packing noise where Util is 1 and every policy
+        # degenerates to the same dense full-chip run).
+        for name in ("performance-preferred", "energy-efficient", "qpe", "qpe+"):
+            assert pcnn >= outcomes[name].soc.value * 0.97, (
+                "p-cnn lost to %s on %s/%s" % (name, arch, task)
+            )
+
+        # Real-time: energy-efficient always blows the deadline.
+        if task == "video-surveillance":
+            assert not outcomes["energy-efficient"].meets_satisfaction
+
+    # TX1 real-time: only P-CNN and Ideal have non-zero SoC.
+    _ctx, tx1_rt = scenario_outcomes[("TX1", "video-surveillance")]
+    for name in ORDER:
+        if name in ("p-cnn", "ideal"):
+            assert tx1_rt[name].meets_satisfaction
+        else:
+            assert not tx1_rt[name].meets_satisfaction

@@ -1,0 +1,120 @@
+"""Fig. 16: entropy-based vs accuracy-based approximation.
+
+The paper tunes a trained CNN with the greedy perforation walk twice:
+once guided by (unsupervised) output entropy, once by labeled-data
+accuracy, and shows (a) speedup rises monotonically along the path,
+(b) entropy increases track accuracy decreases, and (c) the entropy-
+guided walk reaches the same operating point as the accuracy-guided
+one -- ~1.8x speedup within ~10% accuracy loss.
+
+Reproduced on the trained PcnnNet-large proxy (conv-dominated, like
+the paper's subject networks) deployed on the TX1 model.
+"""
+
+import pytest
+
+from common import emit, run_once
+
+from repro.analysis import format_table
+from repro.core.offline import OfflineCompiler
+from repro.core.runtime.accuracy_tuning import (
+    AccuracyTuner,
+    EmpiricalEntropyEvaluator,
+    EntropySample,
+)
+from repro.gpu import JETSON_TX1
+from repro.nn import evaluate
+from repro.nn.perforation import PerforationPlan
+
+
+class AccuracyGuidedEvaluator:
+    """The supervised baseline: 'entropy' IS (1 - accuracy), so the
+    greedy tuner maximizes time saved per accuracy lost -- the paper's
+    accuracy-based approximation."""
+
+    def __init__(self, network, params, dataset):
+        self.network = network
+        self.params = params
+        self.dataset = dataset
+
+    def evaluate(self, plan):
+        result = evaluate(self.network, self.params, self.dataset, plan)
+        return EntropySample(
+            entropy=1.0 - result.accuracy, accuracy=result.accuracy
+        )
+
+
+def reproduce(trained_proxies, test_set):
+    network, params = trained_proxies["large"]
+    compiler = OfflineCompiler(JETSON_TX1)
+
+    dense = evaluate(network, params, test_set)
+    # Threshold: the entropy the network shows at ~10% accuracy loss.
+    entropy_eval = EmpiricalEntropyEvaluator(network, params, test_set)
+    entropy_tuner = AccuracyTuner(compiler, network, entropy_eval)
+    entropy_table = entropy_tuner.tune(
+        batch=16,
+        entropy_threshold=dense.mean_entropy + 0.45,
+        max_iterations=24,
+    )
+
+    accuracy_eval = AccuracyGuidedEvaluator(network, params, test_set)
+    accuracy_tuner = AccuracyTuner(compiler, network, accuracy_eval)
+    accuracy_table = accuracy_tuner.tune(
+        batch=16,
+        entropy_threshold=(1.0 - dense.accuracy) + 0.13,  # ~matched loss budget
+        max_iterations=24,
+    )
+    return dense, entropy_table, accuracy_table
+
+
+def test_fig16_accuracy_tuning(benchmark, trained_proxies, proxy_dataset):
+    _train_set, test_set = proxy_dataset
+    dense, entropy_table, accuracy_table = run_once(
+        benchmark, lambda: reproduce(trained_proxies, test_set)
+    )
+    rows = []
+    for label, table in (("entropy", entropy_table), ("accuracy", accuracy_table)):
+        for entry in table.entries:
+            rows.append(
+                (
+                    label,
+                    entry.iteration,
+                    "%.2f" % entry.speedup,
+                    "%.3f" % entry.entropy,
+                    "-" if entry.accuracy is None else "%.3f" % entry.accuracy,
+                    entry.plan.describe(),
+                )
+            )
+    emit(
+        "fig16_accuracy_tuning",
+        format_table(
+            ["guide", "iter", "speedup", "guide metric", "accuracy", "plan"],
+            rows,
+            title="Fig. 16: entropy- vs accuracy-guided tuning",
+        ),
+    )
+
+    # (a) speedup rises monotonically along both walks.
+    for table in (entropy_table, accuracy_table):
+        speedups = [e.speedup for e in table.entries]
+        assert speedups == sorted(speedups)
+
+    ent_final = entropy_table.fastest
+    acc_final = accuracy_table.fastest
+
+    # (b) along the entropy walk, entropy rise tracks accuracy fall.
+    accuracies = [e.accuracy for e in entropy_table.entries]
+    entropies = [e.entropy for e in entropy_table.entries]
+    assert accuracies[-1] <= accuracies[0] + 0.02
+    assert entropies[-1] >= entropies[0] - 1e-6
+
+    # (c) meaningful speedup at bounded accuracy loss (paper: 1.8x at
+    # 10% -- our conv-dominated proxy should clear 1.3x at <= 15%).
+    assert ent_final.speedup > 1.3
+    assert ent_final.accuracy >= dense.accuracy - 0.15
+
+    # (d) the unsupervised walk lands near the supervised one: similar
+    # speedup at similar accuracy.
+    assert ent_final.speedup == pytest.approx(acc_final.speedup, rel=0.35)
+    assert abs(ent_final.accuracy - acc_final.accuracy) < 0.15

@@ -1,0 +1,86 @@
+"""Fig. 3: user-satisfaction and energy curves per task class.
+
+Fig. 3 is the paper's conceptual figure; this bench regenerates it
+quantitatively from the implemented models:
+
+* SoC_time over runtime for the three task classes -- the
+  imperceptible / tolerable / unusable regions of the interactive
+  curve, the real-time cliff, the background flat line;
+* the background task's energy-vs-runtime curve via the DVFS model --
+  energy decreases, bottoms out at T_e, then the static-power term
+  takes over ("the decrease in power is offset by the increase in
+  runtime").
+"""
+
+import numpy as np
+
+from common import emit, run_once
+
+from repro.analysis import format_table
+from repro.core.satisfaction import TimeRequirement, soc_time
+from repro.gpu import K20C
+from repro.gpu.dvfs import DEFAULT_FREQUENCY_LADDER, FrequencyState, energy_at_frequency
+
+RUNTIMES_S = (0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 3.0, 5.0)
+
+
+def reproduce():
+    interactive = TimeRequirement.interactive()
+    real_time = TimeRequirement.real_time(1.0)
+    background = TimeRequirement.background()
+    soc_rows = []
+    for runtime in RUNTIMES_S:
+        soc_rows.append(
+            (
+                "%.2f" % runtime,
+                "%.2f" % soc_time(runtime, interactive),
+                "%.2f" % soc_time(runtime, real_time),
+                "%.2f" % soc_time(runtime, background),
+            )
+        )
+    energy_rows = []
+    curve = []
+    for f in DEFAULT_FREQUENCY_LADDER:
+        runtime, energy = energy_at_frequency(
+            K20C, FrequencyState(f), nominal_seconds=1.0, busy_sms=13
+        )
+        curve.append((runtime, energy))
+        energy_rows.append(
+            ("%.2f" % f, "%.2f" % runtime, "%.1f" % energy)
+        )
+    return soc_rows, energy_rows, curve
+
+
+def test_fig3_satisfaction_curves(benchmark):
+    soc_rows, energy_rows, curve = run_once(benchmark, reproduce)
+    text = format_table(
+        ["runtime s", "interactive", "real-time 1s", "background"],
+        soc_rows,
+        title="Fig. 3: SoC_time per task class",
+    )
+    text += "\n\n" + format_table(
+        ["rel. freq", "runtime s", "energy J"],
+        energy_rows,
+        title="Fig. 3 (right axis): background energy vs runtime (DVFS)",
+    )
+    emit("fig3_satisfaction_curves", text)
+
+    interactive = TimeRequirement.interactive()
+    # Region boundaries: 1 inside T_i, linear decay, 0 past T_t.
+    assert soc_time(0.1, interactive) == 1.0
+    assert 0.0 < soc_time(1.0, interactive) < 1.0
+    assert soc_time(3.0, interactive) == 0.0
+    # Real-time cliff at the deadline.
+    rt = TimeRequirement.real_time(1.0)
+    assert soc_time(1.0, rt) == 1.0 and soc_time(1.01, rt) == 0.0
+    # Background: flat 1 everywhere.
+    bg = TimeRequirement.background()
+    assert all(soc_time(t, bg) == 1.0 for t in RUNTIMES_S)
+
+    # The energy curve has an interior minimum (T_e), as Fig. 3 draws:
+    # sort operating points by runtime; energy falls then rises.
+    curve = sorted(curve)
+    energies = [e for _r, e in curve]
+    trough = energies.index(min(energies))
+    assert 0 < trough < len(energies) - 1
+    assert energies[0] > energies[trough] < energies[-1]

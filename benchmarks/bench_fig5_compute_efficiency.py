@@ -1,0 +1,64 @@
+"""Fig. 5: compute efficiency (cpE, Eq. 3) of AlexNet's conv layers.
+
+Paper's observations on the non-batched run: cpE below ~35% on K20,
+the last two conv layers under 15%, and cuBLAS beating cuDNN on TX1
+despite cuDNN's higher occupancy (the tile-size/density trade-off of
+Section III.D).
+"""
+
+from common import emit, run_once
+
+from repro.analysis import (
+    compute_efficiency,
+    format_table,
+    library_network_latency,
+)
+from repro.gpu import JETSON_TX1, K20C
+from repro.gpu.libraries import CUBLAS, CUDNN
+from repro.nn import alexnet
+
+
+def reproduce():
+    net = alexnet()
+    conv_names = [l.name for l in net.conv_layers]
+    rows = []
+    series = {}
+    for gpu in (K20C, JETSON_TX1):
+        for lib in (CUBLAS, CUDNN):
+            latency = library_network_latency(gpu, net, lib, 1)
+            cpes = []
+            for name in conv_names:
+                layer = latency.layer_named(name)
+                cpes.append(compute_efficiency(gpu, layer.flops, layer.seconds))
+            series[(gpu.name, lib.name)] = cpes
+            rows.append(
+                (gpu.name, lib.name) + tuple("%.2f" % c for c in cpes)
+            )
+    return rows, series
+
+
+def test_fig5_compute_efficiency(benchmark):
+    rows, series = run_once(benchmark, reproduce)
+    emit(
+        "fig5_compute_efficiency",
+        format_table(
+            ["GPU", "library", "conv1", "conv2", "conv3", "conv4", "conv5"],
+            rows,
+            title="Fig. 5: cpE of AlexNet conv layers (non-batched)",
+        ),
+    )
+    # cpE is low everywhere on K20 (< 35%), the paper's headline.
+    for lib in ("cublas", "cudnn"):
+        assert all(c < 0.35 for c in series[("K20c", lib)])
+    # ... and the *last* conv layer is the worst (Table V's
+    # minimum-Util layer) on both platforms.
+    for gpu in ("K20c", "TX1"):
+        for lib in ("cublas", "cudnn"):
+            cpes = series[(gpu, lib)]
+            assert cpes[-1] <= min(cpes[:2]) + 1e-9
+    # Even the best cell never reaches half of peak: non-batched
+    # inference is fundamentally inefficient on every platform.
+    assert max(max(v) for v in series.values()) < 0.5
+    # TX1's average cpE lands near the paper's ~40% for cuDNN.
+    tx1_cudnn = series[("TX1", "cudnn")]
+    assert 0.2 < sum(tx1_cudnn) / len(tx1_cudnn) < 0.5

@@ -1,0 +1,54 @@
+"""Fig. 6: instruction breakdown / computation density per tile size.
+
+The paper compares the ratio of floating-point instructions to total
+instructions across sub-matrix sizes: bigger tiles amortize operand
+traffic over more FFMAs, so density rises with tile area -- the reason
+cuDNN's small 32x32 tile loses to cuBLAS's big tile on TX1 even though
+it achieves much better occupancy.
+"""
+
+from common import emit, run_once
+
+from repro.analysis import format_table
+from repro.gpu.kernels import make_kernel
+from repro.nn import alexnet
+from repro.sim.engine import cta_work
+
+TILES = ((32, 32), (64, 64), (128, 64), (128, 128))
+
+
+def reproduce():
+    net = alexnet()
+    conv2 = net.gemm_shape(net.layer("conv2"), batch=1)
+    rows = []
+    for tile_m, tile_n in TILES:
+        kernel = make_kernel(tile_m, tile_n)
+        work = cta_work(kernel, conv2)
+        total = work.total_insts
+        rows.append(
+            (
+                "%dx%d" % (tile_m, tile_n),
+                "%.3f" % (work.ffma / total),
+                "%.3f" % (work.global_insts / total),
+                "%.3f" % (work.shared_insts / total),
+                "%.3f" % (work.other_insts / total),
+            )
+        )
+    return rows
+
+
+def test_fig6_instruction_breakdown(benchmark):
+    rows = run_once(benchmark, reproduce)
+    emit(
+        "fig6_instruction_breakdown",
+        format_table(
+            ["sub-matrix", "FFMA", "global", "shared", "other"],
+            rows,
+            title="Fig. 6: instruction breakdown by tile (AlexNet CONV2)",
+        ),
+    )
+    densities = [float(r[1]) for r in rows]
+    # Density strictly increases with tile size.
+    assert densities == sorted(densities)
+    # 32x32 pays visibly more non-FP overhead than 128x128.
+    assert densities[-1] - densities[0] > 0.1

@@ -1,0 +1,88 @@
+"""Fig. 7: Round-Robin vs Priority-SM CTA scheduling.
+
+The paper's illustration: a 4-CTA kernel with optTLP = 2 on a 4-SM
+GPU.  RR occupies all four SMs; PSM packs the CTAs onto two and the
+other two can be power gated -- 'nearly the same performance with half
+the SM computing resources'.  Reproduced on the event simulator with a
+4-SM configuration, plus the same comparison on the real K20c/TX1
+configs.
+"""
+
+from dataclasses import replace
+
+from common import emit, run_once
+
+from repro.analysis import format_table
+from repro.gpu import JETSON_TX1, K20C
+from repro.gpu.kernels import GemmShape, make_kernel
+from repro.sim import PrioritySMScheduler, RoundRobinScheduler, simulate_kernel
+
+#: The paper's illustrative 4-SM GPU (chip-level constant power scaled
+#: with the SM count so the comparison is about SM management).
+FOUR_SM = replace(K20C, name="4-SM", n_sms=4, idle_power_w=6.0)
+
+
+def _compare(arch, kernel, shape, opt_tlp, opt_sm):
+    rr = simulate_kernel(
+        arch, kernel, shape, scheduler=RoundRobinScheduler(), collect_trace=True
+    )
+    psm = simulate_kernel(
+        arch,
+        kernel,
+        shape,
+        scheduler=PrioritySMScheduler(opt_tlp=opt_tlp, opt_sm=opt_sm),
+        collect_trace=True,
+    )
+    return rr, psm
+
+
+def reproduce():
+    kernel = make_kernel(64, 64, block_size=256)
+    rows = []
+    results = {}
+    cases = [
+        ("4-SM/4 CTAs", FOUR_SM, GemmShape(128, 128, 512), 2, 2),
+        ("K20c/24 CTAs", K20C, GemmShape(128, 729, 1200), 2, 12),
+        ("TX1/6 CTAs", JETSON_TX1, GemmShape(128, 169, 1152), 3, 2),
+    ]
+    for label, arch, shape, opt_tlp, opt_sm in cases:
+        rr, psm = _compare(arch, kernel, shape, opt_tlp, opt_sm)
+        results[label] = (rr, psm)
+        rows.append(
+            (
+                label,
+                rr.sms_used,
+                psm.sms_used,
+                "%.1f" % (rr.seconds * 1e6),
+                "%.1f" % (psm.seconds * 1e6),
+                "%.2f" % (psm.seconds / rr.seconds),
+                "%.2f" % (psm.energy_joules / rr.energy_joules),
+            )
+        )
+    return rows, results
+
+
+def test_fig7_rr_vs_psm(benchmark):
+    rows, results = run_once(benchmark, reproduce)
+    emit(
+        "fig7_rr_vs_psm",
+        format_table(
+            [
+                "case", "RR SMs", "PSM SMs",
+                "RR us", "PSM us", "time ratio", "energy ratio",
+            ],
+            rows,
+            title="Fig. 7: Round-Robin vs Priority-SM",
+        ),
+    )
+    rr, psm = results["4-SM/4 CTAs"]
+    # PSM used exactly half the SMs...
+    assert rr.sms_used == 4 and psm.sms_used == 2
+    assert psm.powered_sms == 2
+    # ... at nearly the same performance (the paper's claim) ...
+    assert psm.seconds < 1.6 * rr.seconds
+    # ... and lower energy thanks to the gateable SMs.
+    assert psm.energy_joules < rr.energy_joules
+    # The trace confirms CTAs were packed 2-per-SM.
+    peak = psm.trace.max_concurrency()
+    assert set(peak) == {0, 1} and all(v == 2 for v in peak.values())

@@ -1,0 +1,78 @@
+"""Fig. 8: computing throughput vs batch size; platform-specific
+optimal batch.
+
+The paper sweeps the batch size and marks where throughput saturates
+(GridSize reaches maxBlocks): the optimal batch differs per platform --
+small GPUs saturate at tiny batches, big GPUs need more.  Reproduced
+with the P-CNN compiler's throughput model on AlexNet's CONV5 (the
+minimum-Util layer that anchors the choice) and end-to-end.
+"""
+
+from common import emit, run_once
+
+from repro.analysis import format_series, format_table
+from repro.core.offline import OfflineCompiler
+from repro.gpu import GTX_970M, JETSON_TX1, K20C
+from repro.gpu.occupancy import utilization
+from repro.nn import alexnet
+
+BATCHES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def reproduce():
+    net = alexnet()
+    conv5 = net.layer("conv5")
+    throughput_rows = []
+    util_rows = []
+    optimal = {}
+    for gpu in (K20C, GTX_970M, JETSON_TX1):
+        compiler = OfflineCompiler(gpu)
+        throughputs = []
+        utils = []
+        for batch in BATCHES:
+            plan = compiler.compile_with_batch(net, batch)
+            throughputs.append(plan.throughput_ips)
+            schedule = plan.schedule_for("conv5")
+            utils.append(
+                utilization(gpu, schedule.tuned.kernel, schedule.shape)
+            )
+        optimal[gpu.name] = compiler.background_batch(net)
+        throughput_rows.append(
+            (gpu.name,)
+            + tuple("%.0f" % t for t in throughputs)
+            + (optimal[gpu.name],)
+        )
+        util_rows.append(
+            (gpu.name,) + tuple("%.2f" % u for u in utils)
+        )
+    return throughput_rows, util_rows, optimal
+
+
+def test_fig8_optimal_batch(benchmark):
+    throughput_rows, util_rows, optimal = run_once(benchmark, reproduce)
+    headers = ["GPU"] + ["b=%d" % b for b in BATCHES]
+    text = format_table(
+        headers + ["opt batch"],
+        throughput_rows,
+        title="Fig. 8: throughput (img/s) vs batch size",
+    )
+    text += "\n\n" + format_table(
+        headers,
+        util_rows,
+        title="Fig. 8 (companion): CONV5 Util vs batch size",
+    )
+    emit("fig8_optimal_batch", text)
+
+    # Throughput rises with batch then plateaus: the last doubling
+    # gains far less than the first.
+    for row in throughput_rows:
+        tps = [float(v) for v in row[1:-1]]
+        first_gain = tps[1] / tps[0]
+        last_gain = tps[-1] / tps[-2]
+        assert first_gain > last_gain
+        assert tps[-1] >= max(tps) * 0.99
+
+    # The optimal batch is platform-dependent and ordered by chip size:
+    # the 2-SM TX1 saturates no later than the 13-SM K20c.
+    assert optimal["TX1"] <= optimal["K20c"]
+    assert all(1 < b <= 128 for b in optimal.values())

@@ -1,0 +1,79 @@
+"""Fig. 9: TLP vs registers-per-thread staircase on K20.
+
+The paper plots resident-CTA count against register budget for the
+128x128 tile (curReg = 127, minReg ~30-32): TLP rises in stairs as the
+register budget falls, and within each stair the rightmost (max
+register) point dominates -- those points are the pruned design space
+the coordinated tuner explores.
+"""
+
+from common import emit, run_once
+
+from repro.analysis import format_table
+from repro.gpu import K20C
+from repro.gpu.kernels import SgemmKernel
+from repro.gpu.spilling import plan_spill, spill_cost, stair_points, tlp_for_registers
+
+
+def fig9_kernel():
+    """Fig. 9's subject: 128x128 tile at curReg = 127 with a shallow
+    K-unroll so registers (not shared memory) bound occupancy."""
+    return SgemmKernel(
+        name="fig9_128x128",
+        tile_m=128,
+        tile_n=128,
+        block_size=256,
+        regs_per_thread=127,
+        shared_mem_bytes=4352,
+        k_unroll=2,
+    )
+
+
+def reproduce():
+    kernel = fig9_kernel()
+    staircase = [
+        (regs, tlp_for_registers(K20C, kernel, regs))
+        for regs in range(127, K20C.min_registers_per_thread() - 1, -1)
+    ]
+    candidates = stair_points(K20C, kernel)
+    rows = []
+    for tlp, regs in candidates:
+        plan = plan_spill(K20C, kernel, regs, tlp)
+        rows.append(
+            (
+                tlp,
+                regs,
+                plan.shared_bytes,
+                plan.global_bytes,
+                "%.0f" % spill_cost(kernel, plan, 1152),
+            )
+        )
+    return staircase, candidates, rows
+
+
+def test_fig9_tlp_registers(benchmark):
+    staircase, candidates, rows = run_once(benchmark, reproduce)
+    text = format_table(
+        ["optTLP", "regs/thread", "spill->shared B", "spill->global B",
+         "Spill_cost (Eq.7)"],
+        rows,
+        title="Fig. 9: pruned (TLP, registers) candidates on K20c",
+    )
+    emit("fig9_tlp_registers", text)
+
+    # The staircase: TLP is non-decreasing as registers fall.
+    tlps = [t for _r, t in staircase]
+    assert all(b >= a for a, b in zip(tlps, tlps[1:]))
+    # Stairs exist (at least 4 distinct TLP levels, per the figure).
+    assert len(set(tlps)) >= 4
+    # curReg point is TLP 1; the candidate list starts there.
+    assert candidates[0] == (1, 127)
+    # Every candidate is the rightmost point of its stair.
+    stair_max = {}
+    for regs, tlp in staircase:
+        stair_max[tlp] = max(stair_max.get(tlp, 0), regs)
+    for tlp, regs in candidates[1:]:
+        assert regs == min(127, stair_max[tlp])
+    # Spill cost grows along the candidate list (more TLP = more spill).
+    costs = [float(r[4]) for r in rows]
+    assert costs == sorted(costs)

@@ -1,0 +1,57 @@
+"""Table I: accuracy rises as output entropy falls across CNN capacity.
+
+Paper's measurement (ImageNet): AlexNet 79.4% / 1.05 nats, VGGNet
+86.6% / 0.88, GoogLeNet 88.5% / 0.83 -- entropy is a valid unsupervised
+accuracy proxy.  Reproduced on the PcnnNet-S/M/L proxy family over the
+synthetic dataset (see DESIGN.md's substitution table): the *shape*
+target is monotonically increasing accuracy with monotonically
+decreasing mean entropy.
+"""
+
+from common import emit, run_once
+
+from repro.analysis import format_table
+from repro.nn import evaluate
+
+#: The paper's Table I rows for side-by-side display.
+PAPER_ROWS = {
+    "small": ("AlexNet", 0.794, 1.05),
+    "medium": ("VGGNet", 0.866, 0.88),
+    "large": ("GoogLeNet", 0.885, 0.83),
+}
+
+
+def reproduce(trained_proxies, test_set):
+    rows = []
+    for size in ("small", "medium", "large"):
+        network, params = trained_proxies[size]
+        result = evaluate(network, params, test_set)
+        paper_net, paper_acc, paper_entropy = PAPER_ROWS[size]
+        rows.append(
+            (
+                network.name,
+                "%.1f%%" % (result.accuracy * 100),
+                "%.2f" % result.mean_entropy,
+                "%s: %.1f%% / %.2f" % (paper_net, paper_acc * 100, paper_entropy),
+            )
+        )
+    return rows
+
+
+def test_table1_accuracy_vs_entropy(benchmark, trained_proxies, proxy_dataset):
+    _train_set, test_set = proxy_dataset
+    rows = run_once(benchmark, lambda: reproduce(trained_proxies, test_set))
+    emit(
+        "table1_accuracy_vs_entropy",
+        format_table(
+            ["network", "accuracy", "mean entropy", "paper analogue"],
+            rows,
+            title="Table I: accuracy vs entropy",
+        ),
+    )
+    accuracies = [float(r[1].rstrip("%")) for r in rows]
+    entropies = [float(r[2]) for r in rows]
+    assert accuracies == sorted(accuracies), "accuracy must rise with capacity"
+    assert entropies == sorted(entropies, reverse=True), (
+        "entropy must fall with capacity"
+    )

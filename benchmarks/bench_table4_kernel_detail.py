@@ -1,0 +1,87 @@
+"""Table IV: detailed kernel occupancy for AlexNet CONV2/CONV5.
+
+Reproduced *bit-exactly* from first principles: Eq. 4's GridSize, the
+register limit of Eq. 5 (with the 61440-usable-register file), the
+shared-memory block limit and maxBlocks = min of the limits, for
+cuBLAS and cuDNN on TX1 and K20.  The simulator configuration of
+Table VI is asserted alongside.
+"""
+
+from common import emit, run_once
+
+from repro.analysis import format_table
+from repro.gpu import JETSON_TX1, K20C
+from repro.gpu.libraries import CUBLAS, CUDNN
+from repro.gpu.occupancy import occupancy_report
+from repro.nn import alexnet
+
+#: (gpu, lib, layer) -> the paper's row:
+#: (regs, shmem, block, #blocks_reg, #blocks_shm, maxBlocks, GridSize)
+PAPER = {
+    ("TX1", "cublas", "conv2"): (120, 12544, 128, 8, 14, 8, 12),
+    ("TX1", "cublas", "conv5"): (120, 12544, 128, 8, 14, 8, 4),
+    ("TX1", "cudnn", "conv2"): (48, 2304, 64, 40, 84, 40, 92),
+    ("TX1", "cudnn", "conv5"): (48, 2304, 64, 40, 84, 40, 24),
+    ("K20c", "cublas", "conv2"): (79, 8468, 256, 39, 65, 39, 24),
+    ("K20c", "cublas", "conv5"): (79, 8468, 256, 39, 65, 39, 6),
+    ("K20c", "cudnn", "conv2"): (79, 8468, 256, 39, 65, 39, 24),
+    ("K20c", "cudnn", "conv5"): (79, 8468, 256, 39, 65, 39, 6),
+}
+
+
+def reproduce():
+    net = alexnet()
+    rows = []
+    mismatches = []
+    for gpu in (JETSON_TX1, K20C):
+        for lib in (CUBLAS, CUDNN):
+            for layer_name in ("conv2", "conv5"):
+                shape = net.gemm_shape(net.layer(layer_name), batch=1)
+                kernel = lib.select_kernel(gpu, shape)
+                report = occupancy_report(gpu, kernel, shape)
+                measured = (
+                    report.regs_per_thread,
+                    report.shared_mem_bytes,
+                    report.block_size,
+                    report.blocks_register,
+                    report.blocks_shared_mem,
+                    report.max_blocks,
+                    report.grid_size,
+                )
+                expected = PAPER[(gpu.name, lib.name, layer_name)]
+                if measured != expected:
+                    mismatches.append((gpu.name, lib.name, layer_name))
+                rows.append(
+                    (
+                        gpu.name,
+                        lib.name,
+                        layer_name.upper(),
+                        "%dx%d" % report.result_matrix,
+                        "%dx%d" % report.sub_matrix,
+                    )
+                    + measured
+                )
+    return rows, mismatches
+
+
+def test_table4_kernel_detail(benchmark):
+    rows, mismatches = run_once(benchmark, reproduce)
+    emit(
+        "table4_kernel_detail",
+        format_table(
+            [
+                "GPU", "library", "layer", "result", "sub-matrix",
+                "regs", "shmem", "block",
+                "#blk(reg)", "#blk(shm)", "maxBlocks", "GridSize",
+            ],
+            rows,
+            title="Table IV: CNN-dominant kernel detail (exact)",
+        ),
+    )
+    assert not mismatches, "Table IV cells deviate: %r" % (mismatches,)
+
+    # Table VI parameters the derivation rests on.
+    assert K20C.n_sms == 13 and K20C.core_clock_mhz == 706.0
+    assert JETSON_TX1.n_sms == 2 and JETSON_TX1.core_clock_mhz == 998.0
+    assert K20C.registers_per_sm == 64 * 1024
+    assert K20C.max_threads_per_sm == 2048

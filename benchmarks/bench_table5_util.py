@@ -1,0 +1,59 @@
+"""Table V: Util (Eq. 6) of AlexNet's conv layers, non-batched.
+
+Reproduces the paper's table **exactly** (to its two printed decimals)
+on all three platforms: resource underutilization exists even on the
+mobile TX1, varies per layer (demanding per-layer optSM), and the last
+conv layer is always the minimum -- the layer that anchors the
+background batch-size rule of Section IV.B.1a.
+"""
+
+from common import emit, run_once
+
+from repro.analysis import format_table
+from repro.gpu import GTX_970M, JETSON_TX1, K20C
+from repro.gpu.libraries import CUBLAS
+from repro.gpu.occupancy import utilization
+from repro.nn import alexnet
+
+#: The paper's Table V, verbatim.
+PAPER = {
+    "K20c": (0.82, 0.62, 0.46, 0.23, 0.15),
+    "GTX970m": (0.60, 0.30, 0.30, 0.15, 0.10),
+    "TX1": (1.00, 0.75, 0.75, 0.75, 0.50),
+}
+
+
+def reproduce():
+    net = alexnet()
+    rows = []
+    measured = {}
+    for gpu in (K20C, GTX_970M, JETSON_TX1):
+        utils = []
+        for layer in net.conv_layers:
+            shape = net.gemm_shape(layer, batch=1)
+            kernel = CUBLAS.select_kernel(gpu, shape)
+            utils.append(utilization(gpu, kernel, shape))
+        measured[gpu.name] = utils
+        rows.append((gpu.name,) + tuple("%.2f" % u for u in utils))
+    return rows, measured
+
+
+def test_table5_util(benchmark):
+    rows, measured = run_once(benchmark, reproduce)
+    emit(
+        "table5_util",
+        format_table(
+            ["GPU", "conv1", "conv2", "conv3", "conv4", "conv5"],
+            rows,
+            title="Table V: Util of AlexNet (non-batching)",
+        ),
+    )
+    for gpu_name, utils in measured.items():
+        paper = PAPER[gpu_name]
+        for measured_u, paper_u in zip(utils, paper):
+            assert round(measured_u, 2) == paper_u, (
+                "%s Util deviates: %r vs paper %r"
+                % (gpu_name, utils, paper)
+            )
+        # Last conv layer is the minimum-Util layer.
+        assert utils[-1] == min(utils)

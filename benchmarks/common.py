@@ -1,0 +1,39 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every bench regenerates one of the paper's tables or figures: it
+computes the rows/series through the library's public API, renders them
+with :mod:`repro.analysis.reporting`, prints the result and also writes
+it to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote the
+measured output verbatim.
+
+Run the whole harness with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> str:
+    """Print a rendered table/figure and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "%s.txt" % name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+    return path
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark's timer.
+
+    The benches are reproduction harnesses, not micro-benchmarks; one
+    timed round keeps the wall-clock sane while still reporting how
+    long each experiment takes to regenerate.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

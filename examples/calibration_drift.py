@@ -1,0 +1,77 @@
+"""Run-time calibration under distribution shift (Section IV.C.3).
+
+A deployed interactive app runs at the fastest tuned entry until the
+live inputs get harder than the calibration data (a nightclub selfie
+instead of daylight portraits).  The uncertainty monitor notices the
+entropy excursion and calibration backtracks along the tuning path --
+slower, more precise kernels -- until the output is trustworthy again;
+when the inputs ease off, it advances forward again.
+
+    python examples/calibration_drift.py
+"""
+
+from repro import ApplicationSpec, PervasiveCNN, TaskClass
+from repro.gpu import JETSON_TX1
+from repro.nn import alexnet
+from repro.workloads import RequestTrace
+import numpy as np
+
+
+def make_day_night_trace() -> RequestTrace:
+    """30 easy requests, 12 hard ones (2.5x entropy), 18 easy again."""
+    n = 60
+    difficulty = np.ones(n)
+    difficulty[30:42] = 2.5
+    return RequestTrace(
+        arrivals_s=np.arange(n) * 0.5, difficulty=difficulty
+    )
+
+
+def main():
+    pcnn = PervasiveCNN(JETSON_TX1)
+    spec = ApplicationSpec(
+        "age-detection", TaskClass.INTERACTIVE, data_rate_hz=50.0
+    )
+    deployment = pcnn.deploy(alexnet(), spec)
+    table = deployment.tuning_table
+    print(
+        "Tuning path has %d entries (dense -> %.2fx speedup); threshold "
+        "%.3f\n" % (len(table), table.fastest.speedup, deployment.entropy_threshold)
+    )
+
+    trace = make_day_night_trace()
+    print("req  difficulty  entropy  path-index  latency ms  action")
+    last_index = deployment.calibrator.index
+    for i, factor in enumerate(trace.difficulty):
+        entropy = deployment.current_entry.entropy * factor
+        outcome = deployment.process_request(observed_entropy=entropy)
+        action = deployment.calibrator.history[-1].action
+        if action != "hold" or i % 10 == 0:
+            print(
+                "%3d  %9.1fx  %7.3f  %10d  %10.2f  %s"
+                % (
+                    i,
+                    factor,
+                    outcome.entropy,
+                    deployment.calibrator.index,
+                    outcome.latency_s * 1e3,
+                    action if action != "hold" else "",
+                )
+            )
+        last_index = deployment.calibrator.index
+
+    backtracks = sum(
+        1 for step in deployment.calibrator.history if step.action == "backtrack"
+    )
+    advances = sum(
+        1 for step in deployment.calibrator.history if step.action == "advance"
+    )
+    print(
+        "\n%d backtracks during the hard stretch, %d re-advances after; "
+        "final path index %d/%d"
+        % (backtracks, advances, last_index, len(table) - 1)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Pervasive deployment: one model, the whole device fleet.
+
+Deploys the age-detection app across all four of the paper's platforms
+(plus the post-paper Pascal parts) in one call and prints the
+per-platform operating points P-CNN chose -- the paper's title promise
+as a single API.
+
+    python examples/fleet_deploy.py
+"""
+
+from repro.analysis import format_table
+from repro.core import ApplicationSpec, TaskClass
+from repro.core.fleet import FleetManager
+from repro.gpu import list_architectures
+from repro.nn import alexnet
+
+
+def main():
+    spec = ApplicationSpec(
+        "age-detection", TaskClass.INTERACTIVE, data_rate_hz=50.0
+    )
+    fleet = FleetManager(
+        alexnet(),
+        spec,
+        architectures=list_architectures(include_extensions=True),
+        max_tuning_iterations=16,
+    )
+    print("Deploying %s as '%s' across %d platforms...\n"
+          % (alexnet().name, spec.name, len(fleet.architectures)))
+    report = fleet.report()
+
+    rows = [
+        (
+            p.gpu,
+            p.platform,
+            p.batch,
+            "%.2f" % (p.latency_s * 1e3),
+            "%.4f" % p.energy_per_item_j,
+            "%.2fx" % p.tuning_speedup,
+            "%.2f" % p.soc,
+            "yes" if p.meets_requirement else "NO",
+        )
+        for p in report.platforms
+    ]
+    print(
+        format_table(
+            ["GPU", "class", "batch", "latency ms", "J/item",
+             "tuned speedup", "SoC", "satisfied"],
+            rows,
+            title="Fleet report: age detection, 100 ms budget",
+        )
+    )
+    print(
+        "\nEvery platform satisfied: %s.  Best SoC: %s (%s)."
+        % (
+            report.all_meet_requirement,
+            report.best_platform.gpu,
+            report.best_platform.platform,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Learning a user's real latency tolerance (the paper's future work).
+
+Section IV.A proposes learning a per-user time-requirement table
+instead of the population lookup.  Here a simulated patient user (true
+T_i = 350 ms, well above the 100 ms population prior) interacts with an
+image app; the learner tightens its bracket from engagement/friction
+signals, and the compiler re-plans with the learned budget -- a bigger
+batch, less energy per item, same satisfied user.
+
+    python examples/learned_requirements.py
+"""
+
+from repro.analysis import format_table
+from repro.core import (
+    FeedbackEvent,
+    LearnedRequirementModel,
+    simulate_user_feedback,
+)
+from repro.core.offline import OfflineCompiler
+from repro.gpu import JETSON_TX1
+from repro.nn import alexnet
+
+
+def main():
+    true_ti = 0.35
+    model = LearnedRequirementModel(prior_ti_s=0.1)
+    compiler = OfflineCompiler(JETSON_TX1)
+    network = alexnet()
+    rate_hz = 50.0
+
+    print(
+        "Population prior T_i = 100 ms; this user's true threshold is "
+        "%.0f ms (they are patient).\n" % (true_ti * 1e3)
+    )
+    rows = []
+    for round_index in range(10):
+        requirement = model.requirement()
+        plan = compiler.compile(network, requirement, data_rate_hz=rate_hz)
+        # Serve at the compiled operating point and observe the user.
+        latency = (plan.batch - 1) / rate_hz + plan.total_time_s
+        event = simulate_user_feedback(
+            latency, true_ti, phase=float(round_index)
+        )
+        model.observe(event)
+        rows.append(
+            (
+                round_index,
+                "%.0f" % (requirement.imperceptible_s * 1e3),
+                plan.batch,
+                "%.0f" % (latency * 1e3),
+                "friction" if event.friction else "engaged",
+                "%.0f" % (model.estimate_s * 1e3),
+            )
+        )
+    print(
+        format_table(
+            ["round", "budget ms", "batch", "latency ms", "reaction",
+             "learned T_i ms"],
+            rows,
+            title="Online requirement learning",
+        )
+    )
+
+    prior_plan = compiler.compile(
+        network, LearnedRequirementModel().requirement(), data_rate_hz=rate_hz
+    )
+    learned_plan = compiler.compile(
+        network, model.requirement(), data_rate_hz=rate_hz
+    )
+    print(
+        "\nPrior budget -> batch %d; learned budget (%.0f ms) -> batch %d."
+        % (
+            prior_plan.batch,
+            model.requirement().imperceptible_s * 1e3,
+            learned_plan.batch,
+        )
+    )
+    print(
+        "Bigger batches amortize weight streaming: %.1f vs %.1f img/s "
+        "at a latency the user demonstrably accepts."
+        % (learned_plan.throughput_ips, prior_plan.throughput_ips)
+    )
+
+
+if __name__ == "__main__":
+    main()

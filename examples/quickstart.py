@@ -1,0 +1,70 @@
+"""Quickstart: deploy a CNN on a mobile GPU with P-CNN.
+
+Runs the full pipeline on the Jetson TX1 model: requirement inference
+from the application spec, cross-platform offline compilation (batch
+selection + coordinated kernel tuning + optSM/optTLP), entropy-based
+accuracy tuning, and a few simulated requests with SoC scoring.
+
+    python examples/quickstart.py
+"""
+
+from repro import ApplicationSpec, PervasiveCNN, TaskClass
+from repro.gpu import JETSON_TX1
+from repro.nn import alexnet
+
+
+def main():
+    network = alexnet()
+    print(network.describe())
+    print()
+
+    pcnn = PervasiveCNN(JETSON_TX1)
+    spec = ApplicationSpec(
+        name="age-detection",
+        task_class=TaskClass.INTERACTIVE,
+        data_rate_hz=50.0,  # camera preview rate
+    )
+    deployment = pcnn.deploy(network, spec)
+
+    print("Deployed %s on %s" % (network.name, JETSON_TX1.describe()))
+    print(
+        "  inferred requirement: T_i=%.0f ms, T_t=%.1f s, entropy "
+        "threshold %.2f"
+        % (
+            deployment.requirement.time.imperceptible_s * 1e3,
+            deployment.requirement.time.unusable_s,
+            deployment.entropy_threshold,
+        )
+    )
+    print("  chosen batch: %d" % deployment.current_entry.compiled.batch)
+    print("  tuning path (%d entries):" % len(deployment.tuning_table))
+    for entry in deployment.tuning_table.entries:
+        print(
+            "    iter %2d: %6.2f ms  speedup %.2fx  entropy %.3f  [%s]"
+            % (
+                entry.iteration,
+                entry.time_s * 1e3,
+                entry.speedup,
+                entry.entropy,
+                entry.plan.describe(),
+            )
+        )
+    print()
+
+    for i in range(3):
+        outcome = deployment.process_request()
+        print(
+            "request %d: latency %6.2f ms | %.3f J/item | entropy %.3f | "
+            "SoC %.3f"
+            % (
+                i + 1,
+                outcome.latency_s * 1e3,
+                outcome.energy_per_item_j,
+                outcome.entropy,
+                outcome.soc.value,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""P-CNN: a user satisfaction-aware CNN inference framework across GPU
+microarchitectures.
+
+Reproduction of Song, Hu, Chen & Li, *"Towards Pervasive and User
+Satisfactory CNN across GPU Microarchitectures"* (HPCA 2017).
+
+Quickstart::
+
+    from repro import PervasiveCNN, ApplicationSpec, TaskClass
+    from repro.gpu import JETSON_TX1
+    from repro.nn import alexnet
+
+    pcnn = PervasiveCNN(JETSON_TX1)
+    spec = ApplicationSpec("age-detection", TaskClass.INTERACTIVE)
+    deployment = pcnn.deploy(alexnet(), spec)
+    outcome = deployment.process_request()
+    print(outcome.latency_s, outcome.soc.value)
+
+Subpackages
+-----------
+``repro.gpu``
+    GPU microarchitecture models, SGEMM kernel descriptors, occupancy,
+    library catalogs (cuBLAS/cuDNN/Nervana), register spilling, memory
+    footprints, the energy model.
+``repro.sim``
+    Event-driven SM/CTA simulator with Round-Robin and Priority-SM
+    schedulers (the GPGPU-Sim substitute).
+``repro.nn``
+    CNN substrate: exact AlexNet/VGG/GoogLeNet shape descriptors,
+    numpy inference/training, im2col, perforation-interpolation,
+    entropy, synthetic datasets.
+``repro.core``
+    The P-CNN framework: SoC metric, requirement inference, offline
+    compilation (batch selection, kernel tuning, resource/time models)
+    and run-time management (accuracy tuning, PSM scheduling with
+    power gating, calibration).
+``repro.schedulers``
+    The five baseline schedulers plus P-CNN and the evaluation harness
+    behind the paper's Figs. 13-15.
+``repro.workloads``
+    The paper's three scenarios and request-stream generators.
+``repro.analysis``
+    cpE and throughput metrics, plain-text table rendering.
+"""
+
+from repro.core import (
+    ApplicationSpec,
+    Deployment,
+    PervasiveCNN,
+    RequestOutcome,
+    TaskClass,
+    TimeRequirement,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApplicationSpec",
+    "Deployment",
+    "PervasiveCNN",
+    "RequestOutcome",
+    "TaskClass",
+    "TimeRequirement",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Characterization metrics (cpE, throughput ratios) and plain-text
+reporting used by the benchmark harness."""
+
+from repro.analysis.latency import (
+    LayerLatency,
+    NetworkLatency,
+    library_network_latency,
+)
+from repro.analysis.metrics import (
+    LatencyMeasurement,
+    compute_efficiency,
+    throughput_images_per_s,
+    throughput_ratio,
+)
+from repro.analysis.profiling import LayerProfile, NetworkProfile, profile_network
+from repro.analysis.reporting import banner, format_series, format_table
+from repro.analysis.roofline import RooflinePoint, machine_balance, roofline_point
+
+__all__ = [
+    "LayerLatency",
+    "NetworkLatency",
+    "library_network_latency",
+    "LatencyMeasurement",
+    "compute_efficiency",
+    "throughput_images_per_s",
+    "throughput_ratio",
+    "LayerProfile",
+    "NetworkProfile",
+    "profile_network",
+    "banner",
+    "format_series",
+    "format_table",
+    "RooflinePoint",
+    "machine_balance",
+    "roofline_point",
+]

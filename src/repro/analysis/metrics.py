@@ -1,0 +1,69 @@
+"""Characterization metrics (paper Section III).
+
+* ``cpE`` -- compute efficiency, Eq. 3: achieved FLOP/s over the chip's
+  peak FLOP/s for one convolutional layer (Fig. 5).
+* throughput and the batching/non-batching throughput ratio (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.architecture import GPUArchitecture
+
+__all__ = [
+    "compute_efficiency",
+    "throughput_images_per_s",
+    "throughput_ratio",
+    "LatencyMeasurement",
+]
+
+
+@dataclass(frozen=True)
+class LatencyMeasurement:
+    """A (batch, seconds) pair from the time model or the simulator."""
+
+    batch: int
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+        if self.seconds <= 0:
+            raise ValueError("seconds must be positive")
+
+    @property
+    def images_per_s(self) -> float:
+        """Processing throughput."""
+        return self.batch / self.seconds
+
+
+def compute_efficiency(
+    arch: GPUArchitecture, layer_flops: float, layer_seconds: float
+) -> float:
+    """Eq. 3: ``cpE = (Conv_flops / t) / (2 * freq * nSMs * nCores)``.
+
+    ``layer_flops`` covers everything the layer executed (batch and
+    groups included).
+    """
+    if layer_seconds <= 0:
+        raise ValueError("layer_seconds must be positive")
+    if layer_flops < 0:
+        raise ValueError("layer_flops must be non-negative")
+    return (layer_flops / layer_seconds) / arch.peak_flops
+
+
+def throughput_images_per_s(batch: int, seconds: float) -> float:
+    """Images per second of one configuration."""
+    return LatencyMeasurement(batch, seconds).images_per_s
+
+
+def throughput_ratio(
+    no_batch: LatencyMeasurement, batched: LatencyMeasurement
+) -> float:
+    """Fig. 4's ratio: throughput without batching over with batching.
+
+    Below 0.5 means the non-batched configuration wastes more than
+    half the chip -- the paper's observation for cuDNN everywhere.
+    """
+    return no_batch.images_per_s / batched.images_per_s

@@ -1,0 +1,125 @@
+"""Per-layer profiling reports: the Nvidia-Visual-Profiler substitute.
+
+The paper characterizes workloads with nvprof (Section III.A); this
+module produces the equivalent per-layer view from the models: GEMM
+shape, tuned kernel, grid size, Util, rEC, cpE, predicted time and the
+share of the network total -- everything Figs. 5/6 and Tables IV/V
+read off the profiler, in one report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.metrics import compute_efficiency
+from repro.analysis.reporting import format_table
+from repro.core.offline.compiler import CompiledPlan, OfflineCompiler
+from repro.gpu.architecture import GPUArchitecture
+from repro.gpu import occupancy
+from repro.nn.models import NetworkDescriptor
+
+__all__ = ["LayerProfile", "NetworkProfile", "profile_network"]
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """One layer's characterization row."""
+
+    name: str
+    gemm: str
+    kernel_tile: str
+    grid_size: int
+    opt_tlp: int
+    opt_sm: int
+    util: float
+    rec: float
+    cpe: float
+    time_s: float
+    time_share: float
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Whole-network characterization."""
+
+    network: str
+    arch: str
+    batch: int
+    total_time_s: float
+    layers: List[LayerProfile]
+
+    def hottest(self, n: int = 3) -> List[LayerProfile]:
+        """The n layers with the largest time share."""
+        return sorted(self.layers, key=lambda l: l.time_s, reverse=True)[:n]
+
+    def render(self) -> str:
+        """Aligned text report."""
+        rows = [
+            (
+                layer.name,
+                layer.gemm,
+                layer.kernel_tile,
+                layer.grid_size,
+                layer.opt_tlp,
+                layer.opt_sm,
+                "%.2f" % layer.util,
+                "%.2f" % layer.rec,
+                "%.2f" % layer.cpe,
+                "%.3f" % (layer.time_s * 1e3),
+                "%.0f%%" % (layer.time_share * 100),
+            )
+            for layer in self.layers
+        ]
+        return format_table(
+            ["layer", "GEMM MxNxK", "tile", "grid", "TLP", "SMs",
+             "Util", "rEC", "cpE", "ms", "share"],
+            rows,
+            title="%s on %s (batch %d, %.2f ms total)"
+            % (self.network, self.arch, self.batch, self.total_time_s * 1e3),
+        )
+
+
+def profile_network(
+    arch: GPUArchitecture,
+    network: NetworkDescriptor,
+    batch: int = 1,
+    plan: CompiledPlan = None,
+) -> NetworkProfile:
+    """Characterize every GEMM-bound layer of a network.
+
+    Compiles with the P-CNN tuner unless a pre-compiled ``plan`` is
+    supplied (e.g. a loaded artifact).
+    """
+    if plan is None:
+        plan = OfflineCompiler(arch).compile_with_batch(network, batch)
+    total = plan.total_time_s
+    layers: List[LayerProfile] = []
+    for schedule in plan.schedules:
+        shape = schedule.shape
+        kernel = schedule.tuned.kernel
+        flops = shape.flops * schedule.gemm_count
+        layers.append(
+            LayerProfile(
+                name=schedule.name,
+                gemm="%dx%dx%d" % (shape.m_rows, shape.n_cols, shape.k_depth),
+                kernel_tile="%dx%d" % kernel.tile,
+                grid_size=schedule.grid_size,
+                opt_tlp=schedule.opt_tlp,
+                opt_sm=schedule.opt_sm,
+                util=occupancy.utilization(arch, kernel, shape),
+                rec=occupancy.effective_computation_ratio(
+                    shape, kernel.tile_m, kernel.tile_n
+                ),
+                cpe=compute_efficiency(arch, flops, schedule.time_s),
+                time_s=schedule.time_s,
+                time_share=schedule.time_s / total if total else 0.0,
+            )
+        )
+    return NetworkProfile(
+        network=network.name,
+        arch=arch.name,
+        batch=plan.batch,
+        total_time_s=total,
+        layers=layers,
+    )

@@ -1,0 +1,58 @@
+"""Plain-text table/figure rendering for the benchmark harness.
+
+Every bench prints the rows/series the paper's tables and figures
+report; this module holds the shared formatting so the output is
+uniform and diff-friendly (EXPERIMENTS.md embeds these tables).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "banner"]
+
+
+def banner(title: str, width: int = 72) -> str:
+    """A separator line with a centered title."""
+    pad = max(0, width - len(title) - 2)
+    left = pad // 2
+    right = pad - left
+    return "=" * left + " " + title + " " + "=" * right
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                "row width %d does not match %d headers" % (len(row), len(headers))
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(banner(title))
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[tuple],
+    title: Optional[str] = None,
+    y_format: str = "%.4g",
+) -> str:
+    """Render a figure's (x, y) series as an aligned two-column list."""
+    rows = [(x, y_format % y) for x, y in points]
+    return format_table([x_label, y_label], rows, title=title)

@@ -1,0 +1,78 @@
+"""Roofline analysis: is a kernel compute- or bandwidth-bound?
+
+A standard characterization companion to cpE (Eq. 3): a kernel's
+*arithmetic intensity* (FLOPs per DRAM byte) against the machine
+balance (peak FLOP/s over peak bandwidth) decides which roof limits
+it.  AlexNet's conv layers sit far right of every platform's ridge
+(compute-bound -- which is why Util/occupancy, not bandwidth, explains
+the paper's low cpE), while the batch-1 classifier layers sit far left
+(weight streaming), which is why they dominate mobile batch-1 latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.architecture import GPUArchitecture
+from repro.gpu.kernels import GemmShape, SgemmKernel
+from repro.sim.engine import cta_work
+
+__all__ = ["RooflinePoint", "machine_balance", "roofline_point"]
+
+
+def machine_balance(arch: GPUArchitecture) -> float:
+    """The ridge point: FLOPs per byte where the roofs intersect."""
+    return arch.peak_flops / arch.mem_bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position under the roofline."""
+
+    arch: str
+    arithmetic_intensity: float  # FLOPs / DRAM byte
+    ridge: float  # machine balance
+    attainable_flops: float  # min(peak, AI * bandwidth)
+    peak_flops: float
+
+    @property
+    def is_compute_bound(self) -> bool:
+        """Right of the ridge: the compute roof limits this kernel."""
+        return self.arithmetic_intensity >= self.ridge
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """Left of the ridge: the bandwidth roof limits this kernel."""
+        return not self.is_compute_bound
+
+    @property
+    def attainable_fraction(self) -> float:
+        """Ceiling on cpE imposed purely by the memory roof."""
+        return self.attainable_flops / self.peak_flops
+
+
+def roofline_point(
+    arch: GPUArchitecture, kernel: SgemmKernel, shape: GemmShape
+) -> RooflinePoint:
+    """Place one SGEMM launch under ``arch``'s roofline.
+
+    Useful FLOPs are the GEMM's (Eq. 1 numerator); DRAM bytes come from
+    the same per-CTA traffic model the simulator charges, so the two
+    views are consistent.
+    """
+    work = cta_work(kernel, shape)
+    grid = kernel.grid_size(shape)
+    dram_bytes = work.dram_bytes * grid
+    if dram_bytes <= 0:
+        raise ValueError("kernel moves no DRAM bytes")
+    intensity = shape.flops / dram_bytes
+    attainable = min(
+        arch.peak_flops, intensity * arch.mem_bandwidth_bytes_per_s
+    )
+    return RooflinePoint(
+        arch=arch.name,
+        arithmetic_intensity=intensity,
+        ridge=machine_balance(arch),
+        attainable_flops=attainable,
+        peak_flops=arch.peak_flops,
+    )

@@ -1,0 +1,336 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Sub-commands:
+
+* ``platforms`` -- list the modeled GPU platforms (Table II).
+* ``networks`` -- list the available network descriptors.
+* ``describe --network N`` -- per-layer shape/FLOP summary.
+* ``compile --network N --gpu G [--task T] [--rate R] [--save F]`` --
+  run offline compilation and print the per-layer scheduling table;
+  optionally save the artifact JSON.
+* ``compare --network N --gpu G --task T [--rate R] [--fps F]`` --
+  run the six-scheduler evaluation for one scenario (Figs. 13-15 row).
+* ``profile --network N --gpu G [--batch B]`` -- per-layer
+  characterization (GEMM shape, Util, rEC, cpE, time share).
+* ``roofline --network N --gpu G [--batch B]`` -- per-layer
+  compute/memory-bound classification.
+* ``evaluate [--gpus G1,G2]`` -- regenerate the full six-scheduler x
+  three-task matrix behind the paper's Figs. 13-15.
+* ``tune --network N --gpu G [--slack S]`` -- run entropy-guided
+  accuracy tuning with the analytic model and print the tuning path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table
+from repro.core import ApplicationSpec, TaskClass
+from repro.core.offline import OfflineCompiler
+from repro.core.offline.artifact import save_plan
+from repro.core.runtime import AccuracyTuner, AnalyticEntropyModel
+from repro.core.user_input import infer_requirement
+from repro.gpu import get_architecture, list_architectures
+from repro.nn.models import EXTRA_NETWORKS, PAPER_NETWORKS, PCNN_NET_SIZES, get_network
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="P-CNN: user satisfaction-aware CNN inference "
+        "(HPCA 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("platforms", help="list modeled GPU platforms")
+    sub.add_parser("networks", help="list available networks")
+
+    describe = sub.add_parser("describe", help="per-layer network summary")
+    describe.add_argument("--network", required=True)
+
+    compile_cmd = sub.add_parser("compile", help="offline compilation")
+    compile_cmd.add_argument("--network", required=True)
+    compile_cmd.add_argument("--gpu", required=True)
+    compile_cmd.add_argument(
+        "--task",
+        choices=[TaskClass.INTERACTIVE, TaskClass.REAL_TIME, TaskClass.BACKGROUND],
+        default=TaskClass.INTERACTIVE,
+    )
+    compile_cmd.add_argument("--rate", type=float, default=50.0,
+                             help="data generation rate (Hz)")
+    compile_cmd.add_argument("--fps", type=float, default=10.0,
+                             help="frame rate for real-time tasks")
+    compile_cmd.add_argument("--batch", type=int, default=0,
+                             help="force a batch size (skip selection)")
+    compile_cmd.add_argument("--save", default=None,
+                             help="write the artifact JSON here")
+
+    compare = sub.add_parser("compare", help="six-scheduler comparison")
+    compare.add_argument("--network", required=True)
+    compare.add_argument("--gpu", required=True)
+    compare.add_argument(
+        "--task",
+        choices=[TaskClass.INTERACTIVE, TaskClass.REAL_TIME, TaskClass.BACKGROUND],
+        default=TaskClass.INTERACTIVE,
+    )
+    compare.add_argument("--rate", type=float, default=50.0)
+    compare.add_argument("--fps", type=float, default=10.0)
+
+    profile = sub.add_parser("profile", help="per-layer characterization")
+    profile.add_argument("--network", required=True)
+    profile.add_argument("--gpu", required=True)
+    profile.add_argument("--batch", type=int, default=1)
+
+    roofline = sub.add_parser("roofline", help="per-layer roofline bounds")
+    roofline.add_argument("--network", required=True)
+    roofline.add_argument("--gpu", required=True)
+    roofline.add_argument("--batch", type=int, default=1)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="full Figs. 13-15 scheduler matrix"
+    )
+    evaluate.add_argument(
+        "--gpus", default="k20c,tx1",
+        help="comma-separated platform list (default: the paper's pair)",
+    )
+
+    tune = sub.add_parser("tune", help="entropy-guided accuracy tuning")
+    tune.add_argument("--network", required=True)
+    tune.add_argument("--gpu", required=True)
+    tune.add_argument("--batch", type=int, default=1)
+    tune.add_argument("--slack", type=float, default=0.3,
+                      help="allowed relative entropy increase")
+    tune.add_argument("--iterations", type=int, default=32)
+    return parser
+
+
+def _spec_for(args) -> ApplicationSpec:
+    kwargs = dict(
+        name="cli-task",
+        task_class=args.task,
+        data_rate_hz=args.rate,
+    )
+    if args.task == TaskClass.REAL_TIME:
+        kwargs["frame_rate_hz"] = args.fps
+        kwargs["data_rate_hz"] = args.fps
+        kwargs["accuracy_sensitive"] = True
+    return ApplicationSpec(**kwargs)
+
+
+def _cmd_platforms(_args) -> int:
+    rows = [
+        (a.name, a.platform, a.generation, a.total_cuda_cores, a.n_sms,
+         "%.0f" % a.core_clock_mhz, "%.1f" % (a.memory_bytes / 1024**3))
+        for a in list_architectures()
+    ]
+    print(format_table(
+        ["GPU", "class", "gen", "cores", "SMs", "MHz", "GiB"], rows,
+        title="Modeled platforms (paper Table II)",
+    ))
+    return 0
+
+
+def _cmd_networks(_args) -> int:
+    rows = []
+    names = (
+        sorted(PAPER_NETWORKS)
+        + sorted(EXTRA_NETWORKS)
+        + ["pcnn-%s" % s for s in PCNN_NET_SIZES]
+    )
+    for key in names:
+        net = get_network(key)
+        rows.append(
+            (key, len(net.conv_layers),
+             "%.2f" % (net.total_flops() / 1e9),
+             "%.1f" % (net.total_weights() / 1e6))
+        )
+    print(format_table(
+        ["name", "convs", "GFLOPs/img", "Mparams"], rows,
+        title="Available networks",
+    ))
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    print(get_network(args.network).describe())
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    network = get_network(args.network)
+    arch = get_architecture(args.gpu)
+    compiler = OfflineCompiler(arch)
+    if args.batch > 0:
+        plan = compiler.compile_with_batch(network, args.batch)
+    else:
+        spec = _spec_for(args)
+        requirement = infer_requirement(spec)
+        plan = compiler.compile(
+            network, requirement.time, data_rate_hz=spec.data_rate_hz
+        )
+    rows = [
+        (s.name, "%dx%d" % s.tuned.tile, s.tuned.kernel.regs_per_thread,
+         s.grid_size, s.opt_tlp, s.opt_sm, "%.3f" % (s.time_s * 1e3))
+        for s in plan.schedules
+    ]
+    print(format_table(
+        ["layer", "tile", "regs", "grid", "optTLP", "optSM", "ms"], rows,
+        title="%s on %s (batch %d, %.2f ms predicted)"
+        % (network.name, arch.name, plan.batch, plan.total_time_s * 1e3),
+    ))
+    if args.save:
+        save_plan(plan, args.save)
+        print("\nartifact written to %s" % args.save)
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.schedulers import compare_schedulers, make_context
+
+    network = get_network(args.network)
+    arch = get_architecture(args.gpu)
+    ctx = make_context(arch, network, _spec_for(args))
+    outcomes = compare_schedulers(ctx)
+    rows = [
+        (name, o.batch, "%.2f" % (o.latency_s * 1e3),
+         "%.4f" % o.energy_per_item_j, "%.3f" % o.entropy,
+         "%.4f" % o.soc.value, "" if o.meets_satisfaction else "x")
+        for name, o in outcomes.items()
+    ]
+    print(format_table(
+        ["scheduler", "batch", "latency ms", "J/item", "entropy", "SoC",
+         "fail"],
+        rows,
+        title="%s / %s / %s" % (network.name, arch.name, args.task),
+    ))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.analysis import profile_network
+
+    network = get_network(args.network)
+    arch = get_architecture(args.gpu)
+    report = profile_network(arch, network, batch=args.batch)
+    print(report.render())
+    hottest = report.hottest(3)
+    print(
+        "\nhottest layers: %s"
+        % ", ".join("%s (%.0f%%)" % (l.name, l.time_share * 100) for l in hottest)
+    )
+    return 0
+
+
+def _cmd_roofline(args) -> int:
+    from repro.analysis import machine_balance, roofline_point
+    from repro.core.offline import OfflineCompiler
+
+    network = get_network(args.network)
+    arch = get_architecture(args.gpu)
+    plan = OfflineCompiler(arch).compile_with_batch(network, args.batch)
+    rows = []
+    for schedule in plan.schedules:
+        point = roofline_point(arch, schedule.tuned.kernel, schedule.shape)
+        rows.append(
+            (
+                schedule.name,
+                "%.1f" % point.arithmetic_intensity,
+                "compute" if point.is_compute_bound else "memory",
+                "%.0f%%" % (point.attainable_fraction * 100),
+            )
+        )
+    print(format_table(
+        ["layer", "FLOP/byte", "bound", "roof ceiling"],
+        rows,
+        title="%s on %s (ridge %.1f FLOP/byte, batch %d)"
+        % (network.name, arch.name, machine_balance(arch), plan.batch),
+    ))
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.schedulers import compare_schedulers, make_context
+    from repro.workloads import paper_scenarios
+
+    rows = []
+    for gpu_name in args.gpus.split(","):
+        arch = get_architecture(gpu_name.strip())
+        for scenario in paper_scenarios():
+            ctx = make_context(arch, scenario.network, scenario.spec)
+            outcomes = compare_schedulers(ctx)
+            for name, outcome in outcomes.items():
+                rows.append(
+                    (
+                        arch.name,
+                        scenario.name,
+                        name,
+                        outcome.batch,
+                        "%.2f" % (outcome.latency_s * 1e3),
+                        "%.4f" % outcome.energy_per_item_j,
+                        "%.4f" % outcome.soc.value,
+                        "" if outcome.meets_satisfaction else "x",
+                    )
+                )
+    print(format_table(
+        ["GPU", "task", "scheduler", "batch", "latency ms", "J/item",
+         "SoC", "fail"],
+        rows,
+        title="Scheduler evaluation matrix (Figs. 13-15)",
+    ))
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    network = get_network(args.network)
+    arch = get_architecture(args.gpu)
+    compiler = OfflineCompiler(arch)
+    evaluator = AnalyticEntropyModel(network)
+    tuner = AccuracyTuner(compiler, network, evaluator)
+    table = tuner.tune(
+        batch=args.batch,
+        entropy_threshold=1.0 + args.slack,
+        max_iterations=args.iterations,
+    )
+    rows = [
+        (e.iteration, "%.2f" % (e.time_s * 1e3), "%.2fx" % e.speedup,
+         "%.3f" % e.entropy, e.plan.describe())
+        for e in table.entries
+    ]
+    print(format_table(
+        ["iter", "ms", "speedup", "entropy", "plan"], rows,
+        title="Tuning path: %s on %s (threshold %.2f)"
+        % (network.name, arch.name, 1.0 + args.slack),
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "platforms": _cmd_platforms,
+    "networks": _cmd_networks,
+    "describe": _cmd_describe,
+    "compile": _cmd_compile,
+    "compare": _cmd_compare,
+    "profile": _cmd_profile,
+    "roofline": _cmd_roofline,
+    "evaluate": _cmd_evaluate,
+    "tune": _cmd_tune,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (KeyError, ValueError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Fleet deployment: one application, every platform.
+
+The paper's title promise -- *pervasive* CNN -- is that one trained
+model serves users on servers, desktops, notebooks and phones with the
+best satisfaction *each* platform can offer.  :class:`FleetManager`
+makes that a first-class operation: deploy an application spec across a
+set of GPU models in one call, get per-platform deployments plus an
+aggregate report (who meets the requirement, at what latency/energy/
+SoC), and route requests to any member.
+
+This is orchestration sugar over :class:`~repro.core.framework.PervasiveCNN`;
+it adds no new modeling, only the fleet-level view a real operator of
+the paper's system would need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.framework import Deployment, PervasiveCNN
+from repro.core.user_input import ApplicationSpec
+from repro.gpu.architecture import GPUArchitecture, list_architectures
+from repro.nn.models import NetworkDescriptor
+
+__all__ = ["PlatformReport", "FleetReport", "FleetManager"]
+
+
+@dataclass(frozen=True)
+class PlatformReport:
+    """One platform's steady-state numbers for the deployed app."""
+
+    platform: str
+    gpu: str
+    batch: int
+    latency_s: float
+    energy_per_item_j: float
+    entropy: float
+    soc: float
+    meets_requirement: bool
+    tuning_speedup: float
+
+
+@dataclass
+class FleetReport:
+    """Aggregate view across the fleet."""
+
+    platforms: List[PlatformReport] = field(default_factory=list)
+
+    @property
+    def all_meet_requirement(self) -> bool:
+        """Whether every platform delivers a non-zero SoC."""
+        return all(p.meets_requirement for p in self.platforms)
+
+    @property
+    def best_platform(self) -> PlatformReport:
+        """The platform with the highest SoC."""
+        return max(self.platforms, key=lambda p: p.soc)
+
+    def by_gpu(self, gpu: str) -> PlatformReport:
+        """Look up one platform's report."""
+        for report in self.platforms:
+            if report.gpu == gpu:
+                return report
+        raise KeyError("no platform %r in the fleet" % (gpu,))
+
+
+class FleetManager:
+    """Deploy and probe one application across many GPU models."""
+
+    def __init__(
+        self,
+        network: NetworkDescriptor,
+        spec: ApplicationSpec,
+        architectures: Optional[Sequence[GPUArchitecture]] = None,
+        max_tuning_iterations: int = 32,
+    ) -> None:
+        self.network = network
+        self.spec = spec
+        self.architectures = list(
+            architectures if architectures is not None else list_architectures()
+        )
+        if not self.architectures:
+            raise ValueError("fleet needs at least one platform")
+        self.max_tuning_iterations = max_tuning_iterations
+        self._deployments: Dict[str, Deployment] = {}
+
+    def deploy_all(self) -> Dict[str, Deployment]:
+        """Run the full P-CNN pipeline on every platform (idempotent)."""
+        for arch in self.architectures:
+            if arch.name in self._deployments:
+                continue
+            pcnn = PervasiveCNN(arch)
+            self._deployments[arch.name] = pcnn.deploy(
+                self.network,
+                self.spec,
+                max_tuning_iterations=self.max_tuning_iterations,
+            )
+        return dict(self._deployments)
+
+    def deployment(self, gpu: str) -> Deployment:
+        """One platform's deployment (deploying lazily if needed)."""
+        self.deploy_all()
+        try:
+            return self._deployments[gpu]
+        except KeyError:
+            known = ", ".join(sorted(self._deployments))
+            raise KeyError("no deployment for %r (fleet: %s)" % (gpu, known))
+
+    def report(self) -> FleetReport:
+        """Probe every deployment with one request and aggregate."""
+        self.deploy_all()
+        fleet = FleetReport()
+        for arch in self.architectures:
+            deployment = self._deployments[arch.name]
+            outcome = deployment.process_request()
+            table = deployment.tuning_table
+            fleet.platforms.append(
+                PlatformReport(
+                    platform=arch.platform,
+                    gpu=arch.name,
+                    batch=deployment.current_entry.compiled.batch,
+                    latency_s=outcome.latency_s,
+                    energy_per_item_j=outcome.energy_per_item_j,
+                    entropy=outcome.entropy,
+                    soc=outcome.soc.value,
+                    meets_requirement=outcome.soc.meets_satisfaction,
+                    tuning_speedup=table.fastest.speedup,
+                )
+            )
+        return fleet

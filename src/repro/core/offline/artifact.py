@@ -1,0 +1,228 @@
+"""Compilation artifacts: persist and reload offline-compilation output.
+
+Cross-platform offline compilation is the expensive phase of P-CNN; in
+a deployment it runs once per (network, GPU, requirement) and ships a
+*scheduling artifact* to the device.  This module serializes a
+:class:`~repro.core.offline.compiler.CompiledPlan` -- tuned kernel
+descriptors, optTLP/optSM per layer, batch, perforation plan and
+predicted times -- to a JSON document, and reconstructs an equivalent
+plan (re-resolving the network and architecture from their registries,
+which are part of the library, not the artifact).
+
+The artifact format is versioned and intentionally flat so it can be
+inspected, diffed and checked into a model registry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.gpu.architecture import get_architecture
+from repro.gpu.kernels import GemmShape, SgemmKernel
+from repro.gpu.spilling import SpillPlan
+from repro.nn.models import get_network
+from repro.nn.perforation import PerforationPlan
+from repro.core.offline.compiler import CompiledPlan, LayerSchedule
+from repro.core.offline.kernel_tuning import TunedKernel
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "plan_to_dict",
+    "plan_from_dict",
+    "save_plan",
+    "load_plan",
+    "tuning_table_to_dict",
+    "tuning_table_from_dict",
+    "save_tuning_table",
+    "load_tuning_table",
+]
+
+ARTIFACT_VERSION = 1
+
+
+def _kernel_to_dict(kernel: SgemmKernel) -> Dict:
+    return {
+        "name": kernel.name,
+        "tile_m": kernel.tile_m,
+        "tile_n": kernel.tile_n,
+        "block_size": kernel.block_size,
+        "regs_per_thread": kernel.regs_per_thread,
+        "shared_mem_bytes": kernel.shared_mem_bytes,
+        "k_unroll": kernel.k_unroll,
+        "spilled_bytes_shared": kernel.spilled_bytes_shared,
+        "spilled_bytes_global": kernel.spilled_bytes_global,
+    }
+
+
+def _kernel_from_dict(data: Dict) -> SgemmKernel:
+    return SgemmKernel(**data)
+
+
+def plan_to_dict(plan: CompiledPlan) -> Dict:
+    """Serialize a compiled plan to a JSON-compatible dict."""
+    return {
+        "version": ARTIFACT_VERSION,
+        "network": plan.network.name,
+        "arch": plan.arch.name,
+        "batch": plan.batch,
+        "perforation": dict(plan.perforation.rates),
+        "aux_time_s": plan.aux_time_s,
+        "schedules": [
+            {
+                "layer": schedule.name,
+                "layer_index": schedule.layer.index,
+                "shape": {
+                    "m_rows": schedule.shape.m_rows,
+                    "n_cols": schedule.shape.n_cols,
+                    "k_depth": schedule.shape.k_depth,
+                },
+                "kernel": _kernel_to_dict(schedule.tuned.kernel),
+                "tuned_tlp": schedule.tuned.tlp,
+                "opt_tlp": schedule.opt_tlp,
+                "opt_sm": schedule.opt_sm,
+                "gemm_count": schedule.gemm_count,
+                "time_s": schedule.time_s,
+            }
+            for schedule in plan.schedules
+        ],
+    }
+
+
+def plan_from_dict(data: Dict) -> CompiledPlan:
+    """Reconstruct a compiled plan from its artifact dict.
+
+    The network and architecture are re-resolved from their registries
+    by name; the layer list is matched by index, so the artifact is
+    only valid against the same library version's descriptors (checked
+    via layer names).
+    """
+    version = data.get("version")
+    if version != ARTIFACT_VERSION:
+        raise ValueError(
+            "unsupported artifact version %r (supported: %d)"
+            % (version, ARTIFACT_VERSION)
+        )
+    network = get_network(data["network"])
+    arch = get_architecture(data["arch"])
+    layers = network.layers
+    schedules: List[LayerSchedule] = []
+    for entry in data["schedules"]:
+        layer = layers[entry["layer_index"]]
+        if layer.name != entry["layer"]:
+            raise ValueError(
+                "artifact layer %r does not match descriptor layer %r at "
+                "index %d -- network definition drifted"
+                % (entry["layer"], layer.name, entry["layer_index"])
+            )
+        kernel = _kernel_from_dict(entry["kernel"])
+        spill = SpillPlan(
+            regs_per_thread=kernel.regs_per_thread,
+            shared_bytes=kernel.spilled_bytes_shared,
+            global_bytes=kernel.spilled_bytes_global,
+        )
+        tuned = TunedKernel(
+            kernel=kernel,
+            tlp=entry["tuned_tlp"],
+            spill=spill,
+            score=float("nan"),
+            s_kernel_value=float("nan"),
+        )
+        schedules.append(
+            LayerSchedule(
+                layer=layer,
+                shape=GemmShape(**entry["shape"]),
+                tuned=tuned,
+                opt_tlp=entry["opt_tlp"],
+                opt_sm=entry["opt_sm"],
+                gemm_count=entry["gemm_count"],
+                time_s=entry["time_s"],
+            )
+        )
+    return CompiledPlan(
+        network=network,
+        arch=arch,
+        batch=data["batch"],
+        perforation=PerforationPlan(data["perforation"]),
+        schedules=schedules,
+        aux_time_s=data["aux_time_s"],
+    )
+
+
+def save_plan(plan: CompiledPlan, path: str) -> None:
+    """Write the artifact JSON to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(plan_to_dict(plan), handle, indent=2, sort_keys=True)
+
+
+def load_plan(path: str) -> CompiledPlan:
+    """Read an artifact JSON from ``path``."""
+    with open(path) as handle:
+        return plan_from_dict(json.load(handle))
+
+
+def tuning_table_to_dict(table) -> Dict:
+    """Serialize a run-time tuning table (the paper's shipped artifact:
+    'a series of tuning tables' with their scheduling configurations).
+
+    Accepts a :class:`~repro.core.runtime.accuracy_tuning.TuningTable`;
+    imported lazily to keep offline/runtime import layering acyclic.
+    """
+    return {
+        "version": ARTIFACT_VERSION,
+        "entropy_threshold": table.entropy_threshold,
+        "entries": [
+            {
+                "iteration": entry.iteration,
+                "entropy": entry.entropy,
+                "accuracy": entry.accuracy,
+                "time_s": entry.time_s,
+                "speedup": entry.speedup,
+                "te_score": entry.te_score,
+                "plan": plan_to_dict(entry.compiled),
+            }
+            for entry in table.entries
+        ],
+    }
+
+
+def tuning_table_from_dict(data: Dict):
+    """Reconstruct a tuning table from its artifact dict."""
+    from repro.core.runtime.accuracy_tuning import TuningEntry, TuningTable
+
+    version = data.get("version")
+    if version != ARTIFACT_VERSION:
+        raise ValueError(
+            "unsupported artifact version %r (supported: %d)"
+            % (version, ARTIFACT_VERSION)
+        )
+    table = TuningTable(entropy_threshold=data["entropy_threshold"])
+    for entry in data["entries"]:
+        compiled = plan_from_dict(entry["plan"])
+        table.entries.append(
+            TuningEntry(
+                iteration=entry["iteration"],
+                plan=compiled.perforation,
+                compiled=compiled,
+                entropy=entry["entropy"],
+                accuracy=entry["accuracy"],
+                time_s=entry["time_s"],
+                speedup=entry["speedup"],
+                te_score=entry["te_score"],
+            )
+        )
+    if not table.entries:
+        raise ValueError("tuning-table artifact holds no entries")
+    return table
+
+
+def save_tuning_table(table, path: str) -> None:
+    """Write a tuning-table artifact JSON to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(tuning_table_to_dict(table), handle, indent=2, sort_keys=True)
+
+
+def load_tuning_table(path: str):
+    """Read a tuning-table artifact JSON from ``path``."""
+    with open(path) as handle:
+        return tuning_table_from_dict(json.load(handle))

@@ -1,0 +1,128 @@
+"""Adaptive batch-size selection (paper Sections III.D.3, IV.B.1, Fig. 8).
+
+Batch choice is the first knob of offline compilation:
+
+* **Background tasks** want maximum throughput per joule: the optimal
+  batch is the smallest one at which the *last* conv layer (the one
+  with minimum Util, Table V) fully utilizes the chip -- beyond it
+  throughput plateaus (Fig. 8) while memory pressure keeps growing.
+* **Latency-bound tasks** (interactive / real-time) cannot wait for
+  data: the initial batch is however many inputs arrive within the
+  time budget (``T * data_rate``), usually 1.
+* The **global decision** loop (Eq. 13) shrinks the batch when the
+  time model predicts the budget is blown:
+  ``new_batch = batch * T_user / T``.
+
+Every choice is clamped by the memory model so the compiler never
+emits a Table III 'x' configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.gpu.architecture import GPUArchitecture
+from repro.gpu.kernels import SgemmKernel
+from repro.gpu.libraries import KernelLibrary
+from repro.gpu import occupancy
+from repro.gpu.memory import NetworkMemoryProfile, fits_in_memory
+from repro.nn.models import NetworkDescriptor
+from repro.core.satisfaction import TimeRequirement
+
+__all__ = [
+    "MAX_BATCH",
+    "utilization_at_batch",
+    "background_batch",
+    "initial_batch",
+    "shrink_batch",
+    "max_batch_fitting_memory",
+]
+
+#: Safety cap on batch search (the paper never batches beyond training
+#: sizes of a few hundred).
+MAX_BATCH = 512
+
+#: Util at which a layer counts as saturating the chip (integer batch
+#: granularity rarely hits exactly 1.0).
+_SATURATION_UTIL = 0.95
+
+
+def utilization_at_batch(
+    arch: GPUArchitecture,
+    network: NetworkDescriptor,
+    kernel_for_layer,
+    batch: int,
+) -> float:
+    """Util (Eq. 6) of the *last* conv layer at ``batch``.
+
+    ``kernel_for_layer(layer, shape)`` maps a resolved conv layer and
+    its batched GEMM shape to the kernel that would run it.
+    """
+    layer = network.conv_layers[-1]
+    shape = network.gemm_shape(layer, batch)
+    kernel: SgemmKernel = kernel_for_layer(layer, shape)
+    return occupancy.utilization(arch, kernel, shape)
+
+
+def max_batch_fitting_memory(
+    arch: GPUArchitecture,
+    profile: NetworkMemoryProfile,
+    library: KernelLibrary,
+    upper: int = MAX_BATCH,
+) -> int:
+    """Largest batch (<= upper) that fits on the device; 0 if none."""
+    best = 0
+    low, high = 1, upper
+    while low <= high:
+        mid = (low + high) // 2
+        if fits_in_memory(arch, profile, library, mid):
+            best = mid
+            low = mid + 1
+        else:
+            high = mid - 1
+    return best
+
+
+def background_batch(
+    arch: GPUArchitecture,
+    network: NetworkDescriptor,
+    kernel_for_layer,
+    library: KernelLibrary,
+    upper: int = MAX_BATCH,
+) -> int:
+    """Optimal background batch: smallest batch saturating the last
+    conv layer's Util, clamped to what fits in memory (Section IV.B.1a).
+    """
+    memory_cap = max_batch_fitting_memory(
+        arch, network.memory_profile(), library, upper
+    )
+    if memory_cap == 0:
+        raise ValueError(
+            "%s does not fit on %s at any batch size" % (network.name, arch.name)
+        )
+    for batch in range(1, memory_cap + 1):
+        util = utilization_at_batch(arch, network, kernel_for_layer, batch)
+        if util >= _SATURATION_UTIL:
+            return batch
+    return memory_cap
+
+
+def initial_batch(requirement: TimeRequirement, data_rate_hz: float) -> int:
+    """Initial batch for latency-bound tasks: inputs arriving within
+    the budget, at least 1 (Section IV.B.1b)."""
+    if data_rate_hz <= 0:
+        raise ValueError("data_rate_hz must be positive")
+    if requirement.is_unbounded:
+        raise ValueError("background tasks use background_batch() instead")
+    return max(1, int(math.floor(requirement.budget_s * data_rate_hz)))
+
+
+def shrink_batch(batch: int, t_user: float, t_predicted: float) -> int:
+    """Eq. 13: scale the batch down by the predicted overshoot."""
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if t_predicted <= 0 or t_user <= 0:
+        raise ValueError("times must be positive")
+    new = int(math.floor(batch * t_user / t_predicted))
+    return max(1, min(new, batch - 1)) if batch > 1 else 1

@@ -1,0 +1,40 @@
+"""Resource model: choosing optSM (paper Section IV.B.3, Eq. 11).
+
+Inference grids are small, so running on all SMs buys nothing once the
+wave count is fixed.  Eq. 11 picks the *minimum* number of SMs that
+keeps the invocation count unchanged::
+
+    ceil(GridSize / (optTLP * optSM)) == ceil(GridSize / (optTLP * nSMs))
+
+The freed ``nSMs - optSM`` SMs can run other kernels or be power gated
+(the energy lever behind QPE+ and P-CNN in Fig. 14).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.gpu.architecture import GPUArchitecture
+
+__all__ = ["opt_sm", "released_sms"]
+
+
+def opt_sm(arch: GPUArchitecture, grid_size: int, opt_tlp: int) -> int:
+    """Minimum SM count satisfying Eq. 11.
+
+    With ``nInv = ceil(G / (t * N))`` waves on the full chip, the
+    smallest ``s`` with the same wave count is ``ceil(G / (t * nInv))``.
+    The paper's example -- G=40, optTLP=3, 10 SMs -- yields 7.
+    """
+    if grid_size < 1:
+        raise ValueError("grid_size must be >= 1, got %r" % (grid_size,))
+    if opt_tlp < 1:
+        raise ValueError("opt_tlp must be >= 1, got %r" % (opt_tlp,))
+    full_waves = math.ceil(grid_size / (opt_tlp * arch.n_sms))
+    needed = math.ceil(grid_size / (opt_tlp * full_waves))
+    return min(arch.n_sms, max(1, needed))
+
+
+def released_sms(arch: GPUArchitecture, grid_size: int, opt_tlp: int) -> int:
+    """SMs Eq. 11 frees for other work or power gating."""
+    return arch.n_sms - opt_sm(arch, grid_size, opt_tlp)

@@ -1,0 +1,84 @@
+"""Platform-independent time model (paper Section IV.B.3, Eq. 12).
+
+Predicts a convolutional layer's execution time from architecture
+parameters and the tuned kernel -- no profiling run needed, which is
+what lets P-CNN compile for a platform it has never executed on.
+
+Two formulations are exposed:
+
+* :func:`layer_time` -- the model the compiler uses: the wave-based
+  analytic kernel time of :func:`repro.sim.engine.analytic_kernel_time`
+  evaluated at (optTLP, optSM), times the layer's per-group GEMM count.
+  It converges to the event simulator by construction.
+* :func:`eq12_layer_time` -- the paper's literal Eq. 12::
+
+      t = Conv_flops * batch /
+          (peakFlops * optSM * rEC * FFMA/Total insts)
+
+  retained as a cross-check; tests assert the two agree within a
+  constant factor on every AlexNet layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.architecture import GPUArchitecture
+from repro.gpu.kernels import GemmShape
+from repro.gpu.libraries import KernelLibrary
+from repro.gpu import occupancy
+from repro.sim.engine import analytic_kernel_time, cta_work
+from repro.core.offline.kernel_tuning import PCNN_BACKEND, TunedKernel
+
+__all__ = ["layer_time", "eq12_layer_time"]
+
+
+def layer_time(
+    arch: GPUArchitecture,
+    tuned: TunedKernel,
+    shape: GemmShape,
+    n_sms: int,
+    gemm_count: int = 1,
+    backend: KernelLibrary = PCNN_BACKEND,
+    tlp: Optional[int] = None,
+) -> float:
+    """Predicted seconds for one layer: ``gemm_count`` sequential
+    per-group GEMMs at (optTLP, n_sms).  ``tlp`` defaults to the tuned
+    residency; the compiler passes its spread-capped scheduling TLP."""
+    if gemm_count < 1:
+        raise ValueError("gemm_count must be >= 1")
+    single = analytic_kernel_time(
+        arch,
+        tuned.kernel,
+        shape,
+        library=backend,
+        tlp=tlp if tlp is not None else tuned.tlp,
+        n_sms=n_sms,
+    )
+    return single * gemm_count
+
+
+def eq12_layer_time(
+    arch: GPUArchitecture,
+    tuned: TunedKernel,
+    shape: GemmShape,
+    n_sms: int,
+    gemm_count: int = 1,
+    backend: KernelLibrary = PCNN_BACKEND,
+) -> float:
+    """The paper's literal Eq. 12 (batch already folded into ``shape``).
+
+    ``peakFlops`` is the per-SM peak (2 * freq * cores/SM); the
+    instruction-mix fraction is the tuned kernel's FFMA share; rEC is
+    Eq. 9's padding-efficiency.  The library's sustained issue
+    efficiency derates the peak, as the real kernels never reach it.
+    """
+    kernel = tuned.kernel
+    rec = occupancy.effective_computation_ratio(
+        shape, kernel.tile_m, kernel.tile_n
+    )
+    work = cta_work(kernel, shape)
+    ffma_fraction = work.ffma / work.total_insts
+    peak = arch.peak_flops_per_sm * backend.issue_efficiency
+    denominator = peak * n_sms * rec * ffma_fraction
+    return gemm_count * shape.flops / denominator

@@ -1,0 +1,38 @@
+"""Run-time management: entropy-based accuracy tuning, the runtime
+kernel manager (Priority-SM + power gating), uncertainty monitoring
+and calibration."""
+
+from repro.core.runtime.accuracy_tuning import (
+    AccuracyTuner,
+    AnalyticEntropyModel,
+    EmpiricalEntropyEvaluator,
+    EntropySample,
+    TuningEntry,
+    TuningTable,
+)
+from repro.core.runtime.calibration import CalibrationStep, Calibrator
+from repro.core.runtime.monitor import UncertaintyMonitor
+from repro.core.runtime.scheduler import (
+    ExecutionReport,
+    LayerExecution,
+    RuntimeKernelManager,
+)
+from repro.core.runtime.server import InferenceServer, ServedRequest, ServerReport
+
+__all__ = [
+    "AccuracyTuner",
+    "AnalyticEntropyModel",
+    "EmpiricalEntropyEvaluator",
+    "EntropySample",
+    "TuningEntry",
+    "TuningTable",
+    "CalibrationStep",
+    "Calibrator",
+    "UncertaintyMonitor",
+    "ExecutionReport",
+    "LayerExecution",
+    "RuntimeKernelManager",
+    "InferenceServer",
+    "ServedRequest",
+    "ServerReport",
+]

@@ -1,0 +1,103 @@
+"""Calibration: backtracking the tuning path (paper Section IV.C.3).
+
+When live inputs are harder than the calibration data, the monitored
+output entropy exceeds the threshold even though the tuning table said
+the current kernel was safe.  Calibration walks *backwards* along the
+tuning path -- each step selects the previous, slower-but-more-precise
+entry -- until the uncertainty is back under the threshold (entry 0,
+the dense network, is the fixed point).  If inputs later get easier,
+the calibrator may re-advance toward the fastest entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.runtime.accuracy_tuning import TuningEntry, TuningTable
+from repro.core.runtime.monitor import UncertaintyMonitor
+
+__all__ = ["CalibrationStep", "Calibrator"]
+
+
+@dataclass(frozen=True)
+class CalibrationStep:
+    """Record of one calibration decision."""
+
+    observed_entropy: float
+    action: str  # "hold", "backtrack" or "advance"
+    entry_index: int
+
+
+class Calibrator:
+    """Holds the live position on a tuning path and adjusts it."""
+
+    def __init__(
+        self,
+        table: TuningTable,
+        threshold: Optional[float] = None,
+        window: int = 8,
+        allow_advance: bool = True,
+    ) -> None:
+        if len(table) == 0:
+            raise ValueError("tuning table is empty")
+        self.table = table
+        self.threshold = (
+            threshold if threshold is not None else table.entropy_threshold
+        )
+        self.monitor = UncertaintyMonitor(self.threshold, window=window)
+        self.allow_advance = allow_advance
+        self._index = len(table) - 1  # start at the fastest tuned entry
+        self.history: List[CalibrationStep] = []
+
+    @property
+    def index(self) -> int:
+        """Current position on the tuning path."""
+        return self._index
+
+    @property
+    def current(self) -> TuningEntry:
+        """The tuning entry whose kernels are currently deployed."""
+        return self.table[self._index]
+
+    @property
+    def at_dense(self) -> bool:
+        """Whether calibration has retreated all the way to entry 0."""
+        return self._index == 0
+
+    def observe(self, entropy: float) -> TuningEntry:
+        """Feed one live output's entropy; returns the (possibly new)
+        deployed entry.
+
+        Backtracks one step per violating window -- the paper's
+        'chooses a less aggressive tuning table ... this process will
+        continue until the output uncertainty is less than the
+        threshold' realized incrementally so a single step's effect is
+        observed before taking another.
+        """
+        violated = self.monitor.observe(entropy)
+        action = "hold"
+        if violated and self._index > 0:
+            self._index -= 1
+            self.monitor.reset()
+            action = "backtrack"
+        elif (
+            self.allow_advance
+            and not violated
+            and self._index < len(self.table) - 1
+            and self.monitor.n_observations >= self.monitor.window
+        ):
+            # A full clean window at a *comfortable* margin lets the
+            # calibrator try the next faster entry again.
+            mean = self.monitor.mean_entropy or 0.0
+            headroom = self.table[self._index + 1].entropy - self.current.entropy
+            if mean + headroom <= self.threshold:
+                self._index += 1
+                self.monitor.reset()
+                action = "advance"
+        self.history.append(
+            CalibrationStep(
+                observed_entropy=entropy, action=action, entry_index=self._index
+            )
+        )
+        return self.current

@@ -1,0 +1,190 @@
+"""Streaming inference server: drives a deployment with request traces.
+
+The paper's evaluation scores one steady-state configuration per
+scheduler; a deployed system additionally has to *assemble* batches
+from an arriving request stream.  :class:`InferenceServer` closes that
+loop: requests arrive per a :class:`~repro.workloads.RequestTrace`,
+the server accumulates them until the compiled batch is full or the
+time budget forces a flush, executes the batch on the runtime kernel
+manager, scores each request's SoC with its true end-to-end latency
+(queueing + assembly + compute), and feeds observed entropies to the
+calibrator.
+
+This is the substrate behind the serving-oriented tests and the
+calibration example; it is intentionally discrete-event and
+deterministic (no wall clock).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from typing import TYPE_CHECKING
+
+from repro.core.satisfaction import SoCBreakdown, soc
+
+if TYPE_CHECKING:  # avoid a circular import; Deployment is duck-typed
+    from repro.core.framework import Deployment
+from repro.workloads.generators import RequestTrace
+
+__all__ = ["ServedRequest", "ServerReport", "InferenceServer"]
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """One request's end-to-end accounting."""
+
+    index: int
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    batch: int
+    entropy: float
+    soc: SoCBreakdown
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end: arrival to batch completion."""
+        return self.finish_s - self.arrival_s
+
+    @property
+    def queueing_s(self) -> float:
+        """Time spent waiting for the batch to form/start."""
+        return self.start_s - self.arrival_s
+
+
+@dataclass
+class ServerReport:
+    """Aggregate outcome of serving a trace."""
+
+    requests: List[ServedRequest] = field(default_factory=list)
+    total_energy_j: float = 0.0
+    batches: int = 0
+
+    @property
+    def n_requests(self) -> int:
+        """Requests served."""
+        return len(self.requests)
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean end-to-end latency."""
+        if not self.requests:
+            return 0.0
+        return sum(r.latency_s for r in self.requests) / len(self.requests)
+
+    @property
+    def p99_latency_s(self) -> float:
+        """99th-percentile end-to-end latency."""
+        if not self.requests:
+            return 0.0
+        ordered = sorted(r.latency_s for r in self.requests)
+        index = min(len(ordered) - 1, math.ceil(0.99 * len(ordered)) - 1)
+        return ordered[index]
+
+    @property
+    def mean_soc(self) -> float:
+        """Mean per-request SoC."""
+        if not self.requests:
+            return 0.0
+        return sum(r.soc.value for r in self.requests) / len(self.requests)
+
+    @property
+    def energy_per_request_j(self) -> float:
+        """Energy per served request."""
+        if not self.requests:
+            return 0.0
+        return self.total_energy_j / len(self.requests)
+
+    @property
+    def deadline_misses(self) -> int:
+        """Requests whose SoC_time collapsed to zero."""
+        return sum(1 for r in self.requests if r.soc.soc_time == 0.0)
+
+
+class InferenceServer:
+    """Batch-assembling, calibration-aware serving loop."""
+
+    def __init__(
+        self,
+        deployment: "Deployment",
+        flush_timeout_s: Optional[float] = None,
+    ) -> None:
+        """``flush_timeout_s`` bounds how long the first queued request
+        may wait for the batch to fill; defaults to the deployment's
+        imperceptible budget (or 50 ms for background tasks)."""
+        self.deployment = deployment
+        if flush_timeout_s is None:
+            budget = deployment.requirement.time.budget_s
+            flush_timeout_s = budget / 2 if math.isfinite(budget) else 0.05
+        if flush_timeout_s <= 0:
+            raise ValueError("flush_timeout_s must be positive")
+        self.flush_timeout_s = flush_timeout_s
+
+    def serve(self, trace: RequestTrace) -> ServerReport:
+        """Serve a whole trace; returns the per-request accounting."""
+        deployment = self.deployment
+        report = ServerReport()
+        queue: List[int] = []  # indices into the trace
+        gpu_free_at = 0.0
+        i = 0
+        n = trace.n_requests
+        while i < n or queue:
+            entry = deployment.current_entry
+            target_batch = entry.compiled.batch
+            if not queue:
+                queue.append(i)
+                i += 1
+            # Admit every request that arrives before the flush point.
+            flush_at = trace.arrivals_s[queue[0]] + self.flush_timeout_s
+            while (
+                i < n
+                and len(queue) < target_batch
+                and trace.arrivals_s[i] <= flush_at
+            ):
+                queue.append(i)
+                i += 1
+            batch_indices = queue[:target_batch]
+            queue = queue[target_batch:]
+            last_arrival = float(trace.arrivals_s[batch_indices[-1]])
+            if len(batch_indices) == target_batch or i >= n:
+                ready = last_arrival  # batch full, or stream drained
+            else:
+                ready = flush_at  # partial batch flushed by timeout
+            start = max(ready, gpu_free_at)
+
+            execution = deployment.manager.execute(entry.compiled)
+            finish = start + execution.total_time_s
+            gpu_free_at = finish
+            report.batches += 1
+            report.total_energy_j += execution.total_energy_joules
+
+            batch_entropy = 0.0
+            for index in batch_indices:
+                entropy = entry.entropy * float(trace.difficulty[index])
+                batch_entropy = max(batch_entropy, entropy)
+                breakdown = soc(
+                    runtime_s=finish - trace.arrivals_s[index],
+                    requirement=deployment.requirement.time,
+                    entropy=entropy,
+                    entropy_threshold=deployment.entropy_threshold,
+                    energy_joules=execution.total_energy_joules
+                    / len(batch_indices),
+                )
+                report.requests.append(
+                    ServedRequest(
+                        index=index,
+                        arrival_s=float(trace.arrivals_s[index]),
+                        start_s=start,
+                        finish_s=finish,
+                        batch=len(batch_indices),
+                        entropy=entropy,
+                        soc=breakdown,
+                    )
+                )
+            # One calibration observation per batch (its worst output).
+            deployment.calibrator.observe(batch_entropy)
+        report.requests.sort(key=lambda r: r.index)
+        return report

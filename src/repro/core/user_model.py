@@ -1,0 +1,137 @@
+"""Learned per-user requirement model (the paper's stated future work).
+
+Section IV.A: *"In the future, we can create a more fine-grained time
+requirement table for each user using machine learning techniques to
+learn user experience."*  This module implements that extension with a
+deliberately simple, fully-deterministic online learner:
+
+* The user's true imperceptible threshold ``T_i`` is unknown; the
+  population prior (100 ms [31]) seeds the estimate.
+* Every served request yields weak supervision: the user either
+  *engaged* (kept using the app) or showed *friction* (retried,
+  hesitated, abandoned).  Friction at latency L is evidence that
+  ``T_i < L``; smooth engagement at L is evidence that ``T_i >= L``.
+* The estimator maintains a bracket [lo, hi] over ``T_i`` and performs
+  damped bisection toward the boundary, with a safety margin so the
+  deployed requirement errs on the responsive side.
+
+The learned ``T_i`` feeds straight back into the standard
+:class:`~repro.core.satisfaction.TimeRequirement`, so the offline
+compiler and schedulers consume it unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.satisfaction import TimeRequirement
+
+__all__ = ["FeedbackEvent", "LearnedRequirementModel", "simulate_user_feedback"]
+
+
+@dataclass(frozen=True)
+class FeedbackEvent:
+    """One observation of the user's reaction to a served request."""
+
+    latency_s: float
+    friction: bool  # True = user showed dissatisfaction
+
+    def __post_init__(self) -> None:
+        if self.latency_s <= 0:
+            raise ValueError("latency must be positive")
+
+
+class LearnedRequirementModel:
+    """Online bracket estimator of a user's imperceptible threshold."""
+
+    def __init__(
+        self,
+        prior_ti_s: float = 0.1,
+        unusable_s: float = 3.0,
+        lo_s: float = 0.01,
+        hi_s: float = 2.0,
+        damping: float = 0.5,
+        safety_margin: float = 0.85,
+    ) -> None:
+        if not 0 < lo_s < prior_ti_s < hi_s:
+            raise ValueError("need lo < prior < hi")
+        if not 0 < damping <= 1:
+            raise ValueError("damping must be in (0, 1]")
+        if not 0 < safety_margin <= 1:
+            raise ValueError("safety_margin must be in (0, 1]")
+        self._lo = lo_s
+        self._hi = hi_s
+        self._estimate = prior_ti_s
+        self.unusable_s = unusable_s
+        self.damping = damping
+        self.safety_margin = safety_margin
+        self.history: List[FeedbackEvent] = []
+
+    @property
+    def estimate_s(self) -> float:
+        """Current point estimate of the user's true T_i."""
+        return self._estimate
+
+    @property
+    def bracket(self) -> tuple:
+        """(lo, hi) bounds the feedback is consistent with."""
+        return (self._lo, self._hi)
+
+    def observe(self, event: FeedbackEvent) -> float:
+        """Fold one feedback event in; returns the new estimate.
+
+        Friction at latency L shrinks the upper bound toward L;
+        smooth engagement at L raises the lower bound toward L.  The
+        point estimate moves by damped bisection so a single noisy
+        event cannot swing the deployment.
+        """
+        self.history.append(event)
+        if event.friction:
+            # True threshold is below the experienced latency.
+            self._hi = min(self._hi, event.latency_s)
+        else:
+            self._lo = max(self._lo, min(event.latency_s, self._hi))
+        if self._lo > self._hi:
+            # Contradictory feedback (noisy user): collapse to the
+            # conservative side.
+            self._lo = self._hi
+        midpoint = 0.5 * (self._lo + self._hi)
+        self._estimate += self.damping * (midpoint - self._estimate)
+        self._estimate = min(max(self._estimate, self._lo), self._hi)
+        return self._estimate
+
+    def requirement(self) -> TimeRequirement:
+        """The deployable requirement: the learned T_i with the safety
+        margin applied (err on the responsive side)."""
+        ti = max(1e-3, self._estimate * self.safety_margin)
+        return TimeRequirement(
+            imperceptible_s=ti, unusable_s=max(self.unusable_s, ti)
+        )
+
+
+def simulate_user_feedback(
+    latency_s: float,
+    true_ti_s: float,
+    tolerance_band: float = 0.15,
+    phase: float = 0.0,
+) -> FeedbackEvent:
+    """A deterministic stand-in for real engagement telemetry.
+
+    The simulated user shows friction when latency exceeds their true
+    threshold; within ``tolerance_band`` of the boundary the reaction
+    alternates with ``phase`` (humans are not sharp step functions),
+    giving the learner realistic ambiguous evidence near T_i.
+    """
+    if true_ti_s <= 0:
+        raise ValueError("true_ti_s must be positive")
+    boundary_lo = true_ti_s * (1 - tolerance_band)
+    boundary_hi = true_ti_s * (1 + tolerance_band)
+    if latency_s <= boundary_lo:
+        friction = False
+    elif latency_s >= boundary_hi:
+        friction = True
+    else:
+        friction = (math.floor(phase) % 2) == 1
+    return FeedbackEvent(latency_s=latency_s, friction=friction)

@@ -1,0 +1,360 @@
+"""GPU microarchitecture models.
+
+This module provides :class:`GPUArchitecture`, a parameterized description
+of an NVIDIA-style GPU at the granularity the P-CNN paper's analytical
+models need (Eqs. 3-13 of the paper): streaming multiprocessors (SMs),
+CUDA cores per SM, clocks, the per-SM register file and shared memory,
+thread-level-parallelism (TLP) limits, DRAM bandwidth and capacity.
+
+The four platforms of the paper's Table II / Table VI are available as
+module-level constants (:data:`K20C`, :data:`TITAN_X`, :data:`GTX_970M`,
+:data:`JETSON_TX1`) and through :func:`get_architecture`.
+
+Register-file accounting
+------------------------
+The paper's Table IV occupancy columns are only consistent with a
+register file of 64K 32-bit entries per SM of which 4K are reserved
+(driver/ABI overhead), i.e. 61440 *usable* registers, and with the
+Jetson TX1 (Maxwell GM20B) exposing 96KB of shared memory per SM while
+Kepler (K20c) exposes 48KB.  Those are exactly the values encoded here;
+with them every ``#blocks`` cell of Table IV is reproduced bit-exactly
+(see ``benchmarks/bench_table4_kernel_detail.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "GPUArchitecture",
+    "K20C",
+    "TITAN_X",
+    "GTX_970M",
+    "JETSON_TX1",
+    "GTX_1080",
+    "JETSON_TX2",
+    "ARCHITECTURES",
+    "get_architecture",
+    "list_architectures",
+]
+
+#: Registers reserved per SM for driver/ABI bookkeeping.  Table IV of the
+#: paper is only consistent with 61440 = 65536 - 4096 usable registers.
+RESERVED_REGISTERS_PER_SM = 4096
+
+
+@dataclass(frozen=True)
+class GPUArchitecture:
+    """A GPU microarchitecture, parameterized as in the paper's Table II/VI.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"K20c"``.
+    platform:
+        Deployment class: ``"server"``, ``"desktop"``, ``"notebook"`` or
+        ``"mobile"``.
+    generation:
+        Microarchitecture family (``"kepler"`` or ``"maxwell"``); kernel
+        catalogs in :mod:`repro.gpu.libraries` are keyed on this.
+    n_sms:
+        Number of streaming multiprocessors.
+    cores_per_sm:
+        CUDA cores per SM; each core retires one fused multiply-add
+        (2 FLOPs) per cycle.
+    core_clock_mhz:
+        SM clock in MHz.
+    registers_per_sm:
+        Size of the per-SM register file in 32-bit entries (raw, before
+        the reserved slice is subtracted).
+    shared_mem_per_sm:
+        Shared memory per SM in bytes.
+    max_threads_per_sm:
+        Hardware TLP limit in threads.
+    max_ctas_per_sm:
+        Hardware limit on concurrently resident thread blocks (CTAs).
+    warp_size:
+        Threads per warp.
+    memory_bytes:
+        Device memory capacity in bytes.
+    mem_bandwidth_gbps:
+        Peak DRAM bandwidth in GB/s.
+    idle_power_w / sm_static_power_w / sm_dynamic_power_w:
+        Power-model parameters consumed by :mod:`repro.gpu.energy`:
+        chip-level constant power, per-active-SM static power (removable
+        by power gating) and per-SM dynamic power at full issue rate.
+    """
+
+    name: str
+    platform: str
+    generation: str
+    n_sms: int
+    cores_per_sm: int
+    core_clock_mhz: float
+    registers_per_sm: int = 65536
+    shared_mem_per_sm: int = 48 * 1024
+    max_threads_per_sm: int = 2048
+    # Hardware CTA-slot limit: 16 on Kepler, 32 on Maxwell.  The Maxwell
+    # value is required for Table IV's TX1/cuDNN maxBlocks of 40 (20 CTAs
+    # per SM would be impossible under a 16-slot limit).
+    max_ctas_per_sm: int = 16
+    warp_size: int = 32
+    memory_bytes: int = 4 * 1024**3
+    mem_bandwidth_gbps: float = 100.0
+    idle_power_w: float = 15.0
+    sm_static_power_w: float = 2.0
+    sm_dynamic_power_w: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.n_sms <= 0:
+            raise ValueError("n_sms must be positive, got %r" % (self.n_sms,))
+        if self.cores_per_sm <= 0:
+            raise ValueError(
+                "cores_per_sm must be positive, got %r" % (self.cores_per_sm,)
+            )
+        if self.core_clock_mhz <= 0:
+            raise ValueError(
+                "core_clock_mhz must be positive, got %r" % (self.core_clock_mhz,)
+            )
+        if self.registers_per_sm <= RESERVED_REGISTERS_PER_SM:
+            raise ValueError(
+                "registers_per_sm must exceed the reserved slice (%d)"
+                % RESERVED_REGISTERS_PER_SM
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def total_cuda_cores(self) -> int:
+        """Total CUDA cores across the chip (Table II's headline number)."""
+        return self.n_sms * self.cores_per_sm
+
+    @property
+    def core_clock_hz(self) -> float:
+        """SM clock in Hz."""
+        return self.core_clock_mhz * 1e6
+
+    @property
+    def usable_registers_per_sm(self) -> int:
+        """Registers available to resident CTAs after the reserved slice."""
+        return self.registers_per_sm - RESERVED_REGISTERS_PER_SM
+
+    @property
+    def peak_flops(self) -> float:
+        """Chip peak throughput in FLOP/s (Eq. 3 denominator).
+
+        Each core executes one multiply-accumulate (2 FLOPs) per cycle::
+
+            peak = 2 * freq * nSMs * nCores
+        """
+        return 2.0 * self.core_clock_hz * self.n_sms * self.cores_per_sm
+
+    @property
+    def peak_flops_per_sm(self) -> float:
+        """Per-SM peak throughput in FLOP/s (Eq. 12's ``peakFlops``)."""
+        return 2.0 * self.core_clock_hz * self.cores_per_sm
+
+    @property
+    def mem_bandwidth_bytes_per_s(self) -> float:
+        """Peak DRAM bandwidth in bytes/s."""
+        return self.mem_bandwidth_gbps * 1e9
+
+    def min_registers_per_thread(self) -> int:
+        """Paper Section IV.B.2's ``minReg``.
+
+        The minimum register allotment per thread is the register file
+        divided by the maximum number of resident threads; below this the
+        extra registers could not raise TLP any further.
+        """
+        return max(1, self.usable_registers_per_sm // self.max_threads_per_sm)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count at the core clock into seconds."""
+        return cycles / self.core_clock_hz
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert seconds into core-clock cycles."""
+        return seconds * self.core_clock_hz
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (Table II row)."""
+        return (
+            "%s (%s): %d CUDA cores (%d SMs x %d), %.0f MHz, %.1f GB, "
+            "%.1f GB/s"
+            % (
+                self.name,
+                self.platform,
+                self.total_cuda_cores,
+                self.n_sms,
+                self.cores_per_sm,
+                self.core_clock_mhz,
+                self.memory_bytes / 1024**3,
+                self.mem_bandwidth_gbps,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Table II platforms
+# ----------------------------------------------------------------------
+
+#: NVIDIA Tesla K20c: the paper's server GPU (Kepler GK110).
+#: 2496 CUDA cores = 13 SMs x 192 cores, 706 MHz, 5GB GDDR5 @ 320-bit.
+K20C = GPUArchitecture(
+    name="K20c",
+    platform="server",
+    generation="kepler",
+    n_sms=13,
+    cores_per_sm=192,
+    core_clock_mhz=706.0,
+    shared_mem_per_sm=48 * 1024,
+    memory_bytes=5 * 1024**3,
+    mem_bandwidth_gbps=208.0,
+    idle_power_w=25.0,
+    sm_static_power_w=4.0,
+    sm_dynamic_power_w=12.0,
+)
+
+#: NVIDIA GeForce GTX Titan X: the paper's desktop GPU (Maxwell GM200).
+#: 3072 CUDA cores = 24 SMs x 128 cores, 1000 MHz, 12GB GDDR5 @ 384-bit.
+TITAN_X = GPUArchitecture(
+    name="TitanX",
+    platform="desktop",
+    generation="maxwell",
+    max_ctas_per_sm=32,
+    n_sms=24,
+    cores_per_sm=128,
+    core_clock_mhz=1000.0,
+    shared_mem_per_sm=96 * 1024,
+    memory_bytes=12 * 1024**3,
+    mem_bandwidth_gbps=336.5,
+    idle_power_w=20.0,
+    sm_static_power_w=3.0,
+    sm_dynamic_power_w=9.0,
+)
+
+#: NVIDIA GeForce GTX 970M: the paper's notebook GPU (Maxwell GM204).
+#: 1280 CUDA cores = 10 SMs x 128 cores, 924 MHz, 3GB GDDR5 @ 192-bit.
+GTX_970M = GPUArchitecture(
+    name="GTX970m",
+    platform="notebook",
+    generation="maxwell",
+    max_ctas_per_sm=32,
+    n_sms=10,
+    cores_per_sm=128,
+    core_clock_mhz=924.0,
+    shared_mem_per_sm=96 * 1024,
+    memory_bytes=3 * 1024**3,
+    mem_bandwidth_gbps=120.0,
+    idle_power_w=10.0,
+    sm_static_power_w=2.5,
+    sm_dynamic_power_w=7.0,
+)
+
+#: NVIDIA Jetson TX1: the paper's mobile GPU (Maxwell GM20B).
+#: 256 CUDA cores = 2 SMs x 128 cores, 998 MHz, 4GB LPDDR4 @ 25.6 GB/s.
+#: The 96KB shared memory per SM is required to reproduce Table IV's
+#: ``#blocks (shmem)`` column (14 for cuBLAS, 84 for cuDNN).
+JETSON_TX1 = GPUArchitecture(
+    name="TX1",
+    platform="mobile",
+    generation="maxwell",
+    max_ctas_per_sm=32,
+    n_sms=2,
+    cores_per_sm=128,
+    core_clock_mhz=998.0,
+    shared_mem_per_sm=96 * 1024,
+    memory_bytes=4 * 1024**3,
+    mem_bandwidth_gbps=25.6,
+    idle_power_w=2.0,
+    sm_static_power_w=1.0,
+    sm_dynamic_power_w=3.0,
+)
+
+#: NVIDIA GeForce GTX 1080 (Pascal GP104): a post-paper desktop part,
+#: included to exercise cross-generation pervasiveness.  2560 CUDA
+#: cores = 20 SMs x 128 cores, 1607 MHz base, 8GB GDDR5X @ 320 GB/s.
+GTX_1080 = GPUArchitecture(
+    name="GTX1080",
+    platform="desktop",
+    generation="pascal",
+    n_sms=20,
+    cores_per_sm=128,
+    core_clock_mhz=1607.0,
+    max_ctas_per_sm=32,
+    shared_mem_per_sm=96 * 1024,
+    memory_bytes=8 * 1024**3,
+    mem_bandwidth_gbps=320.0,
+    idle_power_w=18.0,
+    sm_static_power_w=2.5,
+    sm_dynamic_power_w=8.0,
+)
+
+#: NVIDIA Jetson TX2 (Pascal GP10B): the TX1's successor.  256 CUDA
+#: cores = 2 SMs x 128 cores, 1300 MHz, 8GB LPDDR4 @ 58.4 GB/s.
+JETSON_TX2 = GPUArchitecture(
+    name="TX2",
+    platform="mobile",
+    generation="pascal",
+    n_sms=2,
+    cores_per_sm=128,
+    core_clock_mhz=1300.0,
+    max_ctas_per_sm=32,
+    shared_mem_per_sm=96 * 1024,
+    memory_bytes=8 * 1024**3,
+    mem_bandwidth_gbps=58.4,
+    idle_power_w=2.5,
+    sm_static_power_w=1.2,
+    sm_dynamic_power_w=3.5,
+)
+
+#: Registry of the paper's four evaluation platforms plus the Pascal
+#: extensions, keyed by canonical lower-case name.
+ARCHITECTURES = {
+    "k20c": K20C,
+    "titanx": TITAN_X,
+    "gtx970m": GTX_970M,
+    "tx1": JETSON_TX1,
+    "gtx1080": GTX_1080,
+    "tx2": JETSON_TX2,
+}
+
+_ALIASES = {
+    "k20": "k20c",
+    "titan x": "titanx",
+    "titan_x": "titanx",
+    "970m": "gtx970m",
+    "gtx 970m": "gtx970m",
+    "jetson tx1": "tx1",
+    "jetson_tx1": "tx1",
+    "jetsontx1": "tx1",
+    "1080": "gtx1080",
+    "gtx 1080": "gtx1080",
+    "jetson tx2": "tx2",
+}
+
+
+def get_architecture(name: str) -> GPUArchitecture:
+    """Look up a GPU platform by name (case-insensitive, alias-friendly).
+
+    >>> get_architecture("K20").n_sms
+    13
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return ARCHITECTURES[key]
+    except KeyError:
+        known = ", ".join(sorted(ARCHITECTURES))
+        raise KeyError("unknown GPU %r; known platforms: %s" % (name, known))
+
+
+def list_architectures(include_extensions: bool = False) -> list:
+    """The paper's four platforms, server-to-mobile order; with
+    ``include_extensions`` the post-paper Pascal parts are appended."""
+    paper = [K20C, TITAN_X, GTX_970M, JETSON_TX1]
+    if include_extensions:
+        return paper + [GTX_1080, JETSON_TX2]
+    return paper

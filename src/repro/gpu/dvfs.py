@@ -1,0 +1,161 @@
+"""DVFS: dynamic voltage/frequency scaling model.
+
+The paper's Fig. 3 argues that for background tasks *"energy
+consumption first decreases then plateaus as the runtime increases ...
+at T_e and beyond, the decrease in power is offset by the increase in
+runtime"* -- the classic DVFS energy curve.  P-CNN's scheduling policy
+("having satisfied the requirements on response time and accuracy,
+P-CNN tries to save energy") therefore has a frequency knob in addition
+to the SM-count knob; this module supplies it.
+
+Model: at relative frequency ``f`` (fraction of nominal), runtime
+scales as ``1/f`` for compute-bound kernels (memory-bound work scales
+less -- the bandwidth floor is frequency-independent), dynamic power
+scales as ``f * V(f)^2`` with the voltage following the near-linear
+DVFS curve ``V = v_min + (1 - v_min) * f``, and static/idle power
+scales with ``V^2``.  :func:`energy_at_frequency` evaluates one
+operating point; :func:`best_frequency` sweeps the state ladder for the
+minimum-energy point meeting a deadline -- T_e in the paper's figure is
+exactly where that sweep's argmin lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.gpu.architecture import GPUArchitecture
+
+__all__ = [
+    "FrequencyState",
+    "DEFAULT_FREQUENCY_LADDER",
+    "scaled_runtime",
+    "power_at_frequency",
+    "energy_at_frequency",
+    "best_frequency",
+]
+
+#: Voltage floor: at f -> 0 the rail cannot drop below this fraction of
+#: nominal (leakage keeps drawing through it).
+_V_MIN = 0.55
+
+#: Relative frequency states a mobile GPU ladder typically exposes.
+DEFAULT_FREQUENCY_LADDER = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+@dataclass(frozen=True)
+class FrequencyState:
+    """One DVFS operating point."""
+
+    relative_frequency: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.relative_frequency <= 1.0:
+            raise ValueError(
+                "relative_frequency must be in (0, 1], got %r"
+                % (self.relative_frequency,)
+            )
+
+    @property
+    def voltage(self) -> float:
+        """Relative rail voltage at this frequency."""
+        return _V_MIN + (1.0 - _V_MIN) * self.relative_frequency
+
+    @property
+    def dynamic_power_scale(self) -> float:
+        """Dynamic power relative to nominal: f * V^2."""
+        return self.relative_frequency * self.voltage**2
+
+    @property
+    def static_power_scale(self) -> float:
+        """Static/leakage power relative to nominal: V^2."""
+        return self.voltage**2
+
+
+def scaled_runtime(
+    nominal_seconds: float,
+    state: FrequencyState,
+    memory_bound_fraction: float = 0.0,
+) -> float:
+    """Runtime at a DVFS state.
+
+    The compute-bound share stretches by ``1/f``; the memory-bound
+    share (DRAM clock is on a separate rail) is unchanged.
+    """
+    if nominal_seconds < 0:
+        raise ValueError("nominal_seconds must be non-negative")
+    if not 0.0 <= memory_bound_fraction <= 1.0:
+        raise ValueError("memory_bound_fraction must be in [0, 1]")
+    compute = nominal_seconds * (1.0 - memory_bound_fraction)
+    memory = nominal_seconds * memory_bound_fraction
+    return compute / state.relative_frequency + memory
+
+
+def power_at_frequency(
+    arch: GPUArchitecture,
+    state: FrequencyState,
+    busy_sms: int,
+    activity: float = 1.0,
+) -> float:
+    """Average chip power at a DVFS state (busy SMs powered)."""
+    if not 0 <= busy_sms <= arch.n_sms:
+        raise ValueError("busy_sms must be in [0, n_sms]")
+    static = (
+        arch.idle_power_w + busy_sms * arch.sm_static_power_w
+    ) * state.static_power_scale
+    dynamic = (
+        busy_sms * activity * arch.sm_dynamic_power_w
+    ) * state.dynamic_power_scale
+    return static + dynamic
+
+
+def energy_at_frequency(
+    arch: GPUArchitecture,
+    state: FrequencyState,
+    nominal_seconds: float,
+    busy_sms: int,
+    activity: float = 1.0,
+    memory_bound_fraction: float = 0.0,
+) -> Tuple[float, float]:
+    """(runtime_s, energy_j) of one kernel run at a DVFS state."""
+    runtime = scaled_runtime(nominal_seconds, state, memory_bound_fraction)
+    power = power_at_frequency(arch, state, busy_sms, activity)
+    return runtime, power * runtime
+
+
+def best_frequency(
+    arch: GPUArchitecture,
+    nominal_seconds: float,
+    busy_sms: int,
+    deadline_s: Optional[float] = None,
+    activity: float = 1.0,
+    memory_bound_fraction: float = 0.0,
+    ladder: Sequence[float] = DEFAULT_FREQUENCY_LADDER,
+) -> Tuple[FrequencyState, float, float]:
+    """The minimum-energy DVFS state meeting an optional deadline.
+
+    Returns ``(state, runtime_s, energy_j)``.  Without a deadline this
+    finds the paper's T_e: below the returned state's runtime, higher
+    power dominates; above it, static energy over the longer runtime
+    dominates -- the curve's plateau/valley.
+    """
+    best: Optional[Tuple[FrequencyState, float, float]] = None
+    for relative in sorted(ladder, reverse=True):
+        state = FrequencyState(relative)
+        runtime, energy = energy_at_frequency(
+            arch, state, nominal_seconds, busy_sms, activity,
+            memory_bound_fraction,
+        )
+        if deadline_s is not None and runtime > deadline_s:
+            continue
+        if best is None or energy < best[2]:
+            best = (state, runtime, energy)
+    if best is None:
+        # Even nominal frequency misses the deadline: run flat out.
+        state = FrequencyState(1.0)
+        runtime, energy = energy_at_frequency(
+            arch, state, nominal_seconds, busy_sms, activity,
+            memory_bound_fraction,
+        )
+        best = (state, runtime, energy)
+    return best

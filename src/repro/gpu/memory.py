@@ -1,0 +1,190 @@
+"""GPU memory-footprint model (Table III's out-of-memory cells).
+
+CNN inference memory is the sum of three components:
+
+* **weights** -- the trained parameters, resident for the whole run;
+* **activations** -- every layer's output feature maps, scaled by the
+  batch size (Caffe-style frameworks keep all of them live);
+* **library workspace** -- what the back-end allocates around its
+  kernels, and the piece that differs across libraries:
+
+  - *cuBLAS (through Caffe)* lowers convolutions one image at a time
+    through a single shared im2col column buffer, so its workspace is
+    the **largest per-image im2col matrix** -- independent of batch.
+  - *cuDNN* keeps per-layer descriptors/algorithm scratch whose total
+    grows with ``n_conv_layers x batch`` (the per-(layer, image)
+    workspace quantum below), which is what pushes the deep GoogLeNet
+    over the edge on TX1 at batch 64 while the shallow-but-wide VGGNet
+    only barely overflows.
+  - *Nervana* needs no im2col workspace (direct convolution kernels)
+    but pads activations to tile multiples and double-buffers them,
+    modeled as a multiplicative activation overhead.
+
+Device memory is not all usable: mobile SoCs share DRAM with the OS and
+display, discrete cards reserve CUDA context/ECC overhead.  The usable
+fractions below are calibrated so that *every* run/OOM cell of the
+paper's Table III is reproduced (verified in
+``tests/gpu/test_memory.py`` and ``benchmarks/bench_table3``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.gpu.architecture import GPUArchitecture
+from repro.gpu.libraries import KernelLibrary
+
+__all__ = [
+    "NetworkMemoryProfile",
+    "MemoryFootprint",
+    "usable_memory_bytes",
+    "estimate_footprint",
+    "fits_in_memory",
+    "OutOfMemoryError",
+    "CUDNN_WORKSPACE_QUANTUM",
+    "NERVANA_ACTIVATION_OVERHEAD",
+    "USABLE_FRACTION",
+]
+
+#: Per-(conv layer, batch element) workspace cuDNN-era frameworks hold
+#: (descriptors, algorithm scratch, cudnnFind probes).  Calibrated to
+#: reproduce Table III: GoogLeNet (57 convs, batch 64) and VGGNet
+#: (13 convs, batch 32) both OOM on TX1 under cuDNN yet run on GTX 970m.
+CUDNN_WORKSPACE_QUANTUM = 440_000  # bytes
+
+#: Nervana pads activations to 128-column tile multiples and
+#: double-buffers between layers.
+NERVANA_ACTIVATION_OVERHEAD = 1.15
+
+#: Fraction of physical device memory a CUDA process can actually get.
+#: Mobile SoCs (TX1) share DRAM with the OS and display pipeline.
+USABLE_FRACTION: Dict[str, float] = {
+    "server": 0.95,
+    "desktop": 0.95,
+    "notebook": 0.94,
+    "mobile": 0.62,
+}
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a configuration cannot fit on the target GPU --
+    the paper's 'x' cells in Table III."""
+
+
+@dataclass(frozen=True)
+class NetworkMemoryProfile:
+    """Per-image memory characteristics of one CNN.
+
+    Produced by :meth:`repro.nn.models.NetworkDescriptor.memory_profile`.
+
+    Attributes
+    ----------
+    weights_bytes:
+        Total trained-parameter bytes (fp32).
+    activation_bytes_per_image:
+        Sum of all layer output feature maps for one image (fp32).
+    max_im2col_bytes_per_image:
+        im2col matrix of the largest convolutional layer for one image.
+    n_conv_layers:
+        Number of convolutional layers (depth drives cuDNN workspace).
+    """
+
+    weights_bytes: int
+    activation_bytes_per_image: int
+    max_im2col_bytes_per_image: int
+    n_conv_layers: int
+
+    def __post_init__(self) -> None:
+        for name in (
+            "weights_bytes",
+            "activation_bytes_per_image",
+            "max_im2col_bytes_per_image",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError("%s must be non-negative" % name)
+        if self.n_conv_layers < 1:
+            raise ValueError("a CNN needs at least one conv layer")
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Breakdown of a configuration's device-memory demand (bytes)."""
+
+    weights: int
+    activations: int
+    workspace: int
+
+    @property
+    def total(self) -> int:
+        """Total bytes demanded."""
+        return self.weights + self.activations + self.workspace
+
+
+def usable_memory_bytes(arch: GPUArchitecture) -> int:
+    """Device memory actually available to one inference process."""
+    fraction = USABLE_FRACTION.get(arch.platform, 0.9)
+    return int(arch.memory_bytes * fraction)
+
+
+def estimate_footprint(
+    profile: NetworkMemoryProfile, library: KernelLibrary, batch: int
+) -> MemoryFootprint:
+    """Device-memory demand of running ``profile`` at ``batch`` through
+    ``library`` (after the library's batch rounding)."""
+    if batch < 1:
+        raise ValueError("batch must be >= 1, got %r" % (batch,))
+    batch = library.effective_batch(batch)
+    activations = profile.activation_bytes_per_image * batch
+    if library.workspace_policy == "per_image":
+        workspace = profile.max_im2col_bytes_per_image
+    elif library.workspace_policy == "per_batch":
+        workspace = profile.n_conv_layers * batch * CUDNN_WORKSPACE_QUANTUM
+    else:  # "none": direct kernels, but padded/double-buffered activations
+        workspace = 0
+        activations = int(activations * NERVANA_ACTIVATION_OVERHEAD)
+    return MemoryFootprint(
+        weights=profile.weights_bytes,
+        activations=activations,
+        workspace=workspace,
+    )
+
+
+def fits_in_memory(
+    arch: GPUArchitecture,
+    profile: NetworkMemoryProfile,
+    library: KernelLibrary,
+    batch: int,
+) -> bool:
+    """Whether the configuration fits on ``arch`` (Table III cell test)."""
+    footprint = estimate_footprint(profile, library, batch)
+    return footprint.total <= usable_memory_bytes(arch)
+
+
+def check_memory(
+    arch: GPUArchitecture,
+    profile: NetworkMemoryProfile,
+    library: KernelLibrary,
+    batch: int,
+) -> MemoryFootprint:
+    """Like :func:`fits_in_memory` but raises :class:`OutOfMemoryError`
+    with a diagnostic breakdown when the configuration overflows."""
+    footprint = estimate_footprint(profile, library, batch)
+    limit = usable_memory_bytes(arch)
+    if footprint.total > limit:
+        raise OutOfMemoryError(
+            "%s batch %d via %s needs %.2f GB (weights %.2f + activations "
+            "%.2f + workspace %.2f) but %s offers %.2f GB"
+            % (
+                "network",
+                library.effective_batch(batch),
+                library.name,
+                footprint.total / 1024**3,
+                footprint.weights / 1024**3,
+                footprint.activations / 1024**3,
+                footprint.workspace / 1024**3,
+                arch.name,
+                limit / 1024**3,
+            )
+        )
+    return footprint

@@ -1,0 +1,205 @@
+"""Occupancy and utilization models (paper Eqs. 4-6, 8, 9).
+
+Given a GPU architecture and an SGEMM kernel descriptor, this module
+computes how many CTAs can be resident simultaneously (``maxBlocks``,
+Eq. 5 extended with the shared-memory / thread / CTA hardware limits
+that Table IV's ``min(...)`` column reflects), the resource-utilization
+metric ``Util`` (Eq. 6), the invocation count ``nInvocations`` (Eq. 8)
+and the effective-computation ratio ``rEC`` (Eq. 9).
+
+``OccupancyReport`` bundles every Table IV column for one
+(GPU, kernel, GEMM) triple so the Table IV bench can print the paper's
+rows verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpu.architecture import GPUArchitecture
+from repro.gpu.kernels import GemmShape, SgemmKernel
+
+__all__ = [
+    "blocks_per_sm_registers",
+    "blocks_per_sm_shared_mem",
+    "blocks_per_sm_threads",
+    "blocks_per_sm_cta_limit",
+    "ctas_per_sm",
+    "max_blocks",
+    "utilization",
+    "n_invocations",
+    "effective_computation_ratio",
+    "OccupancyReport",
+    "occupancy_report",
+]
+
+
+def blocks_per_sm_registers(arch: GPUArchitecture, kernel: SgemmKernel) -> int:
+    """CTAs per SM allowed by the register file (per-SM form of Eq. 5).
+
+    ``floor(R / (block_size * r))`` with R the usable register file.
+    """
+    regs_per_cta = kernel.block_size * kernel.regs_per_thread
+    return arch.usable_registers_per_sm // regs_per_cta
+
+
+def blocks_per_sm_shared_mem(arch: GPUArchitecture, kernel: SgemmKernel) -> int:
+    """CTAs per SM allowed by shared memory.
+
+    Spill-to-shared bytes claimed by the spilling tuner count against the
+    CTA's footprint (the tuner only ever uses *spare* shared memory, so a
+    well-formed tuned kernel never lowers this limit below the register
+    limit -- asserted in :mod:`repro.gpu.spilling`).
+    """
+    footprint = (
+        kernel.shared_mem_bytes + kernel.spilled_bytes_shared * kernel.block_size
+    )
+    if footprint == 0:
+        return arch.max_ctas_per_sm
+    return arch.shared_mem_per_sm // footprint
+
+
+def blocks_per_sm_threads(arch: GPUArchitecture, kernel: SgemmKernel) -> int:
+    """CTAs per SM allowed by the hardware thread (TLP) limit."""
+    return arch.max_threads_per_sm // kernel.block_size
+
+
+def blocks_per_sm_cta_limit(arch: GPUArchitecture, kernel: SgemmKernel) -> int:
+    """CTAs per SM allowed by the hardware CTA slot limit."""
+    return arch.max_ctas_per_sm
+
+
+def ctas_per_sm(arch: GPUArchitecture, kernel: SgemmKernel) -> int:
+    """Maximum concurrently resident CTAs on one SM (all limits)."""
+    return min(
+        blocks_per_sm_registers(arch, kernel),
+        blocks_per_sm_shared_mem(arch, kernel),
+        blocks_per_sm_threads(arch, kernel),
+        blocks_per_sm_cta_limit(arch, kernel),
+    )
+
+
+def max_blocks(arch: GPUArchitecture, kernel: SgemmKernel) -> int:
+    """Chip-wide concurrent CTA capacity: Eq. 5.
+
+    ``maxBlocks = nSMs * (CTAs per SM)``.  Table IV reports the
+    register-only and shared-memory-only variants separately and then
+    their min; :func:`occupancy_report` exposes all three.
+    """
+    return arch.n_sms * ctas_per_sm(arch, kernel)
+
+
+def utilization(
+    arch: GPUArchitecture, kernel: SgemmKernel, shape: GemmShape
+) -> float:
+    """Resource utilization ``Util``: Eq. 6.
+
+    ``Util = GridSize / (nCycle * maxBlocks)`` where
+    ``nCycle = ceil(GridSize / maxBlocks)`` is the number of full waves
+    needed to drain the grid.  Util = 1 means every wave fills the chip;
+    small grids (non-batched inference) leave most CTA slots idle.
+    """
+    grid = kernel.grid_size(shape)
+    capacity = max_blocks(arch, kernel)
+    if capacity == 0:
+        return 0.0
+    waves = math.ceil(grid / capacity)
+    return grid / (waves * capacity)
+
+
+def n_invocations(
+    arch: GPUArchitecture, kernel: SgemmKernel, shape: GemmShape, tlp: int
+) -> int:
+    """Eq. 8: waves needed at a *chosen* TLP (CTAs per SM).
+
+    ``nInvocations = ceil(GridSize / (TLP * nSMs))``.  The offline tuner
+    minimizes this jointly with spill cost via S_kernel (Eq. 10).
+    """
+    if tlp <= 0:
+        raise ValueError("tlp must be positive, got %r" % (tlp,))
+    return math.ceil(kernel.grid_size(shape) / (tlp * arch.n_sms))
+
+
+def effective_computation_ratio(
+    shape: GemmShape, tile_m: int, tile_n: int
+) -> float:
+    """Eq. 9: ratio of useful to launched computation, ``rEC``.
+
+    Tiles overhanging the matrix edge compute padding.  rEC = 1 when the
+    tile divides both result dimensions exactly.
+    """
+    covered = (
+        math.ceil(shape.m_rows / tile_m)
+        * math.ceil(shape.n_cols / tile_n)
+        * tile_m
+        * tile_n
+    )
+    return (shape.m_rows * shape.n_cols) / covered
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """All Table IV columns for one (GPU, kernel, GEMM) triple."""
+
+    gpu: str
+    kernel: str
+    result_matrix: tuple
+    sub_matrix: tuple
+    regs_per_thread: int
+    shared_mem_bytes: int
+    block_size: int
+    blocks_register: int
+    blocks_shared_mem: int
+    blocks_threads: int
+    max_blocks: int
+    grid_size: int
+    util: float
+    rec: float
+
+    def row(self) -> tuple:
+        """Table IV row: (result, sub-matrix, regs, shmem, block,
+        #blocks(reg), #blocks(shmem), maxBlocks, GridSize)."""
+        return (
+            "%dx%d" % self.result_matrix,
+            "%dx%d" % self.sub_matrix,
+            self.regs_per_thread,
+            self.shared_mem_bytes,
+            self.block_size,
+            self.blocks_register,
+            self.blocks_shared_mem,
+            self.max_blocks,
+            self.grid_size,
+        )
+
+
+def occupancy_report(
+    arch: GPUArchitecture, kernel: SgemmKernel, shape: GemmShape
+) -> OccupancyReport:
+    """Build the full occupancy/utilization report for one kernel launch.
+
+    Table IV's convention: the sub-matrix column reads ``M-tile x N-tile``
+    but the paper prints the result matrix row-major as (N_f x WoHo) and
+    the sub-matrix with the *larger* dimension first; we report tiles as
+    (tile_n, tile_m) when reproducing the table so the printed strings
+    match, handled by the bench.  Here dimensions are kept canonical.
+    """
+    reg_blocks = arch.n_sms * blocks_per_sm_registers(arch, kernel)
+    shm_blocks = arch.n_sms * blocks_per_sm_shared_mem(arch, kernel)
+    thread_blocks = arch.n_sms * blocks_per_sm_threads(arch, kernel)
+    return OccupancyReport(
+        gpu=arch.name,
+        kernel=kernel.name,
+        result_matrix=(shape.m_rows, shape.n_cols),
+        sub_matrix=(kernel.tile_m, kernel.tile_n),
+        regs_per_thread=kernel.regs_per_thread,
+        shared_mem_bytes=kernel.shared_mem_bytes,
+        block_size=kernel.block_size,
+        blocks_register=reg_blocks,
+        blocks_shared_mem=shm_blocks,
+        blocks_threads=thread_blocks,
+        max_blocks=max_blocks(arch, kernel),
+        grid_size=kernel.grid_size(shape),
+        util=utilization(arch, kernel, shape),
+        rec=effective_computation_ratio(shape, kernel.tile_m, kernel.tile_n),
+    )

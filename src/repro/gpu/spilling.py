@@ -1,0 +1,196 @@
+"""Register spilling and the TLP-vs-registers design space (Fig. 9, Eq. 7).
+
+SGEMM is register-bound: Eq. 5 makes resident CTAs inversely
+proportional to registers-per-thread.  Lowering the register budget
+raises thread-level parallelism (TLP) in *stairs* -- many register
+counts map to the same TLP, and within a stair the design with the most
+registers is strictly best (fewest spills).  :func:`stair_points`
+enumerates exactly those rightmost-per-stair candidates, the red points
+of the paper's Fig. 9.
+
+Registers evicted below the kernel's natural budget (``curReg``) must be
+*spilled*.  Following the paper (Section IV.B.2), spills go first to
+whatever shared memory is spare at the target TLP -- spare space costs
+no occupancy -- and only then to global memory.  Eq. 7's spill cost::
+
+    Spill_cost = N_global * Cost_global + N_shm * Cost_shm + N_others
+
+is computed by :func:`spill_cost` in instruction-equivalent units.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.gpu.architecture import GPUArchitecture
+from repro.gpu.kernels import SgemmKernel
+from repro.gpu import occupancy
+
+__all__ = [
+    "SpillPlan",
+    "COST_GLOBAL",
+    "COST_SHARED",
+    "ACCESSES_PER_SPILL",
+    "stair_points",
+    "tlp_for_registers",
+    "max_registers_for_tlp",
+    "plan_spill",
+    "spill_cost",
+    "apply_spill",
+]
+
+#: Relative cost (instruction-equivalents) of one global-memory access
+#: caused by spilling; DRAM latency dominates even with decent TLP.
+COST_GLOBAL = 8.0
+
+#: Relative cost of one shared-memory access caused by spilling.
+COST_SHARED = 1.5
+
+#: Extra address-computation instructions per spilled access (Eq. 7's
+#: N_others term, one per access).
+ADDRESS_OVERHEAD = 1.0
+
+#: A spilled value is stored once and reloaded once per inner-loop tile
+#: iteration.
+ACCESSES_PER_SPILL = 2
+
+
+def tlp_for_registers(
+    arch: GPUArchitecture, kernel: SgemmKernel, regs_per_thread: int
+) -> int:
+    """Resident CTAs per SM when the kernel is compiled to ``regs``.
+
+    Applies the register limit of Eq. 5 together with the hardware
+    thread/CTA caps (shared memory is handled by the spill planner,
+    which only ever consumes *spare* space).
+    """
+    if regs_per_thread <= 0:
+        raise ValueError("regs_per_thread must be positive")
+    by_regs = arch.usable_registers_per_sm // (kernel.block_size * regs_per_thread)
+    by_threads = arch.max_threads_per_sm // kernel.block_size
+    by_shmem = (
+        arch.shared_mem_per_sm // kernel.shared_mem_bytes
+        if kernel.shared_mem_bytes
+        else arch.max_ctas_per_sm
+    )
+    return min(by_regs, by_threads, by_shmem, arch.max_ctas_per_sm)
+
+
+def max_registers_for_tlp(
+    arch: GPUArchitecture, kernel: SgemmKernel, tlp: int
+) -> int:
+    """Largest register budget that still admits ``tlp`` CTAs per SM."""
+    if tlp <= 0:
+        raise ValueError("tlp must be positive")
+    return arch.usable_registers_per_sm // (kernel.block_size * tlp)
+
+
+def stair_points(
+    arch: GPUArchitecture, kernel: SgemmKernel
+) -> List[Tuple[int, int]]:
+    """Candidate (TLP, registers) design points: Fig. 9's red points.
+
+    Sweeps TLP from the kernel's natural occupancy upward; for each
+    attainable TLP keeps only the rightmost stair point (max registers).
+    The sweep stops when raising TLP would need fewer registers than the
+    architecture's ``minReg`` (Section IV.B.2) or hits the thread/CTA
+    hardware caps.  Points are returned in increasing-TLP order and the
+    first point is always the unspilled kernel.
+    """
+    min_reg = arch.min_registers_per_thread()
+    cur_reg = kernel.regs_per_thread
+    natural_tlp = max(1, tlp_for_registers(arch, kernel, cur_reg))
+    tlp_cap = min(
+        arch.max_threads_per_sm // kernel.block_size, arch.max_ctas_per_sm
+    )
+    points: List[Tuple[int, int]] = [(natural_tlp, cur_reg)]
+    for tlp in range(natural_tlp + 1, tlp_cap + 1):
+        regs = min(cur_reg, max_registers_for_tlp(arch, kernel, tlp))
+        if regs < min_reg:
+            break
+        # Shared memory must still fit tlp copies of the static tile.
+        if kernel.shared_mem_bytes and (
+            arch.shared_mem_per_sm // kernel.shared_mem_bytes
+        ) < tlp:
+            break
+        points.append((tlp, regs))
+    return points
+
+
+@dataclass(frozen=True)
+class SpillPlan:
+    """Placement of one thread's spilled registers.
+
+    ``shared_bytes`` landed in spare shared memory, ``global_bytes`` in
+    global memory; both are per-thread.
+    """
+
+    regs_per_thread: int
+    shared_bytes: int
+    global_bytes: int
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Total spilled bytes per thread."""
+        return self.shared_bytes + self.global_bytes
+
+    @property
+    def spilled_registers(self) -> int:
+        """Total spilled 32-bit registers per thread."""
+        return self.spilled_bytes // 4
+
+
+def plan_spill(
+    arch: GPUArchitecture,
+    kernel: SgemmKernel,
+    target_regs: int,
+    tlp: int,
+) -> SpillPlan:
+    """Decide where ``curReg - target_regs`` registers per thread go.
+
+    Spare shared memory at the target TLP is claimed first (it is free
+    occupancy-wise because only space unused by ``tlp`` resident CTAs is
+    taken); the remainder spills to global memory.
+    """
+    if target_regs > kernel.regs_per_thread:
+        raise ValueError(
+            "target_regs (%d) exceeds the kernel's natural budget (%d)"
+            % (target_regs, kernel.regs_per_thread)
+        )
+    spilled_regs = kernel.regs_per_thread - target_regs
+    spill_bytes = spilled_regs * 4
+    if spilled_regs == 0:
+        return SpillPlan(target_regs, 0, 0)
+    spare_per_cta = arch.shared_mem_per_sm // max(tlp, 1) - kernel.shared_mem_bytes
+    spare_per_thread = max(0, spare_per_cta) // kernel.block_size
+    # Keep word granularity so spilled_registers stays exact.
+    spare_per_thread -= spare_per_thread % 4
+    shared_bytes = min(spill_bytes, spare_per_thread)
+    return SpillPlan(target_regs, shared_bytes, spill_bytes - shared_bytes)
+
+
+def spill_cost(kernel: SgemmKernel, plan: SpillPlan, k_depth: int) -> float:
+    """Eq. 7: cost of the extra memory traffic a spill plan induces.
+
+    Each spilled word costs :data:`ACCESSES_PER_SPILL` accesses per
+    K-step of the inner loop, per thread, weighted by where it lives,
+    plus one address-computation instruction per access (N_others).
+    Returned in instruction-equivalents per CTA; 0 when nothing spills.
+    """
+    if plan.spilled_bytes == 0:
+        return 0.0
+    k_steps = math.ceil(k_depth / kernel.k_unroll)
+    accesses = ACCESSES_PER_SPILL * k_steps * kernel.block_size
+    n_shm = (plan.shared_bytes // 4) * accesses
+    n_global = (plan.global_bytes // 4) * accesses
+    n_others = (n_shm + n_global) * ADDRESS_OVERHEAD
+    return n_global * COST_GLOBAL + n_shm * COST_SHARED + n_others
+
+
+def apply_spill(kernel: SgemmKernel, plan: SpillPlan) -> SgemmKernel:
+    """Return the kernel re-tuned to the plan's register budget."""
+    return kernel.with_spilling(
+        plan.regs_per_thread, plan.shared_bytes, plan.global_bytes
+    )

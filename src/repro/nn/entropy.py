@@ -1,0 +1,62 @@
+"""Network-output entropy (paper Eq. 2, Section II.B.4).
+
+During deployment there is no labeled data, so P-CNN judges accuracy by
+the *uncertainty* of the classifier's output distribution::
+
+    H(Y) = - sum_i p_i log(p_i)
+
+Higher entropy means a more confused network; the paper's Table I shows
+mean entropy falling as true accuracy rises across AlexNet -> VGGNet ->
+GoogLeNet, which licenses using the (unsupervised) entropy as the
+run-time accuracy proxy in the tuning loop and the SoC metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["entropy", "mean_entropy", "max_entropy", "normalized_entropy"]
+
+_EPS = 1e-12
+
+
+def entropy(probs: np.ndarray) -> np.ndarray:
+    """Shannon entropy (nats) of each distribution along the last axis.
+
+    Accepts a single distribution or a batch; zero-probability classes
+    contribute zero (the 0*log(0) = 0 convention).
+    """
+    p = np.asarray(probs, dtype=np.float64)
+    if p.ndim == 0:
+        raise ValueError("expected a distribution, got a scalar")
+    if np.any(p < -_EPS):
+        raise ValueError("probabilities must be non-negative")
+    sums = p.sum(axis=-1)
+    if not np.allclose(sums, 1.0, atol=1e-4):
+        raise ValueError("distributions must sum to 1 (got sums %r)" % (sums,))
+    clipped = np.clip(p, _EPS, 1.0)
+    return -(p * np.log(clipped)).sum(axis=-1)
+
+
+def mean_entropy(probs: np.ndarray) -> float:
+    """Mean entropy of a batch of output distributions -- the paper's
+    CNN_entropy statistic used for tuning thresholds and Table I."""
+    values = entropy(probs)
+    return float(np.mean(values))
+
+
+def max_entropy(n_classes: int) -> float:
+    """Entropy of the uniform distribution over ``n_classes`` (nats):
+    the worst case, log(k)."""
+    if n_classes < 1:
+        raise ValueError("n_classes must be >= 1")
+    return float(np.log(n_classes))
+
+
+def normalized_entropy(probs: np.ndarray) -> np.ndarray:
+    """Entropy scaled to [0, 1] by the uniform-distribution maximum."""
+    p = np.asarray(probs, dtype=np.float64)
+    k = p.shape[-1]
+    if k < 2:
+        return np.zeros(p.shape[:-1])
+    return entropy(p) / max_entropy(k)

@@ -1,0 +1,137 @@
+"""im2col / col2im lowering (paper Fig. 2, step 1).
+
+``im2col`` stretches the local receptive fields of a feature map into
+the columns of a matrix so convolution becomes a single GEMM
+(F_m x D_m).  The *sampled* variant gathers only a chosen subset of
+output positions -- the mechanism behind P-CNN's perforation: the GEMM
+shrinks from W_o*H_o columns to W_o'*H_o' columns and the skipped
+outputs are interpolated afterwards (Fig. 11).
+
+All functions operate on batched NCHW tensors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import conv_output_hw
+
+__all__ = ["im2col", "sampled_im2col", "col2im", "gather_indices"]
+
+
+def gather_indices(
+    channels: int,
+    in_h: int,
+    in_w: int,
+    kernel_size: int,
+    stride: int,
+    padding: int,
+    positions: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, int]]:
+    """Index arrays for an im2col gather on a padded input.
+
+    Returns ``(c_idx, i_idx, j_idx, (out_h, out_w))`` where each index
+    array has shape ``(C * k * k, P)`` with ``P`` the number of output
+    positions gathered (all of them, or just ``positions`` -- flat
+    row-major indices into the output grid).
+    """
+    out_h, out_w = conv_output_hw(in_h, in_w, kernel_size, stride, padding)
+    if positions is None:
+        pos = np.arange(out_h * out_w)
+    else:
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.ndim != 1:
+            raise ValueError("positions must be a 1-D index array")
+        if pos.size and (pos.min() < 0 or pos.max() >= out_h * out_w):
+            raise ValueError("positions out of range for %dx%d output" % (out_h, out_w))
+    out_rows = pos // out_w
+    out_cols = pos % out_w
+
+    k = kernel_size
+    # Receptive-field offsets, one row of the column matrix per (c, di, dj).
+    di = np.repeat(np.arange(k), k)
+    dj = np.tile(np.arange(k), k)
+    c_idx = np.repeat(np.arange(channels), k * k).reshape(-1, 1)
+    di = np.tile(di, channels).reshape(-1, 1)
+    dj = np.tile(dj, channels).reshape(-1, 1)
+
+    i_idx = di + (out_rows * stride).reshape(1, -1)
+    j_idx = dj + (out_cols * stride).reshape(1, -1)
+    c_idx = np.broadcast_to(c_idx, i_idx.shape)
+    return c_idx, i_idx, j_idx, (out_h, out_w)
+
+
+def _pad(x: np.ndarray, padding: int) -> np.ndarray:
+    if padding == 0:
+        return x
+    return np.pad(
+        x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+
+
+def im2col(
+    x: np.ndarray, kernel_size: int, stride: int, padding: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Lower a batched NCHW tensor to column matrices.
+
+    Returns ``(cols, (out_h, out_w))`` with ``cols`` of shape
+    ``(N, C * k * k, out_h * out_w)`` -- the paper's D_m, one per image.
+    """
+    n, c, h, w = x.shape
+    c_idx, i_idx, j_idx, out_hw = gather_indices(
+        c, h, w, kernel_size, stride, padding
+    )
+    padded = _pad(x, padding)
+    cols = padded[:, c_idx, i_idx, j_idx]
+    return cols, out_hw
+
+
+def sampled_im2col(
+    x: np.ndarray,
+    kernel_size: int,
+    stride: int,
+    padding: int,
+    positions: np.ndarray,
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """im2col restricted to ``positions`` (flat output indices).
+
+    This is the perforated lowering: only W_o'*H_o' columns are built,
+    so the downstream GEMM does proportionally less work.
+    """
+    n, c, h, w = x.shape
+    c_idx, i_idx, j_idx, out_hw = gather_indices(
+        c, h, w, kernel_size, stride, padding, positions=positions
+    )
+    padded = _pad(x, padding)
+    cols = padded[:, c_idx, i_idx, j_idx]
+    return cols, out_hw
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_size: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse scatter of :func:`im2col` (sums overlapping windows).
+
+    ``cols`` has shape (N, C*k*k, out_h*out_w); returns the gradient
+    w.r.t. the NCHW input.  Used by the numpy trainer's conv backward.
+    """
+    n, c, h, w = input_shape
+    c_idx, i_idx, j_idx, _ = gather_indices(
+        c, h, w, kernel_size, stride, padding
+    )
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    # np.add.at scatters with accumulation over duplicate indices.
+    np.add.at(
+        padded,
+        (np.arange(n)[:, None, None], c_idx[None], i_idx[None], j_idx[None]),
+        cols,
+    )
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]

@@ -1,0 +1,256 @@
+"""Numpy forward-pass executor.
+
+Runs a linear-chain :class:`~repro.nn.models.NetworkDescriptor`
+numerically: convolution as im2col + GEMM (Fig. 2), max/avg pooling,
+ReLU, dense classifiers and softmax.  A
+:class:`~repro.nn.perforation.PerforationPlan` can be supplied to run
+any conv layer in perforated form -- only the sampled GEMM columns are
+computed and the rest are interpolated, the exact code path P-CNN's
+run-time accuracy tuning exercises.
+
+Grouped convolutions (AlexNet's conv2/4/5) are supported so the paper
+networks are executable too, not just the PcnnNet proxies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.im2col import im2col, sampled_im2col
+from repro.nn.layers import ConvSpec, DenseSpec, PoolSpec, SoftmaxSpec
+from repro.nn.models import NetworkDescriptor, ResolvedLayer
+from repro.nn.perforation import PerforationPlan
+
+__all__ = [
+    "NetworkParameters",
+    "init_parameters",
+    "forward",
+    "predict",
+    "softmax",
+]
+
+
+class NetworkParameters:
+    """Trained parameters for a network: layer name -> array dict.
+
+    Conv layers store ``W`` of shape (F, C_in/groups * k * k) -- the
+    paper's filter matrix F_m, one row per filter -- and ``b`` of shape
+    (F,).  Dense layers store ``W`` of shape (units, fan_in) and ``b``.
+    """
+
+    def __init__(self, arrays: Optional[Dict[str, Dict[str, np.ndarray]]] = None):
+        self._arrays: Dict[str, Dict[str, np.ndarray]] = arrays or {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __getitem__(self, name: str) -> Dict[str, np.ndarray]:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise KeyError("no parameters for layer %r" % (name,))
+
+    def __setitem__(self, name: str, value: Dict[str, np.ndarray]) -> None:
+        self._arrays[name] = value
+
+    def layer_names(self):
+        """Names of parameterized layers."""
+        return list(self._arrays)
+
+    def copy(self) -> "NetworkParameters":
+        """Deep copy (used by the trainer's momentum buffers)."""
+        return NetworkParameters(
+            {
+                name: {k: v.copy() for k, v in group.items()}
+                for name, group in self._arrays.items()
+            }
+        )
+
+    def parameter_count(self) -> int:
+        """Total scalar parameters."""
+        return sum(
+            int(v.size) for group in self._arrays.values() for v in group.values()
+        )
+
+
+#: Small positive bias init (Caffe-style) keeps ReLUs alive at the
+#: start of training; a zero init occasionally kills a whole layer on
+#: the noisy synthetic task.
+_BIAS_INIT = 0.01
+
+
+def init_parameters(
+    network: NetworkDescriptor, rng: np.random.Generator
+) -> NetworkParameters:
+    """He-normal weights, small-positive biases, per layer."""
+    params = NetworkParameters()
+    for layer in network.layers:
+        spec = layer.spec
+        if isinstance(spec, ConvSpec):
+            fan_in = spec.kernel_size**2 * layer.input_shape.channels // spec.groups
+            scale = np.sqrt(2.0 / fan_in)
+            params[spec.name] = {
+                "W": rng.normal(0.0, scale, (spec.out_channels, fan_in)).astype(
+                    np.float32
+                ),
+                "b": np.full(spec.out_channels, _BIAS_INIT, dtype=np.float32),
+            }
+        elif isinstance(spec, DenseSpec):
+            fan_in = layer.input_shape.elements
+            scale = np.sqrt(2.0 / fan_in)
+            params[spec.name] = {
+                "W": rng.normal(0.0, scale, (spec.units, fan_in)).astype(
+                    np.float32
+                ),
+                "b": np.full(spec.units, _BIAS_INIT, dtype=np.float32),
+            }
+    return params
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+#: Negative-side slope of the leaky activation used by the PcnnNet
+#: proxies (plain ReLU occasionally kills a whole small layer).
+LEAKY_SLOPE = 0.05
+
+
+def _activate(x: np.ndarray, kind: str) -> np.ndarray:
+    if kind == "relu":
+        return np.maximum(x, 0.0)
+    if kind == "leaky":
+        return np.where(x > 0, x, LEAKY_SLOPE * x)
+    return x
+
+
+def _conv_forward_dense(
+    layer: ResolvedLayer, params: Dict[str, np.ndarray], x: np.ndarray
+) -> np.ndarray:
+    """Dense conv: im2col + GEMM, grouped if the spec says so."""
+    spec: ConvSpec = layer.spec
+    cols, (out_h, out_w) = im2col(x, spec.kernel_size, spec.stride, spec.padding)
+    n = x.shape[0]
+    weights, bias = params["W"], params["b"]
+    groups = spec.groups
+    if groups == 1:
+        out = np.einsum("fk,nkp->nfp", weights, cols)
+    else:
+        f_per = spec.out_channels // groups
+        k_per = cols.shape[1] // groups
+        pieces = []
+        for g in range(groups):
+            w_g = weights[g * f_per : (g + 1) * f_per]
+            c_g = cols[:, g * k_per : (g + 1) * k_per]
+            pieces.append(np.einsum("fk,nkp->nfp", w_g, c_g))
+        out = np.concatenate(pieces, axis=1)
+    out += bias.reshape(1, -1, 1)
+    return out.reshape(n, spec.out_channels, out_h, out_w)
+
+
+def _conv_forward_perforated(
+    layer: ResolvedLayer,
+    params: Dict[str, np.ndarray],
+    x: np.ndarray,
+    grid,
+) -> np.ndarray:
+    """Perforated conv: sampled im2col + small GEMM + interpolation."""
+    spec: ConvSpec = layer.spec
+    positions = grid.positions()
+    cols, _ = sampled_im2col(
+        x, spec.kernel_size, spec.stride, spec.padding, positions
+    )
+    n = x.shape[0]
+    weights, bias = params["W"], params["b"]
+    groups = spec.groups
+    if groups == 1:
+        sampled = np.einsum("fk,nkp->nfp", weights, cols)
+    else:
+        f_per = spec.out_channels // groups
+        k_per = cols.shape[1] // groups
+        pieces = []
+        for g in range(groups):
+            w_g = weights[g * f_per : (g + 1) * f_per]
+            c_g = cols[:, g * k_per : (g + 1) * k_per]
+            pieces.append(np.einsum("fk,nkp->nfp", w_g, c_g))
+        sampled = np.concatenate(pieces, axis=1)
+    sampled += bias.reshape(1, -1, 1)
+    dense = grid.interpolate(sampled)
+    return dense.astype(np.float32, copy=False)
+
+
+def _pool_forward(layer: ResolvedLayer, x: np.ndarray) -> np.ndarray:
+    """Max/avg pooling via a per-channel im2col."""
+    spec: PoolSpec = layer.spec
+    n, c, h, w = x.shape
+    flat = x.reshape(n * c, 1, h, w)
+    cols, (out_h, out_w) = im2col(flat, spec.kernel_size, spec.stride, spec.padding)
+    if spec.mode == "max":
+        pooled = cols.max(axis=1)
+    else:
+        pooled = cols.mean(axis=1)
+    return pooled.reshape(n, c, out_h, out_w)
+
+
+def forward(
+    network: NetworkDescriptor,
+    params: NetworkParameters,
+    x: np.ndarray,
+    plan: Optional[PerforationPlan] = None,
+) -> np.ndarray:
+    """Full forward pass; returns class probabilities (N, classes).
+
+    ``x`` is an NCHW batch matching the network's input shape.  With a
+    ``plan``, every listed conv layer runs perforated.
+    """
+    if x.ndim != 4:
+        raise ValueError("expected NCHW input, got shape %r" % (x.shape,))
+    expected = network.input_shape.as_tuple()
+    if x.shape[1:] != expected:
+        raise ValueError(
+            "input shape %r does not match %s's %r"
+            % (x.shape[1:], network.name, expected)
+        )
+    plan = plan or PerforationPlan.dense()
+    out = x.astype(np.float32, copy=False)
+    for layer in network.layers:
+        spec = layer.spec
+        if isinstance(spec, ConvSpec):
+            grid = plan.grid_for(
+                spec.name, layer.output_shape.height, layer.output_shape.width
+            )
+            if grid is None:
+                out = _conv_forward_dense(layer, params[spec.name], out)
+            else:
+                out = _conv_forward_perforated(layer, params[spec.name], out, grid)
+            out = _activate(out, spec.activation)
+        elif isinstance(spec, PoolSpec):
+            out = _pool_forward(layer, out)
+        elif isinstance(spec, DenseSpec):
+            flat = out.reshape(out.shape[0], -1)
+            group = params[spec.name]
+            out = flat @ group["W"].T + group["b"]
+            out = _activate(out, spec.activation)
+            out = out.reshape(out.shape[0], spec.units, 1, 1)
+        elif isinstance(spec, SoftmaxSpec):
+            logits = out.reshape(out.shape[0], -1)
+            return softmax(logits)
+        else:
+            raise TypeError("unsupported layer spec %r" % (spec,))
+    # Networks without an explicit softmax: normalize the final logits.
+    return softmax(out.reshape(out.shape[0], -1))
+
+
+def predict(
+    network: NetworkDescriptor,
+    params: NetworkParameters,
+    x: np.ndarray,
+    plan: Optional[PerforationPlan] = None,
+) -> np.ndarray:
+    """Argmax class labels."""
+    return forward(network, params, x, plan).argmax(axis=1)

@@ -1,0 +1,250 @@
+"""CNN layer specifications and shape arithmetic.
+
+Layers are *descriptors*: immutable dataclasses carrying the
+hyper-parameters from which everything the performance side of P-CNN
+needs is derived -- output dimensions, FLOPs (Eq. 1), GEMM shapes,
+im2col footprints and parameter counts.  The numerical execution of a
+layer lives in :mod:`repro.nn.inference`; the descriptors stay
+numpy-free so the GPU analytical models can import them cheaply.
+
+Shape convention: feature maps are CHW, images are (C, H, W); batched
+tensors are (N, C, H, W).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "TensorShape",
+    "ConvSpec",
+    "PoolSpec",
+    "DenseSpec",
+    "SoftmaxSpec",
+    "conv_output_hw",
+]
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """Shape of a feature map for one image: (channels, height, width)."""
+
+    channels: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.height <= 0 or self.width <= 0:
+            raise ValueError("tensor dimensions must be positive: %r" % (self,))
+
+    @property
+    def elements(self) -> int:
+        """Scalar element count."""
+        return self.channels * self.height * self.width
+
+    @property
+    def spatial(self) -> int:
+        """Spatial positions per channel (W_o * H_o in the paper)."""
+        return self.height * self.width
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """(C, H, W) tuple."""
+        return (self.channels, self.height, self.width)
+
+
+def conv_output_hw(
+    in_h: int, in_w: int, kernel_size: int, stride: int, padding: int
+) -> Tuple[int, int]:
+    """Output spatial dimensions of a convolution/pool window sweep."""
+    out_h = (in_h + 2 * padding - kernel_size) // stride + 1
+    out_w = (in_w + 2 * padding - kernel_size) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            "window %dx%d stride %d pad %d does not fit input %dx%d"
+            % (kernel_size, kernel_size, stride, padding, in_h, in_w)
+        )
+    return out_h, out_w
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """A convolutional layer (the paper's notation in parentheses).
+
+    Attributes
+    ----------
+    name:
+        Layer identifier, e.g. ``"conv2"``.
+    out_channels:
+        Number of filters (N_f).
+    kernel_size:
+        Square filter side (S_f).
+    stride / padding:
+        Sweep parameters.
+    groups:
+        Grouped convolution (AlexNet's conv2/4/5 use 2 groups; this is
+        why Table IV's result matrix for CONV2 is 128 x 729 rather than
+        256 x 729).
+    activation:
+        ``"relu"``, ``"leaky"`` (slope-0.05 leaky ReLU) or ``"none"``.
+    """
+
+    name: str
+    out_channels: int
+    kernel_size: int
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+    activation: str = "relu"
+
+    def __post_init__(self) -> None:
+        if self.out_channels <= 0 or self.kernel_size <= 0 or self.stride <= 0:
+            raise ValueError("conv hyper-parameters must be positive: %r" % (self,))
+        if self.padding < 0:
+            raise ValueError("padding must be non-negative")
+        if self.groups <= 0 or self.out_channels % self.groups:
+            raise ValueError(
+                "out_channels (%d) must divide by groups (%d)"
+                % (self.out_channels, self.groups)
+            )
+        if self.activation not in ("relu", "leaky", "none"):
+            raise ValueError("unknown activation %r" % (self.activation,))
+
+    # ------------------------------------------------------------------
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        """Output feature-map shape for one image."""
+        if input_shape.channels % self.groups:
+            raise ValueError(
+                "%s: input channels (%d) must divide by groups (%d)"
+                % (self.name, input_shape.channels, self.groups)
+            )
+        out_h, out_w = conv_output_hw(
+            input_shape.height,
+            input_shape.width,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+        return TensorShape(self.out_channels, out_h, out_w)
+
+    def weight_count(self, input_shape: TensorShape) -> int:
+        """Trainable parameters: filters + biases."""
+        per_filter = (
+            self.kernel_size**2 * input_shape.channels // self.groups
+        )
+        return self.out_channels * per_filter + self.out_channels
+
+    def flops(self, input_shape: TensorShape) -> float:
+        """Eq. 1: 2 * N_f * S_f^2 * (N_c / groups) * W_o * H_o."""
+        out = self.output_shape(input_shape)
+        return (
+            2.0
+            * self.out_channels
+            * self.kernel_size**2
+            * (input_shape.channels / self.groups)
+            * out.spatial
+        )
+
+    def gemm_dims_per_group(
+        self, input_shape: TensorShape
+    ) -> Tuple[int, int, int]:
+        """(M, K, N) of the per-group im2col GEMM for one image.
+
+        M = N_f / groups filters, K = S_f^2 * N_c / groups receptive
+        field, N = W_o * H_o output pixels (Fig. 2).
+        """
+        out = self.output_shape(input_shape)
+        m = self.out_channels // self.groups
+        k = self.kernel_size**2 * input_shape.channels // self.groups
+        return m, k, out.spatial
+
+    def im2col_bytes(self, input_shape: TensorShape) -> int:
+        """fp32 bytes of the full im2col matrix for one image (all
+        groups): (S_f^2 * N_c) x (W_o * H_o)."""
+        out = self.output_shape(input_shape)
+        return 4 * self.kernel_size**2 * input_shape.channels * out.spatial
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """A pooling layer (max or average)."""
+
+    name: str
+    kernel_size: int
+    stride: int
+    padding: int = 0
+    mode: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.kernel_size <= 0 or self.stride <= 0:
+            raise ValueError("pool hyper-parameters must be positive: %r" % (self,))
+        if self.mode not in ("max", "avg"):
+            raise ValueError("unknown pool mode %r" % (self.mode,))
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        """Output feature-map shape (channels preserved)."""
+        out_h, out_w = conv_output_hw(
+            input_shape.height,
+            input_shape.width,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+        return TensorShape(input_shape.channels, out_h, out_w)
+
+    def weight_count(self, input_shape: TensorShape) -> int:
+        """Pooling has no parameters."""
+        return 0
+
+    def flops(self, input_shape: TensorShape) -> float:
+        """Comparisons/additions per output element (minor next to conv)."""
+        out = self.output_shape(input_shape)
+        return float(out.elements * self.kernel_size**2)
+
+
+@dataclass(frozen=True)
+class DenseSpec:
+    """A fully-connected (classifier) layer."""
+
+    name: str
+    units: int
+    activation: str = "relu"
+
+    def __post_init__(self) -> None:
+        if self.units <= 0:
+            raise ValueError("units must be positive, got %r" % (self.units,))
+        if self.activation not in ("relu", "leaky", "none"):
+            raise ValueError("unknown activation %r" % (self.activation,))
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        """Dense output modeled as a 1x1 feature map of ``units``."""
+        return TensorShape(self.units, 1, 1)
+
+    def weight_count(self, input_shape: TensorShape) -> int:
+        """Weights + biases."""
+        return input_shape.elements * self.units + self.units
+
+    def flops(self, input_shape: TensorShape) -> float:
+        """2 FLOPs per multiply-accumulate."""
+        return 2.0 * input_shape.elements * self.units
+
+
+@dataclass(frozen=True)
+class SoftmaxSpec:
+    """The final classifier normalization; output is the probability
+    distribution whose entropy (Eq. 2) P-CNN monitors."""
+
+    name: str = "softmax"
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        """Shape preserved."""
+        return input_shape
+
+    def weight_count(self, input_shape: TensorShape) -> int:
+        """No parameters."""
+        return 0
+
+    def flops(self, input_shape: TensorShape) -> float:
+        """exp + normalize per class."""
+        return 3.0 * input_shape.elements

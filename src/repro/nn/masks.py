@@ -1,0 +1,118 @@
+"""Non-separable perforation masks (PerforatedCNNs-style patterns).
+
+The paper's tuner uses the separable uniform grid of
+:mod:`repro.nn.perforation`; the PerforatedCNNs work it cites [38] also
+evaluates non-separable masks.  This module adds them behind the same
+interface (``positions()`` / ``interpolate()`` / ``kept`` / ``rate``),
+so the executor and the time model consume either interchangeably:
+
+* :func:`make_checkerboard_perforation` -- keep every other pixel in a
+  checkerboard; exactly rate 0.5 with every skipped pixel adjacent to
+  a sampled one, the best-interpolating 2x reduction.
+* :func:`make_scanline_perforation` -- keep a uniformly-spaced subset
+  of the row-major scan at an arbitrary rate.
+
+Nearest-sampled-neighbour fill maps are computed with scipy's exact
+Euclidean distance transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "MaskPerforation",
+    "make_checkerboard_perforation",
+    "make_scanline_perforation",
+]
+
+
+@dataclass(frozen=True)
+class MaskPerforation:
+    """An arbitrary boolean sampling mask over a conv layer's output.
+
+    Same duck-typed interface as
+    :class:`~repro.nn.perforation.GridPerforation`.
+    """
+
+    out_h: int
+    out_w: int
+    keep_mask: np.ndarray  # bool (out_h, out_w)
+    fill_index: np.ndarray  # int (out_h, out_w) -> index into positions()
+
+    def __post_init__(self) -> None:
+        if self.keep_mask.shape != (self.out_h, self.out_w):
+            raise ValueError("mask shape mismatch")
+        if not self.keep_mask.any():
+            raise ValueError("mask must keep at least one position")
+
+    @property
+    def kept(self) -> int:
+        """Sampled positions."""
+        return int(self.keep_mask.sum())
+
+    @property
+    def total(self) -> int:
+        """Dense positions."""
+        return self.out_h * self.out_w
+
+    @property
+    def rate(self) -> float:
+        """Perforation rate 1 - kept/total."""
+        return 1.0 - self.kept / self.total
+
+    def positions(self) -> np.ndarray:
+        """Flat row-major indices of the sampled positions."""
+        return np.flatnonzero(self.keep_mask.ravel())
+
+    def interpolate(self, sampled: np.ndarray) -> np.ndarray:
+        """Fill every dense position from its nearest sampled one."""
+        dense = sampled[..., self.fill_index.ravel()]
+        return dense.reshape(sampled.shape[:-1] + (self.out_h, self.out_w))
+
+
+def _build(out_h: int, out_w: int, keep_mask: np.ndarray) -> MaskPerforation:
+    """Precompute the nearest-kept fill map for a mask."""
+    # distance_transform_edt gives, for every False cell, the indices of
+    # the nearest True cell (via the inverted mask convention).
+    _dist, (near_i, near_j) = ndimage.distance_transform_edt(
+        ~keep_mask, return_indices=True
+    )
+    flat_nearest = near_i * out_w + near_j
+    # Map dense flat index -> position *rank* within positions().
+    kept_flat = np.flatnonzero(keep_mask.ravel())
+    rank = np.full(out_h * out_w, -1, dtype=np.int64)
+    rank[kept_flat] = np.arange(len(kept_flat))
+    fill_index = rank[flat_nearest.ravel()].reshape(out_h, out_w)
+    assert (fill_index >= 0).all()
+    return MaskPerforation(
+        out_h=out_h, out_w=out_w, keep_mask=keep_mask, fill_index=fill_index
+    )
+
+
+def make_checkerboard_perforation(
+    out_h: int, out_w: int, phase: int = 0
+) -> MaskPerforation:
+    """Keep the (i + j + phase) % 2 == 0 half of the grid."""
+    ii, jj = np.mgrid[0:out_h, 0:out_w]
+    keep = ((ii + jj + phase) % 2) == 0
+    if not keep.any():  # 1x1 grid with phase 1
+        keep[0, 0] = True
+    return _build(out_h, out_w, keep)
+
+
+def make_scanline_perforation(
+    out_h: int, out_w: int, rate: float
+) -> MaskPerforation:
+    """Keep a uniformly spaced subset of the row-major scan order."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("rate must be in [0, 1)")
+    total = out_h * out_w
+    kept = max(1, int(round(total * (1.0 - rate))))
+    flat = np.unique(np.round(np.linspace(0, total - 1, kept)).astype(np.int64))
+    keep = np.zeros(total, dtype=bool)
+    keep[flat] = True
+    return _build(out_h, out_w, keep.reshape(out_h, out_w))

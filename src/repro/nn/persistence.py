@@ -1,0 +1,70 @@
+"""Trained-parameter persistence.
+
+Saves/loads :class:`~repro.nn.inference.NetworkParameters` as a single
+``.npz`` archive (one array per ``<layer>/<tensor>`` key, plus a
+manifest of the network name).  Used to ship trained proxies with a
+deployment artifact and to cache the benchmark suite's training runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.inference import NetworkParameters
+from repro.nn.models import NetworkDescriptor
+
+__all__ = ["save_parameters", "load_parameters"]
+
+_META_KEY = "__network__"
+
+
+def save_parameters(
+    params: NetworkParameters,
+    path: str,
+    network: Optional[NetworkDescriptor] = None,
+) -> None:
+    """Write parameters to a compressed npz archive."""
+    arrays = {}
+    for name in params.layer_names():
+        for key, value in params[name].items():
+            arrays["%s/%s" % (name, key)] = value
+    if network is not None:
+        arrays[_META_KEY] = np.array(network.name)
+    np.savez_compressed(path, **arrays)
+
+
+def load_parameters(
+    path: str, network: Optional[NetworkDescriptor] = None
+) -> NetworkParameters:
+    """Read parameters back; verifies the network name when both the
+    archive and the caller provide one, and the shapes when a
+    descriptor is given."""
+    with np.load(path) as archive:
+        stored_name = (
+            str(archive[_META_KEY]) if _META_KEY in archive.files else None
+        )
+        if network is not None and stored_name is not None:
+            if stored_name != network.name:
+                raise ValueError(
+                    "archive holds parameters for %r, not %r"
+                    % (stored_name, network.name)
+                )
+        params = NetworkParameters()
+        groups = {}
+        for key in archive.files:
+            if key == _META_KEY:
+                continue
+            layer, tensor = key.rsplit("/", 1)
+            groups.setdefault(layer, {})[tensor] = archive[key]
+        for layer, tensors in groups.items():
+            params[layer] = tensors
+    if network is not None:
+        expected = network.total_weights()
+        if params.parameter_count() != expected:
+            raise ValueError(
+                "archive holds %d parameters; %s expects %d"
+                % (params.parameter_count(), network.name, expected)
+            )
+    return params

@@ -1,0 +1,44 @@
+"""Run-time scheduler comparison set (paper Section V.B) and the
+evaluation harness behind Figs. 13-15."""
+
+from repro.schedulers.base import (
+    BaseScheduler,
+    SchedulerDecision,
+    SchedulingContext,
+    make_context,
+)
+from repro.schedulers.energy_efficient import EnergyEfficientScheduler
+from repro.schedulers.evaluation import (
+    SchedulerOutcome,
+    compare_schedulers,
+    default_schedulers,
+    evaluate_decision,
+    evaluate_scheduler,
+    normalized_rows,
+)
+from repro.schedulers.dvfs_pcnn import DvfsDecision, DvfsPCNNScheduler
+from repro.schedulers.ideal import IdealScheduler
+from repro.schedulers.pcnn import PCNNScheduler
+from repro.schedulers.performance import PerformancePreferredScheduler
+from repro.schedulers.qpe import QPEPlusScheduler, QPEScheduler
+
+__all__ = [
+    "BaseScheduler",
+    "SchedulerDecision",
+    "SchedulingContext",
+    "make_context",
+    "EnergyEfficientScheduler",
+    "SchedulerOutcome",
+    "compare_schedulers",
+    "default_schedulers",
+    "evaluate_decision",
+    "evaluate_scheduler",
+    "normalized_rows",
+    "DvfsDecision",
+    "DvfsPCNNScheduler",
+    "IdealScheduler",
+    "PCNNScheduler",
+    "PerformancePreferredScheduler",
+    "QPEPlusScheduler",
+    "QPEScheduler",
+]

@@ -1,0 +1,128 @@
+"""Scheduler interface and shared context (paper Section V.B).
+
+The evaluation compares six run-time scheduling schemes -- Performance-
+preferred, Energy-efficient, QPE, QPE+, P-CNN and the oracle Ideal --
+on identical hardware, network and task inputs.  A
+:class:`SchedulingContext` packages those inputs (plus the entropy
+evaluator and the inferred/true accuracy thresholds); each scheduler
+returns a :class:`SchedulerDecision` describing *what to run*: the
+compiled plan, whether idle SMs are power gated, whether CTAs are
+packed Priority-SM style, and the expected output entropy.
+
+The distinction between the **inferred** threshold (what P-CNN's
+requirement-inference conservatively assumes the user needs) and the
+**true** threshold (what the user would actually accept) reproduces
+the paper's Fig. 15 observation that the Ideal scheduler beats P-CNN
+on entertainment-style interactive tasks: P-CNN self-limits to the
+conservative threshold while the oracle exploits the real tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gpu.architecture import GPUArchitecture
+from repro.gpu.libraries import KernelLibrary
+from repro.nn.models import NetworkDescriptor
+from repro.core.offline.compiler import CompiledPlan, OfflineCompiler
+from repro.core.offline.kernel_tuning import PCNN_BACKEND
+from repro.core.runtime.accuracy_tuning import AnalyticEntropyModel
+from repro.core.user_input import (
+    ApplicationSpec,
+    InferredRequirement,
+    infer_requirement,
+)
+
+__all__ = ["SchedulingContext", "SchedulerDecision", "BaseScheduler", "make_context"]
+
+#: Training-stage batch sizes per network (Section V.B.2): AlexNet was
+#: trained at 128, GoogLeNet at 64 asynchronous shards, VGGNet at 256.
+TRAINING_BATCHES = {"AlexNet": 128, "GoogLeNet": 64, "VGGNet": 256}
+
+#: Fallback training batch for networks outside the paper's set.
+DEFAULT_TRAINING_BATCH = 128
+
+
+@dataclass
+class SchedulingContext:
+    """Everything a scheduler may look at."""
+
+    arch: GPUArchitecture
+    network: NetworkDescriptor
+    spec: ApplicationSpec
+    requirement: InferredRequirement
+    compiler: OfflineCompiler
+    evaluator: object
+    baseline_entropy: float
+    entropy_threshold: float
+    true_entropy_threshold: float
+    training_batch: int = DEFAULT_TRAINING_BATCH
+    backend: KernelLibrary = PCNN_BACKEND
+
+
+@dataclass(frozen=True)
+class SchedulerDecision:
+    """What a scheduler chose to run."""
+
+    scheduler: str
+    compiled: CompiledPlan
+    power_gating: bool
+    use_priority_sm: bool
+    entropy: float
+
+    @property
+    def batch(self) -> int:
+        """Chosen batch size."""
+        return self.compiled.batch
+
+
+class BaseScheduler:
+    """Strategy interface: map a context to a decision."""
+
+    name = "abstract"
+
+    def schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
+        """Choose a configuration for this context."""
+        raise NotImplementedError
+
+
+def make_context(
+    arch: GPUArchitecture,
+    network: NetworkDescriptor,
+    spec: ApplicationSpec,
+    evaluator=None,
+    training_batch: int = 0,
+    oracle_slack: float = 0.30,
+    backend: KernelLibrary = PCNN_BACKEND,
+) -> SchedulingContext:
+    """Build the shared evaluation context for one scenario.
+
+    ``oracle_slack`` is how much additional entropy (relative) the user
+    would *truly* accept beyond the conservatively inferred threshold;
+    zero for accuracy-sensitive tasks.
+    """
+    if training_batch <= 0:
+        training_batch = TRAINING_BATCHES.get(network.name, DEFAULT_TRAINING_BATCH)
+    requirement = infer_requirement(spec)
+    compiler = OfflineCompiler(arch, backend)
+    if evaluator is None:
+        evaluator = AnalyticEntropyModel(network)
+    from repro.nn.perforation import PerforationPlan
+
+    baseline = evaluator.evaluate(PerforationPlan.dense()).entropy
+    threshold = requirement.entropy_threshold(baseline)
+    slack = 0.0 if spec.accuracy_sensitive else oracle_slack
+    return SchedulingContext(
+        arch=arch,
+        network=network,
+        spec=spec,
+        requirement=requirement,
+        compiler=compiler,
+        evaluator=evaluator,
+        baseline_entropy=baseline,
+        entropy_threshold=threshold,
+        true_entropy_threshold=threshold * (1.0 + slack),
+        training_batch=training_batch,
+        backend=backend,
+    )

@@ -1,0 +1,38 @@
+"""Energy-efficient scheduler (paper Section V.B.2).
+
+Reuses the training configuration: the big training batch amortizes
+weight loading, maximizing throughput and minimizing energy per image.
+It has no time model -- for real-time tasks the batched response time
+blows the deadline (the 'x' cells of Fig. 15) and for interactive
+tasks it lands in the tolerable region.  Fig. 14 normalizes every
+scheduler's energy to this one.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.memory import fits_in_memory
+from repro.schedulers.base import BaseScheduler, SchedulerDecision, SchedulingContext
+
+__all__ = ["EnergyEfficientScheduler"]
+
+
+class EnergyEfficientScheduler(BaseScheduler):
+    """Training-style big batch, dense, no gating, RR dispatch."""
+
+    name = "energy-efficient"
+
+    def schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
+        profile = ctx.network.memory_profile()
+        batch = ctx.training_batch
+        while batch > 1 and not fits_in_memory(
+            ctx.arch, profile, ctx.backend, batch
+        ):
+            batch //= 2
+        compiled = ctx.compiler.compile_with_batch(ctx.network, batch=batch)
+        return SchedulerDecision(
+            scheduler=self.name,
+            compiled=compiled,
+            power_gating=False,
+            use_priority_sm=False,
+            entropy=ctx.baseline_entropy,
+        )

@@ -1,0 +1,158 @@
+"""Scheduler evaluation harness (paper Section V.C, Figs. 13-15).
+
+Executes a scheduler's decision on the simulator and scores it:
+per-request latency, energy per item, output entropy and the SoC
+breakdown (Eq. 15).  SoC_accuracy is judged against the *true* user
+threshold (see :mod:`repro.schedulers.base`); SoC_time against the
+inferred time requirement.
+
+:func:`compare_schedulers` runs the paper's full five-baseline + P-CNN
+matrix for one (GPU, network, task) scenario and returns outcomes with
+the paper's normalizations attached: runtime relative to the
+Performance-preferred scheduler and energy relative to the
+Energy-efficient scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.runtime.scheduler import RuntimeKernelManager
+from repro.core.satisfaction import SoCBreakdown, soc
+from repro.schedulers.base import (
+    BaseScheduler,
+    SchedulerDecision,
+    SchedulingContext,
+)
+
+__all__ = [
+    "SchedulerOutcome",
+    "evaluate_decision",
+    "evaluate_scheduler",
+    "compare_schedulers",
+    "default_schedulers",
+]
+
+
+@dataclass(frozen=True)
+class SchedulerOutcome:
+    """Measured result of one scheduler on one scenario."""
+
+    scheduler: str
+    batch: int
+    latency_s: float
+    energy_per_item_j: float
+    entropy: float
+    powered_sms: int
+    soc: SoCBreakdown
+
+    @property
+    def meets_satisfaction(self) -> bool:
+        """False for the paper's 'x' cells (SoC = 0)."""
+        return self.soc.meets_satisfaction
+
+
+def evaluate_decision(
+    ctx: SchedulingContext, decision: SchedulerDecision
+) -> SchedulerOutcome:
+    """Execute one decision on the simulator and score it.
+
+    The per-request response time includes *batch assembly*: a batch-N
+    configuration cannot answer the first request before N inputs have
+    arrived, i.e. ``(N - 1) / data_rate`` of waiting before compute.
+    This is what drags the Energy-efficient scheduler's training-size
+    batch into the tolerable (interactive) or unusable (real-time)
+    region in Figs. 13/15 while its energy per item stays the lowest.
+    """
+    manager = RuntimeKernelManager(
+        ctx.arch,
+        backend=ctx.backend,
+        power_gating=decision.power_gating,
+        use_priority_sm=decision.use_priority_sm,
+    )
+    report = manager.execute(decision.compiled)
+    assembly_s = (decision.batch - 1) / ctx.spec.data_rate_hz
+    latency_s = assembly_s + report.total_time_s
+    energy_per_item = report.total_energy_joules / decision.batch
+    breakdown = soc(
+        runtime_s=latency_s,
+        requirement=ctx.requirement.time,
+        entropy=decision.entropy,
+        entropy_threshold=ctx.true_entropy_threshold,
+        energy_joules=energy_per_item,
+    )
+    return SchedulerOutcome(
+        scheduler=decision.scheduler,
+        batch=decision.batch,
+        latency_s=latency_s,
+        energy_per_item_j=energy_per_item,
+        entropy=decision.entropy,
+        powered_sms=report.max_powered_sms,
+        soc=breakdown,
+    )
+
+
+def evaluate_scheduler(
+    scheduler: BaseScheduler, ctx: SchedulingContext
+) -> SchedulerOutcome:
+    """Schedule + execute + score."""
+    return evaluate_decision(ctx, scheduler.schedule(ctx))
+
+
+def default_schedulers() -> List[BaseScheduler]:
+    """The paper's comparison set, in Fig. 13-15 order."""
+    from repro.schedulers.energy_efficient import EnergyEfficientScheduler
+    from repro.schedulers.ideal import IdealScheduler
+    from repro.schedulers.pcnn import PCNNScheduler
+    from repro.schedulers.performance import PerformancePreferredScheduler
+    from repro.schedulers.qpe import QPEPlusScheduler, QPEScheduler
+
+    return [
+        PerformancePreferredScheduler(),
+        EnergyEfficientScheduler(),
+        QPEScheduler(),
+        QPEPlusScheduler(),
+        PCNNScheduler(),
+        IdealScheduler(),
+    ]
+
+
+def compare_schedulers(
+    ctx: SchedulingContext,
+    schedulers: Optional[Sequence[BaseScheduler]] = None,
+) -> Dict[str, SchedulerOutcome]:
+    """Run the full comparison for one scenario.
+
+    Returns outcomes keyed by scheduler name; use
+    :func:`normalized_rows` for the paper's Fig. 13/14 normalization.
+    """
+    schedulers = list(schedulers) if schedulers is not None else default_schedulers()
+    return {s.name: evaluate_scheduler(s, ctx) for s in schedulers}
+
+
+def normalized_rows(outcomes: Dict[str, SchedulerOutcome]) -> List[dict]:
+    """Fig. 13/14-style rows: runtime normalized to the Performance-
+    preferred scheduler, energy to the Energy-efficient scheduler."""
+    perf = outcomes.get("performance-preferred")
+    eff = outcomes.get("energy-efficient")
+    rows = []
+    for name, outcome in outcomes.items():
+        rows.append(
+            {
+                "scheduler": name,
+                "norm_runtime": (
+                    outcome.latency_s / perf.latency_s if perf else float("nan")
+                ),
+                "norm_energy": (
+                    outcome.energy_per_item_j / eff.energy_per_item_j
+                    if eff
+                    else float("nan")
+                ),
+                "soc_time": outcome.soc.soc_time,
+                "soc_accuracy": outcome.soc.soc_accuracy,
+                "soc": outcome.soc.value,
+                "meets": outcome.meets_satisfaction,
+            }
+        )
+    return rows

@@ -1,0 +1,78 @@
+"""Ideal (oracle) scheduler (paper Section V.B.5).
+
+Knows everything the other schedulers must guess: the user's *true*
+accuracy tolerance and the measured SoC of every tuning point.  It
+enumerates the tuning path (explored past the conservative threshold,
+up to the true one) plus the dense QPE+ configuration, evaluates each
+candidate on the simulator, and returns the argmax-SoC decision.
+
+It upper-bounds every realizable scheduler; Fig. 15's gap between
+P-CNN and Ideal on the interactive task comes from P-CNN's
+conservative inferred threshold, and the tests assert
+``soc(P-CNN) <= soc(Ideal)`` on every scenario.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.runtime.accuracy_tuning import AccuracyTuner
+from repro.schedulers.base import BaseScheduler, SchedulerDecision, SchedulingContext
+
+__all__ = ["IdealScheduler"]
+
+
+class IdealScheduler(BaseScheduler):
+    """Exhaustive oracle over the tuning path with true-threshold SoC."""
+
+    name = "ideal"
+
+    def __init__(self, max_tuning_iterations: int = 128) -> None:
+        self.max_tuning_iterations = max_tuning_iterations
+
+    def schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
+        from repro.schedulers.evaluation import evaluate_decision
+
+        compiled = ctx.compiler.compile(
+            ctx.network,
+            ctx.requirement.time,
+            data_rate_hz=ctx.spec.data_rate_hz,
+        )
+        tuner = AccuracyTuner(ctx.compiler, ctx.network, ctx.evaluator)
+        # The oracle may profile tuning points all the way out to (and
+        # slightly past) the true tolerance.
+        table = tuner.tune(
+            batch=compiled.batch,
+            entropy_threshold=ctx.true_entropy_threshold * 3.0,
+            max_iterations=self.max_tuning_iterations,
+        )
+        candidates: List[SchedulerDecision] = [
+            SchedulerDecision(
+                scheduler=self.name,
+                compiled=entry.compiled,
+                power_gating=True,
+                use_priority_sm=True,
+                entropy=entry.entropy,
+            )
+            for entry in table.entries
+        ]
+        # The oracle also weighs plain hardware scheduling: where Util
+        # is already 1, RR without gating avoids PSM's packing cost.
+        candidates.append(
+            SchedulerDecision(
+                scheduler=self.name,
+                compiled=table.dense.compiled,
+                power_gating=False,
+                use_priority_sm=False,
+                entropy=table.dense.entropy,
+            )
+        )
+        best = None
+        best_soc = -1.0
+        for candidate in candidates:
+            outcome = evaluate_decision(ctx, candidate)
+            if outcome.soc.value > best_soc:
+                best_soc = outcome.soc.value
+                best = candidate
+        assert best is not None
+        return best

@@ -1,0 +1,93 @@
+"""The P-CNN scheduler: QPE+ plus entropy-based accuracy tuning.
+
+On top of QPE+'s batch decision, SM partitioning and power gating,
+P-CNN runs the greedy accuracy tuner (Section IV.C.1) and deploys
+
+* the **fastest** tuning entry whose entropy stays under the inferred
+  threshold, when the dense network already meets the time budget
+  (pure energy/time saving -- the paper's 1.5x-with-5%-loss result on
+  accuracy-insensitive tasks), or
+* when even the dense network misses a hard deadline (AlexNet-class
+  workloads on TX1 -- Fig. 13b), the **most accurate** entry that
+  makes the deadline, accepting an over-threshold entropy because a
+  late answer is worth nothing (SoC_time = 0) while a slightly less
+  certain answer still scores.  This is how P-CNN is the only
+  non-oracle scheduler with a non-zero real-time SoC on TX1 in
+  Fig. 15b.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.runtime.accuracy_tuning import AccuracyTuner, TuningEntry, TuningTable
+from repro.schedulers.base import BaseScheduler, SchedulerDecision, SchedulingContext
+
+__all__ = ["PCNNScheduler"]
+
+#: When perforating for deadline feasibility, how far past the inferred
+#: entropy threshold the tuner may explore (relative).  A missed hard
+#: deadline is worth SoC_time = 0, so accepting up to 3x the nominal
+#: entropy to make the deadline always dominates.
+_FEASIBILITY_SLACK = 2.0
+
+#: The time model is a steady-state approximation of the event
+#: simulator; deadline-feasibility decisions keep this much headroom so
+#: the simulated execution lands under the deadline too.
+_DEADLINE_MARGIN = 0.9
+
+
+class PCNNScheduler(BaseScheduler):
+    """QPE+ decision + run-time accuracy tuning."""
+
+    name = "p-cnn"
+
+    def __init__(self, max_tuning_iterations: int = 128) -> None:
+        self.max_tuning_iterations = max_tuning_iterations
+
+    def schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
+        compiled = ctx.compiler.compile(
+            ctx.network,
+            ctx.requirement.time,
+            data_rate_hz=ctx.spec.data_rate_hz,
+        )
+        tuner = AccuracyTuner(ctx.compiler, ctx.network, ctx.evaluator)
+        budget = ctx.requirement.time.budget_s
+        dense_meets = (
+            ctx.requirement.time.is_unbounded or compiled.total_time_s <= budget
+        )
+        if dense_meets:
+            table = tuner.tune(
+                batch=compiled.batch,
+                entropy_threshold=ctx.entropy_threshold,
+                max_iterations=self.max_tuning_iterations,
+            )
+            entry = table.fastest
+        else:
+            # Deadline infeasible dense: explore further and take the
+            # most accurate entry that makes the deadline.
+            relaxed = ctx.entropy_threshold * (1.0 + _FEASIBILITY_SLACK)
+            table = tuner.tune(
+                batch=compiled.batch,
+                entropy_threshold=relaxed,
+                max_iterations=self.max_tuning_iterations,
+            )
+            entry = self._most_accurate_meeting(table, budget * _DEADLINE_MARGIN)
+        return SchedulerDecision(
+            scheduler=self.name,
+            compiled=entry.compiled,
+            power_gating=True,
+            use_priority_sm=True,
+            entropy=entry.entropy,
+        )
+
+    @staticmethod
+    def _most_accurate_meeting(
+        table: TuningTable, budget_s: float
+    ) -> TuningEntry:
+        """First (least perforated) entry meeting the deadline; the
+        fastest entry if none does (least-bad effort)."""
+        for entry in table.entries:
+            if entry.compiled.total_time_s <= budget_s:
+                return entry
+        return table.fastest

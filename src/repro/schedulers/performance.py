@@ -1,0 +1,29 @@
+"""Performance-preferred scheduler (paper Section V.B.1).
+
+Minimizes response time and nothing else: non-batched execution
+(batch 1), the full dense network, every SM powered, hardware
+Round-Robin CTA dispatch.  Fig. 13 normalizes every scheduler's
+runtime to this one.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import BaseScheduler, SchedulerDecision, SchedulingContext
+
+__all__ = ["PerformancePreferredScheduler"]
+
+
+class PerformancePreferredScheduler(BaseScheduler):
+    """Batch 1, dense, no gating, RR dispatch."""
+
+    name = "performance-preferred"
+
+    def schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
+        compiled = ctx.compiler.compile_with_batch(ctx.network, batch=1)
+        return SchedulerDecision(
+            scheduler=self.name,
+            compiled=compiled,
+            power_gating=False,
+            use_priority_sm=False,
+            entropy=ctx.baseline_entropy,
+        )

@@ -1,0 +1,62 @@
+"""QoS-per-energy schedulers (paper Section V.B.3-4).
+
+**QPE** [10] consumes the least energy it can *under the runtime
+requirement*: it uses the time model to pick the largest batch whose
+response time still fits the budget (background tasks get the
+throughput-optimal batch).  It does not manage SMs -- every SM stays
+powered and CTAs are dispatched Round-Robin.
+
+**QPE+** makes the same batch decision but adds P-CNN's resource
+model: CTAs are packed Priority-SM style onto optSM SMs and the idle
+SMs are power gated.  The gap between QPE and QPE+ in Fig. 14 is
+exactly the static energy of the gated SMs, and it closes when Util is
+already 1 (real-time/background on small GPUs) -- both behaviours are
+asserted in the tests.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import BaseScheduler, SchedulerDecision, SchedulingContext
+
+__all__ = ["QPEScheduler", "QPEPlusScheduler"]
+
+
+def _compile_for_requirement(ctx: SchedulingContext):
+    """Shared batch decision: meet the time budget at minimum energy."""
+    return ctx.compiler.compile(
+        ctx.network,
+        ctx.requirement.time,
+        data_rate_hz=ctx.spec.data_rate_hz,
+    )
+
+
+class QPEScheduler(BaseScheduler):
+    """Time-model-guided batch, dense, no gating, RR dispatch."""
+
+    name = "qpe"
+
+    def schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
+        compiled = _compile_for_requirement(ctx)
+        return SchedulerDecision(
+            scheduler=self.name,
+            compiled=compiled,
+            power_gating=False,
+            use_priority_sm=False,
+            entropy=ctx.baseline_entropy,
+        )
+
+
+class QPEPlusScheduler(BaseScheduler):
+    """QPE + optimal SM partitioning with power gating (PSM)."""
+
+    name = "qpe+"
+
+    def schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
+        compiled = _compile_for_requirement(ctx)
+        return SchedulerDecision(
+            scheduler=self.name,
+            compiled=compiled,
+            power_gating=True,
+            use_priority_sm=True,
+            entropy=ctx.baseline_entropy,
+        )

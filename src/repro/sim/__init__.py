@@ -1,0 +1,59 @@
+"""Event-driven GPU kernel simulator (the GPGPU-Sim substitute).
+
+Provides CTA schedulers (Round-Robin, Priority-SM), the SM
+latency-hiding throughput model, the kernel execution engine and
+execution traces.
+"""
+
+from repro.sim.cta_scheduler import (
+    CTAScheduler,
+    PrioritySMScheduler,
+    RoundRobinScheduler,
+)
+from repro.sim.engine import (
+    CTAWork,
+    KernelResult,
+    analytic_kernel_time,
+    cta_work,
+    simulate_kernel,
+)
+from repro.sim.multikernel import (
+    SharedRunResult,
+    TenantResult,
+    TenantSpec,
+    partition_for_layer,
+    simulate_shared,
+)
+from repro.sim.sm import CTA, SMState, latency_hiding_factor
+from repro.sim.warp import (
+    WarpIssueConfig,
+    fit_tlp_half,
+    hiding_curve,
+    simulate_issue_efficiency,
+)
+from repro.sim.trace import ExecutionTrace, TraceEvent
+
+__all__ = [
+    "CTAScheduler",
+    "PrioritySMScheduler",
+    "RoundRobinScheduler",
+    "CTAWork",
+    "KernelResult",
+    "analytic_kernel_time",
+    "cta_work",
+    "simulate_kernel",
+    "SharedRunResult",
+    "TenantResult",
+    "TenantSpec",
+    "partition_for_layer",
+    "simulate_shared",
+    "CTA",
+    "SMState",
+    "latency_hiding_factor",
+    "ExecutionTrace",
+    "TraceEvent",
+    "WarpIssueConfig",
+    "fit_tlp_half",
+    "hiding_curve",
+    "simulate_issue_efficiency",
+]

@@ -1,0 +1,124 @@
+"""Streaming-multiprocessor execution model.
+
+An SM processes the instruction streams of its resident CTAs.  The
+throughput model has two ingredients:
+
+* a peak rate of ``cores_per_sm`` instruction-equivalents per cycle,
+  derated by the kernel library's sustained ``issue_efficiency``;
+* a latency-hiding curve: with ``t`` resident CTAs the SM reaches
+  ``t / (t + t_half)`` of that derated peak.  One lonely CTA cannot
+  cover pipeline and memory latency; more residency asymptotically
+  saturates the SM.  This is the mechanism behind the paper's central
+  trade-off (Section III.D): smaller tiles/registers raise ``t`` and
+  the hiding factor, but also raise per-CTA instruction counts.
+
+Resident CTAs share the SM's rate equally, which is what a fine-grained
+warp scheduler averages out to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["CTA", "SMState", "latency_hiding_factor", "DEFAULT_TLP_HALF"]
+
+#: Residency at which an SM reaches half of its saturated rate.
+DEFAULT_TLP_HALF = 1.0
+
+
+def latency_hiding_factor(resident_ctas: int, tlp_half: float = DEFAULT_TLP_HALF) -> float:
+    """Fraction of the SM's derated peak achieved at this residency.
+
+    Saturating curve ``t / (t + t_half)``; 0 when the SM is empty.
+    """
+    if resident_ctas <= 0:
+        return 0.0
+    return resident_ctas / (resident_ctas + tlp_half)
+
+
+@dataclass
+class CTA:
+    """One thread block in flight.
+
+    ``work`` is in instruction-equivalents (weighted by access costs,
+    see :func:`repro.sim.engine.cta_work`); ``remaining`` counts down as
+    the simulation advances.
+    """
+
+    cta_id: int
+    work: float
+    remaining: float = field(default=-1.0)
+    start_cycle: float = field(default=-1.0)
+    finish_cycle: float = field(default=-1.0)
+
+    def __post_init__(self) -> None:
+        if self.work <= 0:
+            raise ValueError("CTA work must be positive, got %r" % (self.work,))
+        if self.remaining < 0:
+            self.remaining = self.work
+
+
+class SMState:
+    """Mutable state of one SM during a kernel simulation."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        peak_rate_per_cycle: float,
+        tlp_half: float = DEFAULT_TLP_HALF,
+    ) -> None:
+        if peak_rate_per_cycle <= 0:
+            raise ValueError("peak rate must be positive")
+        self.sm_id = sm_id
+        self.peak_rate = peak_rate_per_cycle
+        self.tlp_half = tlp_half
+        self.resident: List[CTA] = []
+        self.busy_cycles = 0.0
+        self.ctas_retired = 0
+
+    @property
+    def residency(self) -> int:
+        """Number of CTAs currently resident."""
+        return len(self.resident)
+
+    @property
+    def rate_per_cta(self) -> float:
+        """Progress rate of each resident CTA (work units per cycle)."""
+        t = self.residency
+        if t == 0:
+            return 0.0
+        return self.peak_rate * latency_hiding_factor(t, self.tlp_half) / t
+
+    def dispatch(self, cta: CTA, now: float) -> None:
+        """Place a CTA on this SM."""
+        cta.start_cycle = now
+        self.resident.append(cta)
+
+    def next_completion_in(self) -> Optional[float]:
+        """Cycles until the first resident CTA retires (None if idle)."""
+        rate = self.rate_per_cta
+        if rate == 0.0:
+            return None
+        return min(cta.remaining for cta in self.resident) / rate
+
+    def advance(self, cycles: float, now: float) -> List[CTA]:
+        """Progress all resident CTAs by ``cycles``; return retirees."""
+        if not self.resident:
+            return []
+        rate = self.rate_per_cta
+        progressed = cycles * rate
+        finished: List[CTA] = []
+        survivors: List[CTA] = []
+        for cta in self.resident:
+            cta.remaining -= progressed
+            if cta.remaining <= 1e-9:
+                cta.remaining = 0.0
+                cta.finish_cycle = now + cycles
+                finished.append(cta)
+            else:
+                survivors.append(cta)
+        self.resident = survivors
+        self.busy_cycles += cycles
+        self.ctas_retired += len(finished)
+        return finished

@@ -1,0 +1,75 @@
+"""Execution traces for kernel simulations.
+
+The trace records CTA dispatch/retire events and per-SM busy time so
+tests and benchmarks can assert *where* work ran (e.g. PSM confines a
+4-CTA grid to 2 SMs while RR smears it over 4 -- Fig. 7), not just how
+long it took.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["TraceEvent", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduling event.
+
+    ``kind`` is ``"dispatch"`` or ``"retire"``; ``cycle`` is the
+    simulation timestamp.
+    """
+
+    cycle: float
+    kind: str
+    cta_id: int
+    sm_id: int
+
+
+@dataclass
+class ExecutionTrace:
+    """Event log plus per-SM aggregate statistics for one launch."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    busy_cycles_per_sm: Dict[int, float] = field(default_factory=dict)
+    ctas_per_sm: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, cycle: float, kind: str, cta_id: int, sm_id: int) -> None:
+        """Append an event."""
+        self.events.append(TraceEvent(cycle, kind, cta_id, sm_id))
+        if kind == "dispatch":
+            self.ctas_per_sm[sm_id] = self.ctas_per_sm.get(sm_id, 0) + 1
+
+    def finalize(self, busy_cycles_per_sm: Dict[int, float]) -> None:
+        """Store the per-SM busy-cycle totals at end of simulation."""
+        self.busy_cycles_per_sm = dict(busy_cycles_per_sm)
+
+    @property
+    def sms_used(self) -> Tuple[int, ...]:
+        """SMs that received at least one CTA, sorted."""
+        return tuple(sorted(self.ctas_per_sm))
+
+    @property
+    def n_sms_used(self) -> int:
+        """Number of SMs that ever held a CTA."""
+        return len(self.ctas_per_sm)
+
+    def dispatches(self) -> List[TraceEvent]:
+        """All dispatch events in order."""
+        return [e for e in self.events if e.kind == "dispatch"]
+
+    def max_concurrency(self) -> Dict[int, int]:
+        """Peak simultaneous residency observed per SM."""
+        current: Dict[int, int] = {}
+        peak: Dict[int, int] = {}
+        for event in self.events:
+            if event.kind == "dispatch":
+                current[event.sm_id] = current.get(event.sm_id, 0) + 1
+            elif event.kind == "retire":
+                current[event.sm_id] = current.get(event.sm_id, 0) - 1
+            peak[event.sm_id] = max(
+                peak.get(event.sm_id, 0), current.get(event.sm_id, 0)
+            )
+        return peak

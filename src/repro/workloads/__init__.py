@@ -1,0 +1,30 @@
+"""Evaluation workloads: the paper's three scenarios and request-stream
+generators."""
+
+from repro.workloads.generators import (
+    RequestTrace,
+    background_trace,
+    difficulty_shift,
+    interactive_trace,
+    realtime_trace,
+)
+from repro.workloads.tasks import (
+    Scenario,
+    age_detection,
+    image_tagging,
+    paper_scenarios,
+    video_surveillance,
+)
+
+__all__ = [
+    "RequestTrace",
+    "background_trace",
+    "difficulty_shift",
+    "interactive_trace",
+    "realtime_trace",
+    "Scenario",
+    "age_detection",
+    "image_tagging",
+    "paper_scenarios",
+    "video_surveillance",
+]

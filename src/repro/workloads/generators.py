@@ -1,0 +1,99 @@
+"""Request-stream generators for the runtime examples and benches.
+
+Interactive traffic is bursty (a user fiddles with an app, walks
+away); real-time traffic is a metronome at the frame rate; background
+traffic arrives in dumps (a camera roll import).  The generators are
+seeded and produce plain lists of arrival timestamps, plus a
+difficulty profile -- a per-request entropy multiplier that the
+calibration examples use to emulate distribution shift (live inputs
+harder than the calibration set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = [
+    "RequestTrace",
+    "interactive_trace",
+    "realtime_trace",
+    "background_trace",
+    "difficulty_shift",
+]
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """A stream of inference requests.
+
+    ``arrivals_s`` are monotonically non-decreasing timestamps;
+    ``difficulty`` is a per-request multiplier (>= 1 means harder than
+    calibration) applied to the tuning-time entropy.
+    """
+
+    arrivals_s: np.ndarray
+    difficulty: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.arrivals_s.shape != self.difficulty.shape:
+            raise ValueError("arrivals and difficulty must align")
+        if np.any(np.diff(self.arrivals_s) < 0):
+            raise ValueError("arrivals must be non-decreasing")
+
+    @property
+    def n_requests(self) -> int:
+        """Number of requests in the trace."""
+        return len(self.arrivals_s)
+
+
+def interactive_trace(
+    n_requests: int = 20, think_time_s: float = 2.0, seed: int = 0
+) -> RequestTrace:
+    """Poisson-ish user interactions separated by think time."""
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(think_time_s, n_requests)
+    return RequestTrace(
+        arrivals_s=np.cumsum(gaps),
+        difficulty=np.ones(n_requests),
+    )
+
+
+def realtime_trace(
+    duration_s: float = 2.0, fps: float = 15.0, seed: int = 0
+) -> RequestTrace:
+    """A metronome of frames at the stream rate."""
+    n = max(1, int(duration_s * fps))
+    arrivals = np.arange(n) / fps
+    return RequestTrace(arrivals_s=arrivals, difficulty=np.ones(n))
+
+
+def background_trace(
+    n_photos: int = 64, dump_gap_s: float = 0.05, seed: int = 0
+) -> RequestTrace:
+    """A camera-roll dump: requests nearly back-to-back."""
+    arrivals = np.arange(n_photos) * dump_gap_s
+    return RequestTrace(arrivals_s=arrivals, difficulty=np.ones(n_photos))
+
+
+def difficulty_shift(
+    trace: RequestTrace,
+    onset_fraction: float = 0.5,
+    severity: float = 1.4,
+) -> RequestTrace:
+    """Make the tail of a trace harder (distribution shift).
+
+    From ``onset_fraction`` of the way through the trace, requests
+    produce ``severity``x the calibration entropy -- the scenario that
+    triggers P-CNN's calibration backtracking.
+    """
+    if severity < 1.0:
+        raise ValueError("severity must be >= 1.0")
+    if not 0.0 <= onset_fraction <= 1.0:
+        raise ValueError("onset_fraction must be in [0, 1]")
+    difficulty = trace.difficulty.copy()
+    onset = int(len(difficulty) * onset_fraction)
+    difficulty[onset:] = severity
+    return RequestTrace(arrivals_s=trace.arrivals_s.copy(), difficulty=difficulty)

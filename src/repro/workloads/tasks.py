@@ -1,0 +1,98 @@
+"""The paper's three evaluation scenarios (Section V.C).
+
+* **Age detection** -- interactive.  A user points the camera at a
+  face and the app estimates the age; preview frames arrive at camera
+  rate (the data-generation rate below), but the user wants an answer
+  within T_i = 100 ms (human-perceptible threshold [31]) and abandons
+  the app at T_t = 3 s [32].  Entertainment-grade accuracy tolerance.
+* **Video surveillance** -- real-time.  Frames arrive at the stream
+  rate; the per-frame deadline is its reciprocal.  Accuracy sensitive
+  (a security use case).  The default is 10 FPS VGG-class analytics --
+  heavy enough that the deadline is infeasible for every
+  non-approximating scheduler on the mobile GPU, which is Fig.
+  13b/15b's headline result.
+* **Image tagging** -- background.  Photos are tagged after the fact;
+  no timing restriction, energy is everything, entertainment-grade
+  accuracy tolerance.
+
+Each scenario bundles the :class:`~repro.core.user_input.ApplicationSpec`
+with the network the paper-style evaluation runs it on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.user_input import ApplicationSpec
+from repro.core.satisfaction import TaskClass
+from repro.nn.models import NetworkDescriptor, alexnet, vgg16
+
+__all__ = [
+    "Scenario",
+    "age_detection",
+    "video_surveillance",
+    "image_tagging",
+    "paper_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One evaluation scenario: an application spec plus its network."""
+
+    spec: ApplicationSpec
+    network: NetworkDescriptor
+
+    @property
+    def name(self) -> str:
+        """Scenario name (the spec's)."""
+        return self.spec.name
+
+
+def age_detection(network: NetworkDescriptor = None) -> Scenario:
+    """Interactive selfie age estimation (AlexNet-class)."""
+    return Scenario(
+        spec=ApplicationSpec(
+            name="age-detection",
+            task_class=TaskClass.INTERACTIVE,
+            data_rate_hz=50.0,
+            accuracy_sensitive=False,
+            entropy_slack=0.30,
+        ),
+        network=network or alexnet(),
+    )
+
+
+def video_surveillance(
+    network: NetworkDescriptor = None, fps: float = 10.0
+) -> Scenario:
+    """Real-time frame analytics with a hard per-frame deadline."""
+    return Scenario(
+        spec=ApplicationSpec(
+            name="video-surveillance",
+            task_class=TaskClass.REAL_TIME,
+            data_rate_hz=fps,
+            frame_rate_hz=fps,
+            accuracy_sensitive=True,
+        ),
+        network=network or vgg16(),
+    )
+
+
+def image_tagging(network: NetworkDescriptor = None) -> Scenario:
+    """Background photo tagging; energy-dominated."""
+    return Scenario(
+        spec=ApplicationSpec(
+            name="image-tagging",
+            task_class=TaskClass.BACKGROUND,
+            data_rate_hz=2.0,
+            accuracy_sensitive=False,
+            entropy_slack=0.30,
+        ),
+        network=network or alexnet(),
+    )
+
+
+def paper_scenarios() -> list:
+    """The Fig. 13-15 scenario triple."""
+    return [age_detection(), video_surveillance(), image_tagging()]

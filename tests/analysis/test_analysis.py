@@ -1,0 +1,72 @@
+"""Tests for repro.analysis: cpE (Eq. 3), ratios and table rendering."""
+
+import pytest
+
+from repro.analysis import (
+    LatencyMeasurement,
+    banner,
+    compute_efficiency,
+    format_series,
+    format_table,
+    throughput_images_per_s,
+    throughput_ratio,
+)
+from repro.gpu import K20C
+
+
+class TestComputeEfficiency:
+    def test_eq3_definition(self):
+        # 1 GFLOP of work in 1 ms => 1 TFLOP/s achieved.
+        cpe = compute_efficiency(K20C, layer_flops=1e9, layer_seconds=1e-3)
+        assert cpe == pytest.approx(1e12 / K20C.peak_flops)
+
+    def test_peak_is_one(self):
+        seconds = 1e9 / K20C.peak_flops
+        assert compute_efficiency(K20C, 1e9, seconds) == pytest.approx(1.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            compute_efficiency(K20C, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            compute_efficiency(K20C, -1.0, 1.0)
+
+
+class TestThroughput:
+    def test_images_per_second(self):
+        assert throughput_images_per_s(32, 0.5) == pytest.approx(64.0)
+
+    def test_ratio(self):
+        no_batch = LatencyMeasurement(1, 0.01)  # 100 img/s
+        batched = LatencyMeasurement(128, 0.5)  # 256 img/s
+        assert throughput_ratio(no_batch, batched) == pytest.approx(100 / 256)
+
+    def test_measurement_validation(self):
+        with pytest.raises(ValueError):
+            LatencyMeasurement(0, 1.0)
+        with pytest.raises(ValueError):
+            LatencyMeasurement(1, 0.0)
+
+
+class TestReporting:
+    def test_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [("alpha", 1), ("b", 22)], title="T"
+        )
+        lines = text.splitlines()
+        assert "T" in lines[0]
+        assert lines[1].startswith("name")
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) <= 2  # header/body aligned
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_series(self):
+        text = format_series("x", "y", [(1, 0.5), (2, 0.25)])
+        assert "0.5" in text and "0.25" in text
+
+    def test_banner_centered(self):
+        text = banner("Hello", width=20)
+        assert "Hello" in text
+        assert len(text) >= 19

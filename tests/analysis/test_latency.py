@@ -1,0 +1,127 @@
+"""Tests for repro.analysis.latency: the library-level network model."""
+
+import pytest
+
+from repro.analysis import library_network_latency
+from repro.gpu import GTX_970M, JETSON_TX1, K20C, TITAN_X
+from repro.gpu.libraries import CUBLAS, CUDNN, NERVANA
+from repro.gpu.memory import OutOfMemoryError
+from repro.nn import alexnet, googlenet, vgg16
+
+
+@pytest.fixture(scope="module")
+def net():
+    return alexnet()
+
+
+class TestStructure:
+    def test_covers_conv_and_dense_layers(self, net):
+        result = library_network_latency(K20C, net, CUDNN, 1)
+        assert [l.name for l in result.layers] == [
+            "conv1", "conv2", "conv3", "conv4", "conv5", "fc6", "fc7", "fc8",
+        ]
+
+    def test_totals_and_throughput(self, net):
+        result = library_network_latency(K20C, net, CUDNN, 8)
+        assert result.total_seconds == pytest.approx(
+            sum(l.seconds for l in result.layers) + result.aux_seconds
+        )
+        assert result.throughput_ips == pytest.approx(
+            8 / result.total_seconds
+        )
+
+    def test_layer_lookup(self, net):
+        result = library_network_latency(K20C, net, CUDNN, 1)
+        assert result.layer_named("conv2").grid_size > 0
+        with pytest.raises(KeyError):
+            result.layer_named("conv9")
+
+    def test_nervana_batch_rounding_reflected(self, net):
+        result = library_network_latency(K20C, net, NERVANA, 1)
+        assert result.batch == 32
+
+
+class TestOrderings:
+    """The qualitative Table III relations the paper argues from."""
+
+    def test_library_ordering_at_batching_sizes(self, net):
+        times = {
+            lib.name: library_network_latency(TITAN_X, net, lib, 128).total_seconds
+            for lib in (CUBLAS, CUDNN, NERVANA)
+        }
+        assert times["nervana"] < times["cudnn"] < times["cublas"]
+
+    def test_platform_ordering(self, net):
+        times = [
+            library_network_latency(gpu, net, CUDNN, 1).total_seconds
+            for gpu in (TITAN_X, GTX_970M, JETSON_TX1)
+        ]
+        assert times == sorted(times)
+
+    def test_batching_improves_throughput(self, net):
+        single = library_network_latency(JETSON_TX1, net, CUDNN, 1)
+        batched = library_network_latency(JETSON_TX1, net, CUDNN, 128)
+        assert batched.throughput_ips > 2 * single.throughput_ips
+
+    def test_tx1_alexnet_nonbatch_near_paper(self, net):
+        """Paper Table III: 25/24 ms for cuBLAS/cuDNN; ours within 2x."""
+        for lib, paper_ms in ((CUBLAS, 25.0), (CUDNN, 24.0)):
+            measured = library_network_latency(
+                JETSON_TX1, net, lib, 1
+            ).total_seconds * 1e3
+            assert paper_ms / 2.5 < measured < paper_ms * 2.5
+
+    def test_cublas_launch_overhead_hurts_deep_networks(self):
+        """GoogLeNet's 57 convs x per-image launches drag cuBLAS far
+        behind cuDNN at batch 64 (Table III's 381 vs 118 on TitanX)."""
+        goog = googlenet()
+        cublas = library_network_latency(TITAN_X, goog, CUBLAS, 64)
+        cudnn = library_network_latency(TITAN_X, goog, CUDNN, 64)
+        assert cublas.total_seconds > 2.0 * cudnn.total_seconds
+
+
+class TestOOM:
+    def test_table_iii_x_cells_raise(self):
+        with pytest.raises(OutOfMemoryError):
+            library_network_latency(JETSON_TX1, googlenet(), CUDNN, 64)
+        with pytest.raises(OutOfMemoryError):
+            library_network_latency(JETSON_TX1, vgg16(), NERVANA, 1)
+
+    def test_memory_check_can_be_bypassed(self):
+        result = library_network_latency(
+            JETSON_TX1, googlenet(), CUDNN, 64, check_memory=False
+        )
+        assert result.total_seconds > 0
+
+
+class TestProfiling:
+    def test_profile_network_report(self):
+        from repro.analysis import profile_network
+
+        report = profile_network(K20C, alexnet(), batch=1)
+        assert report.batch == 1
+        assert len(report.layers) == 8
+        assert sum(l.time_share for l in report.layers) == pytest.approx(
+            report.total_time_s
+            and sum(l.time_s for l in report.layers) / report.total_time_s
+        )
+        text = report.render()
+        assert "conv2" in text and "Util" in text
+
+    def test_hottest_layers(self):
+        from repro.analysis import profile_network
+
+        report = profile_network(JETSON_TX1, alexnet(), batch=1)
+        hottest = report.hottest(2)
+        assert len(hottest) == 2
+        assert hottest[0].time_s >= hottest[1].time_s
+        # at batch 1 on mobile, weight streaming makes fc6 the hot spot
+        assert hottest[0].name == "fc6"
+
+    def test_profile_accepts_preloaded_plan(self):
+        from repro.analysis import profile_network
+        from repro.core.offline import OfflineCompiler
+
+        plan = OfflineCompiler(K20C).compile_with_batch(alexnet(), 4)
+        report = profile_network(K20C, alexnet(), plan=plan)
+        assert report.batch == 4

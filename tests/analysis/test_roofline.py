@@ -1,0 +1,65 @@
+"""Tests for repro.analysis.roofline."""
+
+import pytest
+
+from repro.analysis import machine_balance, roofline_point
+from repro.gpu import JETSON_TX1, K20C, TITAN_X
+from repro.gpu.kernels import GemmShape, make_kernel
+from repro.nn import alexnet
+
+
+class TestMachineBalance:
+    def test_definition(self):
+        assert machine_balance(K20C) == pytest.approx(
+            K20C.peak_flops / K20C.mem_bandwidth_bytes_per_s
+        )
+
+    def test_mobile_has_higher_ridge(self):
+        """TX1's bandwidth is proportionally scarcer than TitanX's."""
+        assert machine_balance(JETSON_TX1) > machine_balance(TITAN_X)
+
+
+class TestRooflinePoint:
+    def test_batch1_classifier_is_deeply_memory_bound(self):
+        """fc6 at batch 1: 9216x4096 weights stream for one column."""
+        point = roofline_point(
+            JETSON_TX1,
+            make_kernel(64, 8, block_size=64),
+            GemmShape(4096, 1, 9216),
+        )
+        assert point.is_memory_bound
+        assert point.attainable_fraction < 0.05
+
+    def test_batched_conv_is_compute_bound(self):
+        """A big tile amortizes operand traffic enough to clear K20c's
+        ridge (the per-CTA traffic model re-fetches operands per CTA,
+        so the tile size sets the reuse)."""
+        net = alexnet()
+        shape = net.gemm_shape(net.layer("conv2"), batch=32)
+        point = roofline_point(K20C, make_kernel(128, 128), shape)
+        assert point.is_compute_bound
+        assert point.attainable_fraction == pytest.approx(1.0)
+
+    def test_intensity_grows_with_batch(self):
+        """Bigger N amortizes the A-operand traffic."""
+        net = alexnet()
+        kernel = make_kernel(64, 64)
+        ai = [
+            roofline_point(
+                K20C, kernel, net.gemm_shape(net.layer("conv5"), batch=b)
+            ).arithmetic_intensity
+            for b in (1, 8, 64)
+        ]
+        assert ai == sorted(ai)
+
+    def test_attainable_capped_by_peak(self):
+        point = roofline_point(
+            K20C, make_kernel(128, 128), GemmShape(4096, 4096, 4096)
+        )
+        assert point.attainable_flops <= point.peak_flops
+
+    def test_exactly_one_bound(self):
+        point = roofline_point(
+            K20C, make_kernel(64, 64), GemmShape(128, 729, 1200)
+        )
+        assert point.is_compute_bound != point.is_memory_bound

@@ -1,0 +1,37 @@
+"""Shared fixtures for the P-CNN reproduction test suite."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GTX_970M, JETSON_TX1, K20C, TITAN_X
+from repro.nn import make_dataset, pcnn_net, train, train_test_split
+
+
+@pytest.fixture(params=["k20c", "titanx", "gtx970m", "tx1"])
+def any_arch(request):
+    """Parametrize over all four paper platforms."""
+    from repro.gpu import get_architecture
+
+    return get_architecture(request.param)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small seeded synthetic dataset shared across tests."""
+    return make_dataset(400, seed=11)
+
+
+@pytest.fixture(scope="session")
+def split_dataset(small_dataset):
+    """(train, test) split of the shared dataset."""
+    return train_test_split(small_dataset, test_fraction=0.25, seed=12)
+
+
+@pytest.fixture(scope="session")
+def trained_small_net(split_dataset):
+    """A trained PcnnNet-small with its test set (session-scoped: the
+    numpy trainer runs once for the whole suite)."""
+    train_set, test_set = split_dataset
+    network = pcnn_net("small")
+    result = train(network, train_set, epochs=8, seed=13)
+    return network, result.params, test_set

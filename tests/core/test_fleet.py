@@ -1,0 +1,83 @@
+"""Tests for repro.core.fleet: the pervasive deployment manager."""
+
+import pytest
+
+from repro.core import ApplicationSpec, TaskClass
+from repro.core.fleet import FleetManager
+from repro.gpu import GTX_970M, JETSON_TX1, K20C, TITAN_X
+from repro.nn import alexnet
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    spec = ApplicationSpec(
+        "age-detection", TaskClass.INTERACTIVE, data_rate_hz=50.0
+    )
+    manager = FleetManager(
+        alexnet(),
+        spec,
+        architectures=[K20C, JETSON_TX1],
+        max_tuning_iterations=8,
+    )
+    manager.deploy_all()
+    return manager
+
+
+class TestFleetDeployment:
+    def test_one_deployment_per_platform(self, fleet):
+        deployments = fleet.deploy_all()
+        assert set(deployments) == {"K20c", "TX1"}
+
+    def test_deploy_all_is_idempotent(self, fleet):
+        first = fleet.deploy_all()
+        second = fleet.deploy_all()
+        assert first["K20c"] is second["K20c"]
+
+    def test_deployment_lookup(self, fleet):
+        assert fleet.deployment("TX1").arch.name == "TX1"
+        with pytest.raises(KeyError, match="fleet"):
+            fleet.deployment("GTX1080")
+
+    def test_platform_specific_configurations(self, fleet):
+        k20 = fleet.deployment("K20c").current_entry.compiled
+        tx1 = fleet.deployment("TX1").current_entry.compiled
+        # Same network, different tuned configurations.
+        pairs = [
+            (a.tuned.tile, a.opt_sm) != (b.tuned.tile, b.opt_sm)
+            for a, b in zip(k20.schedules, tx1.schedules)
+        ]
+        assert any(pairs)
+
+
+class TestFleetReport:
+    def test_report_covers_fleet(self, fleet):
+        report = fleet.report()
+        assert {p.gpu for p in report.platforms} == {"K20c", "TX1"}
+        for platform in report.platforms:
+            assert platform.latency_s > 0
+            assert platform.energy_per_item_j > 0
+            assert platform.tuning_speedup >= 1.0
+
+    def test_interactive_met_everywhere(self, fleet):
+        report = fleet.report()
+        assert report.all_meet_requirement
+
+    def test_best_platform_has_max_soc(self, fleet):
+        report = fleet.report()
+        best = report.best_platform
+        assert best.soc == max(p.soc for p in report.platforms)
+
+    def test_by_gpu_lookup(self, fleet):
+        report = fleet.report()
+        assert report.by_gpu("K20c").platform == "server"
+        with pytest.raises(KeyError):
+            report.by_gpu("TPUv1")
+
+
+class TestValidation:
+    def test_rejects_empty_fleet(self):
+        spec = ApplicationSpec(
+            "age", TaskClass.INTERACTIVE, data_rate_hz=50.0
+        )
+        with pytest.raises(ValueError):
+            FleetManager(alexnet(), spec, architectures=[])

@@ -1,0 +1,70 @@
+"""Tests for repro.core.framework: the PervasiveCNN facade."""
+
+import pytest
+
+from repro.gpu import JETSON_TX1, K20C
+from repro.core import ApplicationSpec, PervasiveCNN, TaskClass
+from repro.nn.models import alexnet
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    pcnn = PervasiveCNN(JETSON_TX1)
+    spec = ApplicationSpec(
+        "age-detection", TaskClass.INTERACTIVE, data_rate_hz=50.0
+    )
+    return pcnn.deploy(alexnet(), spec, max_tuning_iterations=16)
+
+
+class TestDeploy:
+    def test_tuning_table_built(self, deployment):
+        assert len(deployment.tuning_table) >= 1
+        assert deployment.tuning_table.dense.plan.is_dense()
+
+    def test_threshold_from_inferred_slack(self, deployment):
+        baseline = deployment.tuning_table.dense.entropy
+        assert deployment.entropy_threshold == pytest.approx(baseline * 1.3)
+
+    def test_compiled_meets_budget(self, deployment):
+        assert (
+            deployment.current_entry.compiled.total_time_s
+            <= deployment.requirement.time.budget_s
+        )
+
+    def test_starts_at_fastest_entry(self, deployment):
+        assert deployment.calibrator.index == len(deployment.tuning_table) - 1
+
+
+class TestProcessRequest:
+    def test_outcome_fields(self, deployment):
+        outcome = deployment.process_request()
+        assert outcome.latency_s > 0
+        assert outcome.energy_per_item_j > 0
+        assert outcome.soc.value > 0
+        assert outcome.entropy == deployment.tuning_table[
+            outcome.entry_index
+        ].entropy
+
+    def test_outcomes_accumulate(self, deployment):
+        before = len(deployment.outcomes)
+        deployment.process_request()
+        assert len(deployment.outcomes) == before + 1
+
+    def test_hard_inputs_trigger_calibration(self):
+        pcnn = PervasiveCNN(JETSON_TX1)
+        spec = ApplicationSpec(
+            "age-detection", TaskClass.INTERACTIVE, data_rate_hz=50.0
+        )
+        dep = pcnn.deploy(alexnet(), spec, max_tuning_iterations=16)
+        if len(dep.tuning_table) < 2:
+            pytest.skip("tuning path too short to backtrack")
+        start = dep.calibrator.index
+        for _ in range(3):
+            dep.process_request(observed_entropy=dep.entropy_threshold * 3)
+        assert dep.calibrator.index < start
+
+    def test_background_deployment_batches(self):
+        pcnn = PervasiveCNN(K20C)
+        spec = ApplicationSpec("tagging", TaskClass.BACKGROUND, data_rate_hz=2.0)
+        dep = pcnn.deploy(alexnet(), spec, max_tuning_iterations=4)
+        assert dep.current_entry.compiled.batch > 1

@@ -1,0 +1,117 @@
+"""Tests for repro.core.runtime.server: the serving loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import ApplicationSpec, PervasiveCNN, TaskClass
+from repro.core.runtime import InferenceServer
+from repro.gpu import JETSON_TX1
+from repro.nn import alexnet
+from repro.workloads import (
+    RequestTrace,
+    background_trace,
+    difficulty_shift,
+    interactive_trace,
+    realtime_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    pcnn = PervasiveCNN(JETSON_TX1)
+    spec = ApplicationSpec(
+        "age-detection", TaskClass.INTERACTIVE, data_rate_hz=50.0
+    )
+    return pcnn.deploy(alexnet(), spec, max_tuning_iterations=8)
+
+
+def _fresh_deployment():
+    pcnn = PervasiveCNN(JETSON_TX1)
+    spec = ApplicationSpec(
+        "age-detection", TaskClass.INTERACTIVE, data_rate_hz=50.0
+    )
+    return pcnn.deploy(alexnet(), spec, max_tuning_iterations=8)
+
+
+class TestServing:
+    def test_every_request_served_once(self, deployment):
+        server = InferenceServer(deployment)
+        trace = interactive_trace(n_requests=17, think_time_s=0.05, seed=1)
+        report = server.serve(trace)
+        assert report.n_requests == 17
+        assert [r.index for r in report.requests] == list(range(17))
+
+    def test_latency_accounting_consistent(self, deployment):
+        server = InferenceServer(deployment)
+        trace = realtime_trace(duration_s=1.0, fps=20)
+        report = server.serve(trace)
+        for request in report.requests:
+            assert request.finish_s >= request.start_s >= request.arrival_s
+            assert request.latency_s == pytest.approx(
+                request.queueing_s + (request.finish_s - request.start_s)
+            )
+
+    def test_gpu_never_double_booked(self, deployment):
+        server = InferenceServer(deployment)
+        trace = realtime_trace(duration_s=0.5, fps=40)
+        report = server.serve(trace)
+        spans = sorted(
+            {(r.start_s, r.finish_s) for r in report.requests}
+        )
+        for (s1, f1), (s2, _f2) in zip(spans, spans[1:]):
+            assert s2 >= f1 - 1e-12
+
+    def test_flush_timeout_bounds_queueing(self, deployment):
+        server = InferenceServer(deployment, flush_timeout_s=0.02)
+        # sparse arrivals: batches never fill, timeout must flush
+        trace = interactive_trace(n_requests=6, think_time_s=1.0, seed=2)
+        report = server.serve(trace)
+        for request in report.requests:
+            assert request.queueing_s <= 0.02 + 0.05  # timeout + compute wait
+
+    def test_burst_forms_batches(self, deployment):
+        server = InferenceServer(deployment)
+        trace = background_trace(n_photos=20, dump_gap_s=0.001)
+        report = server.serve(trace)
+        assert report.batches < 20  # batching actually happened
+        assert max(r.batch for r in report.requests) > 1
+
+    def test_energy_accumulates(self, deployment):
+        server = InferenceServer(deployment)
+        report = server.serve(interactive_trace(n_requests=8, seed=3))
+        assert report.total_energy_j > 0
+        assert report.energy_per_request_j == pytest.approx(
+            report.total_energy_j / 8
+        )
+
+    def test_percentiles(self, deployment):
+        server = InferenceServer(deployment)
+        report = server.serve(interactive_trace(n_requests=12, seed=4))
+        assert report.p99_latency_s >= report.mean_latency_s * 0.5
+
+    def test_rejects_bad_timeout(self, deployment):
+        with pytest.raises(ValueError):
+            InferenceServer(deployment, flush_timeout_s=0.0)
+
+
+class TestServingWithCalibration:
+    def test_hard_stretch_triggers_backtracking(self):
+        deployment = _fresh_deployment()
+        if len(deployment.tuning_table) < 2:
+            pytest.skip("tuning path too short")
+        server = InferenceServer(deployment)
+        trace = difficulty_shift(
+            realtime_trace(duration_s=3.0, fps=10),
+            onset_fraction=0.3,
+            severity=4.0,
+        )
+        start_index = deployment.calibrator.index
+        server.serve(trace)
+        assert deployment.calibrator.index < start_index
+
+    def test_easy_traffic_holds_position(self):
+        deployment = _fresh_deployment()
+        server = InferenceServer(deployment)
+        start_index = deployment.calibrator.index
+        server.serve(realtime_trace(duration_s=1.0, fps=10))
+        assert deployment.calibrator.index >= start_index

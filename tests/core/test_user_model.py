@@ -1,0 +1,113 @@
+"""Tests for repro.core.user_model: learned requirement inference."""
+
+import pytest
+
+from repro.core.user_model import (
+    FeedbackEvent,
+    LearnedRequirementModel,
+    simulate_user_feedback,
+)
+
+
+class TestFeedbackEvent:
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ValueError):
+            FeedbackEvent(latency_s=0.0, friction=True)
+
+
+class TestLearnedModel:
+    def test_prior_is_initial_estimate(self):
+        model = LearnedRequirementModel(prior_ti_s=0.1)
+        assert model.estimate_s == pytest.approx(0.1)
+
+    def test_friction_lowers_estimate(self):
+        model = LearnedRequirementModel(prior_ti_s=0.1)
+        model.observe(FeedbackEvent(latency_s=0.08, friction=True))
+        assert model.estimate_s < 0.1
+        assert model.bracket[1] <= 0.08
+
+    def test_engagement_raises_estimate(self):
+        model = LearnedRequirementModel(prior_ti_s=0.1)
+        model.observe(FeedbackEvent(latency_s=0.5, friction=False))
+        assert model.estimate_s > 0.1
+        assert model.bracket[0] >= 0.5
+
+    def test_converges_to_true_threshold(self):
+        """Alternating probes converge the bracket onto the simulated
+        user's true T_i."""
+        true_ti = 0.28
+        model = LearnedRequirementModel(prior_ti_s=0.1)
+        probes = [0.05, 0.8, 0.2, 0.5, 0.25, 0.4, 0.3, 0.35, 0.27, 0.33]
+        for i, latency in enumerate(probes):
+            event = simulate_user_feedback(latency, true_ti, phase=float(i))
+            model.observe(event)
+        assert model.estimate_s == pytest.approx(true_ti, rel=0.35)
+
+    def test_contradictory_feedback_collapses_conservatively(self):
+        model = LearnedRequirementModel(prior_ti_s=0.1)
+        model.observe(FeedbackEvent(latency_s=0.05, friction=True))  # hi=0.05
+        model.observe(FeedbackEvent(latency_s=0.5, friction=False))  # lo clamps
+        lo, hi = model.bracket
+        assert lo <= hi
+
+    def test_requirement_applies_safety_margin(self):
+        model = LearnedRequirementModel(prior_ti_s=0.2, safety_margin=0.8)
+        requirement = model.requirement()
+        assert requirement.imperceptible_s < model.estimate_s
+        assert requirement.unusable_s >= requirement.imperceptible_s
+
+    def test_damping_limits_single_event_swing(self):
+        aggressive = LearnedRequirementModel(prior_ti_s=0.1, damping=1.0)
+        cautious = LearnedRequirementModel(prior_ti_s=0.1, damping=0.2)
+        event = FeedbackEvent(latency_s=1.5, friction=False)
+        aggressive.observe(event)
+        cautious.observe(event)
+        assert abs(cautious.estimate_s - 0.1) < abs(aggressive.estimate_s - 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LearnedRequirementModel(prior_ti_s=0.1, lo_s=0.2)
+        with pytest.raises(ValueError):
+            LearnedRequirementModel(damping=0.0)
+        with pytest.raises(ValueError):
+            LearnedRequirementModel(safety_margin=1.5)
+
+
+class TestSimulatedUser:
+    def test_clear_regions(self):
+        assert not simulate_user_feedback(0.05, true_ti_s=0.3).friction
+        assert simulate_user_feedback(0.9, true_ti_s=0.3).friction
+
+    def test_boundary_is_ambiguous(self):
+        reactions = {
+            simulate_user_feedback(0.3, true_ti_s=0.3, phase=float(p)).friction
+            for p in range(4)
+        }
+        assert reactions == {True, False}
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            simulate_user_feedback(0.1, true_ti_s=0.0)
+
+
+class TestEndToEndLearning:
+    def test_learned_requirement_drives_compilation(self):
+        """The learned T_i plugs into the standard compiler path."""
+        from repro.core.offline import OfflineCompiler
+        from repro.gpu import K20C
+        from repro.nn import alexnet
+
+        model = LearnedRequirementModel(prior_ti_s=0.1)
+        # A patient user: every latency up to 400 ms felt fine.
+        for latency in (0.15, 0.25, 0.4):
+            model.observe(FeedbackEvent(latency_s=latency, friction=False))
+        requirement = model.requirement()
+        assert requirement.imperceptible_s > 0.1  # learned to relax
+        plan = OfflineCompiler(K20C).compile(
+            alexnet(), requirement, data_rate_hz=50.0
+        )
+        # A looser budget admits a bigger batch than the 100 ms prior.
+        strict = OfflineCompiler(K20C).compile(
+            alexnet(), LearnedRequirementModel().requirement(), data_rate_hz=50.0
+        )
+        assert plan.batch >= strict.batch

@@ -1,0 +1,190 @@
+"""Tests for repro.gpu.architecture: the Table II / Table VI platforms."""
+
+import pytest
+
+from repro.gpu.architecture import (
+    ARCHITECTURES,
+    GPUArchitecture,
+    GTX_970M,
+    JETSON_TX1,
+    K20C,
+    RESERVED_REGISTERS_PER_SM,
+    TITAN_X,
+    get_architecture,
+    list_architectures,
+)
+
+
+class TestTableIIParameters:
+    """The four platforms carry the paper's published parameters."""
+
+    def test_k20c_core_count(self):
+        assert K20C.total_cuda_cores == 2496
+        assert K20C.n_sms == 13
+        assert K20C.core_clock_mhz == 706.0
+
+    def test_titan_x_core_count(self):
+        assert TITAN_X.total_cuda_cores == 3072
+        assert TITAN_X.core_clock_mhz == 1000.0
+
+    def test_gtx970m_core_count(self):
+        assert GTX_970M.total_cuda_cores == 1280
+        assert GTX_970M.core_clock_mhz == 924.0
+
+    def test_tx1_core_count(self):
+        assert JETSON_TX1.total_cuda_cores == 256
+        assert JETSON_TX1.n_sms == 2
+        assert JETSON_TX1.core_clock_mhz == 998.0
+
+    def test_tx1_bandwidth(self):
+        assert JETSON_TX1.mem_bandwidth_gbps == pytest.approx(25.6)
+
+    def test_platform_classes(self):
+        assert K20C.platform == "server"
+        assert TITAN_X.platform == "desktop"
+        assert GTX_970M.platform == "notebook"
+        assert JETSON_TX1.platform == "mobile"
+
+    def test_generations(self):
+        assert K20C.generation == "kepler"
+        for gpu in (TITAN_X, GTX_970M, JETSON_TX1):
+            assert gpu.generation == "maxwell"
+
+
+class TestTableVIParameters:
+    """GPGPU-Sim configuration of Table VI."""
+
+    def test_register_file_64k(self):
+        for gpu in list_architectures():
+            assert gpu.registers_per_sm == 64 * 1024
+
+    def test_thread_limit_2048(self):
+        for gpu in list_architectures():
+            assert gpu.max_threads_per_sm == 2048
+
+    def test_kepler_cta_limit_16(self):
+        assert K20C.max_ctas_per_sm == 16
+
+    def test_maxwell_cta_limit_32(self):
+        # Required for Table IV's TX1/cuDNN maxBlocks of 40.
+        assert JETSON_TX1.max_ctas_per_sm == 32
+
+    def test_warp_size(self):
+        for gpu in list_architectures():
+            assert gpu.warp_size == 32
+
+    def test_usable_registers(self):
+        assert K20C.usable_registers_per_sm == 64 * 1024 - RESERVED_REGISTERS_PER_SM
+        assert K20C.usable_registers_per_sm == 61440
+
+
+class TestDerivedQuantities:
+    def test_peak_flops_formula(self, any_arch):
+        expected = (
+            2.0
+            * any_arch.core_clock_mhz
+            * 1e6
+            * any_arch.n_sms
+            * any_arch.cores_per_sm
+        )
+        assert any_arch.peak_flops == pytest.approx(expected)
+
+    def test_k20_peak_is_3_5_tflops(self):
+        # 2496 cores x 706 MHz x 2 = 3.52 TFLOP/s (the K20c spec sheet).
+        assert K20C.peak_flops == pytest.approx(3.524e12, rel=0.01)
+
+    def test_tx1_peak_is_half_tflop(self):
+        assert JETSON_TX1.peak_flops == pytest.approx(0.511e12, rel=0.01)
+
+    def test_per_sm_peak(self, any_arch):
+        assert any_arch.peak_flops_per_sm * any_arch.n_sms == pytest.approx(
+            any_arch.peak_flops
+        )
+
+    def test_cycle_conversion_roundtrip(self, any_arch):
+        assert any_arch.seconds_to_cycles(
+            any_arch.cycles_to_seconds(1e6)
+        ) == pytest.approx(1e6)
+
+    def test_min_registers_per_thread(self):
+        # 61440 usable / 2048 threads = 30 -- the paper's minReg ~32
+        # region in Fig. 9.
+        assert K20C.min_registers_per_thread() == 30
+
+    def test_describe_mentions_name_and_cores(self, any_arch):
+        text = any_arch.describe()
+        assert any_arch.name in text
+        assert str(any_arch.total_cuda_cores) in text
+
+
+class TestRegistry:
+    def test_lookup_canonical(self):
+        assert get_architecture("k20c") is K20C
+        assert get_architecture("tx1") is JETSON_TX1
+
+    def test_lookup_aliases(self):
+        assert get_architecture("K20") is K20C
+        assert get_architecture("Titan X") is TITAN_X
+        assert get_architecture("970m") is GTX_970M
+        assert get_architecture("Jetson TX1") is JETSON_TX1
+
+    def test_lookup_case_insensitive(self):
+        assert get_architecture("TITANX") is TITAN_X
+
+    def test_unknown_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="k20c"):
+            get_architecture("voodoo2")
+
+    def test_list_order_server_to_mobile(self):
+        assert [g.platform for g in list_architectures()] == [
+            "server",
+            "desktop",
+            "notebook",
+            "mobile",
+        ]
+
+    def test_registry_complete(self):
+        assert set(ARCHITECTURES) == {
+            "k20c", "titanx", "gtx970m", "tx1",  # the paper's Table II
+            "gtx1080", "tx2",  # post-paper Pascal extensions
+        }
+
+
+class TestValidation:
+    def _base_kwargs(self):
+        return dict(
+            name="x",
+            platform="server",
+            generation="kepler",
+            n_sms=2,
+            cores_per_sm=64,
+            core_clock_mhz=1000.0,
+        )
+
+    def test_rejects_zero_sms(self):
+        kwargs = self._base_kwargs()
+        kwargs["n_sms"] = 0
+        with pytest.raises(ValueError, match="n_sms"):
+            GPUArchitecture(**kwargs)
+
+    def test_rejects_zero_cores(self):
+        kwargs = self._base_kwargs()
+        kwargs["cores_per_sm"] = 0
+        with pytest.raises(ValueError, match="cores_per_sm"):
+            GPUArchitecture(**kwargs)
+
+    def test_rejects_zero_clock(self):
+        kwargs = self._base_kwargs()
+        kwargs["core_clock_mhz"] = 0
+        with pytest.raises(ValueError, match="core_clock_mhz"):
+            GPUArchitecture(**kwargs)
+
+    def test_rejects_tiny_register_file(self):
+        kwargs = self._base_kwargs()
+        kwargs["registers_per_sm"] = RESERVED_REGISTERS_PER_SM
+        with pytest.raises(ValueError, match="reserved"):
+            GPUArchitecture(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            K20C.n_sms = 1

@@ -1,0 +1,120 @@
+"""Tests for repro.gpu.dvfs: the Fig. 3 background-energy mechanism."""
+
+import pytest
+
+from repro.gpu import JETSON_TX1, K20C
+from repro.gpu.dvfs import (
+    DEFAULT_FREQUENCY_LADDER,
+    FrequencyState,
+    best_frequency,
+    energy_at_frequency,
+    power_at_frequency,
+    scaled_runtime,
+)
+
+
+class TestFrequencyState:
+    def test_nominal_scales_are_one(self):
+        nominal = FrequencyState(1.0)
+        assert nominal.dynamic_power_scale == pytest.approx(1.0)
+        assert nominal.static_power_scale == pytest.approx(1.0)
+
+    def test_dynamic_power_superlinear(self):
+        """f * V(f)^2 falls faster than f."""
+        half = FrequencyState(0.5)
+        assert half.dynamic_power_scale < 0.5
+
+    def test_voltage_floor(self):
+        assert FrequencyState(0.3).voltage > 0.5
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            FrequencyState(0.0)
+        with pytest.raises(ValueError):
+            FrequencyState(1.5)
+
+
+class TestRuntimeScaling:
+    def test_compute_bound_scales_inverse(self):
+        assert scaled_runtime(1.0, FrequencyState(0.5)) == pytest.approx(2.0)
+
+    def test_memory_bound_unaffected(self):
+        runtime = scaled_runtime(
+            1.0, FrequencyState(0.5), memory_bound_fraction=1.0
+        )
+        assert runtime == pytest.approx(1.0)
+
+    def test_mixed(self):
+        runtime = scaled_runtime(
+            1.0, FrequencyState(0.5), memory_bound_fraction=0.4
+        )
+        assert runtime == pytest.approx(0.6 * 2 + 0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scaled_runtime(-1.0, FrequencyState(1.0))
+        with pytest.raises(ValueError):
+            scaled_runtime(1.0, FrequencyState(1.0), memory_bound_fraction=2.0)
+
+
+class TestPowerAndEnergy:
+    def test_power_falls_with_frequency(self):
+        powers = [
+            power_at_frequency(K20C, FrequencyState(f), busy_sms=13)
+            for f in DEFAULT_FREQUENCY_LADDER
+        ]
+        assert powers == sorted(powers)
+
+    def test_fig3_energy_valley(self):
+        """Fig. 3's background curve: as the frequency drops (runtime
+        grows), energy first decreases, then stops improving -- there
+        is an interior optimum T_e, not a monotone win."""
+        results = [
+            energy_at_frequency(K20C, FrequencyState(f), 1.0, busy_sms=13)
+            for f in DEFAULT_FREQUENCY_LADDER
+        ]
+        runtimes = [r for r, _e in results]
+        energies = [e for _r, e in results]
+        # runtime grows monotonically as frequency falls
+        assert runtimes == sorted(runtimes, reverse=True)
+        # energy at nominal is NOT the minimum (slowing down helps)...
+        assert min(energies) < energies[-1]
+        # ... but the very slowest point is worse than the optimum
+        # (static energy over the stretched runtime wins out).
+        assert energies[0] > min(energies)
+
+    def test_busy_sms_bounds(self):
+        with pytest.raises(ValueError):
+            power_at_frequency(K20C, FrequencyState(1.0), busy_sms=99)
+
+
+class TestBestFrequency:
+    def test_unconstrained_finds_interior_optimum(self):
+        state, runtime, energy = best_frequency(
+            K20C, nominal_seconds=1.0, busy_sms=13
+        )
+        assert 0.3 < state.relative_frequency < 1.0
+        assert runtime > 1.0
+
+    def test_deadline_forces_higher_frequency(self):
+        relaxed, _r1, _e1 = best_frequency(K20C, 1.0, 13)
+        tight, runtime, _e2 = best_frequency(K20C, 1.0, 13, deadline_s=1.1)
+        assert tight.relative_frequency >= relaxed.relative_frequency
+        assert runtime <= 1.1
+
+    def test_impossible_deadline_runs_flat_out(self):
+        state, _runtime, _energy = best_frequency(
+            K20C, 1.0, 13, deadline_s=0.5
+        )
+        assert state.relative_frequency == 1.0
+
+    def test_memory_bound_work_prefers_lower_frequency(self):
+        """When DRAM sets the floor, downclocking the SMs is nearly
+        free runtime-wise, so the optimum drops."""
+        compute_opt, _r, _e = best_frequency(
+            JETSON_TX1, 1.0, 2, memory_bound_fraction=0.0
+        )
+        memory_opt, _r, _e = best_frequency(
+            JETSON_TX1, 1.0, 2, memory_bound_fraction=0.8
+        )
+        assert memory_opt.relative_frequency <= compute_opt.relative_frequency

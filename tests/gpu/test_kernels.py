@@ -1,0 +1,171 @@
+"""Tests for repro.gpu.kernels: SGEMM descriptors and Eq. 4."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.kernels import (
+    COMMON_TILES,
+    GemmShape,
+    SgemmKernel,
+    estimate_registers_per_thread,
+    estimate_shared_mem_bytes,
+    grid_size,
+    make_kernel,
+)
+
+
+class TestGemmShape:
+    def test_flops_counts_two_per_mac(self):
+        shape = GemmShape(10, 20, 30)
+        assert shape.flops == 2.0 * 10 * 20 * 30
+
+    def test_rejects_nonpositive_dims(self):
+        for bad in [(0, 1, 1), (1, 0, 1), (1, 1, 0), (-2, 3, 4)]:
+            with pytest.raises(ValueError):
+                GemmShape(*bad)
+
+    def test_scaled_columns(self):
+        shape = GemmShape(8, 100, 16)
+        scaled = shape.scaled_columns(40)
+        assert scaled.n_cols == 40
+        assert scaled.m_rows == 8 and scaled.k_depth == 16
+
+    def test_frozen(self):
+        shape = GemmShape(1, 1, 1)
+        with pytest.raises(Exception):
+            shape.m_rows = 2
+
+
+class TestGridSize:
+    """Eq. 4 -- checked against every Table IV GridSize cell."""
+
+    @pytest.mark.parametrize(
+        "m_rows,n_cols,tile_m,tile_n,expected",
+        [
+            # AlexNet CONV2 per-group result 128 x 729, CONV5 128 x 169.
+            (128, 729, 64, 128, 12),  # TX1 cuBLAS
+            (128, 169, 64, 128, 4),
+            (128, 729, 32, 32, 92),  # TX1 cuDNN
+            (128, 169, 32, 32, 24),
+            (128, 729, 64, 64, 24),  # K20 both libraries
+            (128, 169, 64, 64, 6),
+        ],
+    )
+    def test_table_iv_grid_sizes(self, m_rows, n_cols, tile_m, tile_n, expected):
+        assert grid_size(GemmShape(m_rows, n_cols, 100), tile_m, tile_n) == expected
+
+    def test_exact_division(self):
+        assert grid_size(GemmShape(128, 256, 8), 64, 64) == 2 * 4
+
+    def test_rejects_bad_tile(self):
+        with pytest.raises(ValueError):
+            grid_size(GemmShape(1, 1, 1), 0, 64)
+
+    @given(
+        m=st.integers(1, 2000),
+        n=st.integers(1, 2000),
+        tm=st.sampled_from([32, 64, 128]),
+        tn=st.sampled_from([32, 64, 128]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_grid_covers_matrix(self, m, n, tm, tn):
+        g = grid_size(GemmShape(m, n, 8), tm, tn)
+        assert g * tm * tn >= m * n
+        assert (math.ceil(m / tm) - 1) * tm < m
+
+
+class TestHeuristics:
+    def test_registers_match_cublas_maxwell_kernel(self):
+        # Table IV: 64x128 tile, 128-thread block -> 120 registers.
+        assert estimate_registers_per_thread(64, 128, 128) == 120
+
+    def test_shared_mem_matches_cublas_maxwell_kernel(self):
+        # Table IV: 12544 bytes for the 64x128 tile at k_unroll 8.
+        assert estimate_shared_mem_bytes(64, 128, k_unroll=8) == 12544
+
+    def test_shared_mem_matches_cudnn_mobile_kernel(self):
+        # Table IV: 2304 bytes for the 32x32 tile at k_unroll 4.
+        assert estimate_shared_mem_bytes(32, 32, k_unroll=4) == 2304
+
+    def test_registers_capped_at_255(self):
+        assert estimate_registers_per_thread(256, 256, 64) == 255
+
+    def test_rejects_zero_block(self):
+        with pytest.raises(ValueError):
+            estimate_registers_per_thread(64, 64, 0)
+
+
+class TestSgemmKernel:
+    def _kernel(self, **kwargs):
+        defaults = dict(
+            name="k",
+            tile_m=64,
+            tile_n=64,
+            block_size=128,
+            regs_per_thread=96,
+            shared_mem_bytes=8448,
+        )
+        defaults.update(kwargs)
+        return SgemmKernel(**defaults)
+
+    def test_geometry(self):
+        k = self._kernel()
+        assert k.tile == (64, 64)
+        assert k.tile_elements == 4096
+        assert k.outputs_per_thread == 32
+
+    def test_rejects_non_warp_multiple_block(self):
+        with pytest.raises(ValueError, match="warp"):
+            self._kernel(block_size=100)
+
+    def test_rejects_register_overflow(self):
+        with pytest.raises(ValueError, match="regs_per_thread"):
+            self._kernel(regs_per_thread=256)
+
+    def test_rejects_negative_shmem(self):
+        with pytest.raises(ValueError):
+            self._kernel(shared_mem_bytes=-1)
+
+    def test_rejects_bad_tile(self):
+        with pytest.raises(ValueError):
+            self._kernel(tile_m=0)
+
+    def test_density_grows_with_tile(self):
+        """Fig. 6: bigger sub-matrices have higher computation density."""
+        k_depth = 1200
+        densities = [
+            make_kernel(tm, tn).computation_density(k_depth)
+            for tm, tn in [(32, 32), (64, 64), (128, 64), (128, 128)]
+        ]
+        assert densities == sorted(densities)
+        assert 0.0 < densities[0] < densities[-1] < 1.0
+
+    def test_spilling_lowers_density(self):
+        base = make_kernel(64, 64)
+        spilled = base.with_spilling(base.regs_per_thread - 16, 32, 32)
+        assert spilled.computation_density(500) < base.computation_density(500)
+
+    def test_with_registers(self):
+        base = self._kernel()
+        derived = base.with_registers(64)
+        assert derived.regs_per_thread == 64
+        assert base.regs_per_thread == 96
+
+    def test_ffma_per_cta(self):
+        k = self._kernel()
+        assert k.ffma_per_cta(10) == 64 * 64 * 10
+
+    def test_describe(self):
+        text = self._kernel().describe()
+        assert "64x64" in text and "96 regs" in text
+
+    def test_make_kernel_names(self):
+        assert make_kernel(64, 32).name == "sgemm_64x32_b256"
+
+    def test_common_tiles_include_paper_set(self):
+        assert (128, 128) in COMMON_TILES
+        assert (128, 64) in COMMON_TILES
+        assert (128, 32) in COMMON_TILES

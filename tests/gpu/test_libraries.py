@@ -1,0 +1,112 @@
+"""Tests for repro.gpu.libraries: cuBLAS / cuDNN / Nervana models."""
+
+import pytest
+
+from repro.gpu import GTX_970M, JETSON_TX1, K20C, TITAN_X
+from repro.gpu.kernels import GemmShape
+from repro.gpu.libraries import (
+    CUBLAS,
+    CUDNN,
+    LIBRARIES,
+    NERVANA,
+    KernelLibrary,
+    get_library,
+)
+
+
+class TestBatchConstraints:
+    def test_nervana_rounds_one_to_32(self):
+        """The paper's bold 'non-batching' Nervana cells are batch 32."""
+        assert NERVANA.effective_batch(1) == 32
+
+    def test_nervana_rounds_to_multiple(self):
+        assert NERVANA.effective_batch(33) == 64
+        assert NERVANA.effective_batch(64) == 64
+
+    def test_cublas_cudnn_any_batch(self):
+        for lib in (CUBLAS, CUDNN):
+            assert lib.effective_batch(1) == 1
+            assert lib.effective_batch(7) == 7
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError):
+            CUBLAS.effective_batch(0)
+
+
+class TestKernelSelection:
+    def test_cublas_kepler_is_64x64(self):
+        kernel = CUBLAS.select_kernel(K20C, GemmShape(128, 729, 1200))
+        assert kernel.tile == (64, 64)
+        assert kernel.regs_per_thread == 79
+
+    def test_cudnn_mobile_small_tile(self):
+        kernel = CUDNN.select_kernel(JETSON_TX1, GemmShape(128, 729, 1200))
+        assert kernel.tile == (32, 32)
+
+    def test_cudnn_desktop_large_tile(self):
+        for arch in (TITAN_X, GTX_970M):
+            kernel = CUDNN.select_kernel(arch, GemmShape(128, 729, 1200))
+            assert kernel.tile == (64, 64)
+
+    def test_nervana_autotunes_over_family(self):
+        big = NERVANA.select_kernel(TITAN_X, GemmShape(512, 50176, 4608))
+        small = NERVANA.select_kernel(JETSON_TX1, GemmShape(128, 169, 1152))
+        assert big.tile_elements >= small.tile_elements
+
+    def test_unknown_generation_raises(self):
+        from dataclasses import replace
+
+        alien = replace(K20C, generation="volta")
+        with pytest.raises(KeyError, match="volta"):
+            CUBLAS.select_kernel(alien, GemmShape(1, 1, 1))
+
+
+class TestLibraryProperties:
+    def test_efficiency_ordering(self):
+        """Nervana's hand-tuned SASS > cuDNN > cuBLAS-through-Caffe."""
+        assert NERVANA.issue_efficiency > CUDNN.issue_efficiency > CUBLAS.issue_efficiency
+
+    def test_transform_overhead_ordering(self):
+        """Explicit im2col (cuBLAS) costs most, direct conv none."""
+        assert CUBLAS.transform_overhead > CUDNN.transform_overhead
+        assert NERVANA.transform_overhead == pytest.approx(1.0)
+
+    def test_workspace_policies(self):
+        assert CUBLAS.workspace_policy == "per_image"
+        assert CUDNN.workspace_policy == "per_batch"
+        assert NERVANA.workspace_policy == "none"
+
+    def test_describe(self):
+        assert "cublas" in CUBLAS.describe()
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_library("cuBLAS") is CUBLAS
+        assert get_library("NERVANA") is NERVANA
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="cublas"):
+            get_library("mkl")
+
+    def test_all_registered(self):
+        assert set(LIBRARIES) == {"cublas", "cudnn", "nervana"}
+
+
+class TestValidation:
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            KernelLibrary(name="x", issue_efficiency=0.0, transform_overhead=1.0)
+
+    def test_rejects_speedup_overhead(self):
+        with pytest.raises(ValueError):
+            KernelLibrary(name="x", issue_efficiency=0.5, transform_overhead=0.9)
+
+    def test_rejects_unknown_workspace(self):
+        with pytest.raises(ValueError):
+            KernelLibrary(
+                name="x",
+                issue_efficiency=0.5,
+                transform_overhead=1.0,
+                workspace_policy="heap",
+            )

@@ -1,0 +1,137 @@
+"""Tests for repro.gpu.memory: Table III's run/OOM matrix."""
+
+import pytest
+
+from repro.gpu import GTX_970M, JETSON_TX1, K20C, TITAN_X
+from repro.gpu.libraries import CUBLAS, CUDNN, NERVANA
+from repro.gpu.memory import (
+    MemoryFootprint,
+    NetworkMemoryProfile,
+    OutOfMemoryError,
+    check_memory,
+    estimate_footprint,
+    fits_in_memory,
+    usable_memory_bytes,
+)
+from repro.nn.models import alexnet, googlenet, vgg16
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return {
+        "alexnet": alexnet().memory_profile(),
+        "googlenet": googlenet().memory_profile(),
+        "vggnet": vgg16().memory_profile(),
+    }
+
+
+#: Table III OOM cells at the paper's batching sizes (128/64/32):
+#: everything else in the matrix runs.
+TABLE_III_OOM = {
+    ("googlenet", "tx1", "cudnn"),
+    ("vggnet", "tx1", "cudnn"),
+    ("vggnet", "tx1", "nervana"),
+}
+BATCHES = {"alexnet": 128, "googlenet": 64, "vggnet": 32}
+GPUS = {"titanx": TITAN_X, "970m": GTX_970M, "tx1": JETSON_TX1}
+LIBS = {"cublas": CUBLAS, "cudnn": CUDNN, "nervana": NERVANA}
+
+
+class TestTableIIIMatrix:
+    @pytest.mark.parametrize("net_key", sorted(BATCHES))
+    @pytest.mark.parametrize("gpu_key", sorted(GPUS))
+    @pytest.mark.parametrize("lib_key", sorted(LIBS))
+    def test_batching_cell(self, net_key, gpu_key, lib_key, profiles):
+        fits = fits_in_memory(
+            GPUS[gpu_key], profiles[net_key], LIBS[lib_key], BATCHES[net_key]
+        )
+        expected_oom = (net_key, gpu_key, lib_key) in TABLE_III_OOM
+        assert fits == (not expected_oom)
+
+    @pytest.mark.parametrize("net_key", sorted(BATCHES))
+    @pytest.mark.parametrize("gpu_key", sorted(GPUS))
+    @pytest.mark.parametrize("lib_key", sorted(LIBS))
+    def test_non_batching_cell(self, net_key, gpu_key, lib_key, profiles):
+        """Non-batching always runs -- except Nervana/VGG on TX1, whose
+        'non-batching' is really batch 32 (Table III bold)."""
+        fits = fits_in_memory(GPUS[gpu_key], profiles[net_key], LIBS[lib_key], 1)
+        expected_oom = (
+            lib_key == "nervana" and net_key == "vggnet" and gpu_key == "tx1"
+        )
+        assert fits == (not expected_oom)
+
+    def test_everything_fits_on_k20(self, profiles):
+        for profile in profiles.values():
+            for lib in LIBS.values():
+                assert fits_in_memory(K20C, profile, lib, 32)
+
+
+class TestFootprintModel:
+    def test_cublas_workspace_is_batch_independent(self, profiles):
+        p = profiles["vggnet"]
+        f1 = estimate_footprint(p, CUBLAS, 1)
+        f32 = estimate_footprint(p, CUBLAS, 32)
+        assert f1.workspace == f32.workspace == p.max_im2col_bytes_per_image
+
+    def test_cudnn_workspace_scales_with_depth_and_batch(self, profiles):
+        goog = estimate_footprint(profiles["googlenet"], CUDNN, 64)
+        alex = estimate_footprint(profiles["alexnet"], CUDNN, 64)
+        # 57 conv layers vs 5 at the same batch.
+        assert goog.workspace > 10 * alex.workspace
+
+    def test_nervana_pads_activations(self, profiles):
+        p = profiles["vggnet"]
+        nerv = estimate_footprint(p, NERVANA, 32)
+        blas = estimate_footprint(p, CUBLAS, 32)
+        assert nerv.activations > blas.activations
+        assert nerv.workspace == 0
+
+    def test_weights_constant_across_batch(self, profiles):
+        p = profiles["alexnet"]
+        assert (
+            estimate_footprint(p, CUBLAS, 1).weights
+            == estimate_footprint(p, CUBLAS, 128).weights
+        )
+
+    def test_total_is_sum(self):
+        f = MemoryFootprint(weights=1, activations=2, workspace=3)
+        assert f.total == 6
+
+    def test_rejects_zero_batch(self, profiles):
+        with pytest.raises(ValueError):
+            estimate_footprint(profiles["alexnet"], CUBLAS, 0)
+
+
+class TestUsableMemory:
+    def test_mobile_shares_with_os(self):
+        assert usable_memory_bytes(JETSON_TX1) < JETSON_TX1.memory_bytes * 0.7
+
+    def test_server_nearly_all(self):
+        assert usable_memory_bytes(K20C) > K20C.memory_bytes * 0.9
+
+    def test_check_memory_raises_with_breakdown(self, profiles):
+        with pytest.raises(OutOfMemoryError, match="workspace"):
+            check_memory(JETSON_TX1, profiles["vggnet"], CUDNN, 32)
+
+    def test_check_memory_returns_footprint(self, profiles):
+        footprint = check_memory(K20C, profiles["alexnet"], CUBLAS, 16)
+        assert footprint.total > 0
+
+
+class TestProfileValidation:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            NetworkMemoryProfile(-1, 0, 0, 1)
+
+    def test_rejects_zero_convs(self):
+        with pytest.raises(ValueError):
+            NetworkMemoryProfile(1, 1, 1, 0)
+
+    def test_real_profiles_plausible(self, profiles):
+        """Sanity: published parameter counts (fp32 bytes)."""
+        assert profiles["alexnet"].weights_bytes == pytest.approx(244e6, rel=0.02)
+        assert profiles["vggnet"].weights_bytes == pytest.approx(553e6, rel=0.02)
+        assert profiles["googlenet"].weights_bytes < 40e6
+        assert profiles["googlenet"].n_conv_layers == 57
+        assert profiles["vggnet"].n_conv_layers == 13
+        assert profiles["alexnet"].n_conv_layers == 5

@@ -1,0 +1,184 @@
+"""Tests for repro.gpu.occupancy: Eqs. 4-6, 8, 9 and Table IV."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import JETSON_TX1, K20C
+from repro.gpu.kernels import GemmShape, SgemmKernel, make_kernel
+from repro.gpu.libraries import CUBLAS, CUDNN
+from repro.gpu import occupancy
+from repro.nn.models import alexnet
+
+
+@pytest.fixture(scope="module")
+def alexnet_shapes():
+    net = alexnet()
+    return {
+        "conv2": net.gemm_shape(net.layer("conv2"), batch=1),
+        "conv5": net.gemm_shape(net.layer("conv5"), batch=1),
+    }
+
+
+#: Table IV expected cells:
+#: (gpu, library, layer) -> (regs, shmem, block, #blk_reg, #blk_shm,
+#:                            maxBlocks, GridSize)
+TABLE_IV = {
+    ("tx1", "cublas", "conv2"): (120, 12544, 128, 8, 14, 8, 12),
+    ("tx1", "cublas", "conv5"): (120, 12544, 128, 8, 14, 8, 4),
+    ("tx1", "cudnn", "conv2"): (48, 2304, 64, 40, 84, 40, 92),
+    ("tx1", "cudnn", "conv5"): (48, 2304, 64, 40, 84, 40, 24),
+    ("k20", "cublas", "conv2"): (79, 8468, 256, 39, 65, 39, 24),
+    ("k20", "cublas", "conv5"): (79, 8468, 256, 39, 65, 39, 6),
+    ("k20", "cudnn", "conv2"): (79, 8468, 256, 39, 65, 39, 24),
+    ("k20", "cudnn", "conv5"): (79, 8468, 256, 39, 65, 39, 6),
+}
+
+
+class TestTableIVExact:
+    """Every cell of the paper's Table IV reproduces bit-exactly."""
+
+    @pytest.mark.parametrize("key", sorted(TABLE_IV))
+    def test_cell(self, key, alexnet_shapes):
+        gpu_key, lib_key, layer = key
+        arch = {"tx1": JETSON_TX1, "k20": K20C}[gpu_key]
+        library = {"cublas": CUBLAS, "cudnn": CUDNN}[lib_key]
+        shape = alexnet_shapes[layer]
+        kernel = library.select_kernel(arch, shape)
+        report = occupancy.occupancy_report(arch, kernel, shape)
+        regs, shmem, block, blk_reg, blk_shm, max_blocks, grid = TABLE_IV[key]
+        assert report.regs_per_thread == regs
+        assert report.shared_mem_bytes == shmem
+        assert report.block_size == block
+        assert report.blocks_register == blk_reg
+        assert report.blocks_shared_mem == blk_shm
+        assert report.max_blocks == max_blocks
+        assert report.grid_size == grid
+
+    def test_result_matrices(self, alexnet_shapes):
+        assert alexnet_shapes["conv2"].m_rows == 128
+        assert alexnet_shapes["conv2"].n_cols == 729
+        assert alexnet_shapes["conv5"].n_cols == 169
+
+
+class TestLimits:
+    def test_register_limit_dominates_for_sgemm(self):
+        """Table IV: maxBlocks = min(shmem, register) = register."""
+        kernel = CUBLAS.select_kernel(K20C, GemmShape(128, 729, 1200))
+        reg = occupancy.blocks_per_sm_registers(K20C, kernel)
+        shm = occupancy.blocks_per_sm_shared_mem(K20C, kernel)
+        assert reg < shm
+        assert occupancy.ctas_per_sm(K20C, kernel) == reg
+
+    def test_thread_limit(self):
+        kernel = make_kernel(32, 32, block_size=1024)
+        assert occupancy.blocks_per_sm_threads(K20C, kernel) == 2
+
+    def test_cta_slot_limit_applies(self):
+        tiny = SgemmKernel("tiny", 32, 32, 64, regs_per_thread=8,
+                           shared_mem_bytes=256)
+        assert occupancy.ctas_per_sm(K20C, tiny) == K20C.max_ctas_per_sm
+
+    def test_spilled_shared_counts_against_occupancy(self):
+        base = make_kernel(64, 64)
+        spilled = base.with_spilling(base.regs_per_thread, 64, 0)
+        assert occupancy.blocks_per_sm_shared_mem(
+            K20C, spilled
+        ) <= occupancy.blocks_per_sm_shared_mem(K20C, base)
+
+
+class TestUtilization:
+    """Eq. 6."""
+
+    def test_util_is_one_at_exact_multiple(self):
+        kernel = make_kernel(64, 64, block_size=256)
+        capacity = occupancy.max_blocks(K20C, kernel)
+        # Build a shape whose grid equals the chip capacity exactly.
+        shape = GemmShape(64, 64 * capacity, 128)
+        assert occupancy.utilization(K20C, kernel, shape) == pytest.approx(1.0)
+
+    def test_util_never_exceeds_one(self):
+        kernel = make_kernel(64, 64)
+        for n in (1, 17, 1000, 40000):
+            util = occupancy.utilization(K20C, kernel, GemmShape(64, n, 64))
+            assert 0.0 < util <= 1.0 + 1e-12
+
+    def test_small_grid_low_util(self):
+        """Non-batched inference underutilizes (Table V's story)."""
+        kernel = CUBLAS.select_kernel(K20C, GemmShape(128, 169, 1152))
+        util = occupancy.utilization(K20C, kernel, GemmShape(128, 169, 1152))
+        assert util < 0.35
+
+    def test_util_grows_with_batch_until_full(self):
+        kernel = make_kernel(64, 64)
+        utils = [
+            occupancy.utilization(K20C, kernel, GemmShape(128, 169 * b, 1152))
+            for b in (1, 2, 4, 8)
+        ]
+        assert utils[0] < utils[-1]
+
+
+class TestInvocationsAndREC:
+    def test_n_invocations_paper_example(self):
+        """Eq. 8/11 example: G=40, TLP=3 on a 10-SM chip -> 2 waves."""
+        kernel = make_kernel(64, 64)
+        # grid 40: 1 row tile x 40 col tiles
+        shape = GemmShape(64, 64 * 40, 64)
+        ten_sm = K20C
+        assert kernel.grid_size(shape) == 40
+        # emulate 10 SMs by computing directly
+        assert math.ceil(40 / (3 * 10)) == 2
+
+    def test_n_invocations_decreases_with_tlp(self):
+        kernel = make_kernel(64, 64)
+        shape = GemmShape(64, 64 * 200, 64)
+        waves = [
+            occupancy.n_invocations(K20C, kernel, shape, tlp)
+            for tlp in (1, 2, 4, 8)
+        ]
+        assert waves == sorted(waves, reverse=True)
+
+    def test_n_invocations_rejects_bad_tlp(self):
+        with pytest.raises(ValueError):
+            occupancy.n_invocations(K20C, make_kernel(64, 64), GemmShape(1, 1, 1), 0)
+
+    def test_rec_exact_fit(self):
+        assert occupancy.effective_computation_ratio(
+            GemmShape(128, 256, 8), 64, 64
+        ) == pytest.approx(1.0)
+
+    def test_rec_half_wasted(self):
+        # 65 columns in 64-wide tiles: 2 tiles cover 128, use 65.
+        rec = occupancy.effective_computation_ratio(GemmShape(64, 65, 8), 64, 64)
+        assert rec == pytest.approx(65 / 128)
+
+    @given(
+        m=st.integers(1, 600), n=st.integers(1, 600),
+        tm=st.sampled_from([32, 64, 128]), tn=st.sampled_from([32, 64, 128]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rec_bounds(self, m, n, tm, tn):
+        rec = occupancy.effective_computation_ratio(GemmShape(m, n, 8), tm, tn)
+        assert 0.0 < rec <= 1.0
+
+
+class TestReport:
+    def test_row_format(self):
+        shape = GemmShape(128, 729, 1152)
+        kernel = CUBLAS.select_kernel(JETSON_TX1, shape)
+        report = occupancy.occupancy_report(JETSON_TX1, kernel, shape)
+        row = report.row()
+        assert row[0] == "128x729"
+        assert row[-1] == 12
+
+    def test_report_consistency(self):
+        shape = GemmShape(128, 729, 1152)
+        kernel = CUBLAS.select_kernel(JETSON_TX1, shape)
+        report = occupancy.occupancy_report(JETSON_TX1, kernel, shape)
+        assert report.max_blocks <= min(
+            report.blocks_register, report.blocks_shared_mem
+        )
+        assert 0 < report.util <= 1
+        assert 0 < report.rec <= 1

@@ -1,0 +1,69 @@
+"""Tests for the Pascal-generation platform extensions."""
+
+import pytest
+
+from repro.core.offline import OfflineCompiler
+from repro.gpu import (
+    GTX_1080,
+    JETSON_TX1,
+    JETSON_TX2,
+    get_architecture,
+    list_architectures,
+)
+from repro.gpu.kernels import GemmShape
+from repro.gpu.libraries import CUBLAS, CUDNN, NERVANA
+from repro.nn import alexnet
+
+
+class TestPascalPlatforms:
+    def test_parameters(self):
+        assert GTX_1080.total_cuda_cores == 2560
+        assert GTX_1080.generation == "pascal"
+        assert JETSON_TX2.total_cuda_cores == 256
+        assert JETSON_TX2.platform == "mobile"
+
+    def test_registry(self):
+        assert get_architecture("gtx1080") is GTX_1080
+        assert get_architecture("Jetson TX2") is JETSON_TX2
+
+    def test_paper_list_unchanged_by_default(self):
+        names = [a.name for a in list_architectures()]
+        assert names == ["K20c", "TitanX", "GTX970m", "TX1"]
+
+    def test_extended_list(self):
+        names = [a.name for a in list_architectures(include_extensions=True)]
+        assert names[-2:] == ["GTX1080", "TX2"]
+
+
+class TestPascalLibrarySupport:
+    def test_every_library_has_pascal_kernels(self):
+        shape = GemmShape(128, 729, 1200)
+        for lib in (CUBLAS, CUDNN, NERVANA):
+            kernel = lib.select_kernel(GTX_1080, shape)
+            assert kernel.tile_m > 0
+
+
+class TestCrossGenerationPervasiveness:
+    def test_compiles_without_changes(self):
+        for arch in (GTX_1080, JETSON_TX2):
+            plan = OfflineCompiler(arch).compile_with_batch(alexnet(), 1)
+            assert plan.total_time_s > 0
+
+    def test_tx2_faster_than_tx1(self):
+        """Same SM count, 30% higher clock and 2.3x the bandwidth:
+        the successor must win at equal batch."""
+        tx1 = OfflineCompiler(JETSON_TX1).compile_with_batch(alexnet(), 1)
+        tx2 = OfflineCompiler(JETSON_TX2).compile_with_batch(alexnet(), 1)
+        assert tx2.total_time_s < tx1.total_time_s
+
+    def test_bigger_memory_allows_bigger_batches(self):
+        from repro.core.offline.batch_selection import max_batch_fitting_memory
+        from repro.core.offline.kernel_tuning import PCNN_BACKEND
+        from repro.nn import vgg16
+
+        # VGG is the memory-bound workload (Table III); TX2's 8 GB
+        # admits bigger batches than TX1's shared 4 GB.
+        profile = vgg16().memory_profile()
+        assert max_batch_fitting_memory(
+            JETSON_TX2, profile, PCNN_BACKEND
+        ) > max_batch_fitting_memory(JETSON_TX1, profile, PCNN_BACKEND)

@@ -1,0 +1,181 @@
+"""Tests for repro.gpu.spilling: Fig. 9 stairs and Eq. 7."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import JETSON_TX1, K20C
+from repro.gpu.kernels import SgemmKernel, make_kernel
+from repro.gpu.spilling import (
+    apply_spill,
+    max_registers_for_tlp,
+    plan_spill,
+    spill_cost,
+    stair_points,
+    tlp_for_registers,
+)
+
+
+@pytest.fixture
+def fig9_kernel():
+    """The Fig. 9 setting: a 128x128 tile whose natural budget is 127
+    registers per thread (curReg = 127 on K20).  Shared memory is kept
+    light (shallow K-unroll) so the register file, not shared memory,
+    bounds the stair walk -- the regime Fig. 9 plots."""
+    return SgemmKernel(
+        name="fig9",
+        tile_m=128,
+        tile_n=128,
+        block_size=256,
+        regs_per_thread=127,
+        shared_mem_bytes=4352,
+        k_unroll=2,
+    )
+
+
+class TestTlpForRegisters:
+    def test_eq5_per_sm(self, fig9_kernel):
+        # 61440 // (256 * 127) = 1
+        assert tlp_for_registers(K20C, fig9_kernel, 127) == 1
+
+    def test_more_registers_fewer_ctas(self, fig9_kernel):
+        tlps = [tlp_for_registers(K20C, fig9_kernel, r) for r in (127, 80, 48, 32)]
+        assert tlps == sorted(tlps)
+
+    def test_thread_cap_applies(self, fig9_kernel):
+        # 2048 / 256 = 8 CTAs max, regardless of registers.
+        assert tlp_for_registers(K20C, fig9_kernel, 1) <= 8
+
+    def test_rejects_zero(self, fig9_kernel):
+        with pytest.raises(ValueError):
+            tlp_for_registers(K20C, fig9_kernel, 0)
+
+
+class TestStairPoints:
+    def test_first_point_is_unspilled_kernel(self, fig9_kernel):
+        points = stair_points(K20C, fig9_kernel)
+        assert points[0] == (1, 127)
+
+    def test_fig9_stair_values(self, fig9_kernel):
+        """The rightmost point of each stair: max registers per TLP.
+
+        With 61440 usable registers and 256-thread blocks the stairs
+        land at 120, 80, 60, 48 ... registers -- Fig. 9's red points.
+        """
+        points = dict(stair_points(K20C, fig9_kernel))
+        assert points[2] == 120
+        assert points[3] == 80
+        assert points[4] == 60
+        assert points[5] == 48
+
+    def test_tlp_strictly_increasing_regs_nonincreasing(self, fig9_kernel):
+        points = stair_points(K20C, fig9_kernel)
+        tlps = [p[0] for p in points]
+        regs = [p[1] for p in points]
+        assert tlps == sorted(set(tlps))
+        assert regs == sorted(regs, reverse=True)
+
+    def test_stops_at_min_reg(self, fig9_kernel):
+        min_reg = K20C.min_registers_per_thread()
+        for _tlp, regs in stair_points(K20C, fig9_kernel):
+            assert regs >= min_reg
+
+    def test_respects_shared_memory(self):
+        fat = SgemmKernel(
+            "fat", 128, 128, 256, regs_per_thread=64, shared_mem_bytes=40000
+        )
+        for tlp, _regs in stair_points(K20C, fat):
+            assert tlp * fat.shared_mem_bytes <= K20C.shared_mem_per_sm
+
+    def test_max_registers_roundtrip(self, fig9_kernel):
+        for tlp, regs in stair_points(K20C, fig9_kernel)[1:]:
+            assert regs == min(
+                fig9_kernel.regs_per_thread,
+                max_registers_for_tlp(K20C, fig9_kernel, tlp),
+            )
+            # One more register would lose a CTA.
+            if regs < fig9_kernel.regs_per_thread:
+                assert tlp_for_registers(K20C, fig9_kernel, regs + 1) < tlp
+
+
+class TestSpillPlanning:
+    def test_no_spill_plan(self, fig9_kernel):
+        plan = plan_spill(K20C, fig9_kernel, 127, 1)
+        assert plan.spilled_bytes == 0
+
+    def test_spills_to_spare_shared_first(self, fig9_kernel):
+        """Section IV.B.2: spare shared memory absorbs spills before
+        global memory."""
+        plan = plan_spill(K20C, fig9_kernel, 120, 2)
+        assert plan.spilled_registers == 7
+        assert plan.shared_bytes > 0
+
+    def test_overflow_goes_to_global(self):
+        tight = SgemmKernel(
+            "tight", 64, 64, 256, regs_per_thread=200,
+            shared_mem_bytes=44 * 1024,
+        )
+        plan = plan_spill(K20C, tight, 60, 1)
+        assert plan.global_bytes > 0
+
+    def test_rejects_raising_registers(self, fig9_kernel):
+        with pytest.raises(ValueError):
+            plan_spill(K20C, fig9_kernel, 200, 1)
+
+    def test_word_granularity(self, fig9_kernel):
+        plan = plan_spill(K20C, fig9_kernel, 60, 3)
+        assert plan.shared_bytes % 4 == 0
+        assert plan.spilled_bytes == (127 - 60) * 4
+
+    @given(target=st.integers(30, 127), tlp=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_plan_conserves_bytes(self, target, tlp):
+        kernel = SgemmKernel(
+            "f", 128, 128, 256, regs_per_thread=127, shared_mem_bytes=16640
+        )
+        plan = plan_spill(K20C, kernel, target, tlp)
+        assert plan.shared_bytes + plan.global_bytes == (127 - target) * 4
+        assert plan.shared_bytes >= 0 and plan.global_bytes >= 0
+
+
+class TestSpillCost:
+    def test_zero_without_spilling(self, fig9_kernel):
+        plan = plan_spill(K20C, fig9_kernel, 127, 1)
+        assert spill_cost(fig9_kernel, plan, 1000) == 0.0
+
+    def test_global_costs_more_than_shared(self, fig9_kernel):
+        from repro.gpu.spilling import SpillPlan
+
+        shared_plan = SpillPlan(100, shared_bytes=108, global_bytes=0)
+        global_plan = SpillPlan(100, shared_bytes=0, global_bytes=108)
+        assert spill_cost(fig9_kernel, global_plan, 500) > spill_cost(
+            fig9_kernel, shared_plan, 500
+        )
+
+    def test_cost_monotone_in_spill_size(self, fig9_kernel):
+        costs = []
+        for target in (120, 100, 80, 60):
+            plan = plan_spill(K20C, fig9_kernel, target, 2)
+            costs.append(spill_cost(fig9_kernel, plan, 500))
+        assert costs == sorted(costs)
+
+    def test_cost_scales_with_k(self, fig9_kernel):
+        plan = plan_spill(K20C, fig9_kernel, 60, 2)
+        assert spill_cost(fig9_kernel, plan, 2000) > spill_cost(
+            fig9_kernel, plan, 200
+        )
+
+
+class TestApplySpill:
+    def test_apply_transfers_plan(self, fig9_kernel):
+        plan = plan_spill(K20C, fig9_kernel, 80, 3)
+        tuned = apply_spill(fig9_kernel, plan)
+        assert tuned.regs_per_thread == 80
+        assert tuned.spilled_bytes_shared == plan.shared_bytes
+        assert tuned.spilled_bytes_global == plan.global_bytes
+
+    def test_applied_kernel_reaches_target_tlp(self, fig9_kernel):
+        for tlp, regs in stair_points(K20C, fig9_kernel):
+            plan = plan_spill(K20C, fig9_kernel, regs, tlp)
+            tuned = apply_spill(fig9_kernel, plan)
+            assert tlp_for_registers(K20C, tuned, tuned.regs_per_thread) >= tlp

@@ -1,0 +1,76 @@
+"""Cross-network x cross-platform compilation coverage.
+
+Every (network, platform) pair the library exposes must compile into a
+self-consistent plan: schedules cover every GEMM-bound layer, optSM/TLP
+respect hardware bounds, the time model returns positive finite numbers
+and batched compilations dominate batch-1 throughput.
+"""
+
+import math
+
+import pytest
+
+from repro.core.offline import OfflineCompiler
+from repro.gpu import get_architecture, list_architectures
+from repro.nn.layers import ConvSpec, DenseSpec
+from repro.nn.models import alexnet, googlenet, resnet18, vgg16
+
+NETWORKS = {
+    "alexnet": alexnet,
+    "vggnet": vgg16,
+    "googlenet": googlenet,
+    "resnet18": resnet18,
+}
+
+PLATFORMS = ["k20c", "titanx", "gtx970m", "tx1", "gtx1080", "tx2"]
+
+
+@pytest.mark.parametrize("net_key", sorted(NETWORKS))
+@pytest.mark.parametrize("arch_key", PLATFORMS)
+def test_compiles_consistently(net_key, arch_key):
+    network = NETWORKS[net_key]()
+    arch = get_architecture(arch_key)
+    plan = OfflineCompiler(arch).compile_with_batch(network, 1)
+
+    gemm_layers = [
+        layer
+        for layer in network.layers
+        if isinstance(layer.spec, (ConvSpec, DenseSpec))
+    ]
+    assert len(plan.schedules) == len(gemm_layers)
+
+    for schedule in plan.schedules:
+        assert 1 <= schedule.opt_sm <= arch.n_sms
+        assert schedule.opt_tlp >= 1
+        assert schedule.time_s > 0 and math.isfinite(schedule.time_s)
+        # Eq. 11's invariant at the scheduling point.
+        full = math.ceil(
+            schedule.grid_size / (schedule.opt_tlp * arch.n_sms)
+        )
+        chosen = math.ceil(
+            schedule.grid_size / (schedule.opt_tlp * schedule.opt_sm)
+        )
+        assert chosen == full
+    assert plan.total_time_s > 0
+
+
+@pytest.mark.parametrize("net_key", sorted(NETWORKS))
+def test_batching_helps_throughput_everywhere(net_key):
+    network = NETWORKS[net_key]()
+    arch = get_architecture("titanx")
+    compiler = OfflineCompiler(arch)
+    one = compiler.compile_with_batch(network, 1)
+    sixteen = compiler.compile_with_batch(network, 16)
+    assert sixteen.throughput_ips > one.throughput_ips
+
+
+def test_conv_heavy_networks_have_conv_dominated_plans():
+    """VGG/ResNet are conv-bound even at batch 1 (unlike AlexNet,
+    whose classifiers stream 235 MB of weights)."""
+    arch = get_architecture("tx1")
+    for builder in (vgg16, resnet18):
+        plan = OfflineCompiler(arch).compile_with_batch(builder(), 1)
+        conv_time = sum(
+            s.time_s for s in plan.schedules if isinstance(s.layer.spec, ConvSpec)
+        )
+        assert conv_time > 0.5 * plan.gemm_time_s

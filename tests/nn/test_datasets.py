@@ -1,0 +1,98 @@
+"""Tests for repro.nn.datasets: the synthetic spatially-redundant task."""
+
+import numpy as np
+import pytest
+
+from repro.nn.datasets import Dataset, make_dataset, train_test_split
+
+
+class TestMakeDataset:
+    def test_deterministic(self):
+        a = make_dataset(50, seed=7)
+        b = make_dataset(50, seed=7)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_seed_changes_data(self):
+        a = make_dataset(50, seed=7)
+        b = make_dataset(50, seed=8)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_shapes_and_range(self):
+        data = make_dataset(24, n_classes=6, image_size=16, channels=3)
+        assert data.images.shape == (24, 3, 16, 16)
+        assert data.images.dtype == np.float32
+        assert data.images.min() >= 0.0 and data.images.max() <= 1.0
+        assert data.n_classes == 6
+
+    def test_balanced_classes(self):
+        data = make_dataset(80, n_classes=8)
+        counts = np.bincount(data.labels)
+        assert np.all(counts == 10)
+
+    def test_spatial_redundancy(self):
+        """The premise of perforation: neighbouring pixels correlate."""
+        data = make_dataset(32, noise=0.1, seed=3)
+        x = data.images
+        horizontal = np.mean(
+            [np.corrcoef(img[0, :, :-1].ravel(), img[0, :, 1:].ravel())[0, 1]
+             for img in x]
+        )
+        assert horizontal > 0.5
+
+    def test_classes_distinguishable(self):
+        """Class means must differ (else nothing is learnable)."""
+        data = make_dataset(160, noise=0.3, seed=1)
+        means = np.stack(
+            [data.images[data.labels == c].mean(axis=0) for c in range(8)]
+        )
+        deltas = means - means.mean(axis=0)
+        spread = np.sqrt((deltas**2).sum(axis=(1, 2, 3)))
+        assert np.all(spread > 0.3)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            make_dataset(0)
+        with pytest.raises(ValueError):
+            make_dataset(10, n_classes=1)
+
+
+class TestDataset:
+    def test_subset(self):
+        data = make_dataset(20)
+        sub = data.subset(np.array([0, 3, 5]))
+        assert sub.n_samples == 3
+        np.testing.assert_array_equal(sub.labels, data.labels[[0, 3, 5]])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 3, 4)), np.zeros(2, dtype=np.int64))
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 3, 4, 4)), np.zeros(3, dtype=np.int64))
+
+
+class TestSplit:
+    def test_partition(self):
+        data = make_dataset(40)
+        train, test = train_test_split(data, 0.25, seed=0)
+        assert train.n_samples + test.n_samples == 40
+        assert test.n_samples == 10
+
+    def test_deterministic(self):
+        data = make_dataset(40)
+        t1 = train_test_split(data, 0.25, seed=5)[1]
+        t2 = train_test_split(data, 0.25, seed=5)[1]
+        np.testing.assert_array_equal(t1.images, t2.images)
+
+    def test_disjoint(self):
+        data = make_dataset(30)
+        # tag images with unique values through labels check
+        train, test = train_test_split(data, 0.3, seed=1)
+        train_set = {img.tobytes() for img in train.images}
+        test_set = {img.tobytes() for img in test.images}
+        assert not train_set & test_set
+
+    def test_rejects_bad_fraction(self):
+        data = make_dataset(10)
+        with pytest.raises(ValueError):
+            train_test_split(data, 0.0)

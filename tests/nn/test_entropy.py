@@ -1,0 +1,74 @@
+"""Tests for repro.nn.entropy: Eq. 2 and its use as an accuracy proxy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.entropy import entropy, max_entropy, mean_entropy, normalized_entropy
+
+
+class TestEntropy:
+    def test_one_hot_is_zero(self):
+        assert entropy(np.array([1.0, 0.0, 0.0])) == pytest.approx(0.0)
+
+    def test_uniform_is_log_k(self):
+        k = 8
+        probs = np.full(k, 1.0 / k)
+        assert entropy(probs) == pytest.approx(np.log(k))
+
+    def test_paper_example_ordering(self):
+        """Section II.B: H(0.4, 0.4, 0.2) > H(0.7, 0.2, 0.1)."""
+        confused = entropy(np.array([0.4, 0.4, 0.2]))
+        confident = entropy(np.array([0.7, 0.2, 0.1]))
+        assert confused > confident
+
+    def test_batched(self):
+        batch = np.array([[1.0, 0.0], [0.5, 0.5]])
+        values = entropy(batch)
+        assert values.shape == (2,)
+        assert values[0] == pytest.approx(0.0)
+        assert values[1] == pytest.approx(np.log(2))
+
+    def test_rejects_negative_probabilities(self):
+        with pytest.raises(ValueError):
+            entropy(np.array([1.2, -0.2]))
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError, match="sum"):
+            entropy(np.array([0.5, 0.2]))
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            entropy(np.float64(1.0))
+
+    @given(
+        logits=st.lists(st.floats(-8, 8), min_size=2, max_size=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, logits):
+        z = np.array(logits)
+        p = np.exp(z - z.max())
+        p /= p.sum()
+        h = entropy(p)
+        assert -1e-9 <= h <= np.log(len(logits)) + 1e-9
+
+
+class TestAggregates:
+    def test_mean_entropy(self):
+        batch = np.array([[1.0, 0.0], [0.5, 0.5]])
+        assert mean_entropy(batch) == pytest.approx(np.log(2) / 2)
+
+    def test_max_entropy(self):
+        assert max_entropy(8) == pytest.approx(np.log(8))
+        with pytest.raises(ValueError):
+            max_entropy(0)
+
+    def test_normalized_entropy(self):
+        uniform = np.full(5, 0.2)
+        assert normalized_entropy(uniform) == pytest.approx(1.0)
+        one_hot = np.array([1.0, 0, 0, 0, 0])
+        assert normalized_entropy(one_hot) == pytest.approx(0.0)
+
+    def test_normalized_single_class(self):
+        assert normalized_entropy(np.array([[1.0]]))[0] == 0.0

@@ -1,0 +1,130 @@
+"""Tests for repro.nn.im2col: the Fig. 2 lowering and its adjoint."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.im2col import col2im, gather_indices, im2col, sampled_im2col
+
+
+def naive_conv2d(x, weights, kernel_size, stride, padding):
+    """Direct (slow) convolution reference: x (N,C,H,W),
+    weights (F, C*k*k)."""
+    n, c, h, w = x.shape
+    padded = np.pad(
+        x, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    )
+    out_h = (h + 2 * padding - kernel_size) // stride + 1
+    out_w = (w + 2 * padding - kernel_size) // stride + 1
+    f = weights.shape[0]
+    out = np.zeros((n, f, out_h, out_w))
+    for i in range(out_h):
+        for j in range(out_w):
+            patch = padded[
+                :,
+                :,
+                i * stride : i * stride + kernel_size,
+                j * stride : j * stride + kernel_size,
+            ].reshape(n, -1)
+            out[:, :, i, j] = patch @ weights.T
+    return out
+
+
+class TestIm2col:
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        weights = rng.normal(size=(5, 3 * 9)).astype(np.float32)
+        cols, (oh, ow) = im2col(x, kernel_size=3, stride=1, padding=1)
+        gemm = np.einsum("fk,nkp->nfp", weights, cols).reshape(2, 5, oh, ow)
+        reference = naive_conv2d(x, weights, 3, 1, 1)
+        np.testing.assert_allclose(gemm, reference, rtol=1e-5, atol=1e-5)
+
+    def test_strided(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 9, 9)).astype(np.float32)
+        weights = rng.normal(size=(4, 2 * 9)).astype(np.float32)
+        cols, (oh, ow) = im2col(x, 3, stride=2, padding=0)
+        assert (oh, ow) == (4, 4)
+        gemm = np.einsum("fk,nkp->nfp", weights, cols).reshape(1, 4, oh, ow)
+        np.testing.assert_allclose(
+            gemm, naive_conv2d(x, weights, 3, 2, 0), rtol=1e-5, atol=1e-5
+        )
+
+    def test_column_matrix_dimensions(self):
+        """D_m is (S_f^2 N_c) x (W_o H_o) per image (Fig. 2)."""
+        x = np.zeros((3, 4, 10, 10), dtype=np.float32)
+        cols, (oh, ow) = im2col(x, 5, 1, 2)
+        assert cols.shape == (3, 4 * 25, 100)
+        assert (oh, ow) == (10, 10)
+
+
+class TestSampledIm2col:
+    def test_subset_of_full(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 3, 7, 7)).astype(np.float32)
+        full, (oh, ow) = im2col(x, 3, 1, 1)
+        positions = np.array([0, 5, 17, 30, 48])
+        sampled, _ = sampled_im2col(x, 3, 1, 1, positions)
+        np.testing.assert_array_equal(sampled, full[:, :, positions])
+
+    def test_rejects_out_of_range(self):
+        x = np.zeros((1, 1, 5, 5), dtype=np.float32)
+        with pytest.raises(ValueError, match="range"):
+            sampled_im2col(x, 3, 1, 0, np.array([100]))
+
+    def test_rejects_2d_positions(self):
+        x = np.zeros((1, 1, 5, 5), dtype=np.float32)
+        with pytest.raises(ValueError):
+            sampled_im2col(x, 3, 1, 0, np.array([[0, 1]]))
+
+
+class TestCol2im:
+    def test_adjoint_property(self):
+        """col2im is the transpose of im2col:
+        <im2col(x), y> == <x, col2im(y)> for all x, y."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, _ = im2col(x, 3, 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im(y, x.shape, 3, 2, 1)))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_overlap_accumulates(self):
+        """Overlapping 3x3 stride-1 windows: interior pixels belong to
+        9 windows, so scattering ones yields 9 there."""
+        x_shape = (1, 1, 5, 5)
+        cols = np.ones((1, 9, 9))  # 3x3 output grid, no padding
+        back = col2im(cols, x_shape, 3, 1, 0)
+        assert back[0, 0, 2, 2] == 9
+        assert back[0, 0, 0, 0] == 1
+
+    @given(
+        h=st.integers(5, 10),
+        k=st.sampled_from([2, 3]),
+        stride=st.sampled_from([1, 2]),
+        padding=st.sampled_from([0, 1]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_adjoint_property_random_geometry(self, h, k, stride, padding):
+        rng = np.random.default_rng(h * 31 + k)
+        x = rng.normal(size=(1, 2, h, h))
+        cols, _ = im2col(x, k, stride, padding)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im(y, x.shape, k, stride, padding)))
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+class TestGatherIndices:
+    def test_index_shapes(self):
+        c_idx, i_idx, j_idx, out_hw = gather_indices(3, 8, 8, 3, 1, 1)
+        assert out_hw == (8, 8)
+        assert c_idx.shape == i_idx.shape == j_idx.shape == (27, 64)
+
+    def test_indices_within_padded_bounds(self):
+        _c, i_idx, j_idx, _ = gather_indices(2, 6, 6, 3, 2, 1)
+        assert i_idx.min() >= 0 and i_idx.max() < 6 + 2
+        assert j_idx.min() >= 0 and j_idx.max() < 6 + 2

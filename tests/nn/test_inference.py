@@ -1,0 +1,156 @@
+"""Tests for repro.nn.inference: the numpy forward executor."""
+
+import numpy as np
+import pytest
+
+from repro.nn.inference import (
+    NetworkParameters,
+    forward,
+    init_parameters,
+    predict,
+    softmax,
+)
+from repro.nn.layers import ConvSpec, DenseSpec, PoolSpec, SoftmaxSpec, TensorShape
+from repro.nn.models import NetworkDescriptor, pcnn_net
+from repro.nn.perforation import PerforationPlan
+
+
+@pytest.fixture
+def tiny_net():
+    return pcnn_net("small")
+
+
+@pytest.fixture
+def tiny_params(tiny_net):
+    return init_parameters(tiny_net, np.random.default_rng(0))
+
+
+@pytest.fixture
+def batch(tiny_net):
+    rng = np.random.default_rng(1)
+    return rng.random((4,) + tiny_net.input_shape.as_tuple()).astype(np.float32)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(5, 8))
+        probs = softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestForward:
+    def test_output_is_distribution(self, tiny_net, tiny_params, batch):
+        probs = forward(tiny_net, tiny_params, batch)
+        assert probs.shape == (4, 8)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-5)
+        assert (probs >= 0).all()
+
+    def test_rejects_wrong_input_shape(self, tiny_net, tiny_params):
+        with pytest.raises(ValueError, match="input shape"):
+            forward(tiny_net, tiny_params, np.zeros((1, 3, 10, 10), np.float32))
+
+    def test_rejects_non_batched(self, tiny_net, tiny_params):
+        with pytest.raises(ValueError, match="NCHW"):
+            forward(tiny_net, tiny_params, np.zeros((3, 24, 24), np.float32))
+
+    def test_deterministic(self, tiny_net, tiny_params, batch):
+        a = forward(tiny_net, tiny_params, batch)
+        b = forward(tiny_net, tiny_params, batch)
+        np.testing.assert_array_equal(a, b)
+
+    def test_predict_argmax(self, tiny_net, tiny_params, batch):
+        probs = forward(tiny_net, tiny_params, batch)
+        np.testing.assert_array_equal(
+            predict(tiny_net, tiny_params, batch), probs.argmax(axis=1)
+        )
+
+    def test_missing_parameters_raise(self, tiny_net, batch):
+        with pytest.raises(KeyError, match="conv1"):
+            forward(tiny_net, NetworkParameters(), batch)
+
+
+class TestPerforatedForward:
+    def test_mild_perforation_close_to_dense(self, tiny_net, tiny_params, batch):
+        """Spatially smooth inputs: low-rate perforation barely moves
+        the output distribution."""
+        smooth = np.ones_like(batch) * np.linspace(0, 1, batch.shape[-1])
+        dense = forward(tiny_net, tiny_params, smooth)
+        plan = PerforationPlan({"conv1": 0.2})
+        perforated = forward(tiny_net, tiny_params, smooth, plan)
+        assert np.abs(dense - perforated).max() < 0.2
+
+    def test_perforation_changes_output(self, tiny_net, tiny_params, batch):
+        dense = forward(tiny_net, tiny_params, batch)
+        plan = PerforationPlan({"conv1": 0.6})
+        perforated = forward(tiny_net, tiny_params, batch, plan)
+        assert not np.allclose(dense, perforated)
+
+    def test_unknown_layer_in_plan_ignored(self, tiny_net, tiny_params, batch):
+        plan = PerforationPlan({"conv99": 0.5})
+        dense = forward(tiny_net, tiny_params, batch)
+        same = forward(tiny_net, tiny_params, batch, plan)
+        np.testing.assert_allclose(dense, same, rtol=1e-6)
+
+    def test_perforated_still_distribution(self, tiny_net, tiny_params, batch):
+        plan = PerforationPlan({"conv1": 0.5})
+        probs = forward(tiny_net, tiny_params, batch, plan)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-5)
+
+
+class TestGroupedConv:
+    def test_grouped_matches_manual_split(self):
+        """A 2-group conv equals two half-channel convs concatenated."""
+        spec_g = ConvSpec("conv", 8, 3, padding=1, groups=2, activation="none")
+        net = NetworkDescriptor(
+            "g", TensorShape(4, 6, 6), [spec_g, SoftmaxSpec()]
+        )
+        rng = np.random.default_rng(0)
+        params = init_parameters(net, rng)
+        x = rng.random((2, 4, 6, 6)).astype(np.float32)
+        probs = forward(net, params, x)
+        assert probs.shape == (2, 8 * 36)
+
+        # manual: group 0 sees channels 0-1 with filters 0-3
+        from repro.nn.im2col import im2col
+
+        cols, _ = im2col(x[:, :2], 3, 1, 1)
+        w = params["conv"]["W"][:4]
+        manual_g0 = np.einsum("fk,nkp->nfp", w, cols) + params["conv"]["b"][
+            :4
+        ].reshape(1, -1, 1)
+        # recompute the network's pre-softmax activations
+        from repro.nn.inference import _conv_forward_dense
+
+        full = _conv_forward_dense(net.layers[0], params["conv"], x)
+        np.testing.assert_allclose(
+            full[:, :4].reshape(2, 4, -1), manual_g0, rtol=1e-5, atol=1e-6
+        )
+
+
+class TestParameters:
+    def test_init_covers_all_parameterized_layers(self, tiny_net, tiny_params):
+        assert set(tiny_params.layer_names()) == {"conv1", "fc"}
+
+    def test_parameter_count_matches_descriptor(self, tiny_net, tiny_params):
+        assert tiny_params.parameter_count() == tiny_net.total_weights()
+
+    def test_copy_is_deep(self, tiny_params):
+        clone = tiny_params.copy()
+        clone["conv1"]["W"][:] = 0
+        assert tiny_params["conv1"]["W"].any()
+
+    def test_avg_pool_forward(self):
+        net = NetworkDescriptor(
+            "p",
+            TensorShape(1, 4, 4),
+            [PoolSpec("pool", 2, 2, mode="avg"), DenseSpec("fc", 2, activation="none"), SoftmaxSpec()],
+        )
+        params = init_parameters(net, np.random.default_rng(0))
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        probs = forward(net, params, x)
+        assert probs.shape == (1, 2)

@@ -1,0 +1,126 @@
+"""Tests for repro.nn.layers: shape arithmetic and Eq. 1."""
+
+import pytest
+
+from repro.nn.layers import (
+    ConvSpec,
+    DenseSpec,
+    PoolSpec,
+    SoftmaxSpec,
+    TensorShape,
+    conv_output_hw,
+)
+
+
+class TestTensorShape:
+    def test_elements_and_spatial(self):
+        shape = TensorShape(3, 4, 5)
+        assert shape.elements == 60
+        assert shape.spatial == 20
+        assert shape.as_tuple() == (3, 4, 5)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            TensorShape(0, 1, 1)
+
+
+class TestConvOutputHW:
+    def test_alexnet_conv1(self):
+        # 227x227, 11x11 stride 4 -> 55x55.
+        assert conv_output_hw(227, 227, 11, 4, 0) == (55, 55)
+
+    def test_same_padding(self):
+        assert conv_output_hw(24, 24, 3, 1, 1) == (24, 24)
+
+    def test_rejects_oversized_window(self):
+        with pytest.raises(ValueError):
+            conv_output_hw(4, 4, 7, 1, 0)
+
+
+class TestConvSpec:
+    def test_alexnet_conv2_shapes(self):
+        """AlexNet conv2: 27x27 input, 5x5 pad 2, 256 filters in 2
+        groups -> 27x27x256 output; per-group GEMM is 128 x 1200 x 729."""
+        spec = ConvSpec("conv2", 256, 5, padding=2, groups=2)
+        in_shape = TensorShape(96, 27, 27)
+        out = spec.output_shape(in_shape)
+        assert out.as_tuple() == (256, 27, 27)
+        m, k, n = spec.gemm_dims_per_group(in_shape)
+        assert (m, k, n) == (128, 25 * 48, 729)
+
+    def test_eq1_flops(self):
+        spec = ConvSpec("c", out_channels=8, kernel_size=3, padding=1)
+        in_shape = TensorShape(4, 10, 10)
+        # 2 * 8 * 9 * 4 * 100
+        assert spec.flops(in_shape) == 2 * 8 * 9 * 4 * 100
+
+    def test_grouped_flops_halve(self):
+        dense = ConvSpec("d", 8, 3, padding=1)
+        grouped = ConvSpec("g", 8, 3, padding=1, groups=2)
+        in_shape = TensorShape(4, 10, 10)
+        assert grouped.flops(in_shape) == dense.flops(in_shape) / 2
+
+    def test_weight_count(self):
+        spec = ConvSpec("c", 8, 3)
+        assert spec.weight_count(TensorShape(4, 10, 10)) == 8 * 9 * 4 + 8
+
+    def test_im2col_bytes(self):
+        spec = ConvSpec("c", 8, 3, padding=1)
+        assert spec.im2col_bytes(TensorShape(4, 10, 10)) == 4 * 9 * 4 * 100
+
+    def test_rejects_group_mismatch(self):
+        with pytest.raises(ValueError):
+            ConvSpec("c", 9, 3, groups=2)
+        spec = ConvSpec("c", 8, 3, groups=2)
+        with pytest.raises(ValueError, match="groups"):
+            spec.output_shape(TensorShape(3, 10, 10))
+
+    def test_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            ConvSpec("c", 8, 3, activation="gelu")
+
+
+class TestPoolSpec:
+    def test_alexnet_pool(self):
+        # 55x55 pooled 3/2 -> 27x27, channels preserved.
+        spec = PoolSpec("p", kernel_size=3, stride=2)
+        out = spec.output_shape(TensorShape(96, 55, 55))
+        assert out.as_tuple() == (96, 27, 27)
+
+    def test_no_weights(self):
+        assert PoolSpec("p", 2, 2).weight_count(TensorShape(1, 4, 4)) == 0
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            PoolSpec("p", 2, 2, mode="median")
+
+    def test_flops_minor(self):
+        conv = ConvSpec("c", 64, 3, padding=1)
+        pool = PoolSpec("p", 2, 2)
+        shape = TensorShape(64, 24, 24)
+        assert pool.flops(shape) < 0.02 * conv.flops(shape)
+
+
+class TestDenseSpec:
+    def test_shapes_and_weights(self):
+        spec = DenseSpec("fc", units=10)
+        in_shape = TensorShape(4, 3, 3)
+        assert spec.output_shape(in_shape).as_tuple() == (10, 1, 1)
+        assert spec.weight_count(in_shape) == 36 * 10 + 10
+
+    def test_flops(self):
+        spec = DenseSpec("fc", units=10)
+        assert spec.flops(TensorShape(4, 3, 3)) == 2 * 36 * 10
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(ValueError):
+            DenseSpec("fc", units=0)
+
+
+class TestSoftmaxSpec:
+    def test_passthrough(self):
+        spec = SoftmaxSpec()
+        shape = TensorShape(10, 1, 1)
+        assert spec.output_shape(shape) == shape
+        assert spec.weight_count(shape) == 0
+        assert spec.flops(shape) > 0

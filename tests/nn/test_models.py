@@ -1,0 +1,156 @@
+"""Tests for repro.nn.models: the paper networks are shape-exact."""
+
+import pytest
+
+from repro.nn.layers import TensorShape
+from repro.nn.models import (
+    NetworkDescriptor,
+    PCNN_NET_SIZES,
+    alexnet,
+    get_network,
+    googlenet,
+    pcnn_net,
+    vgg16,
+)
+
+
+class TestAlexNet:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return alexnet()
+
+    def test_published_parameter_count(self, net):
+        """AlexNet has ~61M parameters."""
+        assert net.total_weights() == pytest.approx(61e6, rel=0.02)
+
+    def test_published_flops(self, net):
+        """~1.45 GFLOPs per image (2 per MAC)."""
+        assert net.total_flops() == pytest.approx(1.45e9, rel=0.05)
+
+    def test_five_convs(self, net):
+        assert [l.name for l in net.conv_layers] == [
+            "conv1",
+            "conv2",
+            "conv3",
+            "conv4",
+            "conv5",
+        ]
+
+    def test_conv_output_sizes(self, net):
+        assert net.layer("conv1").output_shape.as_tuple() == (96, 55, 55)
+        assert net.layer("conv2").output_shape.as_tuple() == (256, 27, 27)
+        assert net.layer("conv5").output_shape.as_tuple() == (256, 13, 13)
+
+    def test_table_iv_gemm_shapes(self, net):
+        conv2 = net.gemm_shape(net.layer("conv2"), batch=1)
+        assert (conv2.m_rows, conv2.n_cols) == (128, 729)
+        conv5 = net.gemm_shape(net.layer("conv5"), batch=1)
+        assert (conv5.m_rows, conv5.n_cols) == (128, 169)
+
+    def test_grouped_layers_launch_two_gemms(self, net):
+        assert net.gemm_count(net.layer("conv2")) == 2
+        assert net.gemm_count(net.layer("conv1")) == 1
+
+    def test_batch_folds_into_columns(self, net):
+        conv2 = net.gemm_shape(net.layer("conv2"), batch=4)
+        assert conv2.n_cols == 729 * 4
+
+    def test_classifier_width(self, net):
+        assert net.n_classes == 1000
+
+
+class TestVGG16:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return vgg16()
+
+    def test_published_parameter_count(self, net):
+        assert net.total_weights() == pytest.approx(138e6, rel=0.02)
+
+    def test_section_i_headline_flops(self, net):
+        """The paper's 1.5e10 multiplications = 3.1e10 FLOPs."""
+        assert net.total_flops() == pytest.approx(3.1e10, rel=0.05)
+
+    def test_thirteen_convs(self, net):
+        assert len(net.conv_layers) == 13
+
+    def test_block_output_sizes(self, net):
+        assert net.layer("conv1_2").output_shape.as_tuple() == (64, 224, 224)
+        assert net.layer("conv5_3").output_shape.as_tuple() == (512, 14, 14)
+
+
+class TestGoogLeNet:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return googlenet()
+
+    def test_fifty_seven_convs(self, net):
+        assert len(net.conv_layers) == 57
+
+    def test_published_parameter_count(self, net):
+        """GoogLeNet is famously small: ~7M parameters."""
+        assert net.total_weights() == pytest.approx(7e6, rel=0.1)
+
+    def test_published_flops(self, net):
+        """~3.2 GFLOPs per image."""
+        assert net.total_flops() == pytest.approx(3.2e9, rel=0.1)
+
+    def test_inception_concat_channels(self, net):
+        """inception_3a output = 64 + 128 + 32 + 32 = 256 channels,
+        feeding 3b's 1x1 branch."""
+        branch = net.layer("inception_3b/1x1")
+        assert branch.input_shape.channels == 256
+
+    def test_final_pool_is_global_average(self, net):
+        pool = net.layer("pool5/7x7_s1")
+        assert pool.output_shape.as_tuple() == (1024, 1, 1)
+
+    def test_classifier(self, net):
+        assert net.layer("loss3/classifier").output_shape.channels == 1000
+
+
+class TestPcnnNets:
+    def test_capacity_ordering(self):
+        weights = [pcnn_net(s).total_weights() for s in PCNN_NET_SIZES]
+        assert weights == sorted(weights)
+
+    def test_all_linear_chains_trainable_shapes(self):
+        for size in PCNN_NET_SIZES:
+            net = pcnn_net(size)
+            assert net.n_classes == 8
+            for layer in net.conv_layers:
+                assert layer.spec.groups == 1
+
+    def test_rejects_unknown_size(self):
+        with pytest.raises(ValueError):
+            pcnn_net("xl")
+
+
+class TestDescriptorAPI:
+    def test_layer_lookup_error(self):
+        with pytest.raises(KeyError, match="conv99"):
+            alexnet().layer("conv99")
+
+    def test_gemm_shape_rejects_non_conv(self):
+        net = alexnet()
+        with pytest.raises(ValueError):
+            net.gemm_shape(net.layer("pool1"))
+
+    def test_describe_lists_layers(self):
+        text = alexnet().describe()
+        assert "conv5" in text and "fc8" in text
+
+    def test_get_network(self):
+        assert get_network("AlexNet").name == "AlexNet"
+        assert get_network("vgg").name == "VGGNet"
+        assert get_network("pcnn-small").name == "PcnnNet-small"
+        with pytest.raises(KeyError):
+            get_network("lenet")
+
+    def test_chain_resolution(self):
+        net = NetworkDescriptor(
+            "tiny",
+            TensorShape(1, 8, 8),
+            [],
+        )
+        assert net.output_shape == net.input_shape

@@ -1,0 +1,76 @@
+"""Tests for repro.nn.persistence: parameter archives."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import load_parameters, pcnn_net, save_parameters
+from repro.nn.inference import init_parameters
+
+
+@pytest.fixture
+def net_and_params():
+    network = pcnn_net("small")
+    params = init_parameters(network, np.random.default_rng(7))
+    return network, params
+
+
+class TestRoundTrip:
+    def test_arrays_preserved(self, net_and_params, tmp_path):
+        network, params = net_and_params
+        path = str(tmp_path / "params.npz")
+        save_parameters(params, path, network)
+        restored = load_parameters(path, network)
+        for name in params.layer_names():
+            for key in params[name]:
+                np.testing.assert_array_equal(
+                    params[name][key], restored[name][key]
+                )
+
+    def test_roundtrip_without_descriptor(self, net_and_params, tmp_path):
+        _network, params = net_and_params
+        path = str(tmp_path / "anon.npz")
+        save_parameters(params, path)
+        restored = load_parameters(path)
+        assert set(restored.layer_names()) == set(params.layer_names())
+
+    def test_restored_params_drive_inference(self, net_and_params, tmp_path):
+        from repro.nn.inference import forward
+
+        network, params = net_and_params
+        path = str(tmp_path / "params.npz")
+        save_parameters(params, path, network)
+        restored = load_parameters(path, network)
+        x = np.random.default_rng(0).random(
+            (2,) + network.input_shape.as_tuple()
+        ).astype(np.float32)
+        np.testing.assert_allclose(
+            forward(network, params, x), forward(network, restored, x)
+        )
+
+
+class TestValidation:
+    def test_wrong_network_name_rejected(self, net_and_params, tmp_path):
+        network, params = net_and_params
+        path = str(tmp_path / "params.npz")
+        save_parameters(params, path, network)
+        other = pcnn_net("medium")
+        with pytest.raises(ValueError, match="PcnnNet-small"):
+            load_parameters(path, other)
+
+    def test_wrong_parameter_count_rejected(self, net_and_params, tmp_path):
+        network, params = net_and_params
+        path = str(tmp_path / "anon.npz")
+        save_parameters(params, path)  # no name stored
+        other = pcnn_net("large")
+        with pytest.raises(ValueError, match="parameters"):
+            load_parameters(path, other)
+
+    def test_file_is_compressed_npz(self, net_and_params, tmp_path):
+        network, params = net_and_params
+        path = str(tmp_path / "params.npz")
+        save_parameters(params, path, network)
+        assert os.path.getsize(path) > 0
+        with np.load(path) as archive:
+            assert "__network__" in archive.files

@@ -1,0 +1,63 @@
+"""Tests for the ResNet-18 descriptor (post-paper generality)."""
+
+import pytest
+
+from repro.core.offline import OfflineCompiler
+from repro.gpu import JETSON_TX1
+from repro.nn.models import get_network, resnet18
+
+
+@pytest.fixture(scope="module")
+def net():
+    return resnet18()
+
+
+class TestResNet18Shapes:
+    def test_published_parameter_count(self, net):
+        """ResNet-18 has 11.7M parameters."""
+        assert net.total_weights() == pytest.approx(11.7e6, rel=0.02)
+
+    def test_published_flops(self, net):
+        """~3.6 GFLOPs per 224x224 image."""
+        assert net.total_flops() == pytest.approx(3.6e9, rel=0.05)
+
+    def test_twenty_convs(self, net):
+        """16 block convs + conv1 + 3 projection shortcuts."""
+        assert len(net.conv_layers) == 20
+        downsamples = [l for l in net.conv_layers if "downsample" in l.name]
+        assert len(downsamples) == 3
+
+    def test_stage_spatial_halving(self, net):
+        assert net.layer("layer1.1.conv2").output_shape.as_tuple() == (
+            64, 56, 56,
+        )
+        assert net.layer("layer2.1.conv1").output_shape.as_tuple() == (
+            128, 28, 28,
+        )
+        assert net.layer("layer4.2.conv2").output_shape.as_tuple() == (
+            512, 7, 7,
+        )
+
+    def test_downsample_reads_block_input(self, net):
+        down = net.layer("layer2.1.downsample")
+        assert down.input_shape.as_tuple() == (64, 56, 56)
+        assert down.output_shape.as_tuple() == (128, 28, 28)
+
+    def test_classifier(self, net):
+        assert net.n_classes == 1000
+
+    def test_registry_aliases(self):
+        assert get_network("resnet18").name == "ResNet18"
+        assert get_network("ResNet-18").name == "ResNet18"
+
+
+class TestResNet18Compilation:
+    def test_compiles_on_mobile(self, net):
+        plan = OfflineCompiler(JETSON_TX1).compile_with_batch(net, 1)
+        assert len(plan.schedules) == 21  # 20 convs + fc
+        assert plan.total_time_s > 0
+
+    def test_memory_profile(self, net):
+        profile = net.memory_profile()
+        assert profile.n_conv_layers == 20
+        assert profile.weights_bytes == pytest.approx(4 * 11.7e6, rel=0.02)

@@ -1,0 +1,164 @@
+"""Tests for repro.nn.training: gradients, convergence, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.datasets import make_dataset, train_test_split
+from repro.nn.inference import init_parameters
+from repro.nn.layers import ConvSpec, DenseSpec, PoolSpec, SoftmaxSpec, TensorShape
+from repro.nn.models import NetworkDescriptor, pcnn_net
+from repro.nn.perforation import PerforationPlan
+from repro.nn.training import (
+    _backward,
+    _forward_with_cache,
+    cross_entropy_loss,
+    evaluate,
+    train,
+)
+
+
+class TestLoss:
+    def test_perfect_prediction_zero_loss(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        labels = np.array([0, 1])
+        assert cross_entropy_loss(probs, labels) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_loss_is_log_k(self):
+        probs = np.full((3, 4), 0.25)
+        labels = np.array([0, 1, 2])
+        assert cross_entropy_loss(probs, labels) == pytest.approx(np.log(4))
+
+
+class TestGradients:
+    """Numeric gradient check on a tiny network (the definitive
+    correctness test for the whole backward pass)."""
+
+    def _tiny_net(self):
+        return NetworkDescriptor(
+            "tiny",
+            TensorShape(2, 6, 6),
+            [
+                ConvSpec("conv1", 3, 3, padding=1, activation="leaky"),
+                PoolSpec("pool1", 2, 2),
+                DenseSpec("fc", 4, activation="none"),
+                SoftmaxSpec(),
+            ],
+        )
+
+    def test_numeric_gradient_check(self):
+        net = self._tiny_net()
+        rng = np.random.default_rng(0)
+        params = init_parameters(net, rng)
+        x = rng.random((3, 2, 6, 6)).astype(np.float64)
+        y = np.array([0, 1, 2])
+
+        probs, caches = _forward_with_cache(net, params, x)
+        grads = _backward(net, params, caches, probs, y)
+
+        eps = 1e-3
+        for layer_name in ("conv1", "fc"):
+            weights = params[layer_name]["W"]
+            analytic = grads[layer_name]["W"]
+            rng_idx = np.random.default_rng(1)
+            flat_indices = rng_idx.choice(weights.size, size=6, replace=False)
+            for flat in flat_indices:
+                idx = np.unravel_index(flat, weights.shape)
+                original = weights[idx]
+                weights[idx] = original + eps
+                loss_plus = cross_entropy_loss(
+                    _forward_with_cache(net, params, x)[0], y
+                )
+                weights[idx] = original - eps
+                loss_minus = cross_entropy_loss(
+                    _forward_with_cache(net, params, x)[0], y
+                )
+                weights[idx] = original
+                numeric = (loss_plus - loss_minus) / (2 * eps)
+                assert analytic[idx] == pytest.approx(numeric, rel=5e-2, abs=5e-4)
+
+    def test_bias_gradient_check(self):
+        net = self._tiny_net()
+        rng = np.random.default_rng(2)
+        params = init_parameters(net, rng)
+        x = rng.random((2, 2, 6, 6)).astype(np.float64)
+        y = np.array([1, 3])
+        probs, caches = _forward_with_cache(net, params, x)
+        grads = _backward(net, params, caches, probs, y)
+        eps = 1e-3
+        bias = params["fc"]["b"]
+        original = bias[2]
+        bias[2] = original + eps
+        plus = cross_entropy_loss(_forward_with_cache(net, params, x)[0], y)
+        bias[2] = original - eps
+        minus = cross_entropy_loss(_forward_with_cache(net, params, x)[0], y)
+        bias[2] = original
+        assert grads["fc"]["b"][2] == pytest.approx(
+            (plus - minus) / (2 * eps), rel=5e-2, abs=5e-4
+        )
+
+    def test_grouped_conv_rejected(self):
+        net = NetworkDescriptor(
+            "g",
+            TensorShape(2, 4, 4),
+            [ConvSpec("c", 4, 3, padding=1, groups=2), SoftmaxSpec()],
+        )
+        params = init_parameters(net, np.random.default_rng(0))
+        with pytest.raises(NotImplementedError):
+            _forward_with_cache(net, params, np.zeros((1, 2, 4, 4), np.float32))
+
+
+class TestTrainingLoop:
+    def test_loss_decreases(self, split_dataset):
+        train_set, _ = split_dataset
+        net = pcnn_net("small")
+        result = train(net, train_set, epochs=4, seed=0)
+        assert result.loss_history[-1] < result.loss_history[0]
+
+    def test_beats_chance(self, trained_small_net):
+        net, params, test_set = trained_small_net
+        result = evaluate(net, params, test_set)
+        assert result.accuracy > 2.5 / 8  # well above 1/8 chance
+
+    def test_deterministic(self, split_dataset):
+        train_set, _ = split_dataset
+        net = pcnn_net("small")
+        a = train(net, train_set, epochs=2, seed=9)
+        b = train(net, train_set, epochs=2, seed=9)
+        np.testing.assert_array_equal(
+            a.params["conv1"]["W"], b.params["conv1"]["W"]
+        )
+
+    def test_rejects_zero_epochs(self, split_dataset):
+        with pytest.raises(ValueError):
+            train(pcnn_net("small"), split_dataset[0], epochs=0)
+
+
+class TestEvaluate:
+    def test_counts_samples(self, trained_small_net):
+        net, params, test_set = trained_small_net
+        result = evaluate(net, params, test_set)
+        assert result.n_samples == test_set.n_samples
+
+    def test_heavy_perforation_hurts(self, trained_small_net):
+        """The accuracy-tuning premise: perforation trades accuracy
+        (down) for entropy (up), smoothly."""
+        net, params, test_set = trained_small_net
+        dense = evaluate(net, params, test_set)
+        heavy = evaluate(
+            net,
+            params,
+            test_set,
+            PerforationPlan({l.name: 0.7 for l in net.conv_layers}),
+        )
+        assert heavy.accuracy <= dense.accuracy + 0.02
+        assert heavy.mean_entropy >= dense.mean_entropy - 0.05
+
+    def test_entropy_monotone_along_ladder(self, trained_small_net):
+        net, params, test_set = trained_small_net
+        entropies = []
+        for rate in (0.0, 0.4, 0.7):
+            plan = PerforationPlan(
+                {l.name: rate for l in net.conv_layers} if rate else {}
+            )
+            entropies.append(evaluate(net, params, test_set, plan).mean_entropy)
+        assert entropies[0] <= entropies[-1] + 0.05

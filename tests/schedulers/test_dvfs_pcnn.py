@@ -1,0 +1,64 @@
+"""Tests for the DVFS-augmented P-CNN scheduler extension."""
+
+import pytest
+
+from repro.gpu import K20C
+from repro.schedulers import DvfsPCNNScheduler, PCNNScheduler, make_context
+from repro.workloads import age_detection, image_tagging
+
+
+@pytest.fixture(scope="module")
+def background_ctx():
+    scenario = image_tagging()
+    return make_context(K20C, scenario.network, scenario.spec)
+
+
+@pytest.fixture(scope="module")
+def interactive_ctx():
+    scenario = age_detection()
+    return make_context(K20C, scenario.network, scenario.spec)
+
+
+class TestDvfsPCNN:
+    def test_background_rides_the_energy_valley(self, background_ctx):
+        """No deadline: the chosen frequency is an interior optimum and
+        the energy beats the nominal-clock run."""
+        scheduler = DvfsPCNNScheduler(max_tuning_iterations=16)
+        decision = scheduler.schedule_with_frequency(background_ctx)
+        assert decision.frequency.relative_frequency < 1.0
+        nominal = scheduler.schedule_with_frequency.__wrapped__ if False else None
+        # energy at the chosen state beats nominal by construction:
+        from repro.gpu.dvfs import FrequencyState, energy_at_frequency
+
+        _runtime, nominal_energy = energy_at_frequency(
+            K20C,
+            FrequencyState(1.0),
+            decision.base.compiled.total_time_s,
+            busy_sms=decision.base.compiled.max_opt_sm,
+            activity=0.7,
+            memory_bound_fraction=0.2
+            + decision.base.compiled.aux_time_s
+            / decision.base.compiled.total_time_s,
+        )
+        assert decision.energy_j < nominal_energy
+
+    def test_interactive_respects_budget(self, interactive_ctx):
+        scheduler = DvfsPCNNScheduler(max_tuning_iterations=16)
+        decision = scheduler.schedule_with_frequency(interactive_ctx)
+        assert decision.runtime_s <= interactive_ctx.requirement.time.budget_s
+
+    def test_base_decision_is_pcnn(self, background_ctx):
+        dvfs = DvfsPCNNScheduler(max_tuning_iterations=16)
+        plain = PCNNScheduler(max_tuning_iterations=16)
+        a = dvfs.schedule(background_ctx)
+        b = plain.schedule(background_ctx)
+        assert a.batch == b.batch
+        assert a.entropy == pytest.approx(b.entropy)
+
+    def test_per_item_energy(self, background_ctx):
+        decision = DvfsPCNNScheduler(max_tuning_iterations=16).schedule_with_frequency(
+            background_ctx
+        )
+        assert decision.energy_per_item_j == pytest.approx(
+            decision.energy_j / decision.base.batch
+        )

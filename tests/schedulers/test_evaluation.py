@@ -1,0 +1,133 @@
+"""Tests for the scheduler evaluation harness (Figs. 13-15 invariants).
+
+These run the full six-scheduler comparison once per scenario and
+assert the paper's qualitative results, so they are the slowest tests
+in the suite (a few seconds each).
+"""
+
+import pytest
+
+from repro.gpu import JETSON_TX1, K20C
+from repro.schedulers import compare_schedulers, make_context, normalized_rows
+from repro.workloads import age_detection, image_tagging, video_surveillance
+
+
+@pytest.fixture(scope="module")
+def k20_interactive():
+    scen = age_detection()
+    return compare_schedulers(make_context(K20C, scen.network, scen.spec))
+
+
+@pytest.fixture(scope="module")
+def k20_background():
+    scen = image_tagging()
+    return compare_schedulers(make_context(K20C, scen.network, scen.spec))
+
+
+@pytest.fixture(scope="module")
+def tx1_realtime():
+    scen = video_surveillance()
+    return compare_schedulers(
+        make_context(JETSON_TX1, scen.network, scen.spec)
+    )
+
+
+class TestInteractiveK20:
+    def test_performance_preferred_fastest(self, k20_interactive):
+        perf = k20_interactive["performance-preferred"]
+        assert all(
+            perf.latency_s <= o.latency_s + 1e-9
+            for o in k20_interactive.values()
+        )
+
+    def test_energy_efficient_cheapest_per_item(self, k20_interactive):
+        eff = k20_interactive["energy-efficient"]
+        assert all(
+            eff.energy_per_item_j <= o.energy_per_item_j + 1e-12
+            for o in k20_interactive.values()
+        )
+
+    def test_energy_efficient_in_tolerable_region(self, k20_interactive):
+        """Fig. 13a: only the Energy-efficient scheduler leaves the
+        imperceptible region (batch assembly), but stays usable."""
+        eff = k20_interactive["energy-efficient"]
+        assert 0.0 < eff.soc.soc_time < 1.0
+        for name, outcome in k20_interactive.items():
+            if name != "energy-efficient":
+                assert outcome.soc.soc_time == pytest.approx(1.0, abs=0.03)
+
+    def test_pcnn_beats_qpe_plus(self, k20_interactive):
+        assert (
+            k20_interactive["p-cnn"].soc.value
+            >= k20_interactive["qpe+"].soc.value
+        )
+
+    def test_ideal_upper_bounds_everyone(self, k20_interactive):
+        ideal = k20_interactive["ideal"].soc.value
+        for outcome in k20_interactive.values():
+            assert ideal >= outcome.soc.value - 1e-9
+
+    def test_pcnn_saves_energy_via_tuning(self, k20_interactive):
+        assert (
+            k20_interactive["p-cnn"].energy_per_item_j
+            < k20_interactive["qpe+"].energy_per_item_j
+        )
+
+    def test_everyone_meets_satisfaction(self, k20_interactive):
+        for outcome in k20_interactive.values():
+            assert outcome.meets_satisfaction
+
+
+class TestBackgroundK20:
+    def test_runtime_irrelevant(self, k20_background):
+        """Fig. 13: background SoC_time is 1 regardless of runtime."""
+        for outcome in k20_background.values():
+            assert outcome.soc.soc_time == 1.0
+
+    def test_pcnn_best_realizable_soc(self, k20_background):
+        """Fig. 15: P-CNN tops every non-oracle scheduler."""
+        pcnn = k20_background["p-cnn"].soc.value
+        for name, outcome in k20_background.items():
+            if name != "ideal":
+                assert pcnn >= outcome.soc.value - 1e-9
+
+    def test_batching_beats_non_batching_energy(self, k20_background):
+        assert (
+            k20_background["energy-efficient"].energy_per_item_j
+            < 0.5 * k20_background["performance-preferred"].energy_per_item_j
+        )
+
+    def test_qpe_plus_energy_close_to_qpe(self, k20_background):
+        """Paper: at full Util there are no idle SMs to gate, so QPE+
+        == QPE for background tasks."""
+        qpe = k20_background["qpe"].energy_per_item_j
+        plus = k20_background["qpe+"].energy_per_item_j
+        assert plus == pytest.approx(qpe, rel=0.05)
+
+
+class TestRealTimeTX1:
+    def test_only_pcnn_and_ideal_meet(self, tx1_realtime):
+        """Fig. 15b's headline: every baseline gets SoC = 0 ('x') on
+        the mobile GPU; P-CNN approximates its way under the deadline."""
+        for name in ("performance-preferred", "energy-efficient", "qpe", "qpe+"):
+            assert not tx1_realtime[name].meets_satisfaction
+        assert tx1_realtime["p-cnn"].meets_satisfaction
+        assert tx1_realtime["ideal"].meets_satisfaction
+
+    def test_pcnn_made_the_deadline(self, tx1_realtime):
+        deadline = 1.0 / 10.0
+        assert tx1_realtime["p-cnn"].latency_s <= deadline
+
+    def test_pcnn_paid_with_entropy(self, tx1_realtime):
+        assert tx1_realtime["p-cnn"].soc.soc_accuracy < 1.0
+
+
+class TestNormalization:
+    def test_rows_normalized_to_references(self, k20_interactive):
+        rows = {r["scheduler"]: r for r in normalized_rows(k20_interactive)}
+        assert rows["performance-preferred"]["norm_runtime"] == pytest.approx(1.0)
+        assert rows["energy-efficient"]["norm_energy"] == pytest.approx(1.0)
+
+    def test_rows_carry_soc(self, k20_interactive):
+        for row in normalized_rows(k20_interactive):
+            assert row["soc"] >= 0.0

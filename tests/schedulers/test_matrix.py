@@ -1,0 +1,84 @@
+"""Extra Figs. 13-15 matrix cells: the scenarios the main evaluation
+tests don't cover (TX1 interactive, K20c real-time), asserting the same
+cross-scheduler invariants hold there too."""
+
+import pytest
+
+from repro.gpu import JETSON_TX1, K20C
+from repro.schedulers import compare_schedulers, make_context
+from repro.workloads import age_detection, video_surveillance
+
+
+@pytest.fixture(scope="module")
+def tx1_interactive():
+    scenario = age_detection()
+    return compare_schedulers(
+        make_context(JETSON_TX1, scenario.network, scenario.spec)
+    )
+
+
+@pytest.fixture(scope="module")
+def k20_realtime():
+    scenario = video_surveillance()
+    return compare_schedulers(
+        make_context(K20C, scenario.network, scenario.spec)
+    )
+
+
+class TestInteractiveTX1:
+    def test_pcnn_best_realizable(self, tx1_interactive):
+        pcnn = tx1_interactive["p-cnn"].soc.value
+        for name in ("performance-preferred", "energy-efficient", "qpe", "qpe+"):
+            assert pcnn >= tx1_interactive[name].soc.value * 0.97
+
+    def test_ideal_upper_bound(self, tx1_interactive):
+        ideal = tx1_interactive["ideal"].soc.value
+        for outcome in tx1_interactive.values():
+            assert ideal >= outcome.soc.value - 1e-9
+
+    def test_mobile_interactive_still_satisfiable(self, tx1_interactive):
+        """AlexNet on TX1 fits the 100 ms budget (paper Table III's
+        ~25 ms batch-1 latency leaves headroom)."""
+        assert tx1_interactive["p-cnn"].meets_satisfaction
+        assert tx1_interactive["qpe"].meets_satisfaction
+
+    def test_training_batch_unusable_on_mobile(self, tx1_interactive):
+        """Assembling 128 frames at camera rate blows the 3 s abandon
+        threshold on TX1."""
+        assert not tx1_interactive["energy-efficient"].meets_satisfaction
+
+    def test_tuning_saves_energy(self, tx1_interactive):
+        assert (
+            tx1_interactive["p-cnn"].energy_per_item_j
+            < tx1_interactive["qpe+"].energy_per_item_j
+        )
+
+
+class TestRealTimeK20:
+    def test_server_gpu_meets_deadline_dense(self, k20_realtime):
+        """The paper's K20c story: every time-model scheduler meets the
+        real-time deadline without approximation."""
+        for name in ("performance-preferred", "qpe", "qpe+", "p-cnn"):
+            assert k20_realtime[name].meets_satisfaction
+
+    def test_accuracy_sensitive_stays_dense(self, k20_realtime):
+        """Surveillance is accuracy-sensitive and K20c is feasible
+        dense, so P-CNN must not have perforated."""
+        assert k20_realtime["p-cnn"].entropy == pytest.approx(
+            k20_realtime["qpe"].entropy
+        )
+
+    def test_pcnn_energy_matches_qpe_plus(self, k20_realtime):
+        """Paper: 'for applications requiring high accuracy, P-CNN
+        consumes similar energy as QPE+'."""
+        assert k20_realtime["p-cnn"].energy_per_item_j == pytest.approx(
+            k20_realtime["qpe+"].energy_per_item_j, rel=0.05
+        )
+
+    def test_batching_still_fails(self, k20_realtime):
+        assert not k20_realtime["energy-efficient"].meets_satisfaction
+
+    def test_frame_latency_under_deadline(self, k20_realtime):
+        deadline = 1.0 / 10.0
+        for name in ("performance-preferred", "qpe", "qpe+", "p-cnn"):
+            assert k20_realtime[name].latency_s <= deadline

@@ -1,0 +1,130 @@
+"""Tests for the baseline schedulers' decisions (paper Section V.B)."""
+
+import pytest
+
+from repro.gpu import K20C
+from repro.schedulers import (
+    EnergyEfficientScheduler,
+    PCNNScheduler,
+    PerformancePreferredScheduler,
+    QPEPlusScheduler,
+    QPEScheduler,
+    default_schedulers,
+    make_context,
+)
+from repro.workloads import age_detection, image_tagging, video_surveillance
+
+
+@pytest.fixture(scope="module")
+def interactive_ctx():
+    scen = age_detection()
+    return make_context(K20C, scen.network, scen.spec)
+
+
+@pytest.fixture(scope="module")
+def background_ctx():
+    scen = image_tagging()
+    return make_context(K20C, scen.network, scen.spec)
+
+
+class TestPerformancePreferred:
+    def test_non_batching(self, interactive_ctx):
+        decision = PerformancePreferredScheduler().schedule(interactive_ctx)
+        assert decision.batch == 1
+        assert not decision.power_gating
+        assert not decision.use_priority_sm
+
+    def test_runs_dense(self, interactive_ctx):
+        decision = PerformancePreferredScheduler().schedule(interactive_ctx)
+        assert decision.compiled.perforation.is_dense()
+        assert decision.entropy == interactive_ctx.baseline_entropy
+
+
+class TestEnergyEfficient:
+    def test_training_batch(self, interactive_ctx):
+        decision = EnergyEfficientScheduler().schedule(interactive_ctx)
+        # AlexNet trains at 128 (Section V.B / Table III).
+        assert decision.batch == 128
+
+    def test_no_sm_management(self, interactive_ctx):
+        decision = EnergyEfficientScheduler().schedule(interactive_ctx)
+        assert not decision.power_gating
+
+    def test_halves_batch_until_memory_fits(self):
+        scen = video_surveillance()  # VGG, training batch 256
+        from repro.gpu import JETSON_TX1
+
+        ctx = make_context(JETSON_TX1, scen.network, scen.spec)
+        decision = EnergyEfficientScheduler().schedule(ctx)
+        from repro.gpu.memory import fits_in_memory
+
+        assert fits_in_memory(
+            JETSON_TX1,
+            scen.network.memory_profile(),
+            ctx.backend,
+            decision.batch,
+        )
+
+
+class TestQPEFamily:
+    def test_qpe_meets_time_budget(self, interactive_ctx):
+        decision = QPEScheduler().schedule(interactive_ctx)
+        budget = interactive_ctx.requirement.time.budget_s
+        assert decision.compiled.total_time_s <= budget
+
+    def test_qpe_batches_within_budget(self, interactive_ctx):
+        """50 Hz camera rate, 100 ms budget -> batch 5."""
+        decision = QPEScheduler().schedule(interactive_ctx)
+        assert decision.batch == 5
+
+    def test_qpe_plus_same_batch_with_gating(self, interactive_ctx):
+        qpe = QPEScheduler().schedule(interactive_ctx)
+        plus = QPEPlusScheduler().schedule(interactive_ctx)
+        assert plus.batch == qpe.batch
+        assert plus.power_gating and plus.use_priority_sm
+        assert not qpe.power_gating
+
+    def test_background_uses_saturating_batch(self, background_ctx):
+        decision = QPEScheduler().schedule(background_ctx)
+        assert decision.batch > 1
+
+
+class TestPCNN:
+    def test_tunes_within_threshold_when_feasible(self, interactive_ctx):
+        decision = PCNNScheduler(max_tuning_iterations=16).schedule(
+            interactive_ctx
+        )
+        assert decision.entropy <= interactive_ctx.entropy_threshold + 1e-9
+        assert decision.power_gating
+
+    def test_perforates_past_threshold_for_hard_deadlines(self):
+        """TX1 + VGG real-time: dense misses the deadline, so P-CNN
+        accepts extra entropy to make it (Fig. 13b/15b)."""
+        from repro.gpu import JETSON_TX1
+
+        scen = video_surveillance()
+        ctx = make_context(JETSON_TX1, scen.network, scen.spec)
+        decision = PCNNScheduler().schedule(ctx)
+        budget = ctx.requirement.time.budget_s
+        assert decision.compiled.total_time_s <= budget
+        assert decision.entropy > ctx.entropy_threshold
+
+    def test_accuracy_sensitive_stays_dense_when_feasible(self):
+        scen = video_surveillance()
+        ctx = make_context(K20C, scen.network, scen.spec)
+        decision = PCNNScheduler().schedule(ctx)
+        # K20 meets the deadline dense; zero slack -> no perforation.
+        assert decision.compiled.perforation.is_dense()
+
+
+class TestDefaults:
+    def test_six_schedulers_in_paper_order(self):
+        names = [s.name for s in default_schedulers()]
+        assert names == [
+            "performance-preferred",
+            "energy-efficient",
+            "qpe",
+            "qpe+",
+            "p-cnn",
+            "ideal",
+        ]

@@ -1,0 +1,84 @@
+"""Tests for repro.sim.cta_scheduler: RR and Priority-SM dispatch."""
+
+import pytest
+
+from repro.sim.cta_scheduler import PrioritySMScheduler, RoundRobinScheduler
+
+
+class TestRoundRobin:
+    def test_cycles_over_sms(self):
+        scheduler = RoundRobinScheduler()
+        residency = [0, 0, 0, 0]
+        picks = []
+        for _ in range(4):
+            sm = scheduler.select_sm(residency, max_ctas_per_sm=2)
+            picks.append(sm)
+            residency[sm] += 1
+        assert picks == [0, 1, 2, 3]
+
+    def test_skips_full_sms(self):
+        scheduler = RoundRobinScheduler()
+        residency = [2, 0, 2, 0]
+        assert scheduler.select_sm(residency, max_ctas_per_sm=2) == 1
+
+    def test_returns_none_when_all_full(self):
+        scheduler = RoundRobinScheduler()
+        assert scheduler.select_sm([2, 2], max_ctas_per_sm=2) is None
+
+    def test_all_sms_stay_powered(self):
+        assert RoundRobinScheduler().powered_sms(13) == 13
+
+    def test_reset_restarts_cycle(self):
+        scheduler = RoundRobinScheduler()
+        residency = [0, 0, 0]
+        scheduler.select_sm(residency, 4)
+        scheduler.reset()
+        assert scheduler.select_sm(residency, 4) == 0
+
+    def test_fills_to_occupancy_limit(self):
+        """Hardware behaviour: every SM ends up at max residency."""
+        scheduler = RoundRobinScheduler()
+        residency = [0] * 4
+        for _ in range(8):
+            sm = scheduler.select_sm(residency, max_ctas_per_sm=2)
+            residency[sm] += 1
+        assert residency == [2, 2, 2, 2]
+
+
+class TestPrioritySM:
+    def test_fig7_packing(self):
+        """Fig. 7: 4 CTAs, optTLP 2 -> SMs 0 and 1 get 2 each; SMs 2-3
+        never touched."""
+        scheduler = PrioritySMScheduler(opt_tlp=2, opt_sm=4)
+        residency = [0, 0, 0, 0]
+        for _ in range(4):
+            sm = scheduler.select_sm(residency, max_ctas_per_sm=4)
+            residency[sm] += 1
+        assert residency == [2, 2, 0, 0]
+
+    def test_restricts_to_opt_sm(self):
+        scheduler = PrioritySMScheduler(opt_tlp=1, opt_sm=2)
+        residency = [1, 1, 0, 0]
+        assert scheduler.select_sm(residency, max_ctas_per_sm=4) is None
+
+    def test_powered_sms_is_opt_sm(self):
+        assert PrioritySMScheduler(opt_tlp=2, opt_sm=3).powered_sms(13) == 3
+
+    def test_powered_sms_capped_by_chip(self):
+        assert PrioritySMScheduler(opt_tlp=2, opt_sm=20).powered_sms(13) == 13
+
+    def test_respects_hardware_occupancy_cap(self):
+        scheduler = PrioritySMScheduler(opt_tlp=8, opt_sm=1)
+        residency = [3]
+        assert scheduler.select_sm(residency, max_ctas_per_sm=3) is None
+
+    def test_refills_freed_slots_in_priority_order(self):
+        scheduler = PrioritySMScheduler(opt_tlp=2, opt_sm=2)
+        residency = [1, 2]
+        assert scheduler.select_sm(residency, max_ctas_per_sm=4) == 0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            PrioritySMScheduler(opt_tlp=0, opt_sm=1)
+        with pytest.raises(ValueError):
+            PrioritySMScheduler(opt_tlp=1, opt_sm=0)

@@ -1,0 +1,169 @@
+"""Tests for repro.sim.engine: the event simulator and analytic model."""
+
+import pytest
+
+from repro.gpu import JETSON_TX1, K20C
+from repro.gpu.kernels import GemmShape, make_kernel
+from repro.gpu.libraries import CUBLAS, NERVANA
+from repro.gpu import occupancy
+from repro.sim.cta_scheduler import PrioritySMScheduler, RoundRobinScheduler
+from repro.sim.engine import (
+    analytic_kernel_result,
+    analytic_kernel_time,
+    cta_work,
+    simulate_kernel,
+)
+
+
+@pytest.fixture
+def kernel():
+    return make_kernel(64, 64, block_size=256)
+
+
+@pytest.fixture
+def shape():
+    return GemmShape(128, 729, 1200)
+
+
+class TestCTAWork:
+    def test_components_positive(self, kernel, shape):
+        work = cta_work(kernel, shape)
+        assert work.ffma > 0
+        assert work.shared_insts > 0
+        assert work.global_insts > 0
+        assert work.other_insts > 0
+        assert work.dram_bytes > 0
+
+    def test_ffma_dominates_big_tiles(self, shape):
+        work = cta_work(make_kernel(128, 128), shape)
+        assert work.ffma > work.global_insts
+
+    def test_weighted_exceeds_total_with_global_penalty(self, kernel, shape):
+        work = cta_work(kernel, shape)
+        assert work.weighted > work.total_insts
+
+    def test_spilling_adds_work(self, kernel, shape):
+        spilled = kernel.with_spilling(kernel.regs_per_thread - 20, 40, 40)
+        assert cta_work(spilled, shape).weighted > cta_work(kernel, shape).weighted
+
+    def test_spill_to_global_costs_more_than_shared(self, kernel, shape):
+        to_shared = kernel.with_spilling(kernel.regs_per_thread - 20, 80, 0)
+        to_global = kernel.with_spilling(kernel.regs_per_thread - 20, 0, 80)
+        assert (
+            cta_work(to_global, shape).weighted
+            > cta_work(to_shared, shape).weighted
+        )
+
+
+class TestSimulateKernel:
+    def test_all_ctas_retire(self, kernel, shape):
+        result = simulate_kernel(K20C, kernel, shape, collect_trace=True)
+        assert result.grid_size == kernel.grid_size(shape)
+        retires = [e for e in result.trace.events if e.kind == "retire"]
+        assert len(retires) == result.grid_size
+
+    def test_round_robin_uses_all_sms(self, kernel, shape):
+        result = simulate_kernel(K20C, kernel, shape)
+        assert result.sms_used == min(K20C.n_sms, result.grid_size)
+        assert result.powered_sms == K20C.n_sms
+
+    def test_fig7_psm_uses_half_the_sms(self):
+        """Fig. 7: a 4-CTA kernel at optTLP 2 runs on 2 SMs under PSM
+        but on 4 SMs under RR, at comparable duration."""
+        kernel = make_kernel(64, 64, block_size=256)
+        # grid of exactly 4 CTAs
+        shape = GemmShape(128, 128, 512)
+        assert kernel.grid_size(shape) == 4
+        rr = simulate_kernel(K20C, kernel, shape, scheduler=RoundRobinScheduler())
+        psm = simulate_kernel(
+            K20C,
+            kernel,
+            shape,
+            scheduler=PrioritySMScheduler(opt_tlp=2, opt_sm=2),
+        )
+        assert rr.sms_used == 4
+        assert psm.sms_used == 2
+        assert psm.powered_sms == 2
+        # "nearly the same performance with half the SMs": within 2x
+        # (the packing cost is one latency-hiding step).
+        assert psm.seconds < 2.0 * rr.seconds
+        # and much less energy
+        assert psm.energy_joules < rr.energy_joules
+
+    def test_better_library_is_faster(self, kernel, shape):
+        slow = simulate_kernel(K20C, kernel, shape, library=CUBLAS)
+        fast = simulate_kernel(K20C, kernel, shape, library=NERVANA)
+        assert fast.seconds < slow.seconds
+
+    def test_bandwidth_floor_applies_on_mobile(self):
+        """A memory-heavy kernel on TX1 hits the 25.6 GB/s wall."""
+        kernel = make_kernel(32, 32, block_size=64)
+        shape = GemmShape(4096, 4096, 4096)
+        result = simulate_kernel(JETSON_TX1, kernel, shape)
+        floor = result.dram_bytes / JETSON_TX1.mem_bandwidth_bytes_per_s
+        assert result.seconds >= floor * 0.999
+
+    def test_occupancy_cap_respected(self, kernel, shape):
+        result = simulate_kernel(
+            K20C, kernel, shape, max_ctas_per_sm=2, collect_trace=True
+        )
+        peak = result.trace.max_concurrency()
+        assert max(peak.values()) <= 2
+
+    def test_rejects_unfittable_kernel(self):
+        kernel = make_kernel(64, 64)
+        with pytest.raises(ValueError, match="occupancy"):
+            simulate_kernel(K20C, kernel, GemmShape(64, 64, 8), max_ctas_per_sm=0)
+
+    def test_activity_in_unit_range(self, kernel, shape):
+        result = simulate_kernel(K20C, kernel, shape)
+        assert 0.0 < result.activity <= 1.0
+
+
+class TestAnalyticModel:
+    def test_matches_simulator_steady_state(self):
+        """Big grids: analytic and event-driven agree within 15%."""
+        kernel = make_kernel(64, 64, block_size=256)
+        shape = GemmShape(512, 4096, 576)
+        tlp = occupancy.ctas_per_sm(K20C, kernel)
+        analytic = analytic_kernel_time(K20C, kernel, shape, tlp=tlp)
+        simulated = simulate_kernel(K20C, kernel, shape).seconds
+        assert analytic == pytest.approx(simulated, rel=0.15)
+
+    def test_smooth_in_columns(self, kernel):
+        """Perforation visibility: fewer columns is never slower."""
+        times = [
+            analytic_kernel_time(K20C, kernel, GemmShape(128, n, 1200), tlp=4)
+            for n in range(1500, 300, -100)
+        ]
+        assert all(t2 <= t1 + 1e-12 for t1, t2 in zip(times, times[1:]))
+
+    def test_more_sms_never_slower(self, kernel, shape):
+        times = [
+            analytic_kernel_time(K20C, kernel, shape, tlp=4, n_sms=s)
+            for s in (1, 4, 8, 13)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_rejects_bad_args(self, kernel, shape):
+        with pytest.raises(ValueError):
+            analytic_kernel_time(K20C, kernel, shape, tlp=0)
+        with pytest.raises(ValueError):
+            analytic_kernel_time(K20C, kernel, shape, tlp=2, n_sms=99)
+
+    def test_analytic_result_consistent(self, kernel, shape):
+        result = analytic_kernel_result(K20C, kernel, shape, tlp=4)
+        assert result.seconds == pytest.approx(
+            analytic_kernel_time(K20C, kernel, shape, tlp=4)
+        )
+        assert result.grid_size == kernel.grid_size(shape)
+        assert 0 < result.sms_used <= K20C.n_sms
+        assert result.energy_joules > 0
+
+    def test_analytic_result_energy_close_to_sim(self):
+        kernel = make_kernel(64, 64, block_size=256)
+        shape = GemmShape(512, 4096, 576)
+        tlp = occupancy.ctas_per_sm(K20C, kernel)
+        fast = analytic_kernel_result(K20C, kernel, shape, tlp=tlp)
+        slow = simulate_kernel(K20C, kernel, shape)
+        assert fast.energy_joules == pytest.approx(slow.energy_joules, rel=0.25)

@@ -1,0 +1,131 @@
+"""Tests for repro.sim.multikernel: spatial sharing vs MPS mixing."""
+
+import pytest
+
+from repro.gpu import JETSON_TX1, K20C
+from repro.gpu.kernels import GemmShape, make_kernel
+from repro.sim import (
+    PrioritySMScheduler,
+    TenantSpec,
+    partition_for_layer,
+    simulate_kernel,
+    simulate_shared,
+)
+
+
+@pytest.fixture
+def primary():
+    kernel = make_kernel(64, 64, block_size=256)
+    return TenantSpec(
+        "cnn-layer", kernel, GemmShape(128, 729, 1200), max_ctas_per_sm=2
+    )
+
+
+@pytest.fixture
+def co_tenant():
+    kernel = make_kernel(64, 64, block_size=256)
+    return TenantSpec("co-tenant", kernel, GemmShape(512, 2048, 576))
+
+
+class TestPartition:
+    def test_split(self):
+        own, freed = partition_for_layer(K20C, 9)
+        assert own == tuple(range(9))
+        assert freed == tuple(range(9, 13))
+
+    def test_rejects_bad_opt_sm(self):
+        with pytest.raises(ValueError):
+            partition_for_layer(K20C, 0)
+        with pytest.raises(ValueError):
+            partition_for_layer(K20C, 14)
+
+
+class TestPartitionedSharing:
+    def test_primary_keeps_solo_latency(self, primary, co_tenant):
+        """Section III.D.2 made concrete: the released SMs host a
+        co-tenant without touching the primary layer's latency."""
+        solo = simulate_kernel(
+            K20C,
+            primary.kernel,
+            primary.shape,
+            scheduler=PrioritySMScheduler(opt_tlp=2, opt_sm=12),
+            max_ctas_per_sm=2,
+        )
+        own, freed = partition_for_layer(K20C, 12)
+        shared = simulate_shared(K20C, [(primary, own), (co_tenant, freed)])
+        assert shared.tenant("cnn-layer").seconds == pytest.approx(
+            solo.seconds, rel=0.05
+        )
+
+    def test_co_tenant_gets_real_throughput(self, primary, co_tenant):
+        own, freed = partition_for_layer(K20C, 12)
+        shared = simulate_shared(K20C, [(primary, own), (co_tenant, freed)])
+        co = shared.tenant("co-tenant")
+        assert co.grid_size > 0
+        assert co.seconds > 0
+        assert co.sms_used <= len(freed)
+
+    def test_partitions_respected(self, primary, co_tenant):
+        own, freed = partition_for_layer(K20C, 10)
+        shared = simulate_shared(K20C, [(primary, own), (co_tenant, freed)])
+        assert shared.tenant("cnn-layer").sms_used <= 10
+        assert shared.tenant("co-tenant").sms_used <= 3
+
+
+class TestMpsMixing:
+    def test_mixing_hurts_primary_latency(self, primary, co_tenant):
+        """The paper's argument against MPS: without placement control
+        the time-sensitive kernel's latency becomes load-dependent."""
+        own, freed = partition_for_layer(K20C, 12)
+        partitioned = simulate_shared(
+            K20C, [(primary, own), (co_tenant, freed)]
+        )
+        mixed = simulate_shared(
+            K20C, [(primary, own), (co_tenant, freed)], mix=True
+        )
+        assert (
+            mixed.tenant("cnn-layer").seconds
+            > 1.5 * partitioned.tenant("cnn-layer").seconds
+        )
+
+    def test_mixing_helps_the_co_tenant(self, primary, co_tenant):
+        own, freed = partition_for_layer(K20C, 12)
+        partitioned = simulate_shared(
+            K20C, [(primary, own), (co_tenant, freed)]
+        )
+        mixed = simulate_shared(
+            K20C, [(primary, own), (co_tenant, freed)], mix=True
+        )
+        assert (
+            mixed.tenant("co-tenant").seconds
+            < partitioned.tenant("co-tenant").seconds
+        )
+
+
+class TestEdgeCases:
+    def test_single_tenant_matches_dedicated_simulation(self, co_tenant):
+        shared = simulate_shared(K20C, [(co_tenant, range(K20C.n_sms))])
+        assert shared.makespan_s == pytest.approx(
+            shared.tenant("co-tenant").seconds
+        )
+
+    def test_work_conservation(self, primary, co_tenant):
+        own, freed = partition_for_layer(K20C, 12)
+        shared = simulate_shared(K20C, [(primary, own), (co_tenant, freed)])
+        for tenant, spec in (
+            (shared.tenant("cnn-layer"), primary),
+            (shared.tenant("co-tenant"), co_tenant),
+        ):
+            assert tenant.grid_size == spec.kernel.grid_size(spec.shape)
+
+    def test_rejects_empty_tenancy(self):
+        with pytest.raises(ValueError):
+            simulate_shared(K20C, [])
+
+    def test_rejects_empty_partition(self, primary):
+        with pytest.raises(ValueError, match="no SMs"):
+            simulate_shared(K20C, [(primary, ())])
+
+    def test_tiny_chip(self, primary):
+        shared = simulate_shared(JETSON_TX1, [(primary, (0, 1))])
+        assert shared.tenant("cnn-layer").sms_used <= 2

@@ -1,0 +1,106 @@
+"""Tests for repro.sim.sm: the SM throughput model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.sm import CTA, SMState, latency_hiding_factor
+
+
+class TestLatencyHiding:
+    def test_empty_sm_idle(self):
+        assert latency_hiding_factor(0) == 0.0
+
+    def test_monotone_in_residency(self):
+        values = [latency_hiding_factor(t) for t in range(1, 10)]
+        assert values == sorted(values)
+
+    def test_saturates_below_one(self):
+        assert latency_hiding_factor(1000) < 1.0
+        assert latency_hiding_factor(1000) > 0.99
+
+    def test_half_point(self):
+        assert latency_hiding_factor(1, tlp_half=1.0) == pytest.approx(0.5)
+
+    @given(t=st.integers(1, 64), h=st.floats(0.1, 8.0))
+    @settings(max_examples=50, deadline=None)
+    def test_bounds(self, t, h):
+        f = latency_hiding_factor(t, h)
+        assert 0.0 < f < 1.0
+
+
+class TestCTA:
+    def test_remaining_defaults_to_work(self):
+        cta = CTA(cta_id=0, work=100.0)
+        assert cta.remaining == 100.0
+
+    def test_rejects_nonpositive_work(self):
+        with pytest.raises(ValueError):
+            CTA(cta_id=0, work=0.0)
+
+
+class TestSMState:
+    def test_idle_sm_has_no_completion(self):
+        sm = SMState(0, peak_rate_per_cycle=128.0)
+        assert sm.next_completion_in() is None
+        assert sm.rate_per_cta == 0.0
+
+    def test_single_cta_rate(self):
+        sm = SMState(0, peak_rate_per_cycle=100.0, tlp_half=1.0)
+        sm.dispatch(CTA(0, work=50.0), now=0.0)
+        # rate(1) = 100 * 0.5 / 1 CTA
+        assert sm.rate_per_cta == pytest.approx(50.0)
+        assert sm.next_completion_in() == pytest.approx(1.0)
+
+    def test_rate_shared_among_residents(self):
+        sm = SMState(0, peak_rate_per_cycle=100.0, tlp_half=1.0)
+        sm.dispatch(CTA(0, work=60.0), 0.0)
+        sm.dispatch(CTA(1, work=60.0), 0.0)
+        # rate(2) = 100 * 2/3, split over 2 CTAs.
+        assert sm.rate_per_cta == pytest.approx(100.0 / 3)
+
+    def test_advance_retires_finished(self):
+        sm = SMState(0, peak_rate_per_cycle=100.0, tlp_half=1.0)
+        sm.dispatch(CTA(0, work=50.0), 0.0)
+        finished = sm.advance(1.0, now=0.0)
+        assert [c.cta_id for c in finished] == [0]
+        assert sm.residency == 0
+        assert sm.ctas_retired == 1
+
+    def test_advance_partial_progress(self):
+        sm = SMState(0, peak_rate_per_cycle=100.0, tlp_half=1.0)
+        cta = CTA(0, work=100.0)
+        sm.dispatch(cta, 0.0)
+        assert sm.advance(1.0, now=0.0) == []
+        assert cta.remaining == pytest.approx(50.0)
+
+    def test_uneven_work_retires_shortest_first(self):
+        sm = SMState(0, peak_rate_per_cycle=100.0, tlp_half=1.0)
+        sm.dispatch(CTA(0, work=30.0), 0.0)
+        sm.dispatch(CTA(1, work=90.0), 0.0)
+        step = sm.next_completion_in()
+        finished = sm.advance(step, now=0.0)
+        assert [c.cta_id for c in finished] == [0]
+        assert sm.residency == 1
+
+    def test_busy_cycles_accumulate(self):
+        sm = SMState(0, peak_rate_per_cycle=100.0)
+        sm.dispatch(CTA(0, work=1000.0), 0.0)
+        sm.advance(3.0, now=0.0)
+        assert sm.busy_cycles == pytest.approx(3.0)
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            SMState(0, peak_rate_per_cycle=0.0)
+
+    def test_more_residency_better_throughput_worse_latency(self):
+        """The central trade-off: total throughput rises with residency
+        but each CTA finishes later."""
+        solo = SMState(0, 100.0, tlp_half=1.0)
+        solo.dispatch(CTA(0, work=60.0), 0.0)
+        packed = SMState(1, 100.0, tlp_half=1.0)
+        for i in range(4):
+            packed.dispatch(CTA(i, work=60.0), 0.0)
+        assert packed.next_completion_in() > solo.next_completion_in()
+        # but aggregate rate is higher
+        assert packed.rate_per_cta * 4 > solo.rate_per_cta * 1

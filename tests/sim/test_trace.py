@@ -1,0 +1,48 @@
+"""Tests for repro.sim.trace: execution-trace bookkeeping."""
+
+from repro.sim.trace import ExecutionTrace, TraceEvent
+
+
+class TestTrace:
+    def _sample(self):
+        trace = ExecutionTrace()
+        trace.record(0.0, "dispatch", 0, 0)
+        trace.record(0.0, "dispatch", 1, 0)
+        trace.record(0.0, "dispatch", 2, 1)
+        trace.record(5.0, "retire", 0, 0)
+        trace.record(5.0, "dispatch", 3, 0)
+        trace.record(9.0, "retire", 1, 0)
+        trace.record(9.0, "retire", 2, 1)
+        trace.record(12.0, "retire", 3, 0)
+        return trace
+
+    def test_sms_used(self):
+        assert self._sample().sms_used == (0, 1)
+        assert self._sample().n_sms_used == 2
+
+    def test_ctas_per_sm(self):
+        trace = self._sample()
+        assert trace.ctas_per_sm == {0: 3, 1: 1}
+
+    def test_dispatch_order(self):
+        dispatches = self._sample().dispatches()
+        assert [e.cta_id for e in dispatches] == [0, 1, 2, 3]
+
+    def test_max_concurrency(self):
+        peak = self._sample().max_concurrency()
+        assert peak[0] == 2
+        assert peak[1] == 1
+
+    def test_finalize_stores_busy_cycles(self):
+        trace = self._sample()
+        trace.finalize({0: 12.0, 1: 9.0})
+        assert trace.busy_cycles_per_sm == {0: 12.0, 1: 9.0}
+
+    def test_event_is_frozen(self):
+        event = TraceEvent(0.0, "dispatch", 0, 0)
+        try:
+            event.cycle = 1.0
+            raised = False
+        except Exception:
+            raised = True
+        assert raised

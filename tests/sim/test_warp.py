@@ -1,0 +1,87 @@
+"""Tests for repro.sim.warp: the derived latency-hiding curve."""
+
+import pytest
+
+from repro.sim.sm import DEFAULT_TLP_HALF
+from repro.sim.warp import (
+    WarpIssueConfig,
+    fit_tlp_half,
+    hiding_curve,
+    simulate_issue_efficiency,
+)
+
+
+class TestIssueSimulation:
+    def test_efficiency_bounded(self):
+        for warps in (1, 4, 16, 32):
+            eff = simulate_issue_efficiency(warps)
+            assert 0.0 < eff <= 1.0
+
+    def test_monotone_in_residency(self):
+        curve = hiding_curve(24)
+        effs = [e for _w, e in curve]
+        assert all(b >= a - 1e-6 for a, b in zip(effs, effs[1:]))
+
+    def test_saturates(self):
+        """Marginal efficiency per added warp shrinks with residency."""
+        e8 = simulate_issue_efficiency(8)
+        e16 = simulate_issue_efficiency(16)
+        e32 = simulate_issue_efficiency(32)
+        per_warp_early = (e16 - e8) / 8
+        per_warp_late = (e32 - e16) / 16
+        assert per_warp_early > per_warp_late
+
+    def test_memory_heavy_mix_needs_more_warps(self):
+        compute = WarpIssueConfig(memory_fraction=0.02, ilp=6)
+        memory = WarpIssueConfig(memory_fraction=0.25, ilp=2)
+        assert simulate_issue_efficiency(8, compute) > simulate_issue_efficiency(
+            8, memory
+        )
+
+    def test_higher_ilp_hides_more(self):
+        shallow = WarpIssueConfig(memory_fraction=0.06, ilp=1)
+        deep = WarpIssueConfig(memory_fraction=0.06, ilp=8)
+        assert simulate_issue_efficiency(4, deep) > simulate_issue_efficiency(
+            4, shallow
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_issue_efficiency(0)
+        with pytest.raises(ValueError):
+            WarpIssueConfig(memory_fraction=1.5)
+        with pytest.raises(ValueError):
+            WarpIssueConfig(ilp=0)
+
+
+class TestFit:
+    def test_recovers_synthetic_h(self):
+        """Fitting points generated from t/(t+h) recovers h."""
+        true_h = 2.0
+        warps_per_cta = 8
+        curve = [
+            (w, (w / warps_per_cta) / (w / warps_per_cta + true_h))
+            for w in range(1, 33)
+        ]
+        assert fit_tlp_half(curve, warps_per_cta) == pytest.approx(
+            true_h, rel=0.01
+        )
+
+    def test_cta_model_constant_is_in_the_derived_band(self):
+        """The headline self-consistency check: the CTA-level model's
+        assumed h = 1.0 falls within the band the warp-level GTO
+        simulation derives for SGEMM-like instruction mixes."""
+        fits = []
+        for config in (
+            WarpIssueConfig(memory_fraction=0.04, ilp=4),
+            WarpIssueConfig(memory_fraction=0.06, ilp=4),
+            WarpIssueConfig(memory_fraction=0.08, ilp=6),
+        ):
+            fits.append(fit_tlp_half(hiding_curve(32, config), warps_per_cta=8))
+        assert min(fits) * 0.5 <= DEFAULT_TLP_HALF <= max(fits) * 2.5
+
+    def test_rejects_degenerate_curve(self):
+        with pytest.raises(ValueError):
+            fit_tlp_half([(1, 1.0)], warps_per_cta=8)
+        with pytest.raises(ValueError):
+            fit_tlp_half([(1, 0.5)], warps_per_cta=0)

@@ -1,0 +1,122 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("platforms", "networks"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+
+class TestInformational:
+    def test_platforms_lists_table_ii(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("K20c", "TitanX", "GTX970m", "TX1"):
+            assert name in out
+
+    def test_networks_lists_all(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("alexnet", "googlenet", "vggnet", "resnet18", "pcnn-small"):
+            assert name in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "--network", "alexnet"]) == 0
+        out = capsys.readouterr().out
+        assert "conv5" in out and "fc8" in out
+
+
+class TestCompile:
+    def test_compile_prints_schedule(self, capsys):
+        code = main(
+            ["compile", "--network", "alexnet", "--gpu", "tx1", "--batch", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optSM" in out and "conv1" in out
+
+    def test_compile_with_requirement(self, capsys):
+        code = main(
+            ["compile", "--network", "alexnet", "--gpu", "k20c",
+             "--task", "interactive", "--rate", "50"]
+        )
+        assert code == 0
+        assert "batch" in capsys.readouterr().out
+
+    def test_compile_saves_artifact(self, tmp_path, capsys):
+        path = str(tmp_path / "artifact.json")
+        code = main(
+            ["compile", "--network", "alexnet", "--gpu", "tx1",
+             "--batch", "1", "--save", path]
+        )
+        assert code == 0
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["network"] == "AlexNet"
+
+    def test_unknown_gpu_is_a_clean_error(self, capsys):
+        code = main(["compile", "--network", "alexnet", "--gpu", "voodoo"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_network_is_a_clean_error(self, capsys):
+        code = main(["compile", "--network", "lenet", "--gpu", "tx1"])
+        assert code == 2
+
+
+class TestTune:
+    def test_tune_prints_path(self, capsys):
+        code = main(
+            ["tune", "--network", "alexnet", "--gpu", "tx1",
+             "--slack", "0.3", "--iterations", "6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "dense" in out
+
+
+class TestRoofline:
+    def test_roofline_classifies_layers(self, capsys):
+        code = main(
+            ["roofline", "--network", "alexnet", "--gpu", "tx1",
+             "--batch", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ridge" in out
+        # batch-1 classifiers stream weights: memory-bound
+        assert "memory" in out
+
+
+class TestEvaluate:
+    def test_single_gpu_matrix(self, capsys):
+        code = main(["evaluate", "--gpus", "k20c"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for task in ("age-detection", "video-surveillance", "image-tagging"):
+            assert task in out
+        assert "p-cnn" in out and "ideal" in out
+
+
+class TestCompare:
+    def test_compare_runs_all_schedulers(self, capsys):
+        code = main(
+            ["compare", "--network", "alexnet", "--gpu", "tx1",
+             "--task", "background", "--rate", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("performance-preferred", "qpe+", "p-cnn", "ideal"):
+            assert name in out

@@ -1,0 +1,251 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin the global invariants that individual unit tests exercise
+pointwise: occupancy bounds, time-model monotonicity, SoC bounds, and
+compiled-plan consistency hold for *arbitrary* shapes and parameters,
+not just the paper's.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.offline import OfflineCompiler, opt_sm
+from repro.core.offline.kernel_tuning import PCNN_BACKEND, tune_layer_kernel
+from repro.core.satisfaction import TimeRequirement, soc, soc_accuracy, soc_time
+from repro.gpu import GTX_970M, JETSON_TX1, K20C, TITAN_X
+from repro.gpu.kernels import GemmShape, make_kernel
+from repro.gpu import occupancy
+from repro.sim.engine import analytic_kernel_time
+
+ARCHS = (K20C, TITAN_X, GTX_970M, JETSON_TX1)
+
+gemm_shapes = st.builds(
+    GemmShape,
+    m_rows=st.integers(1, 1024),
+    n_cols=st.integers(1, 8192),
+    k_depth=st.integers(1, 4096),
+)
+
+tiles = st.sampled_from([(32, 32), (64, 64), (64, 128), (128, 64), (128, 128)])
+
+
+class TestOccupancyProperties:
+    @given(shape=gemm_shapes, tile=tiles, arch=st.sampled_from(ARCHS))
+    @settings(max_examples=80, deadline=None)
+    def test_util_bounded(self, shape, tile, arch):
+        kernel = make_kernel(*tile)
+        assume(kernel.shared_mem_bytes <= arch.shared_mem_per_sm)
+        util = occupancy.utilization(arch, kernel, shape)
+        assert 0.0 < util <= 1.0 + 1e-12
+
+    @given(shape=gemm_shapes, tile=tiles, arch=st.sampled_from(ARCHS))
+    @settings(max_examples=80, deadline=None)
+    def test_grid_covers_and_rec_accounts_for_it(self, shape, tile, arch):
+        kernel = make_kernel(*tile)
+        grid = kernel.grid_size(shape)
+        rec = occupancy.effective_computation_ratio(shape, *tile)
+        covered = grid * tile[0] * tile[1]
+        assert covered * rec == pytest.approx(shape.m_rows * shape.n_cols)
+
+    @given(
+        grid=st.integers(1, 100000),
+        tlp=st.integers(1, 32),
+        arch=st.sampled_from(ARCHS),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_opt_sm_is_minimal_and_wave_preserving(self, grid, tlp, arch):
+        sms = opt_sm(arch, grid, tlp)
+        full_waves = math.ceil(grid / (tlp * arch.n_sms))
+        assert math.ceil(grid / (tlp * sms)) == full_waves
+        assert 1 <= sms <= arch.n_sms
+
+
+class TestTimeModelProperties:
+    @given(
+        n1=st.integers(1, 4000),
+        n2=st.integers(1, 4000),
+        tile=tiles,
+        arch=st.sampled_from(ARCHS),
+        tlp=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_columns(self, n1, n2, tile, arch, tlp):
+        kernel = make_kernel(*tile)
+        assume(kernel.shared_mem_bytes * tlp <= arch.shared_mem_per_sm)
+        lo, hi = sorted((n1, n2))
+        t_lo = analytic_kernel_time(
+            arch, kernel, GemmShape(64, lo, 512), tlp=tlp
+        )
+        t_hi = analytic_kernel_time(
+            arch, kernel, GemmShape(64, hi, 512), tlp=tlp
+        )
+        assert t_lo <= t_hi + 1e-15
+
+    @given(
+        shape=gemm_shapes,
+        tile=tiles,
+        arch=st.sampled_from(ARCHS),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_time_positive_and_finite(self, shape, tile, arch):
+        kernel = make_kernel(*tile)
+        assume(kernel.shared_mem_bytes <= arch.shared_mem_per_sm)
+        seconds = analytic_kernel_time(arch, kernel, shape, tlp=1)
+        assert 0.0 < seconds < 1e4
+
+    @given(shape=gemm_shapes, arch=st.sampled_from(ARCHS))
+    @settings(max_examples=30, deadline=None)
+    def test_tuned_kernel_never_loses_to_any_candidate(self, shape, arch):
+        from repro.core.offline.kernel_tuning import candidate_kernels
+        from repro.gpu.spilling import stair_points
+
+        tuned = tune_layer_kernel(arch, shape)
+        for kernel in candidate_kernels(arch):
+            tlp, _regs = stair_points(arch, kernel)[0]
+            other = analytic_kernel_time(
+                arch, kernel, shape, library=PCNN_BACKEND, tlp=tlp
+            )
+            assert tuned.score <= other + 1e-15
+
+
+class TestSatisfactionProperties:
+    @given(
+        runtime=st.floats(0.0, 100.0),
+        ti=st.floats(0.001, 10.0),
+        span=st.floats(0.0, 10.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_soc_time_bounded_and_monotone(self, runtime, ti, span):
+        requirement = TimeRequirement(ti, ti + span)
+        value = soc_time(runtime, requirement)
+        assert 0.0 <= value <= 1.0
+        assert soc_time(runtime + 0.5, requirement) <= value + 1e-12
+
+    @given(
+        entropy=st.floats(0.0, 50.0),
+        threshold=st.floats(0.01, 10.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_soc_accuracy_bounded(self, entropy, threshold):
+        value = soc_accuracy(entropy, threshold)
+        assert 0.0 < value <= 1.0
+
+    @given(
+        runtime=st.floats(0.001, 5.0),
+        entropy=st.floats(0.0, 5.0),
+        energy=st.floats(0.001, 100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_soc_scales_inversely_with_energy(self, runtime, entropy, energy):
+        requirement = TimeRequirement.interactive()
+        one = soc(runtime, requirement, entropy, 1.0, energy)
+        double = soc(runtime, requirement, entropy, 1.0, energy * 2)
+        assert double.value == pytest.approx(one.value / 2)
+
+
+class TestCompilerProperties:
+    @given(batch=st.integers(1, 16))
+    @settings(max_examples=8, deadline=None)
+    def test_plan_times_scale_sanely_with_batch(self, batch):
+        from repro.nn import pcnn_net
+
+        compiler = OfflineCompiler(JETSON_TX1)
+        net = pcnn_net("small")
+        plan = compiler.compile_with_batch(net, batch)
+        one = compiler.compile_with_batch(net, 1)
+        assert plan.total_time_s >= one.total_time_s - 1e-12
+        assert plan.total_time_s <= batch * one.total_time_s * 1.01
+        assert plan.throughput_ips >= one.throughput_ips * 0.99
+
+
+class TestMemoryModelProperties:
+    @given(
+        batch=st.integers(1, 256),
+        lib_name=st.sampled_from(["cublas", "cudnn", "nervana"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_footprint_monotone_in_batch(self, batch, lib_name):
+        from repro.gpu.libraries import get_library
+        from repro.gpu.memory import estimate_footprint
+        from repro.nn import alexnet
+
+        profile = alexnet().memory_profile()
+        library = get_library(lib_name)
+        smaller = estimate_footprint(profile, library, batch)
+        larger = estimate_footprint(profile, library, batch + 1)
+        assert larger.total >= smaller.total
+
+    @given(batch=st.integers(1, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_fits_is_monotone(self, batch):
+        """If a batch fits, every smaller batch fits too."""
+        from repro.gpu.libraries import CUDNN
+        from repro.gpu.memory import fits_in_memory
+        from repro.nn import vgg16
+
+        profile = vgg16().memory_profile()
+        if fits_in_memory(JETSON_TX1, profile, CUDNN, batch + 1):
+            assert fits_in_memory(JETSON_TX1, profile, CUDNN, batch)
+
+
+class TestPerforationTimeConsistency:
+    @given(rate=st.floats(0.0, 0.7))
+    @settings(max_examples=15, deadline=None)
+    def test_column_fraction_matches_executed_grid(self, rate):
+        """The time model's column reduction and the executor's sampled
+        grid agree exactly (the realized, quantized fraction)."""
+        from repro.nn.perforation import PerforationPlan, make_grid_perforation
+
+        plan = PerforationPlan({"conv1": rate} if rate > 0 else {})
+        fraction = plan.column_fraction("conv1", 27, 27)
+        grid = plan.grid_for("conv1", 27, 27)
+        if grid is None:
+            assert fraction == 1.0
+        else:
+            assert fraction == pytest.approx(grid.kept / grid.total)
+            assert len(grid.positions()) == grid.kept
+
+
+class TestSimulatorAnalyticAgreement:
+    @given(
+        m=st.integers(128, 256),
+        n=st.integers(8192, 24576),
+        k=st.integers(64, 1024),
+        arch=st.sampled_from(ARCHS),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_event_sim_matches_closed_form_on_big_grids(self, m, n, k, arch):
+        """In the wave regime (grid >> chip capacity) the event
+        simulator and the steady-state formula agree within 20%."""
+        from repro.sim.engine import simulate_kernel
+
+        kernel = make_kernel(64, 64, block_size=256)
+        shape = GemmShape(m, n, k)
+        tlp = occupancy.ctas_per_sm(arch, kernel)
+        analytic = analytic_kernel_time(arch, kernel, shape, tlp=tlp)
+        simulated = simulate_kernel(arch, kernel, shape).seconds
+        assert analytic == pytest.approx(simulated, rel=0.20)
+
+    @given(
+        opt_sm=st.integers(1, 13),
+        opt_tlp=st.integers(1, 4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_psm_never_uses_more_than_opt_sm(self, opt_sm, opt_tlp):
+        from repro.sim import PrioritySMScheduler
+        from repro.sim.engine import simulate_kernel
+
+        kernel = make_kernel(64, 64, block_size=256)
+        shape = GemmShape(128, 729, 256)
+        result = simulate_kernel(
+            K20C,
+            kernel,
+            shape,
+            scheduler=PrioritySMScheduler(opt_tlp=opt_tlp, opt_sm=opt_sm),
+            max_ctas_per_sm=max(opt_tlp, 1),
+        )
+        assert result.sms_used <= opt_sm
+        assert result.powered_sms <= max(opt_sm, result.sms_used)

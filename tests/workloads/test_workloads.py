@@ -1,0 +1,98 @@
+"""Tests for repro.workloads: scenarios and request generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.satisfaction import TaskClass
+from repro.workloads import (
+    RequestTrace,
+    age_detection,
+    background_trace,
+    difficulty_shift,
+    image_tagging,
+    interactive_trace,
+    paper_scenarios,
+    realtime_trace,
+    video_surveillance,
+)
+
+
+class TestScenarios:
+    def test_three_paper_scenarios(self):
+        scenarios = paper_scenarios()
+        assert [s.spec.task_class for s in scenarios] == [
+            TaskClass.INTERACTIVE,
+            TaskClass.REAL_TIME,
+            TaskClass.BACKGROUND,
+        ]
+
+    def test_age_detection_interactive(self):
+        scen = age_detection()
+        assert scen.name == "age-detection"
+        assert not scen.spec.accuracy_sensitive
+        assert scen.network.name == "AlexNet"
+
+    def test_surveillance_hard_deadline(self):
+        scen = video_surveillance(fps=30)
+        assert scen.spec.frame_rate_hz == 30
+        assert scen.spec.accuracy_sensitive
+        assert scen.network.name == "VGGNet"
+
+    def test_tagging_background(self):
+        scen = image_tagging()
+        assert scen.spec.task_class == TaskClass.BACKGROUND
+
+    def test_custom_network(self):
+        from repro.nn.models import googlenet
+
+        scen = video_surveillance(network=googlenet())
+        assert scen.network.name == "GoogLeNet"
+
+
+class TestTraces:
+    def test_interactive_trace_monotone(self):
+        trace = interactive_trace(n_requests=10, seed=0)
+        assert trace.n_requests == 10
+        assert np.all(np.diff(trace.arrivals_s) >= 0)
+
+    def test_interactive_trace_deterministic(self):
+        a = interactive_trace(seed=4)
+        b = interactive_trace(seed=4)
+        np.testing.assert_array_equal(a.arrivals_s, b.arrivals_s)
+
+    def test_realtime_metronome(self):
+        trace = realtime_trace(duration_s=1.0, fps=10)
+        assert trace.n_requests == 10
+        np.testing.assert_allclose(np.diff(trace.arrivals_s), 0.1)
+
+    def test_background_dump(self):
+        trace = background_trace(n_photos=16, dump_gap_s=0.01)
+        assert trace.n_requests == 16
+        assert trace.arrivals_s[-1] == pytest.approx(0.15)
+
+    def test_difficulty_shift(self):
+        trace = difficulty_shift(
+            realtime_trace(duration_s=1.0, fps=10),
+            onset_fraction=0.5,
+            severity=1.5,
+        )
+        assert np.all(trace.difficulty[:5] == 1.0)
+        assert np.all(trace.difficulty[5:] == 1.5)
+
+    def test_shift_validation(self):
+        with pytest.raises(ValueError):
+            difficulty_shift(realtime_trace(), severity=0.5)
+        with pytest.raises(ValueError):
+            difficulty_shift(realtime_trace(), onset_fraction=2.0)
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            RequestTrace(
+                arrivals_s=np.array([1.0, 0.5]),
+                difficulty=np.array([1.0, 1.0]),
+            )
+        with pytest.raises(ValueError):
+            RequestTrace(
+                arrivals_s=np.array([0.0, 1.0]),
+                difficulty=np.array([1.0]),
+            )
