@@ -10,8 +10,7 @@ attributes the energy saving.
 from common import emit, run_once
 
 from repro.analysis import format_table
-from repro.core.offline import OfflineCompiler
-from repro.core.runtime import RuntimeKernelManager
+from repro.core import ExecutionEngine
 from repro.gpu import JETSON_TX1, K20C
 from repro.nn import alexnet
 
@@ -24,15 +23,15 @@ MODES = (
 
 def reproduce():
     net = alexnet()
+    engine = ExecutionEngine()
     rows = []
     results = {}
     for arch in (K20C, JETSON_TX1):
-        plan = OfflineCompiler(arch).compile_with_batch(net, 1)
+        plan = engine.compile_with_batch(net, 1, arch=arch)
         for label, psm, gating in MODES:
-            manager = RuntimeKernelManager(
-                arch, power_gating=gating, use_priority_sm=psm
+            report = engine.execute(
+                plan, power_gating=gating, use_priority_sm=psm
             )
-            report = manager.execute(plan)
             results[(arch.name, label)] = report
             rows.append(
                 (

@@ -16,7 +16,7 @@ import pytest
 from common import emit, run_once
 
 from repro.analysis import format_table
-from repro.core.offline import OfflineCompiler
+from repro.core import ExecutionEngine
 from repro.core.runtime.accuracy_tuning import (
     AccuracyTuner,
     EmpiricalEntropyEvaluator,
@@ -46,12 +46,12 @@ class AccuracyGuidedEvaluator:
 
 def reproduce(trained_proxies, test_set):
     network, params = trained_proxies["large"]
-    compiler = OfflineCompiler(JETSON_TX1)
+    engine = ExecutionEngine(JETSON_TX1)
 
     dense = evaluate(network, params, test_set)
     # Threshold: the entropy the network shows at ~10% accuracy loss.
     entropy_eval = EmpiricalEntropyEvaluator(network, params, test_set)
-    entropy_tuner = AccuracyTuner(compiler, network, entropy_eval)
+    entropy_tuner = AccuracyTuner(engine, network, entropy_eval)
     entropy_table = entropy_tuner.tune(
         batch=16,
         entropy_threshold=dense.mean_entropy + 0.45,
@@ -59,7 +59,7 @@ def reproduce(trained_proxies, test_set):
     )
 
     accuracy_eval = AccuracyGuidedEvaluator(network, params, test_set)
-    accuracy_tuner = AccuracyTuner(compiler, network, accuracy_eval)
+    accuracy_tuner = AccuracyTuner(engine, network, accuracy_eval)
     accuracy_table = accuracy_tuner.tune(
         batch=16,
         entropy_threshold=(1.0 - dense.accuracy) + 0.13,  # ~matched loss budget

@@ -11,7 +11,7 @@ minimum-Util layer that anchors the choice) and end-to-end.
 from common import emit, run_once
 
 from repro.analysis import format_series, format_table
-from repro.core.offline import OfflineCompiler
+from repro.core import ExecutionEngine
 from repro.gpu import GTX_970M, JETSON_TX1, K20C
 from repro.gpu.occupancy import utilization
 from repro.nn import alexnet
@@ -25,18 +25,18 @@ def reproduce():
     throughput_rows = []
     util_rows = []
     optimal = {}
+    engine = ExecutionEngine()
     for gpu in (K20C, GTX_970M, JETSON_TX1):
-        compiler = OfflineCompiler(gpu)
         throughputs = []
         utils = []
         for batch in BATCHES:
-            plan = compiler.compile_with_batch(net, batch)
+            plan = engine.compile_with_batch(net, batch, arch=gpu)
             throughputs.append(plan.throughput_ips)
             schedule = plan.schedule_for("conv5")
             utils.append(
                 utilization(gpu, schedule.tuned.kernel, schedule.shape)
             )
-        optimal[gpu.name] = compiler.background_batch(net)
+        optimal[gpu.name] = engine.compiler_for(gpu).background_batch(net)
         throughput_rows.append(
             (gpu.name,)
             + tuple("%.0f" % t for t in throughputs)

@@ -10,7 +10,7 @@ and prints how the tuned configuration differs.
 """
 
 from repro.analysis import format_table
-from repro.core.offline import OfflineCompiler
+from repro.core import ExecutionEngine
 from repro.core.satisfaction import TimeRequirement
 from repro.gpu import list_architectures
 from repro.nn import alexnet
@@ -19,13 +19,16 @@ from repro.nn import alexnet
 def main():
     network = alexnet()
     requirement = TimeRequirement.interactive()
+    # One arch-agnostic engine: plans for all four platforms share a cache.
+    engine = ExecutionEngine()
 
     print("Compiling %s for every platform (interactive, 100 ms budget)\n"
           % network.name)
     summary_rows = []
     for arch in list_architectures():
-        compiler = OfflineCompiler(arch)
-        plan = compiler.compile(network, requirement, data_rate_hz=50.0)
+        plan = engine.compile(
+            network, requirement, data_rate_hz=50.0, arch=arch
+        )
         summary_rows.append(
             (
                 arch.name,

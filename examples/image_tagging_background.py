@@ -10,7 +10,7 @@ TX1 and shows the batch-size reasoning.
 """
 
 from repro.analysis import format_table
-from repro.core.offline import OfflineCompiler
+from repro.core import ExecutionEngine
 from repro.gpu import JETSON_TX1, K20C
 from repro.schedulers import compare_schedulers, make_context
 from repro.workloads import image_tagging
@@ -18,19 +18,21 @@ from repro.workloads import image_tagging
 
 def main():
     scenario = image_tagging()
+    engine = ExecutionEngine()
     for arch in (K20C, JETSON_TX1):
-        compiler = OfflineCompiler(arch)
         print("Batch-size sweep on %s (%s):" % (arch.name, scenario.network.name))
         for batch in (1, 4, 16, 64):
-            plan = compiler.compile_with_batch(scenario.network, batch)
+            plan = engine.compile_with_batch(
+                scenario.network, batch, arch=arch
+            )
             print(
                 "  batch %3d: %7.1f img/s  (%.1f ms/batch)"
                 % (batch, plan.throughput_ips, plan.total_time_s * 1e3)
             )
-        optimal = compiler.background_batch(scenario.network)
+        optimal = engine.compiler_for(arch).background_batch(scenario.network)
         print("  -> throughput-saturating batch: %d\n" % optimal)
 
-        ctx = make_context(arch, scenario.network, scenario.spec)
+        ctx = make_context(arch, scenario.network, scenario.spec, engine=engine)
         outcomes = compare_schedulers(ctx)
         rows = [
             (

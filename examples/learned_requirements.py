@@ -16,7 +16,7 @@ from repro.core import (
     LearnedRequirementModel,
     simulate_user_feedback,
 )
-from repro.core.offline import OfflineCompiler
+from repro.core import ExecutionEngine
 from repro.gpu import JETSON_TX1
 from repro.nn import alexnet
 
@@ -24,7 +24,7 @@ from repro.nn import alexnet
 def main():
     true_ti = 0.35
     model = LearnedRequirementModel(prior_ti_s=0.1)
-    compiler = OfflineCompiler(JETSON_TX1)
+    engine = ExecutionEngine(JETSON_TX1)
     network = alexnet()
     rate_hz = 50.0
 
@@ -35,7 +35,7 @@ def main():
     rows = []
     for round_index in range(10):
         requirement = model.requirement()
-        plan = compiler.compile(network, requirement, data_rate_hz=rate_hz)
+        plan = engine.compile(network, requirement, data_rate_hz=rate_hz)
         # Serve at the compiled operating point and observe the user.
         latency = (plan.batch - 1) / rate_hz + plan.total_time_s
         event = simulate_user_feedback(
@@ -61,10 +61,10 @@ def main():
         )
     )
 
-    prior_plan = compiler.compile(
+    prior_plan = engine.compile(
         network, LearnedRequirementModel().requirement(), data_rate_hz=rate_hz
     )
-    learned_plan = compiler.compile(
+    learned_plan = engine.compile(
         network, model.requirement(), data_rate_hz=rate_hz
     )
     print(

@@ -14,7 +14,7 @@ GEMM on the K20c model, three ways:
 """
 
 from repro.analysis import format_table
-from repro.core.offline import OfflineCompiler
+from repro.core import ExecutionEngine
 from repro.gpu import K20C
 from repro.nn import alexnet
 from repro.sim import (
@@ -29,7 +29,7 @@ from repro.gpu.kernels import GemmShape, make_kernel
 
 def main():
     network = alexnet()
-    plan = OfflineCompiler(K20C).compile_with_batch(network, 1)
+    plan = ExecutionEngine(K20C).compile_with_batch(network, 1)
     schedule = plan.schedule_for("conv2")
     print(
         "Primary: AlexNet conv2 on %s -- grid %d, optTLP %d, optSM %d/%d "

@@ -13,7 +13,7 @@ Takes ~30 s (numpy training).
 """
 
 from repro.analysis import format_table
-from repro.core.offline import OfflineCompiler
+from repro.core import ExecutionEngine
 from repro.core.runtime import AccuracyTuner, EmpiricalEntropyEvaluator
 from repro.gpu import JETSON_TX1
 from repro.nn import (
@@ -40,9 +40,9 @@ def main():
 
     print("Entropy-guided accuracy tuning on the TX1 model "
           "(threshold = dense entropy + 0.4):")
-    compiler = OfflineCompiler(JETSON_TX1)
+    engine = ExecutionEngine(JETSON_TX1)
     evaluator = EmpiricalEntropyEvaluator(network, result.params, test_set)
-    tuner = AccuracyTuner(compiler, network, evaluator)
+    tuner = AccuracyTuner(engine, network, evaluator)
     table = tuner.tune(
         batch=16,
         entropy_threshold=dense.mean_entropy + 0.4,

@@ -14,7 +14,8 @@ from typing import List
 
 from repro.analysis.metrics import compute_efficiency
 from repro.analysis.reporting import format_table
-from repro.core.offline.compiler import CompiledPlan, OfflineCompiler
+from repro.core.engine import ExecutionEngine
+from repro.core.offline.compiler import CompiledPlan
 from repro.gpu.architecture import GPUArchitecture
 from repro.gpu import occupancy
 from repro.nn.models import NetworkDescriptor
@@ -92,7 +93,7 @@ def profile_network(
     supplied (e.g. a loaded artifact).
     """
     if plan is None:
-        plan = OfflineCompiler(arch).compile_with_batch(network, batch)
+        plan = ExecutionEngine(arch).compile_with_batch(network, batch)
     total = plan.total_time_s
     layers: List[LayerProfile] = []
     for schedule in plan.schedules:

@@ -26,14 +26,21 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis import format_table
+from repro.analysis import (
+    format_table,
+    machine_balance,
+    profile_network,
+    roofline_point,
+)
 from repro.core import ApplicationSpec, TaskClass
-from repro.core.offline import OfflineCompiler
+from repro.core.engine import ExecutionEngine
 from repro.core.offline.artifact import save_plan
 from repro.core.runtime import AccuracyTuner, AnalyticEntropyModel
 from repro.core.user_input import infer_requirement
 from repro.gpu import get_architecture, list_architectures
 from repro.nn.models import EXTRA_NETWORKS, PAPER_NETWORKS, PCNN_NET_SIZES, get_network
+from repro.schedulers import compare_schedulers, make_context
+from repro.workloads import paper_scenarios
 
 __all__ = ["main", "build_parser"]
 
@@ -164,13 +171,13 @@ def _cmd_describe(args) -> int:
 def _cmd_compile(args) -> int:
     network = get_network(args.network)
     arch = get_architecture(args.gpu)
-    compiler = OfflineCompiler(arch)
+    engine = ExecutionEngine(arch)
     if args.batch > 0:
-        plan = compiler.compile_with_batch(network, args.batch)
+        plan = engine.compile_with_batch(network, args.batch)
     else:
         spec = _spec_for(args)
         requirement = infer_requirement(spec)
-        plan = compiler.compile(
+        plan = engine.compile(
             network, requirement.time, data_rate_hz=spec.data_rate_hz
         )
     rows = [
@@ -190,8 +197,6 @@ def _cmd_compile(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    from repro.schedulers import compare_schedulers, make_context
-
     network = get_network(args.network)
     arch = get_architecture(args.gpu)
     ctx = make_context(arch, network, _spec_for(args))
@@ -212,8 +217,6 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_profile(args) -> int:
-    from repro.analysis import profile_network
-
     network = get_network(args.network)
     arch = get_architecture(args.gpu)
     report = profile_network(arch, network, batch=args.batch)
@@ -227,12 +230,9 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_roofline(args) -> int:
-    from repro.analysis import machine_balance, roofline_point
-    from repro.core.offline import OfflineCompiler
-
     network = get_network(args.network)
     arch = get_architecture(args.gpu)
-    plan = OfflineCompiler(arch).compile_with_batch(network, args.batch)
+    plan = ExecutionEngine(arch).compile_with_batch(network, args.batch)
     rows = []
     for schedule in plan.schedules:
         point = roofline_point(arch, schedule.tuned.kernel, schedule.shape)
@@ -254,9 +254,6 @@ def _cmd_roofline(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    from repro.schedulers import compare_schedulers, make_context
-    from repro.workloads import paper_scenarios
-
     rows = []
     for gpu_name in args.gpus.split(","):
         arch = get_architecture(gpu_name.strip())
@@ -288,9 +285,9 @@ def _cmd_evaluate(args) -> int:
 def _cmd_tune(args) -> int:
     network = get_network(args.network)
     arch = get_architecture(args.gpu)
-    compiler = OfflineCompiler(arch)
+    engine = ExecutionEngine(arch)
     evaluator = AnalyticEntropyModel(network)
-    tuner = AccuracyTuner(compiler, network, evaluator)
+    tuner = AccuracyTuner(engine, network, evaluator)
     table = tuner.tune(
         batch=args.batch,
         entropy_threshold=1.0 + args.slack,

@@ -2,6 +2,14 @@
 offline compilation and run-time management, plus the top-level
 :class:`~repro.core.framework.PervasiveCNN` facade."""
 
+from repro.core.engine import (
+    EngineStats,
+    ExecutionEngine,
+    HookBus,
+    network_fingerprint,
+    perforation_fingerprint,
+    plan_fingerprint,
+)
 from repro.core.framework import Deployment, PervasiveCNN, RequestOutcome
 from repro.core.satisfaction import (
     SoCBreakdown,
@@ -23,6 +31,12 @@ from repro.core.user_model import (
 )
 
 __all__ = [
+    "EngineStats",
+    "ExecutionEngine",
+    "HookBus",
+    "network_fingerprint",
+    "perforation_fingerprint",
+    "plan_fingerprint",
     "Deployment",
     "PervasiveCNN",
     "RequestOutcome",

@@ -1,0 +1,565 @@
+"""Unified execution engine: the single compile/execute seam.
+
+The paper's deployment story is *compile once, execute many*: offline
+compilation produces a :class:`~repro.core.offline.compiler.CompiledPlan`
+per (network, platform, batch, perforation) configuration, and the
+run-time loop then executes that plan over and over while the
+calibrator walks the tuning path.  Both ``compile`` and ``execute``
+are deterministic pure functions of their inputs, so repeating them is
+pure waste -- yet the seed codebase re-ran both from three
+independently wired call paths (:class:`~repro.core.framework.Deployment`,
+:class:`~repro.core.runtime.server.InferenceServer`, the schedulers).
+
+:class:`ExecutionEngine` collapses those paths into one mediated seam:
+
+* a keyed **compilation cache**
+  ``(network, arch, backend, batch, perforation fingerprint) -> CompiledPlan``;
+* a memoized **execution cache**
+  ``(plan fingerprint, power_gating, use_priority_sm) -> ExecutionReport``;
+* a pluggable **lifecycle hook bus** (``on_compile``, ``on_cache_hit``,
+  ``on_execute``, ``on_calibrate``) with a built-in
+  :class:`EngineStats` collector (hit rates, cumulative simulated
+  time, per-plan call counts).
+
+One engine may serve *many* architectures (the fleet case): every
+cache key carries the architecture and backend names, and the engine
+lazily instantiates one :class:`~repro.core.offline.compiler.OfflineCompiler`
+and one :class:`~repro.core.runtime.scheduler.RuntimeKernelManager`
+per configuration, so cross-platform deployments of the same network
+reuse tuned kernels per architecture.
+
+Cached objects are shared, not copied: :class:`CompiledPlan` is frozen
+and :class:`ExecutionReport` is immutable by convention (nothing in
+the library mutates a report after the manager returns it), so a cache
+hit returns the identical object and is bit-identical to a recompute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.gpu.architecture import GPUArchitecture
+from repro.gpu.libraries import KernelLibrary
+from repro.nn.models import NetworkDescriptor
+from repro.nn.perforation import PerforationPlan
+from repro.core.offline.compiler import CompiledPlan, OfflineCompiler
+from repro.core.offline.kernel_tuning import PCNN_BACKEND
+from repro.core.runtime.scheduler import ExecutionReport, RuntimeKernelManager
+from repro.core.satisfaction import TimeRequirement
+
+__all__ = [
+    "perforation_fingerprint",
+    "network_fingerprint",
+    "plan_fingerprint",
+    "CompileKey",
+    "ExecuteKey",
+    "HookBus",
+    "EngineStats",
+    "ExecutionEngine",
+]
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def perforation_fingerprint(plan: PerforationPlan) -> str:
+    """Canonical, collision-free fingerprint of a perforation plan.
+
+    Layers at rate 0 are equivalent to absent layers (both mean
+    "dense"), so they are dropped before serialization; the remainder
+    is sorted so insertion order cannot perturb the key.
+    """
+    items = sorted(
+        (name, rate) for name, rate in plan.rates.items() if rate > 0.0
+    )
+    if not items:
+        return "dense"
+    return ";".join("%s=%.12g" % (name, rate) for name, rate in items)
+
+
+def network_fingerprint(network: NetworkDescriptor) -> str:
+    """Structural fingerprint of a network descriptor.
+
+    Two descriptors with the same name but different layer stacks (a
+    hand-built variant, a truncated proxy) must not collide, so the
+    name is combined with a digest over every resolved layer's spec
+    and shapes.
+    """
+    parts = [network.name, repr(network.input_shape)]
+    for layer in network.layers:
+        parts.append(
+            "%d|%s|%r|%r|%r"
+            % (layer.index, layer.name, layer.spec, layer.input_shape,
+               layer.output_shape)
+        )
+    digest = hashlib.sha1("\n".join(parts).encode("utf-8")).hexdigest()[:16]
+    return "%s@%s" % (network.name, digest)
+
+
+def plan_fingerprint(plan: CompiledPlan) -> str:
+    """Content fingerprint of a compiled plan (the execution-cache key).
+
+    Captures everything execution depends on: the network structure,
+    target architecture, batch, perforation, and every layer's tuned
+    kernel + scheduling configuration (which is where the backend's
+    influence lands).
+    """
+    parts = [
+        network_fingerprint(plan.network),
+        plan.arch.name,
+        "b%d" % plan.batch,
+        perforation_fingerprint(plan.perforation),
+        "aux%.12g" % plan.aux_time_s,
+    ]
+    for schedule in plan.schedules:
+        parts.append(
+            "%s|%s|%dx%dx%d|tlp%d|sm%d|g%d"
+            % (
+                schedule.name,
+                schedule.tuned.kernel.name,
+                schedule.shape.m_rows,
+                schedule.shape.n_cols,
+                schedule.shape.k_depth,
+                schedule.opt_tlp,
+                schedule.opt_sm,
+                schedule.gemm_count,
+            )
+        )
+    return hashlib.sha1("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CompileKey:
+    """Key of one compilation-cache entry."""
+
+    network: str
+    arch: str
+    backend: str
+    batch: int
+    perforation: str
+
+
+@dataclass(frozen=True)
+class ExecuteKey:
+    """Key of one execution-cache entry.
+
+    ``backend`` rides along because the runtime manager's timing model
+    consults the kernel library directly (issue efficiency, transform
+    overhead), so the same plan executed under two backends must not
+    share a report.
+    """
+
+    plan: str
+    power_gating: bool
+    use_priority_sm: bool
+    backend: str = PCNN_BACKEND.name
+
+
+# ----------------------------------------------------------------------
+# Lifecycle hooks
+# ----------------------------------------------------------------------
+class HookBus:
+    """Pluggable lifecycle hooks for the engine.
+
+    Subscribers are plain callables receiving the event's payload as
+    keyword arguments.  Events:
+
+    ``on_compile``
+        An actual compilation ran (a compile-cache miss).
+        Payload: ``key`` (:class:`CompileKey`), ``plan``.
+    ``on_cache_hit``
+        A cache returned a stored artifact.
+        Payload: ``kind`` (``"compile"``/``"execute"``), ``key``.
+    ``on_execute``
+        A plan was executed (fires on hits *and* misses).
+        Payload: ``key`` (:class:`ExecuteKey`), ``plan``, ``report``,
+        ``cached`` (bool).
+    ``on_calibrate``
+        A calibration observation was recorded.
+        Payload: ``step`` (:class:`~repro.core.runtime.calibration.CalibrationStep`).
+    """
+
+    EVENTS = ("on_compile", "on_cache_hit", "on_execute", "on_calibrate")
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[str, List[Callable[..., None]]] = {
+            event: [] for event in self.EVENTS
+        }
+
+    def subscribe(self, event: str, callback: Callable[..., None]):
+        """Register ``callback`` for ``event``; returns the callback."""
+        self._check(event)
+        self._subscribers[event].append(callback)
+        return callback
+
+    def unsubscribe(self, event: str, callback: Callable[..., None]) -> None:
+        """Remove a previously registered callback."""
+        self._check(event)
+        self._subscribers[event].remove(callback)
+
+    def emit(self, event: str, **payload) -> None:
+        """Invoke every subscriber of ``event`` with ``payload``."""
+        self._check(event)
+        for callback in list(self._subscribers[event]):
+            callback(**payload)
+
+    def _check(self, event: str) -> None:
+        if event not in self._subscribers:
+            raise ValueError(
+                "unknown engine event %r (known: %s)"
+                % (event, ", ".join(self.EVENTS))
+            )
+
+
+@dataclass
+class EngineStats:
+    """Built-in hook subscriber: cache hit rates and execution volume."""
+
+    compile_calls: int = 0
+    compile_misses: int = 0
+    execute_calls: int = 0
+    execute_misses: int = 0
+    calibrations: int = 0
+    #: Simulated seconds served across every execute call (hits included).
+    simulated_time_s: float = 0.0
+    #: Execute call counts per plan fingerprint.
+    plan_use_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def compile_hits(self) -> int:
+        """Compile requests answered from the cache."""
+        return self.compile_calls - self.compile_misses
+
+    @property
+    def execute_hits(self) -> int:
+        """Execute requests answered from the cache."""
+        return self.execute_calls - self.execute_misses
+
+    @property
+    def compile_hit_rate(self) -> float:
+        """Fraction of compile requests served from the cache."""
+        if self.compile_calls == 0:
+            return 0.0
+        return self.compile_hits / self.compile_calls
+
+    @property
+    def execute_hit_rate(self) -> float:
+        """Fraction of execute requests served from the cache."""
+        if self.execute_calls == 0:
+            return 0.0
+        return self.execute_hits / self.execute_calls
+
+    def attach(self, hooks: HookBus) -> "EngineStats":
+        """Subscribe this collector to an engine's hook bus."""
+        hooks.subscribe("on_compile", self._on_compile)
+        hooks.subscribe("on_cache_hit", self._on_cache_hit)
+        hooks.subscribe("on_execute", self._on_execute)
+        hooks.subscribe("on_calibrate", self._on_calibrate)
+        return self
+
+    # -- subscribers ----------------------------------------------------
+    def _on_compile(self, key, plan, **_ignored) -> None:
+        self.compile_calls += 1
+        self.compile_misses += 1
+
+    def _on_cache_hit(self, kind, key, **_ignored) -> None:
+        if kind == "compile":
+            self.compile_calls += 1
+
+    def _on_execute(self, key, plan, report, cached, **_ignored) -> None:
+        self.execute_calls += 1
+        if not cached:
+            self.execute_misses += 1
+        self.simulated_time_s += report.total_time_s
+        self.plan_use_counts[key.plan] = self.plan_use_counts.get(key.plan, 0) + 1
+
+    def _on_calibrate(self, step, **_ignored) -> None:
+        self.calibrations += 1
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class ExecutionEngine:
+    """Owns compilation and execution for one or many platforms.
+
+    ``arch``/``backend`` set the defaults used when a call does not
+    name a platform; a fleet-shared engine may be constructed with
+    ``arch=None`` and passed an explicit architecture per call.  An
+    existing :class:`OfflineCompiler` may be donated via ``compiler``
+    (its kernel-tuning caches then seed the engine's platform).
+    """
+
+    def __init__(
+        self,
+        arch: Optional[GPUArchitecture] = None,
+        backend: KernelLibrary = PCNN_BACKEND,
+        compiler: Optional[OfflineCompiler] = None,
+        cache_plans: bool = True,
+        cache_reports: bool = True,
+    ) -> None:
+        if compiler is not None:
+            if arch is not None and arch is not compiler.arch:
+                raise ValueError("compiler is bound to a different arch")
+            arch = compiler.arch
+            backend = compiler.backend
+        self.default_arch = arch
+        self.default_backend = backend
+        self.cache_plans = cache_plans
+        self.cache_reports = cache_reports
+        self.hooks = HookBus()
+        self.stats = EngineStats().attach(self.hooks)
+        self._compilers: Dict[Tuple[str, str], OfflineCompiler] = {}
+        if compiler is not None:
+            self._compilers[(arch.name, backend.name)] = compiler
+        self._managers: Dict[Tuple[str, str, bool, bool], RuntimeKernelManager] = {}
+        self._archs: Dict[str, GPUArchitecture] = {}
+        if arch is not None:
+            self._archs[arch.name] = arch
+        self._plans: Dict[CompileKey, CompiledPlan] = {}
+        self._batch_decisions: Dict[tuple, int] = {}
+        self._reports: Dict[ExecuteKey, ExecutionReport] = {}
+
+    # -- plumbing -------------------------------------------------------
+    def _resolve(
+        self,
+        arch: Optional[GPUArchitecture],
+        backend: Optional[KernelLibrary],
+    ) -> Tuple[GPUArchitecture, KernelLibrary]:
+        arch = arch if arch is not None else self.default_arch
+        backend = backend if backend is not None else self.default_backend
+        if arch is None:
+            raise ValueError(
+                "engine has no default architecture; pass arch= explicitly"
+            )
+        self._archs[arch.name] = arch
+        return arch, backend
+
+    def compiler_for(
+        self,
+        arch: Optional[GPUArchitecture] = None,
+        backend: Optional[KernelLibrary] = None,
+    ) -> OfflineCompiler:
+        """The (lazily created, per-platform) offline compiler."""
+        arch, backend = self._resolve(arch, backend)
+        key = (arch.name, backend.name)
+        compiler = self._compilers.get(key)
+        if compiler is None:
+            compiler = OfflineCompiler(arch, backend)
+            self._compilers[key] = compiler
+        return compiler
+
+    def manager_for(
+        self,
+        power_gating: bool,
+        use_priority_sm: bool,
+        arch: Optional[GPUArchitecture] = None,
+        backend: Optional[KernelLibrary] = None,
+    ) -> RuntimeKernelManager:
+        """The (lazily created) runtime kernel manager for one mode."""
+        arch, backend = self._resolve(arch, backend)
+        key = (arch.name, backend.name, power_gating, use_priority_sm)
+        manager = self._managers.get(key)
+        if manager is None:
+            manager = RuntimeKernelManager(
+                arch,
+                backend=backend,
+                power_gating=power_gating,
+                use_priority_sm=use_priority_sm,
+            )
+            self._managers[key] = manager
+        return manager
+
+    def compile_key(
+        self,
+        network: NetworkDescriptor,
+        batch: int,
+        perforation: Optional[PerforationPlan] = None,
+        arch: Optional[GPUArchitecture] = None,
+        backend: Optional[KernelLibrary] = None,
+    ) -> CompileKey:
+        """The compilation-cache key one configuration maps to."""
+        arch, backend = self._resolve(arch, backend)
+        perforation = perforation or PerforationPlan.dense()
+        return CompileKey(
+            network=network_fingerprint(network),
+            arch=arch.name,
+            backend=backend.name,
+            batch=batch,
+            perforation=perforation_fingerprint(perforation),
+        )
+
+    # -- compile --------------------------------------------------------
+    def compile_with_batch(
+        self,
+        network: NetworkDescriptor,
+        batch: int,
+        perforation: Optional[PerforationPlan] = None,
+        arch: Optional[GPUArchitecture] = None,
+        backend: Optional[KernelLibrary] = None,
+    ) -> CompiledPlan:
+        """Fixed-batch compilation through the plan cache."""
+        arch, backend = self._resolve(arch, backend)
+        key = self.compile_key(network, batch, perforation, arch, backend)
+        if self.cache_plans:
+            cached = self._plans.get(key)
+            if cached is not None:
+                self.hooks.emit("on_cache_hit", kind="compile", key=key)
+                return cached
+        plan = self.compiler_for(arch, backend).compile_with_batch(
+            network, batch, perforation
+        )
+        if self.cache_plans:
+            self._plans[key] = plan
+        self.hooks.emit("on_compile", key=key, plan=plan)
+        return plan
+
+    def compile(
+        self,
+        network: NetworkDescriptor,
+        requirement: TimeRequirement,
+        data_rate_hz: float = 1.0,
+        perforation: Optional[PerforationPlan] = None,
+        arch: Optional[GPUArchitecture] = None,
+        backend: Optional[KernelLibrary] = None,
+    ) -> CompiledPlan:
+        """Full requirement-driven compilation (global decision loop).
+
+        The batch the loop settles on is memoized per (network, arch,
+        backend, requirement, data rate, perforation); repeat calls
+        collapse to a plan-cache lookup at that batch.
+        """
+        arch, backend = self._resolve(arch, backend)
+        perforation = perforation or PerforationPlan.dense()
+        decision_key = (
+            network_fingerprint(network),
+            arch.name,
+            backend.name,
+            requirement.imperceptible_s,
+            requirement.unusable_s,
+            data_rate_hz,
+            perforation_fingerprint(perforation),
+        )
+        batch = self._batch_decisions.get(decision_key)
+        if batch is not None:
+            return self.compile_with_batch(
+                network, batch, perforation, arch, backend
+            )
+        plan = self.compiler_for(arch, backend).compile(
+            network, requirement, data_rate_hz=data_rate_hz,
+            perforation=perforation,
+        )
+        self._batch_decisions[decision_key] = plan.batch
+        key = self.compile_key(network, plan.batch, perforation, arch, backend)
+        if self.cache_plans:
+            self._plans[key] = plan
+        self.hooks.emit("on_compile", key=key, plan=plan)
+        return plan
+
+    # -- execute --------------------------------------------------------
+    def execute(
+        self,
+        plan: CompiledPlan,
+        power_gating: bool = True,
+        use_priority_sm: bool = True,
+        backend: Optional[KernelLibrary] = None,
+    ) -> ExecutionReport:
+        """Execute a compiled plan through the report cache.
+
+        The simulation is a deterministic pure function of
+        ``(plan, power_gating, use_priority_sm)``; memoizing it is
+        semantics-preserving and turns the steady-state serving loop
+        into cache hits.  The plan's own architecture is the execution
+        target.
+        """
+        resolved_backend = (
+            backend if backend is not None else self.default_backend
+        )
+        key = ExecuteKey(
+            plan=plan_fingerprint(plan),
+            power_gating=power_gating,
+            use_priority_sm=use_priority_sm,
+            backend=resolved_backend.name,
+        )
+        cached = self._reports.get(key) if self.cache_reports else None
+        if cached is not None:
+            self.hooks.emit("on_cache_hit", kind="execute", key=key)
+            self.hooks.emit(
+                "on_execute", key=key, plan=plan, report=cached, cached=True
+            )
+            return cached
+        manager = self.manager_for(
+            power_gating, use_priority_sm, arch=plan.arch, backend=backend
+        )
+        report = manager.execute(plan)
+        if self.cache_reports:
+            self._reports[key] = report
+        self.hooks.emit(
+            "on_execute", key=key, plan=plan, report=report, cached=False
+        )
+        return report
+
+    # -- calibration ----------------------------------------------------
+    def record_calibration(self, step) -> None:
+        """Publish one calibration decision to the hook bus."""
+        self.hooks.emit("on_calibrate", step=step)
+
+    # -- maintenance ----------------------------------------------------
+    @property
+    def cached_plans(self) -> int:
+        """Plans currently held by the compilation cache."""
+        return len(self._plans)
+
+    @property
+    def cached_reports(self) -> int:
+        """Reports currently held by the execution cache."""
+        return len(self._reports)
+
+    def invalidate(
+        self,
+        network: Optional[NetworkDescriptor] = None,
+        arch: Optional[GPUArchitecture] = None,
+    ) -> int:
+        """Drop cached plans/reports (all, per network, or per arch).
+
+        Returns the number of cache entries removed.  Reports are keyed
+        by plan fingerprint (which embeds network and arch), so a
+        network/arch-scoped invalidation recomputes the matching plans'
+        fingerprints to evict their reports too.
+        """
+        if network is None and arch is None:
+            removed = len(self._plans) + len(self._reports) + len(
+                self._batch_decisions
+            )
+            self._plans.clear()
+            self._reports.clear()
+            self._batch_decisions.clear()
+            return removed
+        net_fp = network_fingerprint(network) if network is not None else None
+        arch_name = arch.name if arch is not None else None
+
+        def plan_matches(key: CompileKey) -> bool:
+            if net_fp is not None and key.network != net_fp:
+                return False
+            if arch_name is not None and key.arch != arch_name:
+                return False
+            return True
+
+        doomed_plans = [k for k in self._plans if plan_matches(k)]
+        doomed_fps = {plan_fingerprint(self._plans[k]) for k in doomed_plans}
+        for k in doomed_plans:
+            del self._plans[k]
+        doomed_reports = [k for k in self._reports if k.plan in doomed_fps]
+        for k in doomed_reports:
+            del self._reports[k]
+        doomed_decisions = [
+            k
+            for k in self._batch_decisions
+            if (net_fp is None or k[0] == net_fp)
+            and (arch_name is None or k[1] == arch_name)
+        ]
+        for k in doomed_decisions:
+            del self._batch_decisions[k]
+        return len(doomed_plans) + len(doomed_reports) + len(doomed_decisions)

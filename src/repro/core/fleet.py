@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.engine import ExecutionEngine
 from repro.core.framework import Deployment, PervasiveCNN
 from repro.core.user_input import ApplicationSpec
 from repro.gpu.architecture import GPUArchitecture, list_architectures
@@ -74,6 +75,7 @@ class FleetManager:
         spec: ApplicationSpec,
         architectures: Optional[Sequence[GPUArchitecture]] = None,
         max_tuning_iterations: int = 32,
+        engine: Optional[ExecutionEngine] = None,
     ) -> None:
         self.network = network
         self.spec = spec
@@ -83,6 +85,11 @@ class FleetManager:
         if not self.architectures:
             raise ValueError("fleet needs at least one platform")
         self.max_tuning_iterations = max_tuning_iterations
+        # One engine for the whole fleet: cache keys carry the
+        # architecture, so cross-platform deployments of the same
+        # network reuse tuned plans per platform, and fleet-wide cache
+        # stats land in one place.
+        self.engine = engine if engine is not None else ExecutionEngine()
         self._deployments: Dict[str, Deployment] = {}
 
     def deploy_all(self) -> Dict[str, Deployment]:
@@ -90,7 +97,7 @@ class FleetManager:
         for arch in self.architectures:
             if arch.name in self._deployments:
                 continue
-            pcnn = PervasiveCNN(arch)
+            pcnn = PervasiveCNN(arch, engine=self.engine)
             self._deployments[arch.name] = pcnn.deploy(
                 self.network,
                 self.spec,

@@ -7,9 +7,15 @@
 2. **Cross-platform offline compilation** -- batch selection, kernel
    tuning, resource + time models (:mod:`repro.core.offline`).
 3. **Run-time management** -- accuracy tuning builds the tuning table,
-   the runtime kernel manager executes with Priority-SM scheduling and
+   the execution engine runs plans with Priority-SM scheduling and
    power gating, and calibration backtracks the tuning path when live
    uncertainty exceeds the threshold (:mod:`repro.core.runtime`).
+
+Every compile and every execute goes through one
+:class:`~repro.core.engine.ExecutionEngine`: the steady-state serving
+loop (the same tuning entry executed request after request) is a
+cache hit, and the engine's hook bus is the seam where observability
+plugs in.
 
 A :class:`Deployment` is the stateful handle an application holds: it
 processes requests (simulated on the GPU model, numerically through
@@ -25,7 +31,7 @@ from typing import List, Optional
 from repro.gpu.architecture import GPUArchitecture
 from repro.gpu.libraries import KernelLibrary
 from repro.nn.models import NetworkDescriptor
-from repro.core.offline.compiler import OfflineCompiler
+from repro.core.engine import ExecutionEngine
 from repro.core.offline.kernel_tuning import PCNN_BACKEND
 from repro.core.runtime.accuracy_tuning import (
     AccuracyTuner,
@@ -34,7 +40,7 @@ from repro.core.runtime.accuracy_tuning import (
     TuningTable,
 )
 from repro.core.runtime.calibration import Calibrator
-from repro.core.runtime.scheduler import ExecutionReport, RuntimeKernelManager
+from repro.core.runtime.scheduler import ExecutionReport
 from repro.core.satisfaction import SoCBreakdown, soc
 from repro.core.user_input import ApplicationSpec, InferredRequirement, infer_requirement
 
@@ -62,7 +68,9 @@ class Deployment:
     requirement: InferredRequirement
     entropy_threshold: float
     tuning_table: TuningTable
-    manager: RuntimeKernelManager
+    engine: ExecutionEngine
+    power_gating: bool = True
+    use_priority_sm: bool = True
     outcomes: List[RequestOutcome] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -78,6 +86,20 @@ class Deployment:
         """The tuning entry currently deployed."""
         return self._calibrator.current
 
+    def execute_current(self) -> ExecutionReport:
+        """Run the currently deployed plan through the engine."""
+        return self.engine.execute(
+            self._calibrator.current.compiled,
+            power_gating=self.power_gating,
+            use_priority_sm=self.use_priority_sm,
+        )
+
+    def observe_entropy(self, entropy: float) -> TuningEntry:
+        """Feed one observation to the calibrator and the hook bus."""
+        entry = self._calibrator.observe(entropy)
+        self.engine.record_calibration(self._calibrator.history[-1])
+        return entry
+
     def process_request(
         self, observed_entropy: Optional[float] = None
     ) -> RequestOutcome:
@@ -90,7 +112,7 @@ class Deployment:
         loop.
         """
         entry = self._calibrator.current
-        report: ExecutionReport = self.manager.execute(entry.compiled)
+        report = self.execute_current()
         entropy = (
             observed_entropy if observed_entropy is not None else entry.entropy
         )
@@ -109,7 +131,7 @@ class Deployment:
             soc=breakdown,
         )
         self.outcomes.append(outcome)
-        self._calibrator.observe(entropy)
+        self.observe_entropy(entropy)
         return outcome
 
 
@@ -120,10 +142,18 @@ class PervasiveCNN:
         self,
         arch: GPUArchitecture,
         backend: KernelLibrary = PCNN_BACKEND,
+        engine: Optional[ExecutionEngine] = None,
     ) -> None:
+        """``engine`` lets several facades (a fleet) share one cache;
+        by default each facade owns a fresh engine."""
         self.arch = arch
         self.backend = backend
-        self.compiler = OfflineCompiler(arch, backend)
+        self.engine = engine or ExecutionEngine(arch=arch, backend=backend)
+
+    @property
+    def compiler(self):
+        """The engine's offline compiler for this platform."""
+        return self.engine.compiler_for(self.arch, self.backend)
 
     def deploy(
         self,
@@ -140,21 +170,28 @@ class PervasiveCNN:
         with trained parameters for the faithful path).
         """
         requirement = infer_requirement(spec)
-        compiled = self.compiler.compile(
-            network, requirement.time, data_rate_hz=spec.data_rate_hz
+        compiled = self.engine.compile(
+            network,
+            requirement.time,
+            data_rate_hz=spec.data_rate_hz,
+            arch=self.arch,
+            backend=self.backend,
         )
         if evaluator is None:
             evaluator = AnalyticEntropyModel(network)
         baseline = evaluator.evaluate(compiled.perforation).entropy
         threshold = requirement.entropy_threshold(baseline)
-        tuner = AccuracyTuner(self.compiler, network, evaluator)
+        tuner = AccuracyTuner(
+            self.engine,
+            network,
+            evaluator,
+            arch=self.arch,
+            backend=self.backend,
+        )
         table = tuner.tune(
             batch=compiled.batch,
             entropy_threshold=threshold,
             max_iterations=max_tuning_iterations,
-        )
-        manager = RuntimeKernelManager(
-            self.arch, backend=self.backend, power_gating=True
         )
         return Deployment(
             network=network,
@@ -163,5 +200,7 @@ class PervasiveCNN:
             requirement=requirement,
             entropy_threshold=threshold,
             tuning_table=table,
-            manager=manager,
+            engine=self.engine,
+            power_gating=True,
+            use_priority_sm=True,
         )

@@ -188,6 +188,10 @@ def tuning_table_to_dict(table) -> Dict:
 
 def tuning_table_from_dict(data: Dict):
     """Reconstruct a tuning table from its artifact dict."""
+    # Function-local by necessity: repro.core.offline's package
+    # __init__ imports this module, and repro.core.runtime.accuracy_tuning
+    # imports repro.core.offline.compiler -- a module-scope import here
+    # would re-enter the partially initialized offline package.
     from repro.core.runtime.accuracy_tuning import TuningEntry, TuningTable
 
     version = data.get("version")

@@ -180,16 +180,37 @@ class TuningTable:
 
 
 class AccuracyTuner:
-    """The greedy tuner of Fig. 12."""
+    """The greedy tuner of Fig. 12.
+
+    Tuning is the hottest offline path -- every iteration recompiles
+    one candidate plan per conv layer -- so all compilation goes
+    through an :class:`~repro.core.engine.ExecutionEngine`'s plan
+    cache.  ``engine`` may be an engine or (for backward
+    compatibility) a bare :class:`OfflineCompiler`, which is wrapped
+    in a private engine bound to the same platform.
+    """
 
     def __init__(
         self,
-        compiler: OfflineCompiler,
+        engine,
         network: NetworkDescriptor,
         evaluator,
         rate_ladder: Sequence[float] = RATE_LADDER,
+        arch=None,
+        backend=None,
     ) -> None:
-        self.compiler = compiler
+        # Imported here, not at module scope: repro.core.runtime's
+        # package __init__ imports this module, and repro.core.engine
+        # imports repro.core.runtime.scheduler -- a module-scope import
+        # of the engine would close that cycle before ExecutionEngine
+        # is defined.
+        from repro.core.engine import ExecutionEngine
+
+        if isinstance(engine, OfflineCompiler):
+            engine = ExecutionEngine(compiler=engine)
+        self.engine = engine
+        self.arch = arch if arch is not None else engine.default_arch
+        self.backend = backend if backend is not None else engine.default_backend
         self.network = network
         self.evaluator = evaluator
         self.rate_ladder = tuple(rate_ladder)
@@ -197,6 +218,16 @@ class AccuracyTuner:
             raise ValueError("rate_ladder must be strictly increasing")
         if self.rate_ladder[0] != 0.0:
             raise ValueError("rate_ladder must start at 0.0 (dense)")
+
+    @property
+    def compiler(self) -> OfflineCompiler:
+        """The underlying offline compiler (for introspection)."""
+        return self.engine.compiler_for(self.arch, self.backend)
+
+    def _compile(self, batch: int, plan: PerforationPlan) -> CompiledPlan:
+        return self.engine.compile_with_batch(
+            self.network, batch, plan, arch=self.arch, backend=self.backend
+        )
 
     def _next_rate(self, current: float) -> Optional[float]:
         """Next rung above ``current`` (None at the top)."""
@@ -215,7 +246,7 @@ class AccuracyTuner:
         if entropy_threshold <= 0:
             raise ValueError("entropy_threshold must be positive")
         plan = PerforationPlan.dense()
-        compiled = self.compiler.compile_with_batch(self.network, batch, plan)
+        compiled = self._compile(batch, plan)
         sample = self.evaluator.evaluate(plan)
         base_time = compiled.total_time_s
         table = TuningTable(entropy_threshold=entropy_threshold)
@@ -241,9 +272,7 @@ class AccuracyTuner:
                 if next_rate is None:
                     continue
                 candidate_plan = plan.with_rate(layer.name, next_rate)
-                candidate_compiled = self.compiler.compile_with_batch(
-                    self.network, batch, candidate_plan
-                )
+                candidate_compiled = self._compile(batch, candidate_plan)
                 candidate_time = candidate_compiled.total_time_s
                 if candidate_time >= current_time:
                     continue  # no speedup, no point paying entropy for it

@@ -5,8 +5,9 @@ scheduler; a deployed system additionally has to *assemble* batches
 from an arriving request stream.  :class:`InferenceServer` closes that
 loop: requests arrive per a :class:`~repro.workloads.RequestTrace`,
 the server accumulates them until the compiled batch is full or the
-time budget forces a flush, executes the batch on the runtime kernel
-manager, scores each request's SoC with its true end-to-end latency
+time budget forces a flush, executes the batch through the
+deployment's execution engine (steady state is a report-cache hit),
+scores each request's SoC with its true end-to-end latency
 (queueing + assembly + compute), and feeds observed entropies to the
 calibrator.
 
@@ -75,14 +76,42 @@ class ServerReport:
             return 0.0
         return sum(r.latency_s for r in self.requests) / len(self.requests)
 
-    @property
-    def p99_latency_s(self) -> float:
-        """99th-percentile end-to-end latency."""
+    def percentile(self, q: float) -> float:
+        """``q``-th percentile (0..100) of end-to-end latency.
+
+        Linear interpolation between order statistics (numpy's default
+        "linear" method), so small request counts yield a graded value
+        instead of collapsing every high percentile to the max -- the
+        old nearest-rank index ``ceil(0.99 n) - 1`` returned the
+        maximum for any n < 100.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100], got %r" % (q,))
         if not self.requests:
             return 0.0
         ordered = sorted(r.latency_s for r in self.requests)
-        index = min(len(ordered) - 1, math.ceil(0.99 * len(ordered)) - 1)
-        return ordered[index]
+        position = (len(ordered) - 1) * q / 100.0
+        low = math.floor(position)
+        high = math.ceil(position)
+        if low == high:
+            return ordered[low]
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    @property
+    def p50_latency_s(self) -> float:
+        """Median end-to-end latency."""
+        return self.percentile(50.0)
+
+    @property
+    def p95_latency_s(self) -> float:
+        """95th-percentile end-to-end latency."""
+        return self.percentile(95.0)
+
+    @property
+    def p99_latency_s(self) -> float:
+        """99th-percentile end-to-end latency."""
+        return self.percentile(99.0)
 
     @property
     def mean_soc(self) -> float:
@@ -155,11 +184,22 @@ class InferenceServer:
                 ready = flush_at  # partial batch flushed by timeout
             start = max(ready, gpu_free_at)
 
-            execution = deployment.manager.execute(entry.compiled)
+            execution = deployment.execute_current()
             finish = start + execution.total_time_s
             gpu_free_at = finish
             report.batches += 1
             report.total_energy_j += execution.total_energy_joules
+
+            # Energy convention: a timeout-flushed partial batch still
+            # executes the full compiled-batch plan, so per-request
+            # energy is amortized over the plan's batch *capacity*
+            # (matching Deployment.process_request), not over the
+            # occupied slots -- dividing by len(batch_indices) would
+            # charge each request for the idle slots' work and inflate
+            # per-request energy relative to the per-item accounting.
+            # The report's total_energy_j keeps the true total, so the
+            # idle-slot energy remains visible at the aggregate level.
+            energy_per_item = execution.total_energy_joules / entry.compiled.batch
 
             batch_entropy = 0.0
             for index in batch_indices:
@@ -170,8 +210,7 @@ class InferenceServer:
                     requirement=deployment.requirement.time,
                     entropy=entropy,
                     entropy_threshold=deployment.entropy_threshold,
-                    energy_joules=execution.total_energy_joules
-                    / len(batch_indices),
+                    energy_joules=energy_per_item,
                 )
                 report.requests.append(
                     ServedRequest(
@@ -185,6 +224,6 @@ class InferenceServer:
                     )
                 )
             # One calibration observation per batch (its worst output).
-            deployment.calibrator.observe(batch_entropy)
+            deployment.observe_entropy(batch_entropy)
         report.requests.sort(key=lambda r: r.index)
         return report

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.gpu.architecture import GPUArchitecture
-from repro.gpu.kernels import GemmShape, SgemmKernel
+from repro.gpu.kernels import GemmShape, SgemmKernel, make_kernel
 from repro.gpu import occupancy
 
 __all__ = [
@@ -241,8 +241,6 @@ class KernelLibrary:
         narrow_n = 8
         while narrow_n < shape.n_cols:
             narrow_n *= 2
-        from repro.gpu.kernels import make_kernel
-
         return make_kernel(
             kernel.tile_m,
             narrow_n,

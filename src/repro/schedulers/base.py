@@ -9,6 +9,11 @@ returns a :class:`SchedulerDecision` describing *what to run*: the
 compiled plan, whether idle SMs are power gated, whether CTAs are
 packed Priority-SM style, and the expected output entropy.
 
+All schedulers obtain compiled plans through the context's shared
+:class:`~repro.core.engine.ExecutionEngine`, so the many schedulers of
+one scenario (and P-CNN's + Ideal's overlapping tuning walks) reuse
+each other's compilation work without changing any numeric output.
+
 The distinction between the **inferred** threshold (what P-CNN's
 requirement-inference conservatively assumes the user needs) and the
 **true** threshold (what the user would actually accept) reproduces
@@ -25,6 +30,8 @@ from typing import Optional
 from repro.gpu.architecture import GPUArchitecture
 from repro.gpu.libraries import KernelLibrary
 from repro.nn.models import NetworkDescriptor
+from repro.nn.perforation import PerforationPlan
+from repro.core.engine import ExecutionEngine
 from repro.core.offline.compiler import CompiledPlan, OfflineCompiler
 from repro.core.offline.kernel_tuning import PCNN_BACKEND
 from repro.core.runtime.accuracy_tuning import AnalyticEntropyModel
@@ -52,13 +59,30 @@ class SchedulingContext:
     network: NetworkDescriptor
     spec: ApplicationSpec
     requirement: InferredRequirement
-    compiler: OfflineCompiler
+    engine: ExecutionEngine
     evaluator: object
     baseline_entropy: float
     entropy_threshold: float
     true_entropy_threshold: float
     training_batch: int = DEFAULT_TRAINING_BATCH
     backend: KernelLibrary = PCNN_BACKEND
+
+    @property
+    def compiler(self) -> OfflineCompiler:
+        """The engine's offline compiler for this scenario's platform
+        (kept for introspection; schedulers compile via the engine)."""
+        return self.engine.compiler_for(self.arch, self.backend)
+
+    def compile_for_requirement(self) -> CompiledPlan:
+        """The shared requirement-driven compilation (QPE/QPE+/P-CNN/
+        Ideal all start from this plan; the engine memoizes it)."""
+        return self.engine.compile(
+            self.network,
+            self.requirement.time,
+            data_rate_hz=self.spec.data_rate_hz,
+            arch=self.arch,
+            backend=self.backend,
+        )
 
 
 @dataclass(frozen=True)
@@ -95,21 +119,23 @@ def make_context(
     training_batch: int = 0,
     oracle_slack: float = 0.30,
     backend: KernelLibrary = PCNN_BACKEND,
+    engine: Optional[ExecutionEngine] = None,
 ) -> SchedulingContext:
     """Build the shared evaluation context for one scenario.
 
     ``oracle_slack`` is how much additional entropy (relative) the user
     would *truly* accept beyond the conservatively inferred threshold;
-    zero for accuracy-sensitive tasks.
+    zero for accuracy-sensitive tasks.  ``engine`` lets callers share
+    one plan/report cache across scenarios (the evaluation matrix);
+    by default each context gets its own.
     """
     if training_batch <= 0:
         training_batch = TRAINING_BATCHES.get(network.name, DEFAULT_TRAINING_BATCH)
     requirement = infer_requirement(spec)
-    compiler = OfflineCompiler(arch, backend)
+    if engine is None:
+        engine = ExecutionEngine(arch=arch, backend=backend)
     if evaluator is None:
         evaluator = AnalyticEntropyModel(network)
-    from repro.nn.perforation import PerforationPlan
-
     baseline = evaluator.evaluate(PerforationPlan.dense()).entropy
     threshold = requirement.entropy_threshold(baseline)
     slack = 0.0 if spec.accuracy_sensitive else oracle_slack
@@ -118,7 +144,7 @@ def make_context(
         network=network,
         spec=spec,
         requirement=requirement,
-        compiler=compiler,
+        engine=engine,
         evaluator=evaluator,
         baseline_entropy=baseline,
         entropy_threshold=threshold,

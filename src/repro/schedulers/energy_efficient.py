@@ -28,7 +28,9 @@ class EnergyEfficientScheduler(BaseScheduler):
             ctx.arch, profile, ctx.backend, batch
         ):
             batch //= 2
-        compiled = ctx.compiler.compile_with_batch(ctx.network, batch=batch)
+        compiled = ctx.engine.compile_with_batch(
+            ctx.network, batch=batch, arch=ctx.arch, backend=ctx.backend
+        )
         return SchedulerDecision(
             scheduler=self.name,
             compiled=compiled,

@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.runtime.scheduler import RuntimeKernelManager
 from repro.core.satisfaction import SoCBreakdown, soc
 from repro.schedulers.base import (
     BaseScheduler,
@@ -65,13 +64,12 @@ def evaluate_decision(
     batch into the tolerable (interactive) or unusable (real-time)
     region in Figs. 13/15 while its energy per item stays the lowest.
     """
-    manager = RuntimeKernelManager(
-        ctx.arch,
-        backend=ctx.backend,
+    report = ctx.engine.execute(
+        decision.compiled,
         power_gating=decision.power_gating,
         use_priority_sm=decision.use_priority_sm,
+        backend=ctx.backend,
     )
-    report = manager.execute(decision.compiled)
     assembly_s = (decision.batch - 1) / ctx.spec.data_rate_hz
     latency_s = assembly_s + report.total_time_s
     energy_per_item = report.total_energy_joules / decision.batch
@@ -102,6 +100,9 @@ def evaluate_scheduler(
 
 def default_schedulers() -> List[BaseScheduler]:
     """The paper's comparison set, in Fig. 13-15 order."""
+    # Function-local by necessity: ideal.py imports evaluate_decision
+    # from this module at module scope, so importing the scheduler
+    # classes at module scope here would close an import cycle.
     from repro.schedulers.energy_efficient import EnergyEfficientScheduler
     from repro.schedulers.ideal import IdealScheduler
     from repro.schedulers.pcnn import PCNNScheduler

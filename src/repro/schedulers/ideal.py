@@ -18,6 +18,7 @@ from typing import List
 
 from repro.core.runtime.accuracy_tuning import AccuracyTuner
 from repro.schedulers.base import BaseScheduler, SchedulerDecision, SchedulingContext
+from repro.schedulers.evaluation import evaluate_decision
 
 __all__ = ["IdealScheduler"]
 
@@ -31,14 +32,11 @@ class IdealScheduler(BaseScheduler):
         self.max_tuning_iterations = max_tuning_iterations
 
     def schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
-        from repro.schedulers.evaluation import evaluate_decision
-
-        compiled = ctx.compiler.compile(
-            ctx.network,
-            ctx.requirement.time,
-            data_rate_hz=ctx.spec.data_rate_hz,
+        compiled = ctx.compile_for_requirement()
+        tuner = AccuracyTuner(
+            ctx.engine, ctx.network, ctx.evaluator,
+            arch=ctx.arch, backend=ctx.backend,
         )
-        tuner = AccuracyTuner(ctx.compiler, ctx.network, ctx.evaluator)
         # The oracle may profile tuning points all the way out to (and
         # slightly past) the true tolerance.
         table = tuner.tune(

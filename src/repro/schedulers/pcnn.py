@@ -46,12 +46,11 @@ class PCNNScheduler(BaseScheduler):
         self.max_tuning_iterations = max_tuning_iterations
 
     def schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
-        compiled = ctx.compiler.compile(
-            ctx.network,
-            ctx.requirement.time,
-            data_rate_hz=ctx.spec.data_rate_hz,
+        compiled = ctx.compile_for_requirement()
+        tuner = AccuracyTuner(
+            ctx.engine, ctx.network, ctx.evaluator,
+            arch=ctx.arch, backend=ctx.backend,
         )
-        tuner = AccuracyTuner(ctx.compiler, ctx.network, ctx.evaluator)
         budget = ctx.requirement.time.budget_s
         dense_meets = (
             ctx.requirement.time.is_unbounded or compiled.total_time_s <= budget

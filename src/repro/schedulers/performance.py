@@ -19,7 +19,9 @@ class PerformancePreferredScheduler(BaseScheduler):
     name = "performance-preferred"
 
     def schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
-        compiled = ctx.compiler.compile_with_batch(ctx.network, batch=1)
+        compiled = ctx.engine.compile_with_batch(
+            ctx.network, batch=1, arch=ctx.arch, backend=ctx.backend
+        )
         return SchedulerDecision(
             scheduler=self.name,
             compiled=compiled,

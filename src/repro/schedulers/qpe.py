@@ -23,11 +23,7 @@ __all__ = ["QPEScheduler", "QPEPlusScheduler"]
 
 def _compile_for_requirement(ctx: SchedulingContext):
     """Shared batch decision: meet the time budget at minimum energy."""
-    return ctx.compiler.compile(
-        ctx.network,
-        ctx.requirement.time,
-        data_rate_hz=ctx.spec.data_rate_hz,
-    )
+    return ctx.compile_for_requirement()
 
 
 class QPEScheduler(BaseScheduler):
