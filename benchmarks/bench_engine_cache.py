@@ -26,8 +26,9 @@ from repro.gpu import JETSON_TX1
 from repro.nn import alexnet
 from repro.workloads import interactive_trace
 
-#: Requests in the repeated-plan serving trace.
+#: Requests in the repeated-plan serving trace (shrunk under --quick).
 N_REQUESTS = 400
+QUICK_N_REQUESTS = 120
 
 #: The PR's acceptance bar for cached vs uncached serving throughput.
 MIN_SPEEDUP = 5.0
@@ -51,9 +52,9 @@ def _serve(deployment, trace):
     return report, elapsed
 
 
-def reproduce():
+def reproduce(n_requests=N_REQUESTS):
     trace = interactive_trace(
-        n_requests=N_REQUESTS, think_time_s=0.02, seed=42
+        n_requests=n_requests, think_time_s=0.02, seed=42
     )
     cached_dep = _deployment(cache=True)
     uncached_dep = _deployment(cache=False)
@@ -80,14 +81,15 @@ def reproduce():
         ["engine", "req/s (host)", "serve s", "execute hits"],
         rows,
         title="Engine report-cache serving throughput "
-        "(AlexNet on TX1, %d requests)" % N_REQUESTS,
+        "(AlexNet on TX1, %d requests)" % n_requests,
     )
     return text, speedup
 
 
 @pytest.mark.benchmark(group="engine")
-def test_bench_engine_cache(benchmark):
-    text, speedup = run_once(benchmark, reproduce)
+def test_bench_engine_cache(benchmark, quick):
+    n = QUICK_N_REQUESTS if quick else N_REQUESTS
+    text, speedup = run_once(benchmark, lambda: reproduce(n))
     emit("engine_cache", text)
     assert speedup >= MIN_SPEEDUP, (
         "cached serving only %.1fx faster (bar: %.0fx)"

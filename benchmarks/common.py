@@ -13,6 +13,7 @@ Run the whole harness with::
 
 from __future__ import annotations
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -26,6 +27,21 @@ def emit(name: str, text: str) -> str:
         handle.write(text + "\n")
     print()
     print(text)
+    return path
+
+
+def emit_json(name: str, data: dict) -> str:
+    """Persist a report's ``to_dict()`` payload under results/.
+
+    Machine-readable companion to :func:`emit`: the serving reports
+    (``ServerReport.to_dict``, ``RouterReport.to_dict``) land here so
+    downstream tooling can diff runs without re-parsing tables.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "%s.json" % name)
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path
 
 

@@ -12,7 +12,7 @@ sys.path.insert(0, os.path.dirname(__file__))
 
 import pytest
 
-from repro.nn import (
+from repro.nn import (  # noqa: E402  (path bootstrap above)
     load_parameters,
     make_dataset,
     pcnn_net,
@@ -25,6 +25,24 @@ from repro.nn import (
 #: wall-clock, and the (dataset seed, trainer seed, epochs) triple is
 #: fixed, so the parameters are reusable across benchmark sessions.
 CACHE_DIR = os.path.join(os.path.dirname(__file__), ".cache")
+
+
+def pytest_addoption(parser):
+    """``--quick``: CI smoke mode -- benches shrink their workloads to
+    finish in seconds while still exercising the full code path and
+    keeping every assertion armed."""
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run benchmarks with reduced workloads (CI smoke mode)",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request):
+    """Whether the suite runs in ``--quick`` smoke mode."""
+    return request.config.getoption("--quick")
 
 
 @pytest.fixture(scope="session")

@@ -18,6 +18,9 @@ Sub-commands:
   three-task matrix behind the paper's Figs. 13-15.
 * ``tune --network N --gpu G [--slack S]`` -- run entropy-guided
   accuracy tuning with the analytic model and print the tuning path.
+* ``serve-fleet [--gpus G1,G2] [--load L] [--requests N]
+  [--no-degradation] [--fifo] [--json]`` -- route a bursty
+  multi-tenant storm across the fleet and print the router report.
 """
 
 from __future__ import annotations
@@ -113,6 +116,34 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--slack", type=float, default=0.3,
                       help="allowed relative entropy increase")
     tune.add_argument("--iterations", type=int, default=32)
+
+    serve = sub.add_parser(
+        "serve-fleet", help="route multi-tenant traffic across the fleet"
+    )
+    serve.add_argument("--network", default="alexnet")
+    serve.add_argument(
+        "--gpus", default="k20c,tx1",
+        help="comma-separated platform list (default: the paper's pair)",
+    )
+    serve.add_argument(
+        "--load", type=float, default=2.0,
+        help="offered load as a multiple of rung-0 fleet capacity",
+    )
+    serve.add_argument("--requests", type=int, default=2000,
+                       help="requests per tenant in the storm")
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument(
+        "--no-degradation", action="store_true",
+        help="pin every platform at rung 0 (no overload ladder)",
+    )
+    serve.add_argument(
+        "--fifo", action="store_true",
+        help="FIFO dispatch baseline instead of SoC-scored placement",
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="print the report as JSON instead of tables",
+    )
     return parser
 
 
@@ -306,6 +337,136 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_serve_fleet(args) -> int:
+    import json as json_module
+
+    from repro.core.fleet import FleetManager
+    from repro.serving import RequestRouter, RouterConfig, Tenant, TenantLoad
+    from repro.workloads import bursty_trace, pareto_trace
+
+    network = get_network(args.network)
+    spec = ApplicationSpec(
+        "interactive", TaskClass.INTERACTIVE, data_rate_hz=50.0,
+        entropy_slack=0.30,
+    )
+    architectures = [
+        get_architecture(name.strip()) for name in args.gpus.split(",")
+    ]
+    fleet = FleetManager(network, spec, architectures=architectures)
+    deployments = fleet.deploy_all()
+
+    capacity = 0.0
+    for deployment in deployments.values():
+        entry = deployment.current_entry
+        execution = deployment.engine.execute(
+            entry.compiled,
+            power_gating=deployment.power_gating,
+            use_priority_sm=deployment.use_priority_sm,
+        )
+        capacity += entry.compiled.batch / execution.total_time_s
+
+    # Two tenants share the fleet: a deadline-bound interactive stream
+    # carrying 80% of the offered storm, and a deadline-free background
+    # dump (heavy-tailed arrivals) carrying the remaining 20%.
+    offered = args.load * capacity
+    interactive = Tenant.from_spec(spec, priority=1)
+    background = Tenant.from_spec(
+        ApplicationSpec("background", TaskClass.BACKGROUND), priority=0
+    )
+    loads = [
+        TenantLoad(
+            interactive,
+            bursty_trace(
+                n_requests=args.requests,
+                rate_hz=0.8 * offered,
+                seed=args.seed,
+            ),
+        ),
+        TenantLoad(
+            background,
+            pareto_trace(
+                n_requests=max(1, args.requests // 4),
+                rate_hz=0.2 * offered,
+                seed=args.seed + 1,
+            ),
+        ),
+    ]
+
+    config = RouterConfig(
+        degradation=not args.no_degradation,
+        policy="fifo" if args.fifo else "soc",
+    )
+    report = RequestRouter(fleet, config).run(loads)
+
+    if args.json:
+        print(
+            json_module.dumps(
+                report.to_dict(include_events=False), indent=2, sort_keys=True
+            )
+        )
+        return 0
+
+    print(format_table(
+        ["offered", "completed", "rejected", "hit-rate", "mean SoC",
+         "p95 latency ms", "energy J"],
+        [(
+            report.n_offered,
+            report.n_completed,
+            report.n_rejected,
+            "%.0f%%" % (report.deadline_hit_rate * 100),
+            "%.3f" % report.mean_soc,
+            "%.1f" % (report.percentile_latency_s(95.0) * 1e3),
+            "%.2f" % report.total_energy_j,
+        )],
+        title="Fleet serving: %s at %.1fx capacity (%.0f req/s offered, "
+        "policy %s%s)"
+        % (network.name, args.load, offered, config.policy,
+           ", no degradation" if args.no_degradation else ""),
+    ))
+    print()
+    print(format_table(
+        ["tenant", "prio", "offered", "rejected", "hit-rate", "mean SoC",
+         "mean latency ms"],
+        [(
+            stats.tenant,
+            stats.priority,
+            stats.offered,
+            stats.rejected,
+            "%.0f%%" % (stats.deadline_hit_rate * 100),
+            "%.3f" % stats.mean_soc,
+            "%.1f" % (stats.mean_latency_s * 1e3),
+        ) for stats in report.per_tenant()],
+        title="Per tenant",
+    ))
+    print()
+    print(format_table(
+        ["platform", "batches", "requests", "util", "mean level",
+         "peak level", "energy J"],
+        [(
+            stats.platform,
+            stats.batches,
+            stats.requests,
+            "%.0f%%" % (stats.utilization * 100),
+            "%.2f" % stats.mean_level,
+            stats.peak_level,
+            "%.2f" % stats.energy_j,
+        ) for stats in report.platforms],
+        title="Per platform",
+    ))
+    counts = report.events.counts
+    print()
+    print(
+        "events: "
+        + ", ".join(
+            "%s=%d" % (kind, counts[kind])
+            for kind in report.events.KINDS
+            if counts[kind]
+        )
+    )
+    print("fingerprint: %s" % report.fingerprint())
+    return 0
+
+
 _COMMANDS = {
     "platforms": _cmd_platforms,
     "networks": _cmd_networks,
@@ -316,6 +477,7 @@ _COMMANDS = {
     "roofline": _cmd_roofline,
     "evaluate": _cmd_evaluate,
     "tune": _cmd_tune,
+    "serve-fleet": _cmd_serve_fleet,
 }
 
 

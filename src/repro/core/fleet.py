@@ -59,11 +59,12 @@ class FleetReport:
         return max(self.platforms, key=lambda p: p.soc)
 
     def by_gpu(self, gpu: str) -> PlatformReport:
-        """Look up one platform's report."""
+        """Look up one platform's report (KeyError names the fleet)."""
         for report in self.platforms:
             if report.gpu == gpu:
                 return report
-        raise KeyError("no platform %r in the fleet" % (gpu,))
+        known = ", ".join(sorted(report.gpu for report in self.platforms))
+        raise KeyError("no platform %r in the fleet (known: %s)" % (gpu, known))
 
 
 class FleetManager:

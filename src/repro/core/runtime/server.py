@@ -30,7 +30,62 @@ if TYPE_CHECKING:  # avoid a circular import; Deployment is duck-typed
     from repro.core.framework import Deployment
 from repro.workloads.generators import RequestTrace
 
-__all__ = ["ServedRequest", "ServerReport", "InferenceServer"]
+__all__ = [
+    "default_flush_timeout",
+    "FlushPolicy",
+    "ServedRequest",
+    "ServerReport",
+    "InferenceServer",
+]
+
+
+def default_flush_timeout(deployment: "Deployment") -> float:
+    """The batching flush timeout a deployment implies.
+
+    Half the imperceptible budget keeps assembly from eating the whole
+    latency allowance; background tasks (infinite budget) fall back to
+    50 ms.  Shared by :class:`InferenceServer` and the fleet router in
+    :mod:`repro.serving`.
+    """
+    budget = deployment.requirement.time.budget_s
+    return budget / 2 if math.isfinite(budget) else 0.05
+
+
+@dataclass(frozen=True)
+class FlushPolicy:
+    """The full-batch-or-timeout batch-assembly rule.
+
+    A batch launches when either ``capacity`` requests are queued or
+    the *oldest* queued request has waited ``timeout_s``.  Both the
+    trace-driven :class:`InferenceServer` and the event-driven router
+    in :mod:`repro.serving` apply this same policy, so their batching
+    semantics cannot drift apart.
+    """
+
+    capacity: int
+    timeout_s: float
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+    def flush_at(self, head_arrival_s: float) -> float:
+        """Latest launch time once ``head_arrival_s`` starts a batch."""
+        return head_arrival_s + self.timeout_s
+
+    def admits(self, queue_len: int, arrival_s: float, head_arrival_s: float) -> bool:
+        """Whether one more request may still join the forming batch."""
+        return queue_len < self.capacity and arrival_s <= self.flush_at(
+            head_arrival_s
+        )
+
+    def should_flush(self, queue_len: int, now_s: float, head_arrival_s: float) -> bool:
+        """Whether the forming batch must launch now."""
+        return queue_len >= self.capacity or now_s >= self.flush_at(
+            head_arrival_s
+        )
 
 
 @dataclass(frozen=True)
@@ -54,6 +109,22 @@ class ServedRequest:
     def queueing_s(self) -> float:
         """Time spent waiting for the batch to form/start."""
         return self.start_s - self.arrival_s
+
+    def to_dict(self) -> dict:
+        """Plain-data view (JSON-serializable)."""
+        return {
+            "index": self.index,
+            "arrival_s": self.arrival_s,
+            "start_s": self.start_s,
+            "finish_s": self.finish_s,
+            "latency_s": self.latency_s,
+            "queueing_s": self.queueing_s,
+            "batch": self.batch,
+            "entropy": self.entropy,
+            "soc": self.soc.value,
+            "soc_time": self.soc.soc_time,
+            "soc_accuracy": self.soc.soc_accuracy,
+        }
 
 
 @dataclass
@@ -132,6 +203,29 @@ class ServerReport:
         """Requests whose SoC_time collapsed to zero."""
         return sum(1 for r in self.requests if r.soc.soc_time == 0.0)
 
+    def to_dict(self, include_requests: bool = False) -> dict:
+        """Plain-data summary (JSON-serializable).
+
+        Benchmarks and external tooling should consume this instead of
+        reaching into the report's fields; ``include_requests`` adds the
+        full per-request accounting.
+        """
+        summary = {
+            "n_requests": self.n_requests,
+            "batches": self.batches,
+            "total_energy_j": self.total_energy_j,
+            "energy_per_request_j": self.energy_per_request_j,
+            "mean_latency_s": self.mean_latency_s,
+            "p50_latency_s": self.p50_latency_s,
+            "p95_latency_s": self.p95_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "mean_soc": self.mean_soc,
+            "deadline_misses": self.deadline_misses,
+        }
+        if include_requests:
+            summary["requests"] = [r.to_dict() for r in self.requests]
+        return summary
+
 
 class InferenceServer:
     """Batch-assembling, calibration-aware serving loop."""
@@ -146,8 +240,7 @@ class InferenceServer:
         imperceptible budget (or 50 ms for background tasks)."""
         self.deployment = deployment
         if flush_timeout_s is None:
-            budget = deployment.requirement.time.budget_s
-            flush_timeout_s = budget / 2 if math.isfinite(budget) else 0.05
+            flush_timeout_s = default_flush_timeout(deployment)
         if flush_timeout_s <= 0:
             raise ValueError("flush_timeout_s must be positive")
         self.flush_timeout_s = flush_timeout_s
@@ -162,26 +255,28 @@ class InferenceServer:
         n = trace.n_requests
         while i < n or queue:
             entry = deployment.current_entry
-            target_batch = entry.compiled.batch
+            # Capacity tracks the *current* entry: calibration may have
+            # swapped the deployed plan between batches.
+            policy = FlushPolicy(
+                capacity=entry.compiled.batch, timeout_s=self.flush_timeout_s
+            )
             if not queue:
                 queue.append(i)
                 i += 1
             # Admit every request that arrives before the flush point.
-            flush_at = trace.arrivals_s[queue[0]] + self.flush_timeout_s
-            while (
-                i < n
-                and len(queue) < target_batch
-                and trace.arrivals_s[i] <= flush_at
+            head_arrival = float(trace.arrivals_s[queue[0]])
+            while i < n and policy.admits(
+                len(queue), float(trace.arrivals_s[i]), head_arrival
             ):
                 queue.append(i)
                 i += 1
-            batch_indices = queue[:target_batch]
-            queue = queue[target_batch:]
+            batch_indices = queue[: policy.capacity]
+            queue = queue[policy.capacity :]
             last_arrival = float(trace.arrivals_s[batch_indices[-1]])
-            if len(batch_indices) == target_batch or i >= n:
+            if len(batch_indices) == policy.capacity or i >= n:
                 ready = last_arrival  # batch full, or stream drained
             else:
-                ready = flush_at  # partial batch flushed by timeout
+                ready = policy.flush_at(head_arrival)  # timeout flush
             start = max(ready, gpu_free_at)
 
             execution = deployment.execute_current()

@@ -1,0 +1,71 @@
+"""Deadline-aware multi-tenant serving on top of the fleet.
+
+The paper deploys *one* application on *one* platform and lets the
+run-time manager trade accuracy for latency per request.  This package
+scales that idea to an operator's view: live traffic from several
+tenants is routed across every platform of a
+:class:`~repro.core.fleet.FleetManager` by a deterministic
+discrete-event router that
+
+* admits or rejects requests against bounded per-platform queues and
+  per-tenant deadlines (:mod:`repro.serving.admission`),
+* scores candidate (platform, batch-plan, perforation-level)
+  assignments by predicted SoC and routes each request to the best one
+  (:mod:`repro.serving.dispatch`),
+* degrades gracefully under overload by stepping each platform down a
+  ladder of faster-but-coarser operating points -- larger batches plus
+  heavier perforation -- and stepping back up as the backlog drains,
+  mirroring the paper's calibration backtracking
+  (:mod:`repro.serving.degradation`),
+* and emits a structured event log plus a :class:`RouterReport`
+  aggregating per-tenant SoC, deadline hit-rates, rejection rates and
+  per-platform utilization/energy (:mod:`repro.serving.events`,
+  :mod:`repro.serving.report`).
+
+Everything is simulated time: the router is bit-identical across runs
+with the same seed and configuration.
+"""
+
+from repro.serving.admission import AdmissionController, AdmissionDecision
+from repro.serving.degradation import (
+    DegradationController,
+    DegradationLadder,
+    DegradationRung,
+    escalate_perforation,
+)
+from repro.serving.dispatch import Candidate, Dispatcher, PlatformState
+from repro.serving.events import EventLog, RouterEvent
+from repro.serving.report import (
+    CompletedRequest,
+    PlatformStats,
+    RejectedRequest,
+    RouterReport,
+    TenantStats,
+)
+from repro.serving.request import Request, Tenant, TenantLoad, merge_loads
+from repro.serving.router import RequestRouter, RouterConfig
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "Candidate",
+    "CompletedRequest",
+    "DegradationController",
+    "DegradationLadder",
+    "DegradationRung",
+    "Dispatcher",
+    "EventLog",
+    "PlatformState",
+    "PlatformStats",
+    "RejectedRequest",
+    "Request",
+    "RequestRouter",
+    "RouterConfig",
+    "RouterEvent",
+    "RouterReport",
+    "Tenant",
+    "TenantLoad",
+    "TenantStats",
+    "escalate_perforation",
+    "merge_loads",
+]

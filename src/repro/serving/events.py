@@ -1,0 +1,121 @@
+"""Structured router event log.
+
+Every decision the router takes -- admission, rejection, dispatch,
+degradation moves, completions, and the engine's compile/cache
+activity it observes through the hook bus -- lands here as one
+:class:`RouterEvent` with a simulated timestamp and a monotone
+sequence number.  The log is the router's audit trail: reports are
+aggregations over it plus the completion records, and the determinism
+guarantee is asserted by fingerprinting it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = ["RouterEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class RouterEvent:
+    """One timestamped router decision."""
+
+    seq: int
+    time_s: float
+    kind: str
+    tenant: Optional[str] = None
+    platform: Optional[str] = None
+    request_ids: Tuple[int, ...] = ()
+    detail: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-data view with a stable key order."""
+        return {
+            "seq": self.seq,
+            "time_s": self.time_s,
+            "kind": self.kind,
+            "tenant": self.tenant,
+            "platform": self.platform,
+            "request_ids": list(self.request_ids),
+            "detail": {key: self.detail[key] for key in sorted(self.detail)},
+        }
+
+
+class EventLog:
+    """Ordered, append-only collection of router events."""
+
+    #: The event vocabulary.  ``enqueue``/``reject`` come from
+    #: admission, ``dispatch``/``complete`` from the serving loop,
+    #: ``degrade``/``restore`` from the degradation controllers, and
+    #: ``compile``/``cache_hit`` are relayed engine hook-bus events.
+    KINDS = (
+        "enqueue",
+        "reject",
+        "dispatch",
+        "complete",
+        "degrade",
+        "restore",
+        "compile",
+        "cache_hit",
+    )
+
+    def __init__(self) -> None:
+        self._events: List[RouterEvent] = []
+
+    def record(
+        self,
+        kind: str,
+        time_s: float,
+        tenant: Optional[str] = None,
+        platform: Optional[str] = None,
+        request_ids: Tuple[int, ...] = (),
+        **detail,
+    ) -> RouterEvent:
+        """Append one event; returns it."""
+        if kind not in self.KINDS:
+            raise ValueError(
+                "unknown event kind %r (known: %s)"
+                % (kind, ", ".join(self.KINDS))
+            )
+        event = RouterEvent(
+            seq=len(self._events),
+            time_s=time_s,
+            kind=kind,
+            tenant=tenant,
+            platform=platform,
+            request_ids=tuple(request_ids),
+            detail=detail,
+        )
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[RouterEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> RouterEvent:
+        return self._events[index]
+
+    def of_kind(self, kind: str) -> List[RouterEvent]:
+        """All events of one kind, in order."""
+        if kind not in self.KINDS:
+            raise ValueError(
+                "unknown event kind %r (known: %s)"
+                % (kind, ", ".join(self.KINDS))
+            )
+        return [event for event in self._events if event.kind == kind]
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Event counts per kind (kinds with zero events included)."""
+        counts = {kind: 0 for kind in self.KINDS}
+        for event in self._events:
+            counts[event.kind] += 1
+        return counts
+
+    def to_dicts(self) -> List[dict]:
+        """The whole log as plain data (JSON-serializable)."""
+        return [event.to_dict() for event in self._events]

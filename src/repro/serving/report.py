@@ -1,0 +1,370 @@
+"""Router reports: per-tenant and per-platform aggregation.
+
+The :class:`RouterReport` is the routing run's durable outcome: every
+completion and rejection, per-tenant SoC / deadline hit-rate /
+rejection-rate, per-platform utilization / energy / degradation
+profile, and the full event log.  ``to_dict`` / ``to_json`` give a
+stable plain-data schema, and :meth:`RouterReport.fingerprint` hashes
+the canonical JSON -- the determinism guarantee ("bit-identical runs")
+is asserted by comparing fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.satisfaction import SoCBreakdown
+from repro.serving.events import EventLog
+from repro.serving.request import Request
+
+__all__ = [
+    "CompletedRequest",
+    "RejectedRequest",
+    "TenantStats",
+    "PlatformStats",
+    "RouterReport",
+]
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """One served request's end-to-end accounting."""
+
+    request: Request
+    platform: str
+    level: int
+    batch: int
+    start_s: float
+    finish_s: float
+    entropy: float
+    soc: SoCBreakdown
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival to batch completion."""
+        return self.finish_s - self.request.arrival_s
+
+    @property
+    def deadline_hit(self) -> bool:
+        """Whether the tenant's hard deadline was met."""
+        return self.finish_s <= self.request.deadline_s
+
+    def to_dict(self) -> dict:
+        """Plain-data view."""
+        return {
+            "rid": self.request.rid,
+            "tenant": self.request.tenant.name,
+            "platform": self.platform,
+            "level": self.level,
+            "batch": self.batch,
+            "arrival_s": self.request.arrival_s,
+            "start_s": self.start_s,
+            "finish_s": self.finish_s,
+            "latency_s": self.latency_s,
+            "deadline_hit": self.deadline_hit,
+            "entropy": self.entropy,
+            "soc": self.soc.value,
+            "soc_time": self.soc.soc_time,
+            "soc_accuracy": self.soc.soc_accuracy,
+        }
+
+
+@dataclass(frozen=True)
+class RejectedRequest:
+    """One request the admission controller turned away."""
+
+    request: Request
+    reason: str  # "saturated" or "infeasible"
+
+    def to_dict(self) -> dict:
+        """Plain-data view."""
+        return {
+            "rid": self.request.rid,
+            "tenant": self.request.tenant.name,
+            "arrival_s": self.request.arrival_s,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """One tenant's aggregate outcome."""
+
+    tenant: str
+    priority: int
+    offered: int
+    completed: int
+    rejected: int
+    deadline_hits: int
+    mean_soc: float
+    mean_latency_s: float
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Hits over *offered* requests: a rejection is a miss."""
+        if self.offered == 0:
+            return 0.0
+        return self.deadline_hits / self.offered
+
+    @property
+    def rejection_rate(self) -> float:
+        """Rejected over offered requests."""
+        if self.offered == 0:
+            return 0.0
+        return self.rejected / self.offered
+
+    def to_dict(self) -> dict:
+        """Plain-data view."""
+        return {
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "offered": self.offered,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "deadline_hits": self.deadline_hits,
+            "deadline_hit_rate": self.deadline_hit_rate,
+            "rejection_rate": self.rejection_rate,
+            "mean_soc": self.mean_soc,
+            "mean_latency_s": self.mean_latency_s,
+        }
+
+
+@dataclass(frozen=True)
+class PlatformStats:
+    """One platform's aggregate serving profile."""
+
+    platform: str
+    gpu: str
+    batches: int
+    requests: int
+    busy_s: float
+    utilization: float
+    energy_j: float
+    mean_level: float
+    peak_level: int
+    final_level: int
+
+    def to_dict(self) -> dict:
+        """Plain-data view."""
+        return {
+            "platform": self.platform,
+            "gpu": self.gpu,
+            "batches": self.batches,
+            "requests": self.requests,
+            "busy_s": self.busy_s,
+            "utilization": self.utilization,
+            "energy_j": self.energy_j,
+            "mean_level": self.mean_level,
+            "peak_level": self.peak_level,
+            "final_level": self.final_level,
+        }
+
+
+@dataclass
+class RouterReport:
+    """Aggregate outcome of one routing run."""
+
+    completed: List[CompletedRequest] = field(default_factory=list)
+    rejected: List[RejectedRequest] = field(default_factory=list)
+    platforms: List[PlatformStats] = field(default_factory=list)
+    events: EventLog = field(default_factory=EventLog)
+    #: Simulated end of the run (last completion, or last arrival).
+    horizon_s: float = 0.0
+
+    # -- fleet-level views ----------------------------------------------
+    @property
+    def n_offered(self) -> int:
+        """Every request that reached admission."""
+        return len(self.completed) + len(self.rejected)
+
+    @property
+    def n_completed(self) -> int:
+        """Requests served to completion."""
+        return len(self.completed)
+
+    @property
+    def n_rejected(self) -> int:
+        """Requests turned away by admission control."""
+        return len(self.rejected)
+
+    @property
+    def deadline_hits(self) -> int:
+        """Completions inside their tenant's hard deadline."""
+        return sum(1 for record in self.completed if record.deadline_hit)
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Hits over offered requests (rejections count as misses)."""
+        if self.n_offered == 0:
+            return 0.0
+        return self.deadline_hits / self.n_offered
+
+    @property
+    def rejection_rate(self) -> float:
+        """Rejections over offered requests."""
+        if self.n_offered == 0:
+            return 0.0
+        return self.n_rejected / self.n_offered
+
+    @property
+    def mean_soc(self) -> float:
+        """Mean SoC over completed requests."""
+        if not self.completed:
+            return 0.0
+        return sum(r.soc.value for r in self.completed) / len(self.completed)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Fleet-wide energy spent serving."""
+        return sum(p.energy_j for p in self.platforms)
+
+    def percentile_latency_s(self, q: float) -> float:
+        """``q``-th percentile (0..100) of completed-request latency,
+        linearly interpolated (the server report's convention)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100], got %r" % (q,))
+        if not self.completed:
+            return 0.0
+        ordered = sorted(r.latency_s for r in self.completed)
+        position = (len(ordered) - 1) * q / 100.0
+        low = math.floor(position)
+        high = math.ceil(position)
+        if low == high:
+            return ordered[low]
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    # -- per-tenant aggregation -----------------------------------------
+    def per_tenant(self) -> List[TenantStats]:
+        """Tenant aggregates, sorted by tenant name."""
+        tenants: Dict[str, dict] = {}
+
+        def bucket(name: str, priority: int) -> dict:
+            if name not in tenants:
+                tenants[name] = {
+                    "priority": priority,
+                    "completed": [],
+                    "rejected": 0,
+                }
+            return tenants[name]
+
+        for record in self.completed:
+            bucket(
+                record.request.tenant.name, record.request.tenant.priority
+            )["completed"].append(record)
+        for record in self.rejected:
+            bucket(
+                record.request.tenant.name, record.request.tenant.priority
+            )["rejected"] += 1
+        stats = []
+        for name in sorted(tenants):
+            data = tenants[name]
+            done = data["completed"]
+            offered = len(done) + data["rejected"]
+            stats.append(
+                TenantStats(
+                    tenant=name,
+                    priority=data["priority"],
+                    offered=offered,
+                    completed=len(done),
+                    rejected=data["rejected"],
+                    deadline_hits=sum(1 for r in done if r.deadline_hit),
+                    mean_soc=(
+                        sum(r.soc.value for r in done) / len(done)
+                        if done
+                        else 0.0
+                    ),
+                    mean_latency_s=(
+                        sum(r.latency_s for r in done) / len(done)
+                        if done
+                        else 0.0
+                    ),
+                )
+            )
+        return stats
+
+    def tenant(self, name: str) -> TenantStats:
+        """One tenant's aggregate (KeyError lists known tenants)."""
+        for stats in self.per_tenant():
+            if stats.tenant == name:
+                return stats
+        known = ", ".join(s.tenant for s in self.per_tenant())
+        raise KeyError("no tenant %r in the report (known: %s)" % (name, known))
+
+    def platform(self, name: str) -> PlatformStats:
+        """One platform's aggregate (KeyError lists known platforms)."""
+        for stats in self.platforms:
+            if stats.platform == name:
+                return stats
+        known = ", ".join(p.platform for p in self.platforms)
+        raise KeyError(
+            "no platform %r in the report (known: %s)" % (name, known)
+        )
+
+    # -- export ----------------------------------------------------------
+    def to_dict(
+        self,
+        include_events: bool = True,
+        include_requests: bool = False,
+    ) -> dict:
+        """Stable plain-data schema (JSON-serializable)."""
+        data = {
+            "summary": {
+                "offered": self.n_offered,
+                "completed": self.n_completed,
+                "rejected": self.n_rejected,
+                "deadline_hits": self.deadline_hits,
+                "deadline_hit_rate": self.deadline_hit_rate,
+                "rejection_rate": self.rejection_rate,
+                "mean_soc": self.mean_soc,
+                "p50_latency_s": self.percentile_latency_s(50.0),
+                "p95_latency_s": self.percentile_latency_s(95.0),
+                "p99_latency_s": self.percentile_latency_s(99.0),
+                "total_energy_j": self.total_energy_j,
+                "horizon_s": self.horizon_s,
+            },
+            "tenants": [stats.to_dict() for stats in self.per_tenant()],
+            "platforms": [stats.to_dict() for stats in self.platforms],
+            "event_counts": self.events.counts,
+        }
+        if include_events:
+            data["events"] = self.events.to_dicts()
+        if include_requests:
+            data["completed"] = [r.to_dict() for r in self.completed]
+            data["rejected"] = [r.to_dict() for r in self.rejected]
+        return data
+
+    def to_json(self, **kwargs) -> str:
+        """Canonical JSON rendering of :meth:`to_dict`."""
+        return json.dumps(
+            self.to_dict(**kwargs), sort_keys=True, separators=(",", ":")
+        )
+
+    #: Engine hook relays excluded from the fingerprint: whether a rung
+    #: compiles fresh or hits the cache depends on engine cache
+    #: temperature, which is explicitly not part of routing behaviour.
+    _CACHE_KINDS = ("compile", "cache_hit")
+
+    def fingerprint(self) -> str:
+        """SHA-1 over the canonical JSON of every routing decision,
+        event and request record: two runs are bit-identical iff these
+        match.  Engine compile/cache-hit relays (and the raw sequence
+        numbers they shift) are excluded, so a warm engine cache does
+        not change the fingerprint -- only routing behaviour does."""
+        data = self.to_dict(include_events=True, include_requests=True)
+        data["events"] = [
+            {key: value for key, value in event.items() if key != "seq"}
+            for event in data["events"]
+            if event["kind"] not in self._CACHE_KINDS
+        ]
+        data["event_counts"] = {
+            kind: count
+            for kind, count in data["event_counts"].items()
+            if kind not in self._CACHE_KINDS
+        }
+        payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()

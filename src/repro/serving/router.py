@@ -1,0 +1,424 @@
+"""The deadline-aware multi-tenant request router.
+
+:class:`RequestRouter` is a deterministic discrete-event simulation
+sitting above a fleet of deployments and below the workload traces:
+arrivals, platform-free and flush-timer events are processed in strict
+(time, sequence) order, so a run is bit-identical given the same
+seeds and configuration -- asserted via
+:meth:`~repro.serving.report.RouterReport.fingerprint`.
+
+Per event the router:
+
+* **admits** the request through the
+  :class:`~repro.serving.admission.AdmissionController` (bounded
+  queues, deadline feasibility, degrade-before-reject),
+* **routes** it to the platform whose current (batch-plan,
+  perforation-level) rung promises the best SoC,
+* **assembles batches** per platform under the same
+  :class:`~repro.core.runtime.server.FlushPolicy` rule the
+  single-platform :class:`~repro.core.runtime.server.InferenceServer`
+  uses (full batch or flush timeout),
+* and lets each platform's
+  :class:`~repro.serving.degradation.DegradationController` walk the
+  overload ladder as the backlog grows and drains.
+
+The router also subscribes to every deployment engine's hook bus for
+the duration of a run, so rung compilations and cache hits show up in
+the structured event log alongside its own decisions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.fleet import FleetManager
+from repro.core.framework import Deployment
+from repro.core.runtime.server import FlushPolicy, default_flush_timeout
+from repro.core.satisfaction import soc
+from repro.serving.admission import AdmissionController
+from repro.serving.degradation import DegradationController, DegradationLadder
+from repro.serving.dispatch import Dispatcher, PlatformState, POLICIES
+from repro.serving.events import EventLog
+from repro.serving.report import (
+    CompletedRequest,
+    PlatformStats,
+    RejectedRequest,
+    RouterReport,
+)
+from repro.serving.request import Request, TenantLoad, merge_loads
+
+__all__ = ["RouterConfig", "RequestRouter"]
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tunables of one router instance.
+
+    ``high_water_batches`` / ``low_water_batches`` are expressed in
+    units of the platform's rung-0 batch execution time, so the same
+    config is meaningful on a 6 ms server GPU and a 40 ms mobile one.
+    """
+
+    queue_limit: int = 64
+    flush_timeout_s: Optional[float] = None  # default: per deployment
+    max_levels: int = 4
+    batch_growth: int = 2
+    max_batch: int = 64
+    min_gain: float = 1.02
+    high_water_batches: float = 3.0
+    low_water_batches: float = 0.75
+    window: int = 2
+    degradation: bool = True
+    degrade_on_admission: bool = True
+    policy: str = "soc"
+    #: Feed observed entropies to the deployments' calibrators while
+    #: serving at rung 0 (off by default: the router's beyond-threshold
+    #: rungs would otherwise fight the calibrator).
+    calibrate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                "unknown policy %r (known: %s)"
+                % (self.policy, ", ".join(POLICIES))
+            )
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if self.max_levels < 1:
+            raise ValueError("max_levels must be >= 1")
+        if not 0 <= self.low_water_batches < self.high_water_batches:
+            raise ValueError(
+                "need 0 <= low_water_batches < high_water_batches"
+            )
+
+
+# Event kinds, in tie-break-irrelevant order (the push sequence number
+# is the actual tie-breaker).
+_ARRIVAL = "arrival"
+_FREE = "free"
+_FLUSH = "flush"
+
+
+class RequestRouter:
+    """Routes multi-tenant traffic across a fleet of deployments."""
+
+    def __init__(
+        self,
+        deployments: Union[FleetManager, Mapping[str, Deployment]],
+        config: Optional[RouterConfig] = None,
+    ) -> None:
+        if isinstance(deployments, FleetManager):
+            deployments = deployments.deploy_all()
+        if not deployments:
+            raise ValueError("router needs at least one deployment")
+        self.deployments: Dict[str, Deployment] = {
+            name: deployments[name] for name in sorted(deployments)
+        }
+        self.config = config if config is not None else RouterConfig()
+
+    # -- run -------------------------------------------------------------
+    def run(self, loads: Sequence[TenantLoad]) -> RouterReport:
+        """Serve every tenant's trace; returns the aggregate report.
+
+        Each call is an independent simulation: platform state is
+        rebuilt from the deployments (compilation being engine-cached,
+        repeat runs are cheap) and nothing carries over between runs.
+        """
+        config = self.config
+        events = EventLog()
+        self._now = 0.0
+        unsubscribe = self._subscribe_engines(events)
+        try:
+            states = self._build_states(events)
+            dispatcher = Dispatcher(states, policy=config.policy)
+            admission = AdmissionController(
+                dispatcher,
+                queue_limit=config.queue_limit,
+                degrade_on_admission=(
+                    config.degrade_on_admission and config.degradation
+                ),
+            )
+            completed: List[CompletedRequest] = []
+            rejected: List[RejectedRequest] = []
+            requests = merge_loads(loads)
+
+            heap: List[Tuple[float, int, str, object]] = []
+            push_seq = 0
+
+            def push(time_s: float, kind: str, payload: object) -> None:
+                nonlocal push_seq
+                heapq.heappush(heap, (time_s, push_seq, kind, payload))
+                push_seq += 1
+
+            for request in requests:
+                push(request.arrival_s, _ARRIVAL, request)
+
+            while heap:
+                time_s, _seq, kind, payload = heapq.heappop(heap)
+                self._now = time_s
+                if kind == _ARRIVAL:
+                    self._on_arrival(
+                        payload, admission, states, events, rejected,
+                        completed, push,
+                    )
+                elif kind == _FREE:
+                    self._try_dispatch(
+                        payload, states, events, completed, push
+                    )
+                else:  # _FLUSH
+                    state = payload
+                    if (
+                        state.pending_flush_at is not None
+                        and state.pending_flush_at <= time_s
+                    ):
+                        state.pending_flush_at = None
+                    self._try_dispatch(
+                        state, states, events, completed, push
+                    )
+        finally:
+            unsubscribe()
+
+        horizon = 0.0
+        if completed:
+            horizon = max(horizon, max(r.finish_s for r in completed))
+        if requests:
+            horizon = max(horizon, requests[-1].arrival_s)
+        return RouterReport(
+            completed=sorted(completed, key=lambda r: r.request.rid),
+            rejected=sorted(rejected, key=lambda r: r.request.rid),
+            platforms=self._platform_stats(states, horizon),
+            events=events,
+            horizon_s=horizon,
+        )
+
+    # -- setup -----------------------------------------------------------
+    def _subscribe_engines(self, events: EventLog):
+        """Relay engine compile/cache activity into the event log for
+        the duration of one run; returns the unsubscribe closure."""
+        engines = {}
+        for deployment in self.deployments.values():
+            engines[id(deployment.engine)] = deployment.engine
+
+        def on_compile(key, plan, **_ignored):
+            events.record(
+                "compile",
+                time_s=self._now,
+                platform=key.arch,
+                network=key.network,
+                batch=key.batch,
+                perforation=key.perforation,
+            )
+
+        def on_cache_hit(kind, key, **_ignored):
+            events.record(
+                "cache_hit",
+                time_s=self._now,
+                platform=getattr(key, "arch", None),
+                cache=kind,
+            )
+
+        for engine in engines.values():
+            engine.hooks.subscribe("on_compile", on_compile)
+            engine.hooks.subscribe("on_cache_hit", on_cache_hit)
+
+        def unsubscribe():
+            for engine in engines.values():
+                engine.hooks.unsubscribe("on_compile", on_compile)
+                engine.hooks.unsubscribe("on_cache_hit", on_cache_hit)
+
+        return unsubscribe
+
+    def _build_states(self, events: EventLog) -> Dict[str, PlatformState]:
+        config = self.config
+        states: Dict[str, PlatformState] = {}
+        for name, deployment in self.deployments.items():
+            ladder = DegradationLadder(
+                deployment,
+                max_levels=config.max_levels if config.degradation else 1,
+                batch_growth=config.batch_growth,
+                max_batch=config.max_batch,
+                min_gain=config.min_gain,
+            )
+            base_time = ladder[0].exec_time_s
+            controller = DegradationController(
+                n_levels=len(ladder),
+                high_water_s=config.high_water_batches * base_time,
+                low_water_s=config.low_water_batches * base_time,
+                window=config.window,
+                enabled=config.degradation,
+            )
+            flush_timeout = (
+                config.flush_timeout_s
+                if config.flush_timeout_s is not None
+                else default_flush_timeout(deployment)
+            )
+            states[name] = PlatformState(
+                name=name,
+                deployment=deployment,
+                ladder=ladder,
+                controller=controller,
+                flush_timeout_s=flush_timeout,
+            )
+        return states
+
+    # -- event handlers ---------------------------------------------------
+    def _on_arrival(
+        self, request, admission, states, events, rejected, completed, push
+    ) -> None:
+        now = self._now
+        decision = admission.admit(request, now)
+        if not decision.admitted:
+            rejected.append(
+                RejectedRequest(request=request, reason=decision.reason)
+            )
+            events.record(
+                "reject",
+                time_s=now,
+                tenant=request.tenant.name,
+                request_ids=(request.rid,),
+                reason=decision.reason,
+            )
+            return
+        candidate = decision.candidate
+        state = states[candidate.platform]
+        if decision.reason == "ok-degraded":
+            events.record(
+                "degrade",
+                time_s=now,
+                platform=state.name,
+                tenant=request.tenant.name,
+                request_ids=(request.rid,),
+                cause="admission",
+                level=state.controller.level,
+            )
+        state.queue.append(request)
+        events.record(
+            "enqueue",
+            time_s=now,
+            tenant=request.tenant.name,
+            platform=state.name,
+            request_ids=(request.rid,),
+            level=candidate.level,
+            predicted_soc=candidate.predicted_soc,
+            predicted_latency_s=candidate.predicted_latency_s,
+        )
+        self._try_dispatch(state, states, events, completed, push)
+
+    def _try_dispatch(self, state, states, events, completed, push) -> None:
+        """Launch batches on one platform while it is idle and its
+        queue satisfies the flush policy; otherwise arm a flush timer."""
+        now = self._now
+        while state.busy_until <= now and state.queue:
+            rung = state.rung
+            policy = FlushPolicy(
+                capacity=rung.batch, timeout_s=state.flush_timeout_s
+            )
+            state.order_queue(self.config.policy)
+            head_arrival = state.queue[0].arrival_s
+            if not policy.should_flush(len(state.queue), now, head_arrival):
+                flush_at = policy.flush_at(head_arrival)
+                if (
+                    state.pending_flush_at is None
+                    or flush_at < state.pending_flush_at
+                ):
+                    state.pending_flush_at = flush_at
+                    push(flush_at, _FLUSH, state)
+                return
+            self._launch(state, rung, events, completed, push)
+
+    def _launch(self, state, rung, events, completed, push) -> None:
+        now = self._now
+        take = min(len(state.queue), rung.batch)
+        batch_requests = state.queue[:take]
+        del state.queue[:take]
+        finish = now + rung.exec_time_s
+        state.busy_until = finish
+        state.batches += 1
+        state.requests_served += take
+        state.busy_s += rung.exec_time_s
+        state.energy_j += rung.energy_j
+        state.level_sum += rung.level
+        push(finish, _FREE, state)
+        rids = tuple(r.rid for r in batch_requests)
+        events.record(
+            "dispatch",
+            time_s=now,
+            platform=state.name,
+            request_ids=rids,
+            level=rung.level,
+            batch=take,
+            capacity=rung.batch,
+            finish_s=finish,
+        )
+        batch_entropy = 0.0
+        for request in batch_requests:
+            entropy = rung.entropy * request.difficulty
+            batch_entropy = max(batch_entropy, entropy)
+            breakdown = soc(
+                runtime_s=finish - request.arrival_s,
+                requirement=request.tenant.requirement,
+                entropy=entropy,
+                entropy_threshold=state.deployment.entropy_threshold,
+                energy_joules=rung.energy_per_item_j,
+            )
+            completed.append(
+                CompletedRequest(
+                    request=request,
+                    platform=state.name,
+                    level=rung.level,
+                    batch=take,
+                    start_s=now,
+                    finish_s=finish,
+                    entropy=entropy,
+                    soc=breakdown,
+                )
+            )
+        events.record(
+            "complete",
+            time_s=finish,
+            platform=state.name,
+            request_ids=rids,
+            level=rung.level,
+        )
+        if self.config.calibrate and rung.level == 0:
+            state.deployment.observe_entropy(batch_entropy)
+        # Degradation reacts to the *standing* queue left behind: the
+        # work the platform is already committed to does not count,
+        # mirroring how the calibrator scores only new observations.
+        queued_batches = -(-len(state.queue) // rung.batch)  # ceil
+        move = state.controller.observe(queued_batches * rung.exec_time_s)
+        if move is not None:
+            events.record(
+                move,
+                time_s=now,
+                platform=state.name,
+                cause="backlog",
+                level=state.controller.level,
+            )
+
+    # -- reporting --------------------------------------------------------
+    def _platform_stats(
+        self, states: Dict[str, PlatformState], horizon: float
+    ) -> List[PlatformStats]:
+        stats = []
+        for name in sorted(states):
+            state = states[name]
+            stats.append(
+                PlatformStats(
+                    platform=name,
+                    gpu=state.deployment.arch.name,
+                    batches=state.batches,
+                    requests=state.requests_served,
+                    busy_s=state.busy_s,
+                    utilization=(
+                        state.busy_s / horizon if horizon > 0 else 0.0
+                    ),
+                    energy_j=state.energy_j,
+                    mean_level=state.mean_level(),
+                    peak_level=state.controller.peak_level,
+                    final_level=state.controller.level,
+                )
+            )
+        return stats

@@ -4,9 +4,13 @@ generators."""
 from repro.workloads.generators import (
     RequestTrace,
     background_trace,
+    bursty_trace,
     difficulty_shift,
     interactive_trace,
+    merge_traces,
+    pareto_trace,
     realtime_trace,
+    scale_rate,
 )
 from repro.workloads.tasks import (
     Scenario,
@@ -19,9 +23,13 @@ from repro.workloads.tasks import (
 __all__ = [
     "RequestTrace",
     "background_trace",
+    "bursty_trace",
     "difficulty_shift",
     "interactive_trace",
+    "merge_traces",
+    "pareto_trace",
     "realtime_trace",
+    "scale_rate",
     "Scenario",
     "age_detection",
     "image_tagging",

@@ -21,6 +21,10 @@ __all__ = [
     "interactive_trace",
     "realtime_trace",
     "background_trace",
+    "bursty_trace",
+    "pareto_trace",
+    "merge_traces",
+    "scale_rate",
     "difficulty_shift",
 ]
 
@@ -76,6 +80,112 @@ def background_trace(
     """A camera-roll dump: requests nearly back-to-back."""
     arrivals = np.arange(n_photos) * dump_gap_s
     return RequestTrace(arrivals_s=arrivals, difficulty=np.ones(n_photos))
+
+
+def bursty_trace(
+    n_requests: int = 200,
+    rate_hz: float = 100.0,
+    burst_factor: float = 4.0,
+    burst_fraction: float = 0.25,
+    switch_rate_hz: float = 2.0,
+    seed: int = 0,
+) -> RequestTrace:
+    """A two-state MMPP (Markov-modulated Poisson) arrival stream.
+
+    The process alternates between a *calm* and a *burst* state, each
+    emitting Poisson arrivals; the burst state runs ``burst_factor``
+    times hotter and holds ``burst_fraction`` of the time.  State
+    holding times are exponential with mean ``1 / switch_rate_hz``
+    (scaled so the stationary mix honours ``burst_fraction``).  The
+    per-state rates are chosen so the *mean* arrival rate over the
+    stationary distribution equals ``rate_hz``, which is what the
+    property test pins down.
+    """
+    if rate_hz <= 0 or switch_rate_hz <= 0:
+        raise ValueError("rates must be positive")
+    if burst_factor <= 1.0:
+        raise ValueError("burst_factor must exceed 1.0")
+    if not 0.0 < burst_fraction < 1.0:
+        raise ValueError("burst_fraction must be in (0, 1)")
+    # Stationary mix: calm_fraction * calm + burst_fraction * burst = rate,
+    # with burst = burst_factor * calm.
+    calm_fraction = 1.0 - burst_fraction
+    calm_rate = rate_hz / (calm_fraction + burst_fraction * burst_factor)
+    state_rates = (calm_rate, calm_rate * burst_factor)
+    # Holding times honouring the stationary fractions.
+    hold_means = (
+        calm_fraction / switch_rate_hz,
+        burst_fraction / switch_rate_hz,
+    )
+    rng = np.random.default_rng(seed)
+    arrivals: List[float] = []
+    now = 0.0
+    state = 0
+    while len(arrivals) < n_requests:
+        hold = rng.exponential(hold_means[state])
+        state_end = now + hold
+        while len(arrivals) < n_requests:
+            gap = rng.exponential(1.0 / state_rates[state])
+            if now + gap > state_end:
+                break
+            now += gap
+            arrivals.append(now)
+        now = state_end
+        state = 1 - state
+    return RequestTrace(
+        arrivals_s=np.asarray(arrivals), difficulty=np.ones(n_requests)
+    )
+
+
+def pareto_trace(
+    n_requests: int = 200,
+    rate_hz: float = 100.0,
+    alpha: float = 2.5,
+    seed: int = 0,
+) -> RequestTrace:
+    """Heavy-tailed (Pareto) inter-arrival gaps at a target mean rate.
+
+    Gaps follow a Pareto distribution with shape ``alpha`` and scale
+    ``x_m = (alpha - 1) / (alpha * rate_hz)``, so the mean gap is
+    exactly ``1 / rate_hz``.  ``alpha`` must exceed 1 for the mean to
+    exist; values near 1 give wilder tails.
+    """
+    if rate_hz <= 0:
+        raise ValueError("rate_hz must be positive")
+    if alpha <= 1.0:
+        raise ValueError("alpha must exceed 1.0 (mean gap must exist)")
+    x_m = (alpha - 1.0) / (alpha * rate_hz)
+    rng = np.random.default_rng(seed)
+    # numpy's pareto is the Lomax form: x_m * (1 + Lomax(alpha)).
+    gaps = x_m * (1.0 + rng.pareto(alpha, n_requests))
+    return RequestTrace(
+        arrivals_s=np.cumsum(gaps), difficulty=np.ones(n_requests)
+    )
+
+
+def merge_traces(*traces: RequestTrace) -> RequestTrace:
+    """Interleave several traces into one time-ordered stream."""
+    if not traces:
+        raise ValueError("need at least one trace to merge")
+    arrivals = np.concatenate([t.arrivals_s for t in traces])
+    difficulty = np.concatenate([t.difficulty for t in traces])
+    order = np.argsort(arrivals, kind="stable")
+    return RequestTrace(arrivals_s=arrivals[order], difficulty=difficulty[order])
+
+
+def scale_rate(trace: RequestTrace, factor: float) -> RequestTrace:
+    """Speed a trace up (``factor`` > 1) or slow it down, keeping shape.
+
+    Compressing timestamps by ``factor`` multiplies the offered rate by
+    the same ``factor`` -- how the overload bench turns a calibrated
+    steady-state trace into an N-times-capacity storm.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    return RequestTrace(
+        arrivals_s=trace.arrivals_s / factor,
+        difficulty=trace.difficulty.copy(),
+    )
 
 
 def difficulty_shift(

@@ -73,6 +73,15 @@ class TestFleetReport:
         with pytest.raises(KeyError):
             report.by_gpu("TPUv1")
 
+    def test_by_gpu_error_names_known_platforms(self, fleet):
+        report = fleet.report()
+        with pytest.raises(KeyError, match="K20c, TX1"):
+            report.by_gpu("TPUv1")
+
+    def test_deployment_error_names_known_platforms(self, fleet):
+        with pytest.raises(KeyError, match="K20c, TX1"):
+            fleet.deployment("GTX1080")
+
 
 class TestValidation:
     def test_rejects_empty_fleet(self):

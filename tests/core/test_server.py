@@ -94,6 +94,81 @@ class TestServing:
             InferenceServer(deployment, flush_timeout_s=0.0)
 
 
+class TestServingEdgeCases:
+    def test_empty_trace_yields_empty_report(self, deployment):
+        server = InferenceServer(deployment)
+        report = server.serve(
+            RequestTrace(arrivals_s=np.array([]), difficulty=np.array([]))
+        )
+        assert report.n_requests == 0
+        assert report.batches == 0
+        assert report.total_energy_j == 0.0
+        assert report.mean_latency_s == 0.0
+        assert report.p99_latency_s == 0.0
+        assert report.energy_per_request_j == 0.0
+        assert report.to_dict()["n_requests"] == 0
+
+    def test_single_request_below_batch_capacity(self, deployment):
+        capacity = deployment.current_entry.compiled.batch
+        server = InferenceServer(deployment, flush_timeout_s=0.5)
+        trace = RequestTrace(
+            arrivals_s=np.array([0.1]), difficulty=np.array([1.0])
+        )
+        report = server.serve(trace)
+        assert report.n_requests == 1
+        assert report.batches == 1
+        served = report.requests[0]
+        assert served.batch == 1
+        assert served.batch <= capacity
+        # A drained stream flushes immediately: the lone request must
+        # not sit out the whole 0.5 s assembly timeout.
+        assert served.start_s == pytest.approx(0.1)
+
+    def test_arrival_exactly_at_flush_boundary_joins_batch(self, deployment):
+        capacity = deployment.current_entry.compiled.batch
+        if capacity < 2:
+            pytest.skip("tuned batch too small to share")
+        timeout = 0.05
+        server = InferenceServer(deployment, flush_timeout_s=timeout)
+        # Second request lands exactly when the first one's timeout
+        # expires: the boundary is inclusive, so they share a batch.
+        trace = RequestTrace(
+            arrivals_s=np.array([0.0, timeout]),
+            difficulty=np.array([1.0, 1.0]),
+        )
+        report = server.serve(trace)
+        assert report.batches == 1
+        assert [r.batch for r in report.requests] == [2, 2]
+
+    def test_flush_policy_boundary_semantics(self):
+        from repro.core.runtime.server import FlushPolicy
+
+        policy = FlushPolicy(capacity=4, timeout_s=0.1)
+        assert policy.flush_at(1.0) == pytest.approx(1.1)
+        assert policy.admits(1, 1.1, head_arrival_s=1.0)  # inclusive
+        assert not policy.admits(1, 1.1 + 1e-9, head_arrival_s=1.0)
+        assert not policy.admits(4, 1.0, head_arrival_s=1.0)  # full
+        assert policy.should_flush(4, 1.0, head_arrival_s=1.0)
+        assert policy.should_flush(1, 1.1, head_arrival_s=1.0)
+        assert not policy.should_flush(1, 1.05, head_arrival_s=1.0)
+        with pytest.raises(ValueError):
+            FlushPolicy(capacity=0, timeout_s=0.1)
+        with pytest.raises(ValueError):
+            FlushPolicy(capacity=1, timeout_s=0.0)
+
+    def test_report_to_dict_round_trips_through_json(self, deployment):
+        import json
+
+        server = InferenceServer(deployment)
+        report = server.serve(interactive_trace(n_requests=5, seed=9))
+        payload = json.loads(
+            json.dumps(report.to_dict(include_requests=True))
+        )
+        assert payload["n_requests"] == 5
+        assert len(payload["requests"]) == 5
+        assert payload["requests"][0]["latency_s"] >= 0.0
+
+
 class TestServingWithCalibration:
     def test_hard_stretch_triggers_backtracking(self):
         deployment = _fresh_deployment()

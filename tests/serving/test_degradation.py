@@ -1,0 +1,133 @@
+"""Tests for repro.serving.degradation: ladder and controller."""
+
+import pytest
+
+from repro.nn.perforation import PerforationPlan, RATE_LADDER
+from repro.serving import (
+    DegradationController,
+    DegradationLadder,
+    escalate_perforation,
+)
+
+
+class TestEscalatePerforation:
+    def test_bumps_each_layer_one_rung(self):
+        plan = PerforationPlan({"conv1": RATE_LADDER[1]})
+        bumped = escalate_perforation(plan, ["conv1", "conv2"])
+        assert bumped.rate("conv1") == RATE_LADDER[2]
+        # A dense (unlisted) layer starts climbing from the bottom.
+        assert bumped.rate("conv2") == RATE_LADDER[1]
+
+    def test_top_of_ladder_is_fixed_point(self):
+        top = RATE_LADDER[-1]
+        plan = PerforationPlan({"conv1": top, "conv2": top})
+        bumped = escalate_perforation(plan, ["conv1", "conv2"])
+        assert bumped.rates == plan.rates
+
+
+class TestDegradationLadder:
+    @pytest.fixture(scope="class")
+    def ladder(self, deployments):
+        return DegradationLadder(deployments["K20c"], max_levels=4)
+
+    def test_level_zero_is_current_entry(self, deployments, ladder):
+        entry = deployments["K20c"].current_entry
+        rung = ladder[0]
+        assert rung.level == 0
+        assert rung.batch == entry.compiled.batch
+        assert rung.plan is entry.compiled
+        assert rung.entropy == pytest.approx(entry.entropy)
+
+    def test_deeper_rungs_strictly_gain_throughput(self, ladder):
+        assert len(ladder) >= 2, "K20c should support at least one rung"
+        rates = [rung.throughput_rps for rung in ladder.rungs]
+        assert rates == sorted(rates)
+        assert rates[-1] > rates[0]
+        assert ladder.peak_throughput_rps == rates[-1]
+
+    def test_entropy_never_improves_down_the_ladder(self, ladder):
+        entropies = [rung.entropy for rung in ladder.rungs]
+        assert entropies == sorted(entropies)
+
+    def test_levels_and_max_level_consistent(self, ladder):
+        assert ladder.max_level == len(ladder) - 1
+        for level in range(len(ladder)):
+            assert ladder[level].level == level
+
+    def test_single_level_ladder(self, deployments):
+        ladder = DegradationLadder(deployments["K20c"], max_levels=1)
+        assert len(ladder) == 1
+
+    def test_validation(self, deployments):
+        with pytest.raises(ValueError):
+            DegradationLadder(deployments["K20c"], max_levels=0)
+        with pytest.raises(ValueError):
+            DegradationLadder(deployments["K20c"], min_gain=1.0)
+        with pytest.raises(ValueError):
+            DegradationLadder(deployments["K20c"], batch_growth=0)
+
+
+class TestDegradationController:
+    def _controller(self, **kwargs):
+        defaults = dict(
+            n_levels=3, high_water_s=1.0, low_water_s=0.2, window=2
+        )
+        defaults.update(kwargs)
+        return DegradationController(**defaults)
+
+    def test_degrades_after_window_of_high_backlog(self):
+        ctl = self._controller()
+        assert ctl.observe(2.0) is None  # first strike
+        assert ctl.observe(2.0) == "degrade"
+        assert ctl.level == 1
+        assert ctl.peak_level == 1
+
+    def test_restores_after_window_of_low_backlog(self):
+        ctl = self._controller()
+        ctl.observe(2.0)
+        ctl.observe(2.0)
+        assert ctl.level == 1
+        assert ctl.observe(0.0) is None
+        assert ctl.observe(0.0) == "restore"
+        assert ctl.level == 0
+
+    def test_middling_backlog_resets_streaks(self):
+        ctl = self._controller()
+        ctl.observe(2.0)
+        ctl.observe(0.5)  # inside the hysteresis band
+        assert ctl.observe(2.0) is None  # streak restarted
+        assert ctl.level == 0
+
+    def test_saturates_at_deepest_level(self):
+        ctl = self._controller(window=1)
+        for _ in range(5):
+            ctl.observe(2.0)
+        assert ctl.level == 2
+
+    def test_never_restores_past_level_zero(self):
+        ctl = self._controller(window=1)
+        assert ctl.observe(0.0) is None
+        assert ctl.level == 0
+
+    def test_escalate_to_jumps_and_clamps(self):
+        ctl = self._controller()
+        assert ctl.escalate_to(2)
+        assert ctl.level == 2
+        assert not ctl.escalate_to(1)  # never escalates backwards
+        assert ctl.escalate_to(99) is False  # already clamped at top
+        assert ctl.level == 2
+
+    def test_disabled_controller_never_moves(self):
+        ctl = self._controller(enabled=False)
+        assert ctl.observe(100.0) is None
+        assert ctl.observe(100.0) is None
+        assert ctl.level == 0
+        assert not ctl.escalate_to(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._controller(n_levels=0)
+        with pytest.raises(ValueError):
+            self._controller(low_water_s=2.0)  # above high water
+        with pytest.raises(ValueError):
+            self._controller(window=0)

@@ -1,0 +1,90 @@
+"""Tests for repro.serving.request: tenants, requests, load merging."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import ApplicationSpec, TaskClass
+from repro.core.satisfaction import TimeRequirement
+from repro.serving import Tenant, TenantLoad, merge_loads
+from repro.workloads import RequestTrace
+
+
+def _trace(arrivals, difficulty=None):
+    arrivals = np.asarray(arrivals, dtype=float)
+    if difficulty is None:
+        difficulty = np.ones(len(arrivals))
+    return RequestTrace(arrivals_s=arrivals, difficulty=np.asarray(difficulty))
+
+
+class TestTenant:
+    def test_from_spec_infers_requirement(self):
+        spec = ApplicationSpec("age", TaskClass.INTERACTIVE)
+        tenant = Tenant.from_spec(spec, priority=3)
+        assert tenant.name == "age"
+        assert tenant.priority == 3
+        assert tenant.requirement.unusable_s == 3.0
+
+    def test_background_tenant_has_no_deadline(self):
+        spec = ApplicationSpec("tagging", TaskClass.BACKGROUND)
+        tenant = Tenant.from_spec(spec)
+        assert math.isinf(tenant.requirement.unusable_s)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Tenant("", TimeRequirement(0.1, 1.0))
+
+
+class TestRequestDeadline:
+    def test_deadline_is_arrival_plus_unusable(self):
+        tenant = Tenant("t", TimeRequirement(0.1, 0.5))
+        load = TenantLoad(tenant, _trace([2.0]))
+        (request,) = merge_loads([load])
+        assert request.deadline_s == pytest.approx(2.5)
+        assert request.has_deadline
+
+    def test_background_request_has_no_deadline(self):
+        tenant = Tenant("bg", TimeRequirement(math.inf, math.inf))
+        load = TenantLoad(tenant, _trace([0.0]))
+        (request,) = merge_loads([load])
+        assert not request.has_deadline
+
+
+class TestMergeLoads:
+    def test_interleaves_by_arrival_then_name(self):
+        a = Tenant("alpha", TimeRequirement(0.1, 1.0))
+        b = Tenant("beta", TimeRequirement(0.1, 1.0))
+        merged = merge_loads(
+            [
+                TenantLoad(a, _trace([0.2, 0.4])),
+                TenantLoad(b, _trace([0.1, 0.2])),
+            ]
+        )
+        assert [r.tenant.name for r in merged] == [
+            "beta", "alpha", "beta", "alpha",
+        ]
+        assert [r.rid for r in merged] == [0, 1, 2, 3]
+        arrivals = [r.arrival_s for r in merged]
+        assert arrivals == sorted(arrivals)
+
+    def test_difficulty_travels_with_request(self):
+        tenant = Tenant("t", TimeRequirement(0.1, 1.0))
+        merged = merge_loads(
+            [TenantLoad(tenant, _trace([0.0, 1.0], [1.0, 2.5]))]
+        )
+        assert merged[1].difficulty == pytest.approx(2.5)
+
+    def test_rejects_duplicate_tenants(self):
+        tenant = Tenant("dup", TimeRequirement(0.1, 1.0))
+        with pytest.raises(ValueError, match="dup"):
+            merge_loads(
+                [
+                    TenantLoad(tenant, _trace([0.0])),
+                    TenantLoad(tenant, _trace([1.0])),
+                ]
+            )
+
+    def test_empty_loads_merge_to_nothing(self):
+        tenant = Tenant("t", TimeRequirement(0.1, 1.0))
+        assert merge_loads([TenantLoad(tenant, _trace([]))]) == []

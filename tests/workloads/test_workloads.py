@@ -8,11 +8,15 @@ from repro.workloads import (
     RequestTrace,
     age_detection,
     background_trace,
+    bursty_trace,
     difficulty_shift,
     image_tagging,
     interactive_trace,
+    merge_traces,
     paper_scenarios,
+    pareto_trace,
     realtime_trace,
+    scale_rate,
     video_surveillance,
 )
 
@@ -96,3 +100,87 @@ class TestTraces:
                 arrivals_s=np.array([0.0, 1.0]),
                 difficulty=np.array([1.0]),
             )
+
+
+class TestBurstyTraces:
+    """Property tests for the heavy-tail / bursty arrival processes."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mmpp_mean_rate_matches_request(self, seed):
+        rate = 100.0
+        trace = bursty_trace(n_requests=3000, rate_hz=rate, seed=seed)
+        observed = trace.n_requests / trace.arrivals_s[-1]
+        assert observed == pytest.approx(rate, rel=0.15)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pareto_mean_rate_matches_request(self, seed):
+        rate = 100.0
+        trace = pareto_trace(n_requests=3000, rate_hz=rate, seed=seed)
+        observed = trace.n_requests / trace.arrivals_s[-1]
+        assert observed == pytest.approx(rate, rel=0.15)
+
+    def test_mmpp_is_actually_bursty(self):
+        # Burstiness shows as gap dispersion well beyond Poisson's
+        # (coefficient of variation 1 for exponential gaps).
+        trace = bursty_trace(n_requests=4000, rate_hz=100.0, seed=0)
+        gaps = np.diff(np.concatenate([[0.0], trace.arrivals_s]))
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.2
+
+    def test_pareto_tail_heavier_than_exponential(self):
+        trace = pareto_trace(n_requests=4000, rate_hz=100.0, alpha=1.5, seed=0)
+        gaps = np.diff(np.concatenate([[0.0], trace.arrivals_s]))
+        # A heavy tail drags the max far beyond the mean.
+        assert gaps.max() > 20 * gaps.mean()
+
+    def test_deterministic_per_seed(self):
+        a = bursty_trace(n_requests=100, seed=7)
+        b = bursty_trace(n_requests=100, seed=7)
+        np.testing.assert_array_equal(a.arrivals_s, b.arrivals_s)
+        c = pareto_trace(n_requests=100, seed=7)
+        d = pareto_trace(n_requests=100, seed=7)
+        np.testing.assert_array_equal(c.arrivals_s, d.arrivals_s)
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            bursty_trace(rate_hz=0.0)
+        with pytest.raises(ValueError):
+            bursty_trace(burst_factor=1.0)
+        with pytest.raises(ValueError):
+            bursty_trace(burst_fraction=1.0)
+        with pytest.raises(ValueError):
+            pareto_trace(alpha=1.0)
+        with pytest.raises(ValueError):
+            pareto_trace(rate_hz=-1.0)
+
+
+class TestTraceCombinators:
+    def test_merge_interleaves_in_time_order(self):
+        merged = merge_traces(
+            bursty_trace(n_requests=40, seed=1),
+            pareto_trace(n_requests=40, seed=2),
+        )
+        assert merged.n_requests == 80
+        assert np.all(np.diff(merged.arrivals_s) >= 0)
+
+    def test_merge_keeps_difficulty_paired(self):
+        hard = difficulty_shift(
+            realtime_trace(duration_s=1.0, fps=10), onset_fraction=0.0,
+            severity=2.0,
+        )
+        easy = realtime_trace(duration_s=1.0, fps=10)
+        merged = merge_traces(hard, easy)
+        assert sorted(merged.difficulty) == [1.0] * 10 + [2.0] * 10
+
+    def test_merge_requires_traces(self):
+        with pytest.raises(ValueError):
+            merge_traces()
+
+    def test_scale_rate_compresses_time(self):
+        base = pareto_trace(n_requests=200, rate_hz=50.0, seed=3)
+        doubled = scale_rate(base, 2.0)
+        np.testing.assert_allclose(
+            doubled.arrivals_s, base.arrivals_s / 2.0
+        )
+        with pytest.raises(ValueError):
+            scale_rate(base, 0.0)
