@@ -19,8 +19,11 @@ Sub-commands:
 * ``tune --network N --gpu G [--slack S]`` -- run entropy-guided
   accuracy tuning with the analytic model and print the tuning path.
 * ``serve-fleet [--gpus G1,G2] [--load L] [--requests N]
-  [--no-degradation] [--fifo] [--json]`` -- route a bursty
-  multi-tenant storm across the fleet and print the router report.
+  [--no-degradation] [--fifo] [--chaos] [--chaos-seed S]
+  [--no-resilience] [--json]`` -- route a bursty multi-tenant storm
+  across the fleet and print the router report; ``--chaos`` injects a
+  seeded fault trace (outages, SM failures, throttles, transients)
+  and reports the recovery metrics.
 """
 
 from __future__ import annotations
@@ -139,6 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--fifo", action="store_true",
         help="FIFO dispatch baseline instead of SoC-scored placement",
+    )
+    serve.add_argument(
+        "--chaos", action="store_true",
+        help="inject a seeded fault trace (outages, SM failures, "
+        "thermal throttles, bandwidth loss, transients)",
+    )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=7,
+        help="seed of the generated fault trace (with --chaos)",
+    )
+    serve.add_argument(
+        "--no-resilience", action="store_true",
+        help="disable health-aware dispatch, retries, failover and "
+        "circuit breakers (the health-blind baseline)",
     )
     serve.add_argument(
         "--json", action="store_true",
@@ -395,8 +412,34 @@ def _cmd_serve_fleet(args) -> int:
     config = RouterConfig(
         degradation=not args.no_degradation,
         policy="fifo" if args.fifo else "soc",
+        resilience=not args.no_resilience,
     )
-    report = RequestRouter(fleet, config).run(loads)
+    faults = None
+    if args.chaos:
+        from repro.faults import FaultTraceConfig, generate_fault_trace
+
+        horizon = max(
+            float(load.trace.arrivals_s[-1])
+            for load in loads
+            if load.trace.n_requests
+        )
+        faults = generate_fault_trace(
+            platforms=sorted(deployments),
+            horizon_s=horizon,
+            config=FaultTraceConfig(
+                outages=1,
+                outage_duration_s=0.25 * horizon,
+                sm_failures=1,
+                sm_failure_duration_s=0.25 * horizon,
+                throttles=1,
+                throttle_duration_s=0.25 * horizon,
+                bandwidth_degradations=1,
+                bandwidth_duration_s=0.25 * horizon,
+                transients=3,
+            ),
+            seed=args.chaos_seed,
+        )
+    report = RequestRouter(fleet, config).run(loads, faults)
 
     if args.json:
         print(
@@ -453,6 +496,26 @@ def _cmd_serve_fleet(args) -> int:
         ) for stats in report.platforms],
         title="Per platform",
     ))
+    if report.resilience is not None:
+        res = report.resilience
+        print()
+        print(format_table(
+            ["faults", "outages", "MTTR s", "batch fails", "retries",
+             "failovers", "rescued", "breaker open/close"],
+            [(
+                res.faults_injected,
+                res.outages,
+                "%.3f" % res.mttr_s,
+                res.batch_failures,
+                res.retries,
+                res.failovers,
+                res.requests_rescued,
+                "%d/%d" % (res.breaker_opens, res.breaker_closes),
+            )],
+            title="Resilience (chaos seed %d%s)"
+            % (args.chaos_seed,
+               ", resilience disabled" if args.no_resilience else ""),
+        ))
     counts = report.events.counts
     print()
     print(

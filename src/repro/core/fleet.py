@@ -24,7 +24,28 @@ from repro.core.user_input import ApplicationSpec
 from repro.gpu.architecture import GPUArchitecture, list_architectures
 from repro.nn.models import NetworkDescriptor
 
-__all__ = ["PlatformReport", "FleetReport", "FleetManager"]
+__all__ = ["FleetDeployError", "PlatformReport", "FleetReport", "FleetManager"]
+
+
+class FleetDeployError(RuntimeError):
+    """Raised when deploying to one or more platforms failed.
+
+    ``failures`` maps each failing GPU name to the exception it raised;
+    the message names every failing platform and its reason, so an
+    operator sees the whole blast radius in one go instead of the first
+    platform that happened to break.  Successful platforms stay
+    deployed and reachable through :meth:`FleetManager.deployment`.
+    """
+
+    def __init__(self, failures: Dict[str, Exception]) -> None:
+        self.failures = dict(failures)
+        detail = "; ".join(
+            "%s: %s" % (gpu, failures[gpu]) for gpu in sorted(failures)
+        )
+        super().__init__(
+            "fleet deployment failed on %d platform(s): %s"
+            % (len(failures), detail)
+        )
 
 
 @dataclass(frozen=True)
@@ -94,16 +115,28 @@ class FleetManager:
         self._deployments: Dict[str, Deployment] = {}
 
     def deploy_all(self) -> Dict[str, Deployment]:
-        """Run the full P-CNN pipeline on every platform (idempotent)."""
+        """Run the full P-CNN pipeline on every platform (idempotent).
+
+        Every platform is attempted even when an earlier one fails;
+        failures are collected and raised together as a
+        :class:`FleetDeployError` naming each broken GPU and why, while
+        the platforms that did deploy remain cached for later calls.
+        """
+        failures: Dict[str, Exception] = {}
         for arch in self.architectures:
             if arch.name in self._deployments:
                 continue
             pcnn = PervasiveCNN(arch, engine=self.engine)
-            self._deployments[arch.name] = pcnn.deploy(
-                self.network,
-                self.spec,
-                max_tuning_iterations=self.max_tuning_iterations,
-            )
+            try:
+                self._deployments[arch.name] = pcnn.deploy(
+                    self.network,
+                    self.spec,
+                    max_tuning_iterations=self.max_tuning_iterations,
+                )
+            except Exception as exc:  # collected, not swallowed
+                failures[arch.name] = exc
+        if failures:
+            raise FleetDeployError(failures)
         return dict(self._deployments)
 
     def deployment(self, gpu: str) -> Deployment:

@@ -1,0 +1,45 @@
+"""Deterministic fault injection: the chaos layer under the fleet.
+
+The paper's runtime story is explicitly about surviving degradation --
+power-gated SMs, DVFS throttling, calibration backtracking when
+uncertainty spikes.  This package injects the hardware side of those
+scenarios into a routing run, bit-reproducibly:
+
+* :class:`FaultEvent` / :class:`FaultTrace` -- a timed, immutable
+  schedule of perturbations (platform outages, SM failures, thermal
+  throttles, DRAM bandwidth loss, transient batch failures) with a
+  canonical fingerprint (:mod:`repro.faults.events`).
+* :class:`FaultTraceConfig` / :func:`generate_fault_trace` -- seeded
+  trace generation: same seed, same stream, bit-identical
+  (:mod:`repro.faults.trace`).
+* :class:`PlatformHealth` / :class:`DegradedArchitecture` -- the live
+  health state and the degraded compile target it induces; SM and
+  bandwidth loss re-enter the execution engine as a *new
+  architecture* (health-keyed cache entries force occupancy/optSM
+  recompute), while thermal throttling scales compiled rungs through
+  the DVFS model (:mod:`repro.faults.health`).
+
+The resilience machinery that survives these faults -- health-aware
+dispatch, retries, circuit breakers, failover -- lives in
+:mod:`repro.serving`.
+"""
+
+from repro.faults.events import (
+    EPISODE_KINDS,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultTrace,
+)
+from repro.faults.health import DegradedArchitecture, PlatformHealth
+from repro.faults.trace import FaultTraceConfig, generate_fault_trace
+
+__all__ = [
+    "EPISODE_KINDS",
+    "FAULT_KINDS",
+    "DegradedArchitecture",
+    "FaultEvent",
+    "FaultTrace",
+    "FaultTraceConfig",
+    "PlatformHealth",
+    "generate_fault_trace",
+]

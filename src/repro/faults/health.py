@@ -1,0 +1,195 @@
+"""Platform health: the degraded-hardware view faults produce.
+
+:class:`PlatformHealth` folds a platform's live fault state -- up or
+down, SMs lost, DVFS throttle point, DRAM bandwidth left -- and maps
+it onto the modeling layer two different ways, mirroring how real
+hardware degrades:
+
+* **Structural** damage (SM failures, bandwidth loss) changes the
+  chip the compiler must target: :class:`DegradedArchitecture` derives
+  a new :class:`~repro.gpu.architecture.GPUArchitecture` via
+  ``dataclasses.replace`` with fewer SMs / less bandwidth and a
+  health-keyed name, so the execution engine's plan cache treats each
+  health state as a distinct platform and a recompile recomputes
+  occupancy and optSM against the surviving hardware.
+* **Thermal** throttling is a run-time operating point, not a new
+  chip: it scales an already-compiled rung's time/energy through
+  :class:`~repro.gpu.dvfs.FrequencyState` (runtime stretches by
+  ``1/f``; switching energy scales with the rail voltage squared),
+  exactly the DVFS model the paper's scheduler sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.faults.events import FaultEvent
+from repro.gpu.architecture import GPUArchitecture
+from repro.gpu.dvfs import FrequencyState, scaled_runtime
+
+if TYPE_CHECKING:  # duck-typed to avoid importing the serving layer
+    from repro.serving.degradation import DegradationRung
+
+__all__ = ["DegradedArchitecture", "PlatformHealth"]
+
+
+@dataclass(frozen=True)
+class DegradedArchitecture:
+    """A base GPU with part of its hardware failed, as a new target.
+
+    The derived architecture's ``name`` encodes the health state
+    (``"K20c@sm10,bw0.5"``), which is exactly what the engine's
+    compile/execute cache keys carry -- two health states never share
+    a plan, and returning to full health is a cache hit on the
+    original platform's entries.
+    """
+
+    base: GPUArchitecture
+    failed_sms: int = 0
+    bandwidth_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.failed_sms < self.base.n_sms:
+            raise ValueError(
+                "failed_sms must be in [0, n_sms), got %r of %d"
+                % (self.failed_sms, self.base.n_sms)
+            )
+        if not 0.0 < self.bandwidth_scale <= 1.0:
+            raise ValueError(
+                "bandwidth_scale must be in (0, 1], got %r"
+                % (self.bandwidth_scale,)
+            )
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any structural capability is actually lost."""
+        return self.failed_sms > 0 or self.bandwidth_scale < 1.0
+
+    @property
+    def health_key(self) -> str:
+        """Canonical suffix describing the degradation."""
+        return "sm%d,bw%.6g" % (
+            self.base.n_sms - self.failed_sms, self.bandwidth_scale,
+        )
+
+    @property
+    def arch(self) -> GPUArchitecture:
+        """The architecture the compiler should target right now.
+
+        Returns the base object itself at full structural health, so
+        identity checks (and cache keys) are unperturbed when nothing
+        is actually broken.
+        """
+        if not self.degraded:
+            return self.base
+        return replace(
+            self.base,
+            name="%s@%s" % (self.base.name, self.health_key),
+            n_sms=self.base.n_sms - self.failed_sms,
+            mem_bandwidth_gbps=(
+                self.base.mem_bandwidth_gbps * self.bandwidth_scale
+            ),
+        )
+
+
+@dataclass
+class PlatformHealth:
+    """One platform's live hardware health inside the router.
+
+    Mutated by :meth:`apply` as fault events fire; read back as a
+    compile target (:meth:`architecture`) and as a run-time scaling
+    on compiled rungs (:meth:`scale_rung`).
+    """
+
+    base: GPUArchitecture
+    up: bool = True
+    sm_fail_fraction: float = 0.0
+    relative_frequency: float = 1.0
+    bandwidth_scale: float = 1.0
+
+    #: What the router must do after applying an event of each kind.
+    _CONSEQUENCES = {
+        "outage": "down",
+        "restore": "up",
+        "sm_fail": "recompile",
+        "sm_recover": "recompile",
+        "bw_degrade": "recompile",
+        "bw_recover": "recompile",
+        "throttle": "rescale",
+        "throttle_end": "rescale",
+        "transient": "transient",
+    }
+
+    @property
+    def failed_sms(self) -> int:
+        """The concrete SM loss (at least one SM always survives)."""
+        if self.sm_fail_fraction <= 0.0:
+            return 0
+        failed = int(round(self.base.n_sms * self.sm_fail_fraction))
+        return min(self.base.n_sms - 1, max(1, failed))
+
+    @property
+    def throttled(self) -> bool:
+        """Whether a thermal episode is currently active."""
+        return self.relative_frequency < 1.0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the structural compile target differs from base."""
+        return self.failed_sms > 0 or self.bandwidth_scale < 1.0
+
+    def apply(self, event: FaultEvent) -> str:
+        """Fold one fault event into the health state.
+
+        Returns the consequence the router must act on: ``"down"``,
+        ``"up"``, ``"recompile"``, ``"rescale"`` or ``"transient"``.
+        """
+        if event.kind == "outage":
+            self.up = False
+        elif event.kind == "restore":
+            self.up = True
+        elif event.kind == "sm_fail":
+            self.sm_fail_fraction = event.sm_fail_fraction
+        elif event.kind == "sm_recover":
+            self.sm_fail_fraction = 0.0
+        elif event.kind == "bw_degrade":
+            self.bandwidth_scale = event.bandwidth_scale
+        elif event.kind == "bw_recover":
+            self.bandwidth_scale = 1.0
+        elif event.kind == "throttle":
+            self.relative_frequency = event.relative_frequency
+        elif event.kind == "throttle_end":
+            self.relative_frequency = 1.0
+        # "transient" leaves the health state itself untouched.
+        return self._CONSEQUENCES[event.kind]
+
+    def architecture(self) -> GPUArchitecture:
+        """The current compile target (base object at full health)."""
+        return DegradedArchitecture(
+            base=self.base,
+            failed_sms=self.failed_sms,
+            bandwidth_scale=self.bandwidth_scale,
+        ).arch
+
+    def frequency_state(self) -> FrequencyState:
+        """The active DVFS operating point."""
+        return FrequencyState(self.relative_frequency)
+
+    def scale_rung(self, rung: "DegradationRung") -> "DegradationRung":
+        """A rung's effective numbers under the current throttle.
+
+        Runtime stretches by ``1/f`` (CNN batches are compute-bound at
+        the granularity the router schedules); energy follows the
+        dynamic-power view ``E = P * t`` with ``P ~ f * V^2`` and
+        ``t ~ 1/f``, i.e. it scales with ``V^2``.  Identity (the same
+        object) at nominal frequency, so unfaulted runs are untouched.
+        """
+        if not self.throttled:
+            return rung
+        state = self.frequency_state()
+        return replace(
+            rung,
+            exec_time_s=scaled_runtime(rung.exec_time_s, state),
+            energy_j=rung.energy_j * state.voltage**2,
+        )

@@ -22,6 +22,12 @@ discrete-event router that
   per-platform utilization/energy (:mod:`repro.serving.events`,
   :mod:`repro.serving.report`).
 
+Under fault injection (:mod:`repro.faults`) the router additionally
+self-heals: per-platform health tracking, deadline-aware retries with
+budget-capped backoff, per-deployment circuit breakers and failover
+re-dispatch off dead platforms (:mod:`repro.serving.resilience`),
+with recovery metrics reported as :class:`ResilienceStats`.
+
 Everything is simulated time: the router is bit-identical across runs
 with the same seed and configuration.
 """
@@ -33,33 +39,45 @@ from repro.serving.degradation import (
     DegradationRung,
     escalate_perforation,
 )
-from repro.serving.dispatch import Candidate, Dispatcher, PlatformState
+from repro.serving.dispatch import (
+    Candidate,
+    Dispatcher,
+    InFlightBatch,
+    PlatformState,
+)
 from repro.serving.events import EventLog, RouterEvent
 from repro.serving.report import (
     CompletedRequest,
     PlatformStats,
     RejectedRequest,
+    ResilienceStats,
     RouterReport,
     TenantStats,
 )
 from repro.serving.request import Request, Tenant, TenantLoad, merge_loads
+from repro.serving.resilience import BREAKER_STATES, CircuitBreaker, RetryPolicy
 from repro.serving.router import RequestRouter, RouterConfig
 
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "BREAKER_STATES",
     "Candidate",
+    "CircuitBreaker",
     "CompletedRequest",
     "DegradationController",
     "DegradationLadder",
     "DegradationRung",
     "Dispatcher",
     "EventLog",
+    "InFlightBatch",
     "PlatformState",
     "PlatformStats",
     "RejectedRequest",
     "Request",
     "RequestRouter",
+    "ResilienceStats",
+    "RetryPolicy",
     "RouterConfig",
     "RouterEvent",
     "RouterReport",

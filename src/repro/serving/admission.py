@@ -4,9 +4,12 @@ degrade-before-reject.
 Every arriving request passes through the
 :class:`AdmissionController` before it may occupy queue space:
 
-1. **Backpressure** -- platforms whose queue is at ``queue_limit`` are
-   closed; if every platform is closed the request is rejected with
-   ``saturated`` (explicit backpressure instead of unbounded queueing).
+1. **Backpressure and health** -- platforms whose queue is at
+   ``queue_limit`` are closed, and (when the controller is
+   health-aware) so are platforms that are down or whose circuit
+   breaker is open; if every platform is closed the request is
+   rejected with ``saturated`` (explicit backpressure instead of
+   unbounded queueing).
 2. **Placement** -- the dispatcher scores the open platforms and picks
    the best candidate under the active policy.
 3. **Feasibility** -- if even the best candidate is predicted to blow
@@ -51,25 +54,34 @@ class AdmissionController:
         dispatcher: Dispatcher,
         queue_limit: int,
         degrade_on_admission: bool = True,
+        health_aware: bool = True,
     ) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
         self.dispatcher = dispatcher
         self.queue_limit = queue_limit
         self.degrade_on_admission = degrade_on_admission
+        #: When False the controller routes as if every platform were
+        #: permanently healthy -- the pre-fault-layer behaviour the
+        #: chaos benchmark uses as its baseline.
+        self.health_aware = health_aware
 
-    def open_platforms(self) -> list:
-        """Names of platforms with queue space left."""
-        return [
-            name
-            for name, state in self.dispatcher.platforms.items()
-            if len(state.queue) < self.queue_limit
-        ]
+    def open_platforms(self, now: float = 0.0) -> list:
+        """Names of platforms with queue space left (and, when
+        health-aware, that are up with an admitting breaker)."""
+        names = []
+        for name, state in self.dispatcher.platforms.items():
+            if len(state.queue) >= self.queue_limit:
+                continue
+            if self.health_aware and not state.available(now):
+                continue
+            names.append(name)
+        return names
 
     def admit(self, request: Request, now: float) -> AdmissionDecision:
         """Decide one request's fate; escalates a degradation
         controller when that is what admission takes."""
-        open_names = self.open_platforms()
+        open_names = self.open_platforms(now)
         if not open_names:
             return AdmissionDecision(admitted=False, reason="saturated")
         best = self.dispatcher.choose(request, now, among=open_names)

@@ -169,6 +169,24 @@ class DegradationLadder:
             perforation = next_perforation
         self.rungs = rungs
 
+    @classmethod
+    def from_rungs(
+        cls, deployment: "Deployment", rungs: Sequence[DegradationRung]
+    ) -> "DegradationLadder":
+        """Wrap pre-built rungs without re-running the ladder search.
+
+        The fault layer uses this to re-target an existing ladder's
+        (batch, perforation) configurations at a degraded architecture:
+        the *shape* of the ladder is the healthy one, only the compiled
+        plans and their time/energy numbers differ.
+        """
+        if not rungs:
+            raise ValueError("ladder needs at least one rung")
+        ladder = cls.__new__(cls)
+        ladder.deployment = deployment
+        ladder.rungs = list(rungs)
+        return ladder
+
     def __len__(self) -> int:
         return len(self.rungs)
 

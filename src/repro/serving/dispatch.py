@@ -20,18 +20,50 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.core.satisfaction import soc
-from repro.serving.degradation import DegradationController, DegradationLadder
+from repro.serving.degradation import (
+    DegradationController,
+    DegradationLadder,
+    DegradationRung,
+)
 from repro.serving.request import Request
+from repro.serving.resilience import CircuitBreaker
 
 if TYPE_CHECKING:  # duck-typed, avoids importing the framework here
     from repro.core.framework import Deployment
+    from repro.faults.health import PlatformHealth
 
-__all__ = ["PlatformState", "Candidate", "Dispatcher", "POLICIES"]
+__all__ = [
+    "InFlightBatch",
+    "PlatformState",
+    "Candidate",
+    "Dispatcher",
+    "POLICIES",
+]
 
 #: Dispatch policies: ``soc`` scores candidates by predicted SoC and
 #: orders queues by (priority, deadline); ``fifo`` routes to the
 #: shortest predicted wait and serves strictly in arrival order.
 POLICIES = ("soc", "fifo")
+
+
+@dataclass
+class InFlightBatch:
+    """One launched batch whose outcome has not yet landed.
+
+    Completion records are materialized when the batch *finishes*, not
+    when it launches, so a platform outage (or a transient execution
+    failure) can still fail the batch and hand its requests to the
+    retry/failover machinery.
+    """
+
+    requests: List[Request]
+    rung: DegradationRung
+    start_s: float
+    finish_s: float
+    #: Decided at launch (outage underway, or an armed transient
+    #: fault): the batch will fail at ``finish_s`` instead of
+    #: completing.
+    will_fail: bool = False
 
 
 @dataclass
@@ -47,17 +79,47 @@ class PlatformState:
     busy_until: float = 0.0
     #: Earliest still-armed flush timer (None when nothing is pending).
     pending_flush_at: Optional[float] = None
+    # -- fault / resilience state ---------------------------------------
+    #: Live hardware health (None outside fault-injected runs).
+    health: Optional["PlatformHealth"] = None
+    #: Per-platform circuit breaker (None when resilience is off).
+    breaker: Optional[CircuitBreaker] = None
+    #: The ladder compiled against the *healthy* architecture; kept so
+    #: recoveries restore it without recompiling.
+    base_ladder: Optional[DegradationLadder] = None
+    #: The batch currently executing (None while idle).
+    inflight: Optional[InFlightBatch] = None
+    #: Armed transient faults: each dooms one future batch launch.
+    transient_pending: int = 0
     # -- cumulative accounting -----------------------------------------
     batches: int = 0
     requests_served: int = 0
     busy_s: float = 0.0
     energy_j: float = 0.0
     level_sum: int = 0
+    failed_batches: int = 0
+
+    def rung_at(self, level: int) -> DegradationRung:
+        """The effective rung at a ladder level: the compiled numbers,
+        scaled by any active thermal throttle."""
+        rung = self.ladder[level]
+        if self.health is not None:
+            rung = self.health.scale_rung(rung)
+        return rung
 
     @property
-    def rung(self):
+    def rung(self) -> DegradationRung:
         """The rung currently selected by the degradation controller."""
-        return self.ladder[self.controller.level]
+        return self.rung_at(self.controller.level)
+
+    def available(self, now: float) -> bool:
+        """Whether a health-aware router may dispatch here: the
+        platform is up and its breaker admits traffic."""
+        if self.health is not None and not self.health.up:
+            return False
+        if self.breaker is not None and not self.breaker.allows(now):
+            return False
+        return True
 
     def backlog_s(self, now: float) -> float:
         """Outstanding work in seconds: remaining busy time plus the
@@ -127,7 +189,7 @@ class Dispatcher:
         execution.
         """
         level = state.controller.level if level is None else level
-        rung = state.ladder[level]
+        rung = state.rung_at(level)
         queued = len(state.queue)
         wait_s = max(state.busy_until - now, 0.0)
         batches_ahead = queued // rung.batch

@@ -49,6 +49,12 @@ class EventLog:
     #: admission, ``dispatch``/``complete`` from the serving loop,
     #: ``degrade``/``restore`` from the degradation controllers, and
     #: ``compile``/``cache_hit`` are relayed engine hook-bus events.
+    #: The fault/resilience kinds: ``fault`` marks an injected
+    #: :class:`~repro.faults.events.FaultEvent` being applied,
+    #: ``batch_failed`` a dispatched batch that did not complete,
+    #: ``retry`` a failed request re-entering admission after backoff,
+    #: ``failover`` a request rescued off a dead platform, and the
+    #: ``breaker_*`` kinds are circuit-breaker state transitions.
     KINDS = (
         "enqueue",
         "reject",
@@ -58,6 +64,13 @@ class EventLog:
         "restore",
         "compile",
         "cache_hit",
+        "fault",
+        "batch_failed",
+        "retry",
+        "failover",
+        "breaker_open",
+        "breaker_half_open",
+        "breaker_close",
     )
 
     def __init__(self) -> None:

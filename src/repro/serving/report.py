@@ -26,6 +26,7 @@ __all__ = [
     "RejectedRequest",
     "TenantStats",
     "PlatformStats",
+    "ResilienceStats",
     "RouterReport",
 ]
 
@@ -75,10 +76,18 @@ class CompletedRequest:
 
 @dataclass(frozen=True)
 class RejectedRequest:
-    """One request the admission controller turned away."""
+    """One request the router explicitly turned away.
+
+    ``reason`` is ``"saturated"`` or ``"infeasible"`` from admission
+    control; under fault injection it may also be ``"failed"`` (batch
+    execution failed, retries disabled), ``"retries-exhausted"`` (the
+    retry budget ran dry), ``"outage"`` (the platform died and no
+    failover target would take the request) or ``"stranded"`` (still
+    queued when the simulation drained -- the zero-loss backstop).
+    """
 
     request: Request
-    reason: str  # "saturated" or "infeasible"
+    reason: str
 
     def to_dict(self) -> dict:
         """Plain-data view."""
@@ -147,6 +156,8 @@ class PlatformStats:
     mean_level: float
     peak_level: int
     final_level: int
+    #: Batches that launched but did not complete (faulted runs only).
+    failed_batches: int = 0
 
     def to_dict(self) -> dict:
         """Plain-data view."""
@@ -161,6 +172,50 @@ class PlatformStats:
             "mean_level": self.mean_level,
             "peak_level": self.peak_level,
             "final_level": self.final_level,
+            "failed_batches": self.failed_batches,
+        }
+
+
+@dataclass(frozen=True)
+class ResilienceStats:
+    """Recovery metrics of one fault-injected routing run.
+
+    Populated only when a run was given a
+    :class:`~repro.faults.events.FaultTrace`; ``None`` on clean runs
+    so the report schema of PR 2 is unchanged for them.
+    """
+
+    #: Fault events applied during the run.
+    faults_injected: int = 0
+    #: Full platform outage episodes that began.
+    outages: int = 0
+    #: Mean time-to-recovery over outage episodes that closed
+    #: (restore observed) during the run.
+    mttr_s: float = 0.0
+    #: Batches that launched and failed (outage or transient).
+    batch_failures: int = 0
+    #: Failed requests re-admitted after backoff.
+    retries: int = 0
+    #: Requests moved off a dead platform at outage time.
+    failovers: int = 0
+    #: Failed-over requests that ultimately completed.
+    requests_rescued: int = 0
+    #: Circuit-breaker transitions observed.
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain-data view with a stable key order."""
+        return {
+            "faults_injected": self.faults_injected,
+            "outages": self.outages,
+            "mttr_s": self.mttr_s,
+            "batch_failures": self.batch_failures,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "requests_rescued": self.requests_rescued,
+            "breaker_opens": self.breaker_opens,
+            "breaker_closes": self.breaker_closes,
         }
 
 
@@ -174,6 +229,8 @@ class RouterReport:
     events: EventLog = field(default_factory=EventLog)
     #: Simulated end of the run (last completion, or last arrival).
     horizon_s: float = 0.0
+    #: Recovery metrics of a fault-injected run (None on clean runs).
+    resilience: Optional[ResilienceStats] = None
 
     # -- fleet-level views ----------------------------------------------
     @property
@@ -221,6 +278,11 @@ class RouterReport:
     def total_energy_j(self) -> float:
         """Fleet-wide energy spent serving."""
         return sum(p.energy_j for p in self.platforms)
+
+    def soc_delta(self, clean: "RouterReport") -> float:
+        """Mean-SoC delta of this (typically faulted) run against a
+        clean reference run: negative means faults cost satisfaction."""
+        return self.mean_soc - clean.mean_soc
 
     def percentile_latency_s(self, q: float) -> float:
         """``q``-th percentile (0..100) of completed-request latency,
@@ -331,6 +393,8 @@ class RouterReport:
             "platforms": [stats.to_dict() for stats in self.platforms],
             "event_counts": self.events.counts,
         }
+        if self.resilience is not None:
+            data["resilience"] = self.resilience.to_dict()
         if include_events:
             data["events"] = self.events.to_dicts()
         if include_requests:

@@ -2,16 +2,17 @@
 
 :class:`RequestRouter` is a deterministic discrete-event simulation
 sitting above a fleet of deployments and below the workload traces:
-arrivals, platform-free and flush-timer events are processed in strict
-(time, sequence) order, so a run is bit-identical given the same
-seeds and configuration -- asserted via
-:meth:`~repro.serving.report.RouterReport.fingerprint`.
+arrivals, platform-free, flush-timer, fault-injection, retry and
+breaker-probe events are processed in strict (time, sequence) order,
+so a run is bit-identical given the same seeds and configuration --
+asserted via :meth:`~repro.serving.report.RouterReport.fingerprint`.
 
 Per event the router:
 
 * **admits** the request through the
   :class:`~repro.serving.admission.AdmissionController` (bounded
-  queues, deadline feasibility, degrade-before-reject),
+  queues, deadline feasibility, degrade-before-reject, and -- when
+  resilience is on -- platform health and circuit-breaker state),
 * **routes** it to the platform whose current (batch-plan,
   perforation-level) rung promises the best SoC,
 * **assembles batches** per platform under the same
@@ -22,6 +23,26 @@ Per event the router:
   :class:`~repro.serving.degradation.DegradationController` walk the
   overload ladder as the backlog grows and drains.
 
+Fault injection (:mod:`repro.faults`) plugs into the same event loop:
+a :class:`~repro.faults.events.FaultTrace` passed to :meth:`run`
+mutates per-platform :class:`~repro.faults.health.PlatformHealth` at
+its events' timestamps.  Structural faults (SM failures, bandwidth
+loss) re-target the platform's ladder at the degraded architecture
+through the engine -- a plan-cache miss keyed on the degraded arch,
+so occupancy and optSM are recomputed against the surviving hardware;
+thermal throttles scale rungs through the DVFS model without a
+recompile; outages and transients fail batches outright.  Batches
+therefore complete *at finish time*, not at launch: a batch in flight
+when its platform dies is failed and its requests -- along with the
+queue -- are re-dispatched across the surviving fleet (failover),
+retried with deadline-capped backoff, or rejected with an explicit
+reason.  Nothing is ever silently lost.
+
+With ``resilience=False`` the router keeps PR 2's
+every-platform-is-healthy worldview while the faults still bite --
+the chaos benchmark's baseline, demonstrating how one dead platform
+silently poisons a health-blind fleet.
+
 The router also subscribes to every deployment engine's hook bus for
 the duration of a run, so rung compilations and cache hits show up in
 the structured event log alongside its own decisions.
@@ -30,24 +51,33 @@ the structured event log alongside its own decisions.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.fleet import FleetManager
 from repro.core.framework import Deployment
 from repro.core.runtime.server import FlushPolicy, default_flush_timeout
 from repro.core.satisfaction import soc
+from repro.faults.events import FaultEvent, FaultTrace
+from repro.faults.health import PlatformHealth
 from repro.serving.admission import AdmissionController
 from repro.serving.degradation import DegradationController, DegradationLadder
-from repro.serving.dispatch import Dispatcher, PlatformState, POLICIES
+from repro.serving.dispatch import (
+    Dispatcher,
+    InFlightBatch,
+    PlatformState,
+    POLICIES,
+)
 from repro.serving.events import EventLog
 from repro.serving.report import (
     CompletedRequest,
     PlatformStats,
     RejectedRequest,
+    ResilienceStats,
     RouterReport,
 )
 from repro.serving.request import Request, TenantLoad, merge_loads
+from repro.serving.resilience import CircuitBreaker, RetryPolicy
 
 __all__ = ["RouterConfig", "RequestRouter"]
 
@@ -59,6 +89,11 @@ class RouterConfig:
     ``high_water_batches`` / ``low_water_batches`` are expressed in
     units of the platform's rung-0 batch execution time, so the same
     config is meaningful on a 6 ms server GPU and a 40 ms mobile one.
+
+    The resilience block only matters for fault-injected runs:
+    ``resilience=False`` disables health-aware dispatch, retries,
+    failover and the circuit breakers while faults still apply -- the
+    chaos benchmark's "assume everything is healthy" baseline.
     """
 
     queue_limit: int = 64
@@ -77,6 +112,16 @@ class RouterConfig:
     #: serving at rung 0 (off by default: the router's beyond-threshold
     #: rungs would otherwise fight the calibrator).
     calibrate: bool = False
+    # -- resilience ------------------------------------------------------
+    resilience: bool = True
+    #: Retry budget per request for transient batch failures.
+    retry_limit: int = 2
+    retry_backoff_s: float = 0.05
+    retry_backoff_growth: float = 2.0
+    #: Consecutive batch failures that trip a platform's breaker open.
+    breaker_threshold: int = 3
+    #: Seconds an open breaker waits before half-opening for a probe.
+    breaker_cooldown_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -85,12 +130,61 @@ class RouterConfig:
                 % (self.policy, ", ".join(POLICIES))
             )
         if self.queue_limit < 1:
-            raise ValueError("queue_limit must be >= 1")
+            raise ValueError(
+                "queue_limit must be >= 1, got %r" % (self.queue_limit,)
+            )
+        if self.flush_timeout_s is not None and self.flush_timeout_s <= 0:
+            raise ValueError(
+                "flush_timeout_s must be positive (or None for the "
+                "per-deployment default), got %r" % (self.flush_timeout_s,)
+            )
         if self.max_levels < 1:
-            raise ValueError("max_levels must be >= 1")
+            raise ValueError(
+                "max_levels must be >= 1, got %r" % (self.max_levels,)
+            )
+        if self.batch_growth < 1:
+            raise ValueError(
+                "batch_growth must be >= 1, got %r" % (self.batch_growth,)
+            )
+        if self.max_batch < 1:
+            raise ValueError(
+                "max_batch must be >= 1, got %r" % (self.max_batch,)
+            )
+        if self.min_gain <= 1.0:
+            raise ValueError(
+                "min_gain must exceed 1.0, got %r" % (self.min_gain,)
+            )
         if not 0 <= self.low_water_batches < self.high_water_batches:
             raise ValueError(
-                "need 0 <= low_water_batches < high_water_batches"
+                "need 0 <= low_water_batches < high_water_batches, got "
+                "low_water_batches=%r, high_water_batches=%r"
+                % (self.low_water_batches, self.high_water_batches)
+            )
+        if self.window < 1:
+            raise ValueError("window must be >= 1, got %r" % (self.window,))
+        if self.retry_limit < 0:
+            raise ValueError(
+                "retry_limit must be >= 0, got %r" % (self.retry_limit,)
+            )
+        if self.retry_backoff_s <= 0:
+            raise ValueError(
+                "retry_backoff_s must be positive, got %r"
+                % (self.retry_backoff_s,)
+            )
+        if self.retry_backoff_growth < 1.0:
+            raise ValueError(
+                "retry_backoff_growth must be >= 1.0, got %r"
+                % (self.retry_backoff_growth,)
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                "breaker_threshold must be >= 1, got %r"
+                % (self.breaker_threshold,)
+            )
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError(
+                "breaker_cooldown_s must be positive, got %r"
+                % (self.breaker_cooldown_s,)
             )
 
 
@@ -99,6 +193,50 @@ class RouterConfig:
 _ARRIVAL = "arrival"
 _FREE = "free"
 _FLUSH = "flush"
+_FAULT = "fault"
+_RETRY = "retry"
+_PROBE = "probe"
+
+
+class _RunState:
+    """Everything mutable about one :meth:`RequestRouter.run` call."""
+
+    def __init__(self, events: EventLog, retry_policy: RetryPolicy) -> None:
+        self.events = events
+        self.retry_policy = retry_policy
+        self.completed: List[CompletedRequest] = []
+        self.rejected: List[RejectedRequest] = []
+        self.states: Dict[str, PlatformState] = {}
+        self.admission: Optional[AdmissionController] = None
+        #: Delivery attempts per request id (first dispatch counts).
+        self.attempts: Dict[int, int] = {}
+        #: Request ids moved off a dead platform by failover.
+        self.rescued_rids: Set[int] = set()
+        self.outage_started: Dict[str, float] = {}
+        self.mttr_episodes: List[float] = []
+        self.faults_injected = 0
+        self.outages = 0
+        self.batch_failures = 0
+        self.retries = 0
+        self.failovers = 0
+
+    def resilience_stats(self) -> ResilienceStats:
+        completed_rids = {r.request.rid for r in self.completed}
+        episodes = self.mttr_episodes
+        breakers = [
+            s.breaker for s in self.states.values() if s.breaker is not None
+        ]
+        return ResilienceStats(
+            faults_injected=self.faults_injected,
+            outages=self.outages,
+            mttr_s=sum(episodes) / len(episodes) if episodes else 0.0,
+            batch_failures=self.batch_failures,
+            retries=self.retries,
+            failovers=self.failovers,
+            requests_rescued=len(self.rescued_rids & completed_rids),
+            breaker_opens=sum(b.opens for b in breakers),
+            breaker_closes=sum(b.closes for b in breakers),
+        )
 
 
 class RequestRouter:
@@ -119,29 +257,51 @@ class RequestRouter:
         self.config = config if config is not None else RouterConfig()
 
     # -- run -------------------------------------------------------------
-    def run(self, loads: Sequence[TenantLoad]) -> RouterReport:
+    def run(
+        self,
+        loads: Sequence[TenantLoad],
+        faults: Optional[FaultTrace] = None,
+    ) -> RouterReport:
         """Serve every tenant's trace; returns the aggregate report.
 
         Each call is an independent simulation: platform state is
         rebuilt from the deployments (compilation being engine-cached,
         repeat runs are cheap) and nothing carries over between runs.
+        ``faults`` optionally subjects the run to a chaos schedule;
+        the report then carries :class:`ResilienceStats`.
         """
         config = self.config
+        if faults is not None:
+            unknown = sorted(
+                set(faults.platforms) - set(self.deployments)
+            )
+            if unknown:
+                raise ValueError(
+                    "fault trace names unknown platforms %s (fleet: %s)"
+                    % (", ".join(unknown), ", ".join(self.deployments))
+                )
         events = EventLog()
+        run = _RunState(
+            events,
+            RetryPolicy(
+                limit=config.retry_limit,
+                backoff_s=config.retry_backoff_s,
+                growth=config.retry_backoff_growth,
+            ),
+        )
         self._now = 0.0
         unsubscribe = self._subscribe_engines(events)
         try:
-            states = self._build_states(events)
-            dispatcher = Dispatcher(states, policy=config.policy)
-            admission = AdmissionController(
+            run.states = self._build_states(events)
+            dispatcher = Dispatcher(run.states, policy=config.policy)
+            run.admission = AdmissionController(
                 dispatcher,
                 queue_limit=config.queue_limit,
                 degrade_on_admission=(
                     config.degrade_on_admission and config.degradation
                 ),
+                health_aware=config.resilience,
             )
-            completed: List[CompletedRequest] = []
-            rejected: List[RejectedRequest] = []
             requests = merge_loads(loads)
 
             heap: List[Tuple[float, int, str, object]] = []
@@ -154,19 +314,21 @@ class RequestRouter:
 
             for request in requests:
                 push(request.arrival_s, _ARRIVAL, request)
+            if faults is not None:
+                for fault in faults:
+                    push(fault.time_s, _FAULT, fault)
 
             while heap:
                 time_s, _seq, kind, payload = heapq.heappop(heap)
                 self._now = time_s
-                if kind == _ARRIVAL:
-                    self._on_arrival(
-                        payload, admission, states, events, rejected,
-                        completed, push,
-                    )
+                if kind == _ARRIVAL or kind == _RETRY:
+                    self._on_arrival(payload, run, push)
                 elif kind == _FREE:
-                    self._try_dispatch(
-                        payload, states, events, completed, push
-                    )
+                    self._on_free(payload, run, push)
+                elif kind == _FAULT:
+                    self._on_fault(payload, run, push)
+                elif kind == _PROBE:
+                    self._try_dispatch(payload, run, push)
                 else:  # _FLUSH
                     state = payload
                     if (
@@ -174,23 +336,26 @@ class RequestRouter:
                         and state.pending_flush_at <= time_s
                     ):
                         state.pending_flush_at = None
-                    self._try_dispatch(
-                        state, states, events, completed, push
-                    )
+                    self._try_dispatch(state, run, push)
+
+            self._reject_stranded(run)
         finally:
             unsubscribe()
 
         horizon = 0.0
-        if completed:
-            horizon = max(horizon, max(r.finish_s for r in completed))
+        if run.completed:
+            horizon = max(horizon, max(r.finish_s for r in run.completed))
         if requests:
             horizon = max(horizon, requests[-1].arrival_s)
         return RouterReport(
-            completed=sorted(completed, key=lambda r: r.request.rid),
-            rejected=sorted(rejected, key=lambda r: r.request.rid),
-            platforms=self._platform_stats(states, horizon),
+            completed=sorted(run.completed, key=lambda r: r.request.rid),
+            rejected=sorted(run.rejected, key=lambda r: r.request.rid),
+            platforms=self._platform_stats(run.states, horizon),
             events=events,
             horizon_s=horizon,
+            resilience=(
+                run.resilience_stats() if faults is not None else None
+            ),
         )
 
     # -- setup -----------------------------------------------------------
@@ -260,31 +425,30 @@ class RequestRouter:
                 ladder=ladder,
                 controller=controller,
                 flush_timeout_s=flush_timeout,
+                health=PlatformHealth(base=deployment.arch),
+                breaker=(
+                    CircuitBreaker(
+                        failure_threshold=config.breaker_threshold,
+                        cooldown_s=config.breaker_cooldown_s,
+                    )
+                    if config.resilience
+                    else None
+                ),
+                base_ladder=ladder,
             )
         return states
 
     # -- event handlers ---------------------------------------------------
-    def _on_arrival(
-        self, request, admission, states, events, rejected, completed, push
-    ) -> None:
+    def _on_arrival(self, request, run: _RunState, push) -> None:
         now = self._now
-        decision = admission.admit(request, now)
+        decision = run.admission.admit(request, now)
         if not decision.admitted:
-            rejected.append(
-                RejectedRequest(request=request, reason=decision.reason)
-            )
-            events.record(
-                "reject",
-                time_s=now,
-                tenant=request.tenant.name,
-                request_ids=(request.rid,),
-                reason=decision.reason,
-            )
+            self._reject(request, decision.reason, run)
             return
         candidate = decision.candidate
-        state = states[candidate.platform]
+        state = run.states[candidate.platform]
         if decision.reason == "ok-degraded":
-            events.record(
+            run.events.record(
                 "degrade",
                 time_s=now,
                 platform=state.name,
@@ -294,7 +458,7 @@ class RequestRouter:
                 level=state.controller.level,
             )
         state.queue.append(request)
-        events.record(
+        run.events.record(
             "enqueue",
             time_s=now,
             tenant=request.tenant.name,
@@ -304,13 +468,226 @@ class RequestRouter:
             predicted_soc=candidate.predicted_soc,
             predicted_latency_s=candidate.predicted_latency_s,
         )
-        self._try_dispatch(state, states, events, completed, push)
+        self._try_dispatch(state, run, push)
 
-    def _try_dispatch(self, state, states, events, completed, push) -> None:
+    def _on_free(self, state: PlatformState, run: _RunState, push) -> None:
+        """A platform's batch reached its finish time: land its
+        outcome (complete or fail), then keep the platform busy."""
+        now = self._now
+        batch = state.inflight
+        if batch is not None and batch.finish_s <= now:
+            state.inflight = None
+            if batch.will_fail:
+                self._on_batch_failure(state, batch, run, push)
+            else:
+                self._complete_batch(state, batch, run)
+        self._try_dispatch(state, run, push)
+
+    def _on_fault(self, fault: FaultEvent, run: _RunState, push) -> None:
+        """Apply one injected fault to its platform's health and act
+        on the consequence."""
+        now = self._now
+        state = run.states[fault.platform]
+        consequence = state.health.apply(fault)
+        run.faults_injected += 1
+        run.events.record(
+            "fault",
+            time_s=now,
+            platform=fault.platform,
+            fault_kind=fault.kind,
+            episode=fault.episode,
+            sm_fail_fraction=fault.sm_fail_fraction,
+            relative_frequency=fault.relative_frequency,
+            bandwidth_scale=fault.bandwidth_scale,
+        )
+        if consequence == "down":
+            run.outages += 1
+            run.outage_started[fault.platform] = now
+            self._on_outage(state, run, push)
+        elif consequence == "up":
+            started = run.outage_started.pop(fault.platform, None)
+            if started is not None:
+                run.mttr_episodes.append(now - started)
+            # Surviving queue (health-blind mode) gets served again.
+            self._try_dispatch(state, run, push)
+        elif consequence == "recompile":
+            self._retarget_ladder(state)
+        elif consequence == "transient":
+            state.transient_pending += 1
+        # "rescale" needs no action: rungs are scaled lazily through
+        # PlatformState.rung_at / PlatformHealth.scale_rung.
+
+    def _on_outage(self, state: PlatformState, run: _RunState, push) -> None:
+        """The platform just died.  Resilient mode evacuates its work
+        across the surviving fleet; health-blind mode lets the batch
+        in flight time out and fail."""
+        if not self.config.resilience:
+            if state.inflight is not None:
+                state.inflight.will_fail = True
+            return
+        victims: List[Request] = []
+        if state.inflight is not None:
+            victims.extend(state.inflight.requests)
+            state.inflight = None
+        victims.extend(state.queue)
+        state.queue.clear()
+        state.busy_until = self._now
+        for request in sorted(victims, key=lambda r: r.rid):
+            self._failover(request, state.name, run, push)
+
+    def _failover(
+        self, request, origin: str, run: _RunState, push
+    ) -> None:
+        """Re-dispatch one request off a dead platform through the
+        normal admission path (health-aware, so the dead platform is
+        excluded); explicit rejection when nobody can take it."""
+        now = self._now
+        decision = run.admission.admit(request, now)
+        if not decision.admitted:
+            self._reject(request, "outage", run, origin=origin)
+            return
+        run.failovers += 1
+        run.rescued_rids.add(request.rid)
+        target = run.states[decision.candidate.platform]
+        target.queue.append(request)
+        run.events.record(
+            "failover",
+            time_s=now,
+            tenant=request.tenant.name,
+            platform=target.name,
+            request_ids=(request.rid,),
+            origin=origin,
+            level=decision.candidate.level,
+        )
+        self._try_dispatch(target, run, push)
+
+    def _on_batch_failure(
+        self, state: PlatformState, batch: InFlightBatch, run: _RunState, push
+    ) -> None:
+        """A launched batch did not complete: account it, trip the
+        breaker, and walk every member through retry-or-reject."""
+        now = self._now
+        state.failed_batches += 1
+        run.batch_failures += 1
+        rids = tuple(r.rid for r in batch.requests)
+        run.events.record(
+            "batch_failed",
+            time_s=now,
+            platform=state.name,
+            request_ids=rids,
+            level=batch.rung.level,
+        )
+        if state.breaker is not None:
+            move = state.breaker.on_failure(now)
+            if move is not None:
+                run.events.record(move, time_s=now, platform=state.name)
+                if move == "breaker_open":
+                    push(
+                        now + self.config.breaker_cooldown_s, _PROBE, state
+                    )
+        for request in batch.requests:
+            self._retry_or_reject(request, run, push)
+
+    def _retry_or_reject(self, request, run: _RunState, push) -> None:
+        """Deadline-aware retry with budget-capped backoff; explicit
+        rejection once the budget (or the deadline) is spent."""
+        now = self._now
+        attempt = run.attempts.get(request.rid, 0) + 1
+        run.attempts[request.rid] = attempt
+        if self.config.resilience:
+            delay = run.retry_policy.backoff_for(attempt, now, request)
+            if delay is not None:
+                run.retries += 1
+                run.events.record(
+                    "retry",
+                    time_s=now,
+                    tenant=request.tenant.name,
+                    request_ids=(request.rid,),
+                    attempt=attempt,
+                    backoff_s=delay,
+                )
+                push(now + delay, _RETRY, request)
+                return
+            self._reject(request, "retries-exhausted", run)
+            return
+        self._reject(request, "failed", run)
+
+    def _reject(
+        self, request, reason: str, run: _RunState, **detail
+    ) -> None:
+        run.rejected.append(RejectedRequest(request=request, reason=reason))
+        run.events.record(
+            "reject",
+            time_s=self._now,
+            tenant=request.tenant.name,
+            request_ids=(request.rid,),
+            reason=reason,
+            **detail,
+        )
+
+    def _reject_stranded(self, run: _RunState) -> None:
+        """Zero-loss backstop: any request still queued (or somehow in
+        flight) when the event heap drains is explicitly rejected."""
+        for name in sorted(run.states):
+            state = run.states[name]
+            stranded: List[Request] = []
+            if state.inflight is not None:
+                stranded.extend(state.inflight.requests)
+                state.inflight = None
+            stranded.extend(state.queue)
+            state.queue.clear()
+            for request in stranded:
+                self._reject(request, "stranded", run, platform=name)
+
+    def _retarget_ladder(self, state: PlatformState) -> None:
+        """Recompile the platform's ladder against its current
+        (possibly degraded) architecture.
+
+        Every rung keeps its healthy (batch, perforation) shape but is
+        recompiled for the degraded chip -- a compile-cache miss keyed
+        on the degraded architecture's name, recomputing occupancy and
+        optSM for the surviving SMs.  At full structural health the
+        original ladder object is restored (and re-degrading to a
+        previously seen health state is a pure cache hit).
+        """
+        deployment = state.deployment
+        arch = state.health.architecture()
+        if arch is deployment.arch:
+            state.ladder = state.base_ladder
+            return
+        engine = deployment.engine
+        rungs = []
+        for rung in state.base_ladder.rungs:
+            plan = engine.compile_with_batch(
+                deployment.network,
+                rung.batch,
+                rung.perforation,
+                arch=arch,
+            )
+            report = engine.execute(
+                plan,
+                power_gating=deployment.power_gating,
+                use_priority_sm=deployment.use_priority_sm,
+            )
+            rungs.append(
+                replace(
+                    rung,
+                    plan=plan,
+                    exec_time_s=report.total_time_s,
+                    energy_j=report.total_energy_joules,
+                )
+            )
+        state.ladder = DegradationLadder.from_rungs(deployment, rungs)
+
+    def _try_dispatch(self, state: PlatformState, run: _RunState, push) -> None:
         """Launch batches on one platform while it is idle and its
         queue satisfies the flush policy; otherwise arm a flush timer."""
         now = self._now
         while state.busy_until <= now and state.queue:
+            if self.config.resilience and not state.available(now):
+                # Down, or breaker open/probing: hold the queue.  A
+                # probe or restore event will wake the platform up.
+                return
             rung = state.rung
             policy = FlushPolicy(
                 capacity=rung.batch, timeout_s=state.flush_timeout_s
@@ -326,77 +703,106 @@ class RequestRouter:
                     state.pending_flush_at = flush_at
                     push(flush_at, _FLUSH, state)
                 return
-            self._launch(state, rung, events, completed, push)
+            self._launch(state, rung, run, push)
 
-    def _launch(self, state, rung, events, completed, push) -> None:
+    def _launch(self, state: PlatformState, rung, run: _RunState, push) -> None:
         now = self._now
         take = min(len(state.queue), rung.batch)
         batch_requests = state.queue[:take]
         del state.queue[:take]
+        will_fail = False
+        if state.health is not None and not state.health.up:
+            # Health-blind launch onto a dead platform: doomed.
+            will_fail = True
+        elif state.transient_pending > 0:
+            state.transient_pending -= 1
+            will_fail = True
         finish = now + rung.exec_time_s
         state.busy_until = finish
         state.batches += 1
-        state.requests_served += take
-        state.busy_s += rung.exec_time_s
-        state.energy_j += rung.energy_j
         state.level_sum += rung.level
+        state.inflight = InFlightBatch(
+            requests=batch_requests,
+            rung=rung,
+            start_s=now,
+            finish_s=finish,
+            will_fail=will_fail,
+        )
+        if state.breaker is not None:
+            move = state.breaker.on_dispatch(now)
+            if move is not None:
+                run.events.record(move, time_s=now, platform=state.name)
         push(finish, _FREE, state)
-        rids = tuple(r.rid for r in batch_requests)
-        events.record(
+        run.events.record(
             "dispatch",
             time_s=now,
             platform=state.name,
-            request_ids=rids,
+            request_ids=tuple(r.rid for r in batch_requests),
             level=rung.level,
             batch=take,
             capacity=rung.batch,
             finish_s=finish,
         )
-        batch_entropy = 0.0
-        for request in batch_requests:
-            entropy = rung.entropy * request.difficulty
-            batch_entropy = max(batch_entropy, entropy)
-            breakdown = soc(
-                runtime_s=finish - request.arrival_s,
-                requirement=request.tenant.requirement,
-                entropy=entropy,
-                entropy_threshold=state.deployment.entropy_threshold,
-                energy_joules=rung.energy_per_item_j,
-            )
-            completed.append(
-                CompletedRequest(
-                    request=request,
-                    platform=state.name,
-                    level=rung.level,
-                    batch=take,
-                    start_s=now,
-                    finish_s=finish,
-                    entropy=entropy,
-                    soc=breakdown,
-                )
-            )
-        events.record(
-            "complete",
-            time_s=finish,
-            platform=state.name,
-            request_ids=rids,
-            level=rung.level,
-        )
-        if self.config.calibrate and rung.level == 0:
-            state.deployment.observe_entropy(batch_entropy)
         # Degradation reacts to the *standing* queue left behind: the
         # work the platform is already committed to does not count,
         # mirroring how the calibrator scores only new observations.
         queued_batches = -(-len(state.queue) // rung.batch)  # ceil
         move = state.controller.observe(queued_batches * rung.exec_time_s)
         if move is not None:
-            events.record(
+            run.events.record(
                 move,
                 time_s=now,
                 platform=state.name,
                 cause="backlog",
                 level=state.controller.level,
             )
+
+    def _complete_batch(
+        self, state: PlatformState, batch: InFlightBatch, run: _RunState
+    ) -> None:
+        """Materialize a successfully finished batch's outcomes."""
+        now = self._now
+        rung = batch.rung
+        take = len(batch.requests)
+        state.requests_served += take
+        state.busy_s += rung.exec_time_s
+        state.energy_j += rung.energy_j
+        if state.breaker is not None:
+            move = state.breaker.on_success(now)
+            if move is not None:
+                run.events.record(move, time_s=now, platform=state.name)
+        batch_entropy = 0.0
+        for request in batch.requests:
+            entropy = rung.entropy * request.difficulty
+            batch_entropy = max(batch_entropy, entropy)
+            breakdown = soc(
+                runtime_s=batch.finish_s - request.arrival_s,
+                requirement=request.tenant.requirement,
+                entropy=entropy,
+                entropy_threshold=state.deployment.entropy_threshold,
+                energy_joules=rung.energy_per_item_j,
+            )
+            run.completed.append(
+                CompletedRequest(
+                    request=request,
+                    platform=state.name,
+                    level=rung.level,
+                    batch=take,
+                    start_s=batch.start_s,
+                    finish_s=batch.finish_s,
+                    entropy=entropy,
+                    soc=breakdown,
+                )
+            )
+        run.events.record(
+            "complete",
+            time_s=batch.finish_s,
+            platform=state.name,
+            request_ids=tuple(r.rid for r in batch.requests),
+            level=rung.level,
+        )
+        if self.config.calibrate and rung.level == 0:
+            state.deployment.observe_entropy(batch_entropy)
 
     # -- reporting --------------------------------------------------------
     def _platform_stats(
@@ -419,6 +825,7 @@ class RequestRouter:
                     mean_level=state.mean_level(),
                     peak_level=state.controller.peak_level,
                     final_level=state.controller.level,
+                    failed_batches=state.failed_batches,
                 )
             )
         return stats

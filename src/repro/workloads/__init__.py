@@ -6,6 +6,7 @@ from repro.workloads.generators import (
     background_trace,
     bursty_trace,
     difficulty_shift,
+    empty_trace,
     interactive_trace,
     merge_traces,
     pareto_trace,
@@ -25,6 +26,7 @@ __all__ = [
     "background_trace",
     "bursty_trace",
     "difficulty_shift",
+    "empty_trace",
     "interactive_trace",
     "merge_traces",
     "pareto_trace",

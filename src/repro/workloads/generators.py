@@ -23,6 +23,7 @@ __all__ = [
     "background_trace",
     "bursty_trace",
     "pareto_trace",
+    "empty_trace",
     "merge_traces",
     "scale_rate",
     "difficulty_shift",
@@ -163,10 +164,24 @@ def pareto_trace(
     )
 
 
+def empty_trace() -> RequestTrace:
+    """A trace with no requests (the merge identity)."""
+    return RequestTrace(
+        arrivals_s=np.empty(0, dtype=float),
+        difficulty=np.empty(0, dtype=float),
+    )
+
+
 def merge_traces(*traces: RequestTrace) -> RequestTrace:
-    """Interleave several traces into one time-ordered stream."""
+    """Interleave several traces into one time-ordered stream.
+
+    Merging nothing -- or only empty traces -- yields the empty trace,
+    so callers assembling tenant mixes programmatically need no
+    special case for a tenant that contributed no traffic.
+    """
+    traces = tuple(t for t in traces if t.n_requests > 0)
     if not traces:
-        raise ValueError("need at least one trace to merge")
+        return empty_trace()
     arrivals = np.concatenate([t.arrivals_s for t in traces])
     difficulty = np.concatenate([t.difficulty for t in traces])
     order = np.argsort(arrivals, kind="stable")
@@ -180,8 +195,11 @@ def scale_rate(trace: RequestTrace, factor: float) -> RequestTrace:
     the same ``factor`` -- how the overload bench turns a calibrated
     steady-state trace into an N-times-capacity storm.
     """
-    if factor <= 0:
-        raise ValueError("factor must be positive")
+    if not factor > 0:
+        raise ValueError(
+            "scale_rate factor must be a positive rate multiplier, got %r"
+            % (factor,)
+        )
     return RequestTrace(
         arrivals_s=trace.arrivals_s / factor,
         difficulty=trace.difficulty.copy(),

@@ -90,3 +90,62 @@ class TestValidation:
         )
         with pytest.raises(ValueError):
             FleetManager(alexnet(), spec, architectures=[])
+
+
+class TestFleetDeployError:
+    def _manager(self):
+        spec = ApplicationSpec(
+            "age", TaskClass.INTERACTIVE, data_rate_hz=50.0
+        )
+        return FleetManager(
+            alexnet(),
+            spec,
+            architectures=[K20C, JETSON_TX1],
+            max_tuning_iterations=8,
+        )
+
+    def test_failures_collected_not_first_aborted(self, monkeypatch):
+        """One broken platform must not hide the rest of the fleet:
+        every platform is attempted, failures are gathered into one
+        error naming each broken GPU and why, and the survivors stay
+        deployed."""
+        import repro.core.fleet as fleet_mod
+
+        real_deploy = fleet_mod.PervasiveCNN.deploy
+
+        def flaky_deploy(self, network, spec, **kwargs):
+            if self.arch.name == K20C.name:
+                raise RuntimeError("tuning diverged")
+            return real_deploy(self, network, spec, **kwargs)
+
+        monkeypatch.setattr(fleet_mod.PervasiveCNN, "deploy", flaky_deploy)
+        manager = self._manager()
+        with pytest.raises(fleet_mod.FleetDeployError) as excinfo:
+            manager.deploy_all()
+        error = excinfo.value
+        assert set(error.failures) == {K20C.name}
+        assert "K20c" in str(error)
+        assert "tuning diverged" in str(error)
+        assert "1 platform(s)" in str(error)
+        # The healthy platform deployed despite the failure, and once
+        # the broken one is fixed only the missing platform is
+        # (re)deployed -- the survivor was cached all along.
+        assert JETSON_TX1.name in manager._deployments
+        monkeypatch.undo()
+        deployments = manager.deploy_all()
+        assert set(deployments) == {K20C.name, JETSON_TX1.name}
+        assert manager.deployment(JETSON_TX1.name).arch is JETSON_TX1
+
+    def test_all_platforms_reported(self, monkeypatch):
+        import repro.core.fleet as fleet_mod
+
+        def doomed_deploy(self, network, spec, **kwargs):
+            raise ValueError("%s is on fire" % self.arch.name)
+
+        monkeypatch.setattr(fleet_mod.PervasiveCNN, "deploy", doomed_deploy)
+        manager = self._manager()
+        with pytest.raises(fleet_mod.FleetDeployError) as excinfo:
+            manager.deploy_all()
+        failures = excinfo.value.failures
+        assert set(failures) == {K20C.name, JETSON_TX1.name}
+        assert "2 platform(s)" in str(excinfo.value)

@@ -1,0 +1,128 @@
+"""Degraded architectures and live platform health."""
+
+import pytest
+
+from repro.faults import DegradedArchitecture, FaultEvent, PlatformHealth
+from repro.gpu import K20C
+from repro.gpu.dvfs import FrequencyState
+from repro.serving.degradation import DegradationRung
+
+
+class TestDegradedArchitecture:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failed_sms"):
+            DegradedArchitecture(K20C, failed_sms=K20C.n_sms)
+        with pytest.raises(ValueError, match="failed_sms"):
+            DegradedArchitecture(K20C, failed_sms=-1)
+        with pytest.raises(ValueError, match="bandwidth_scale"):
+            DegradedArchitecture(K20C, bandwidth_scale=0.0)
+        with pytest.raises(ValueError, match="bandwidth_scale"):
+            DegradedArchitecture(K20C, bandwidth_scale=1.1)
+
+    def test_identity_at_full_health(self):
+        degraded = DegradedArchitecture(K20C)
+        assert not degraded.degraded
+        # The base object itself, so cache keys are unperturbed.
+        assert degraded.arch is K20C
+
+    def test_health_keyed_target(self):
+        degraded = DegradedArchitecture(K20C, failed_sms=3, bandwidth_scale=0.5)
+        arch = degraded.arch
+        assert arch.name == "%s@sm%d,bw0.5" % (K20C.name, K20C.n_sms - 3)
+        assert arch.n_sms == K20C.n_sms - 3
+        assert arch.mem_bandwidth_gbps == pytest.approx(
+            0.5 * K20C.mem_bandwidth_gbps
+        )
+        # Two distinct health states never share a name (= cache key).
+        other = DegradedArchitecture(K20C, failed_sms=2, bandwidth_scale=0.5)
+        assert other.arch.name != arch.name
+
+
+class TestPlatformHealth:
+    def test_failed_sms_clamped_to_at_least_one(self):
+        health = PlatformHealth(K20C, sm_fail_fraction=1e-6)
+        assert health.failed_sms == 1
+
+    def test_failed_sms_leaves_one_survivor(self):
+        health = PlatformHealth(K20C, sm_fail_fraction=0.999)
+        assert health.failed_sms == K20C.n_sms - 1
+
+    def test_zero_fraction_fails_nothing(self):
+        assert PlatformHealth(K20C).failed_sms == 0
+
+    def test_apply_consequences(self):
+        health = PlatformHealth(K20C)
+        assert health.apply(
+            FaultEvent(time_s=0.0, kind="outage", platform="K20c")
+        ) == "down"
+        assert not health.up
+        assert health.apply(
+            FaultEvent(time_s=1.0, kind="restore", platform="K20c")
+        ) == "up"
+        assert health.up
+        assert health.apply(
+            FaultEvent(
+                time_s=2.0, kind="sm_fail", platform="K20c",
+                sm_fail_fraction=0.25,
+            )
+        ) == "recompile"
+        assert health.degraded
+        assert health.apply(
+            FaultEvent(
+                time_s=3.0, kind="throttle", platform="K20c",
+                relative_frequency=0.6,
+            )
+        ) == "rescale"
+        assert health.throttled
+        assert health.apply(
+            FaultEvent(time_s=4.0, kind="transient", platform="K20c")
+        ) == "transient"
+        assert health.apply(
+            FaultEvent(time_s=5.0, kind="sm_recover", platform="K20c")
+        ) == "recompile"
+        assert health.apply(
+            FaultEvent(time_s=6.0, kind="throttle_end", platform="K20c")
+        ) == "rescale"
+        assert not health.degraded and not health.throttled
+
+    def test_architecture_tracks_health(self):
+        health = PlatformHealth(K20C)
+        assert health.architecture() is K20C
+        health.apply(
+            FaultEvent(
+                time_s=0.0, kind="sm_fail", platform="K20c",
+                sm_fail_fraction=0.25,
+            )
+        )
+        arch = health.architecture()
+        assert arch.n_sms == K20C.n_sms - health.failed_sms
+        assert "@sm" in arch.name
+        health.apply(
+            FaultEvent(time_s=1.0, kind="sm_recover", platform="K20c")
+        )
+        assert health.architecture() is K20C
+
+
+class TestScaleRung:
+    def _rung(self):
+        return DegradationRung(
+            level=0, batch=4, perforation=None, plan=None,
+            exec_time_s=0.01, energy_j=2.0, entropy=0.5,
+        )
+
+    def test_identity_at_nominal_frequency(self):
+        health = PlatformHealth(K20C)
+        rung = self._rung()
+        assert health.scale_rung(rung) is rung
+
+    def test_throttle_stretches_runtime_and_scales_energy(self):
+        health = PlatformHealth(K20C, relative_frequency=0.5)
+        rung = self._rung()
+        scaled = health.scale_rung(rung)
+        assert scaled.exec_time_s == pytest.approx(rung.exec_time_s / 0.5)
+        voltage = FrequencyState(0.5).voltage
+        assert scaled.energy_j == pytest.approx(rung.energy_j * voltage**2)
+        # Capacity halves with frequency.
+        assert scaled.throughput_rps == pytest.approx(
+            0.5 * rung.throughput_rps
+        )

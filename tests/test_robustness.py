@@ -194,3 +194,57 @@ class TestNumericalEdges:
         )
         probs = forward(net, params, test.images[:4], plan)
         assert np.isfinite(probs).all()
+
+
+class TestFaultInjectionRobustness:
+    """The chaos layer itself must be deterministic and fail loudly."""
+
+    def _config(self):
+        from repro.faults import FaultTraceConfig
+
+        return FaultTraceConfig(
+            outages=2, sm_failures=2, throttles=1, transients=3
+        )
+
+    def test_seeded_trace_is_bit_reproducible(self):
+        from repro.faults import generate_fault_trace
+
+        platforms = ["K20c", "TX1", "GTX970m"]
+        a = generate_fault_trace(platforms, 30.0, self._config(), seed=9)
+        b = generate_fault_trace(platforms, 30.0, self._config(), seed=9)
+        assert a.to_dicts() == b.to_dicts()
+        assert a.fingerprint() == b.fingerprint()
+        c = generate_fault_trace(platforms, 30.0, self._config(), seed=10)
+        assert c.fingerprint() != a.fingerprint()
+
+    def test_single_sm_chip_cannot_lose_its_last_sm(self):
+        from repro.faults import DegradedArchitecture, PlatformHealth
+
+        lonely = replace(K20C, name="1-SM", n_sms=1)
+        with pytest.raises(ValueError):
+            DegradedArchitecture(lonely, failed_sms=1)
+        # PlatformHealth clamps instead of crashing: even a 99% SM
+        # failure leaves the single SM alive (nothing fails).
+        health = PlatformHealth(lonely, sm_fail_fraction=0.99)
+        assert health.failed_sms == 0
+        assert health.architecture() is lonely
+
+    def test_two_sm_chip_keeps_one_survivor(self):
+        from repro.faults import PlatformHealth
+
+        health = PlatformHealth(JETSON_TX1, sm_fail_fraction=0.99)
+        assert health.failed_sms == JETSON_TX1.n_sms - 1
+        assert health.architecture().n_sms == 1
+
+    def test_transient_flood_never_crashes_the_health_state(self):
+        from repro.faults import FaultEvent, PlatformHealth
+
+        health = PlatformHealth(K20C)
+        for i in range(50):
+            consequence = health.apply(
+                FaultEvent(
+                    time_s=float(i), kind="transient", platform="K20c"
+                )
+            )
+            assert consequence == "transient"
+        assert health.up and not health.degraded

@@ -10,6 +10,7 @@ from repro.workloads import (
     background_trace,
     bursty_trace,
     difficulty_shift,
+    empty_trace,
     image_tagging,
     interactive_trace,
     merge_traces,
@@ -172,9 +173,16 @@ class TestTraceCombinators:
         merged = merge_traces(hard, easy)
         assert sorted(merged.difficulty) == [1.0] * 10 + [2.0] * 10
 
-    def test_merge_requires_traces(self):
-        with pytest.raises(ValueError):
-            merge_traces()
+    def test_merge_of_nothing_is_the_empty_trace(self):
+        merged = merge_traces()
+        assert merged.n_requests == 0
+        assert merged.arrivals_s.shape == (0,)
+
+    def test_merge_drops_empty_members(self):
+        base = realtime_trace(duration_s=1.0, fps=10)
+        merged = merge_traces(empty_trace(), base, empty_trace())
+        np.testing.assert_allclose(merged.arrivals_s, base.arrivals_s)
+        assert merge_traces(empty_trace(), empty_trace()).n_requests == 0
 
     def test_scale_rate_compresses_time(self):
         base = pareto_trace(n_requests=200, rate_hz=50.0, seed=3)
@@ -182,5 +190,11 @@ class TestTraceCombinators:
         np.testing.assert_allclose(
             doubled.arrivals_s, base.arrivals_s / 2.0
         )
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="positive rate multiplier"):
             scale_rate(base, 0.0)
+        with pytest.raises(ValueError, match="positive rate multiplier"):
+            scale_rate(base, -1.0)
+
+    def test_scale_rate_of_empty_trace(self):
+        scaled = scale_rate(empty_trace(), 2.0)
+        assert scaled.n_requests == 0
