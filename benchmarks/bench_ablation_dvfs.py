@@ -70,10 +70,7 @@ def test_ablation_dvfs(benchmark):
     for (arch_name, task), (decision, saving) in results.items():
         # DVFS never costs energy and never blows a finite budget.
         assert saving >= -1e-9
-        budget = None
         if task != "image-tagging":
-            import math
-
             # latency-bound tasks stay within budget
             assert decision.runtime_s <= {
                 "age-detection": 3.0,  # at worst tolerable

@@ -21,24 +21,23 @@ from repro.core.offline.kernel_tuning import (
     candidate_kernels,
     tune_layer_kernel,
 )
-from repro.gpu import JETSON_TX1, K20C
+from repro.gpu import JETSON_TX1, K20C, occupancy
 from repro.gpu.libraries import CUBLAS
 from repro.gpu.spilling import apply_spill, plan_spill, stair_points
-from repro.gpu import occupancy
 from repro.nn import alexnet
-from repro.sim.engine import analytic_kernel_time
+from repro.sim.engine import analytic_kernel_time_s
 
 
 def _policy_time(arch, shape, policy):
     if policy == "coordinated":
         tuned = tune_layer_kernel(arch, shape)
-        return analytic_kernel_time(
+        return analytic_kernel_time_s(
             arch, tuned.kernel, shape, library=PCNN_BACKEND, tlp=tuned.tlp
         )
     if policy == "library":
         kernel = CUBLAS.select_kernel(arch, shape)
         tlp = occupancy.ctas_per_sm(arch, kernel)
-        return analytic_kernel_time(
+        return analytic_kernel_time_s(
             arch, kernel, shape, library=PCNN_BACKEND, tlp=max(tlp, 1)
         )
     best = None
@@ -47,7 +46,7 @@ def _policy_time(arch, shape, policy):
         tlp, regs = points[-1] if policy == "max-tlp" else points[0]
         spill = plan_spill(arch, kernel, regs, tlp)
         spilled = apply_spill(kernel, spill)
-        t = analytic_kernel_time(
+        t = analytic_kernel_time_s(
             arch, spilled, shape, library=PCNN_BACKEND, tlp=tlp
         )
         if best is None or t < best:

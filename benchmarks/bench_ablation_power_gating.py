@@ -69,11 +69,11 @@ def test_ablation_power_gating(benchmark):
     k20_rr = results[("K20c", "RR, no gating")]
     k20_gated = results[("K20c", "PSM + gating")]
     assert k20_gated.total_energy_joules < k20_rr.total_energy_joules
-    assert min(l.powered_sms for l in k20_gated.layers) < K20C.n_sms
+    assert min(layer.powered_sms for layer in k20_gated.layers) < K20C.n_sms
 
     # On the 2-SM TX1 every layer needs both SMs: gating has nothing
     # to remove (the paper's QPE+ == QPE observation at high Util).
     tx1_rr = results[("TX1", "RR, no gating")]
     tx1_gated = results[("TX1", "PSM + gating")]
     assert tx1_gated.total_energy_joules <= tx1_rr.total_energy_joules * 1.05
-    assert all(l.powered_sms == JETSON_TX1.n_sms for l in tx1_gated.layers)
+    assert all(layer.powered_sms == JETSON_TX1.n_sms for layer in tx1_gated.layers)

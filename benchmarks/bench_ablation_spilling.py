@@ -11,12 +11,12 @@ execution-time impact.
 from common import emit, run_once
 
 from repro.analysis import format_table
-from repro.core.offline.kernel_tuning import PCNN_BACKEND, kernel_score
+from repro.core.offline.kernel_tuning import PCNN_BACKEND
 from repro.gpu import JETSON_TX1, K20C
-from repro.gpu.spilling import SpillPlan, plan_spill, spill_cost, stair_points
 from repro.gpu.kernels import SgemmKernel
+from repro.gpu.spilling import SpillPlan, plan_spill, spill_cost, stair_points
 from repro.nn import alexnet
-from repro.sim.engine import analytic_kernel_time
+from repro.sim.engine import analytic_kernel_time_s
 
 
 def reproduce():
@@ -50,10 +50,10 @@ def reproduce():
             global_kernel = kernel.with_spilling(
                 regs, 0, global_plan.global_bytes
             )
-            t_shared = analytic_kernel_time(
+            t_shared = analytic_kernel_time_s(
                 arch, shared_kernel, shape, library=PCNN_BACKEND, tlp=tlp
             )
-            t_global = analytic_kernel_time(
+            t_global = analytic_kernel_time_s(
                 arch, global_kernel, shape, library=PCNN_BACKEND, tlp=tlp
             )
             totals["shared-first"] += t_shared

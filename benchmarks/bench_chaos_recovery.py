@@ -31,7 +31,6 @@ The acceptance bars:
 """
 
 import pytest
-
 from common import emit, emit_json, run_once
 
 from repro.analysis import format_table

@@ -16,7 +16,6 @@ so regressions fail loudly.
 import time
 
 import pytest
-
 from common import emit, run_once
 
 from repro.analysis import format_table

@@ -12,7 +12,6 @@ the paper's subject networks) deployed on the TX1 model.
 """
 
 import pytest
-
 from common import emit, run_once
 
 from repro.analysis import format_table
@@ -24,7 +23,6 @@ from repro.core.runtime.accuracy_tuning import (
 )
 from repro.gpu import JETSON_TX1
 from repro.nn import evaluate
-from repro.nn.perforation import PerforationPlan
 
 
 class AccuracyGuidedEvaluator:

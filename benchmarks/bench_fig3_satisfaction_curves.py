@@ -12,8 +12,6 @@ quantitatively from the implemented models:
   runtime").
 """
 
-import numpy as np
-
 from common import emit, run_once
 
 from repro.analysis import format_table

@@ -20,7 +20,7 @@ from repro.nn import alexnet
 
 def reproduce():
     net = alexnet()
-    conv_names = [l.name for l in net.conv_layers]
+    conv_names = [layer.name for layer in net.conv_layers]
     rows = []
     series = {}
     for gpu in (K20C, JETSON_TX1):

@@ -10,7 +10,7 @@ minimum-Util layer that anchors the choice) and end-to-end.
 
 from common import emit, run_once
 
-from repro.analysis import format_series, format_table
+from repro.analysis import format_table
 from repro.core import ExecutionEngine
 from repro.gpu import GTX_970M, JETSON_TX1, K20C
 from repro.gpu.occupancy import utilization
@@ -21,7 +21,6 @@ BATCHES = (1, 2, 4, 8, 16, 32, 64, 128)
 
 def reproduce():
     net = alexnet()
-    conv5 = net.layer("conv5")
     throughput_rows = []
     util_rows = []
     optimal = {}

@@ -14,7 +14,6 @@ pinned at rung 0.  The acceptance bars:
 """
 
 import pytest
-
 from common import emit, emit_json, run_once
 
 from repro.analysis import format_table

@@ -5,8 +5,8 @@ training is the dominant cost, so the proxies are trained once per
 benchmark session and shared.
 """
 
-import sys
 import os
+import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
 

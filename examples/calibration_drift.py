@@ -10,11 +10,12 @@ when the inputs ease off, it advances forward again.
     python examples/calibration_drift.py
 """
 
+import numpy as np
+
 from repro import ApplicationSpec, PervasiveCNN, TaskClass
 from repro.gpu import JETSON_TX1
 from repro.nn import alexnet
 from repro.workloads import RequestTrace
-import numpy as np
 
 
 def make_day_night_trace() -> RequestTrace:

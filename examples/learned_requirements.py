@@ -12,11 +12,10 @@ batch, less energy per item, same satisfied user.
 
 from repro.analysis import format_table
 from repro.core import (
-    FeedbackEvent,
+    ExecutionEngine,
     LearnedRequirementModel,
     simulate_user_feedback,
 )
-from repro.core import ExecutionEngine
 from repro.gpu import JETSON_TX1
 from repro.nn import alexnet
 

@@ -16,6 +16,7 @@ GEMM on the K20c model, three ways:
 from repro.analysis import format_table
 from repro.core import ExecutionEngine
 from repro.gpu import K20C
+from repro.gpu.kernels import GemmShape, make_kernel
 from repro.nn import alexnet
 from repro.sim import (
     PrioritySMScheduler,
@@ -24,7 +25,6 @@ from repro.sim import (
     simulate_kernel,
     simulate_shared,
 )
-from repro.gpu.kernels import GemmShape, make_kernel
 
 
 def main():

@@ -16,14 +16,7 @@ from repro.analysis import format_table
 from repro.core import ExecutionEngine
 from repro.core.runtime import AccuracyTuner, EmpiricalEntropyEvaluator
 from repro.gpu import JETSON_TX1
-from repro.nn import (
-    PerforationPlan,
-    evaluate,
-    make_dataset,
-    pcnn_net,
-    train,
-    train_test_split,
-)
+from repro.nn import evaluate, make_dataset, pcnn_net, train, train_test_split
 
 
 def main():

@@ -14,16 +14,16 @@ This is the characterization-side counterpart of the P-CNN compiler
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
+from repro.gpu import occupancy
 from repro.gpu.architecture import GPUArchitecture
 from repro.gpu.kernels import GemmShape
 from repro.gpu.libraries import KernelLibrary
 from repro.gpu.memory import OutOfMemoryError, fits_in_memory
-from repro.gpu import occupancy
 from repro.nn.layers import ConvSpec, DenseSpec
 from repro.nn.models import NetworkDescriptor
-from repro.sim.engine import analytic_kernel_time
+from repro.sim.engine import analytic_kernel_time_s
 
 __all__ = ["LayerLatency", "NetworkLatency", "library_network_latency"]
 
@@ -116,7 +116,7 @@ def library_network_latency(
             else:
                 launches = spec.groups
             seconds = (
-                analytic_kernel_time(arch, kernel, shape, library=library, tlp=tlp)
+                analytic_kernel_time_s(arch, kernel, shape, library=library, tlp=tlp)
                 * spec.groups
                 + launches * LAUNCH_OVERHEAD_S
             )
@@ -138,7 +138,7 @@ def library_network_latency(
             kernel = library.select_kernel(arch, shape)
             tlp = occupancy.ctas_per_sm(arch, kernel)
             seconds = (
-                analytic_kernel_time(arch, kernel, shape, library=library, tlp=tlp)
+                analytic_kernel_time_s(arch, kernel, shape, library=library, tlp=tlp)
                 + LAUNCH_OVERHEAD_S
             )
             layers.append(

@@ -16,8 +16,8 @@ from repro.analysis.metrics import compute_efficiency
 from repro.analysis.reporting import format_table
 from repro.core.engine import ExecutionEngine
 from repro.core.offline.compiler import CompiledPlan
-from repro.gpu.architecture import GPUArchitecture
 from repro.gpu import occupancy
+from repro.gpu.architecture import GPUArchitecture
 from repro.nn.models import NetworkDescriptor
 
 __all__ = ["LayerProfile", "NetworkProfile", "profile_network"]
@@ -52,7 +52,7 @@ class NetworkProfile:
 
     def hottest(self, n: int = 3) -> List[LayerProfile]:
         """The n layers with the largest time share."""
-        return sorted(self.layers, key=lambda l: l.time_s, reverse=True)[:n]
+        return sorted(self.layers, key=lambda layer: layer.time_s, reverse=True)[:n]
 
     def render(self) -> str:
         """Aligned text report."""

@@ -24,11 +24,16 @@ Sub-commands:
   across the fleet and print the router report; ``--chaos`` injects a
   seeded fault trace (outages, SM failures, throttles, transients)
   and reports the recovery metrics.
+* ``lint [PATHS ...] [--format json] [--rule REPnnn] [--list-rules]``
+  -- run the AST invariant analyzer (determinism, float equality,
+  fingerprint ordering, unit algebra, import cycles, mutable
+  defaults) over the package or the given paths.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -40,13 +45,17 @@ from repro.analysis import (
 )
 from repro.core import ApplicationSpec, TaskClass
 from repro.core.engine import ExecutionEngine
+from repro.core.fleet import FleetManager
 from repro.core.offline.artifact import save_plan
 from repro.core.runtime import AccuracyTuner, AnalyticEntropyModel
 from repro.core.user_input import infer_requirement
+from repro.faults import FaultTraceConfig, generate_fault_trace
 from repro.gpu import get_architecture, list_architectures
+from repro.lint.cli import add_lint_parser, run_lint_command
 from repro.nn.models import EXTRA_NETWORKS, PAPER_NETWORKS, PCNN_NET_SIZES, get_network
 from repro.schedulers import compare_schedulers, make_context
-from repro.workloads import paper_scenarios
+from repro.serving import RequestRouter, RouterConfig, Tenant, TenantLoad
+from repro.workloads import bursty_trace, paper_scenarios, pareto_trace
 
 __all__ = ["main", "build_parser"]
 
@@ -161,6 +170,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the report as JSON instead of tables",
     )
+
+    add_lint_parser(sub)
     return parser
 
 
@@ -272,7 +283,7 @@ def _cmd_profile(args) -> int:
     hottest = report.hottest(3)
     print(
         "\nhottest layers: %s"
-        % ", ".join("%s (%.0f%%)" % (l.name, l.time_share * 100) for l in hottest)
+        % ", ".join("%s (%.0f%%)" % (layer.name, layer.time_share * 100) for layer in hottest)
     )
     return 0
 
@@ -355,12 +366,6 @@ def _cmd_tune(args) -> int:
 
 
 def _cmd_serve_fleet(args) -> int:
-    import json as json_module
-
-    from repro.core.fleet import FleetManager
-    from repro.serving import RequestRouter, RouterConfig, Tenant, TenantLoad
-    from repro.workloads import bursty_trace, pareto_trace
-
     network = get_network(args.network)
     spec = ApplicationSpec(
         "interactive", TaskClass.INTERACTIVE, data_rate_hz=50.0,
@@ -416,8 +421,6 @@ def _cmd_serve_fleet(args) -> int:
     )
     faults = None
     if args.chaos:
-        from repro.faults import FaultTraceConfig, generate_fault_trace
-
         horizon = max(
             float(load.trace.arrivals_s[-1])
             for load in loads
@@ -443,7 +446,7 @@ def _cmd_serve_fleet(args) -> int:
 
     if args.json:
         print(
-            json_module.dumps(
+            json.dumps(
                 report.to_dict(include_events=False), indent=2, sort_keys=True
             )
         )
@@ -541,6 +544,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "tune": _cmd_tune,
     "serve-fleet": _cmd_serve_fleet,
+    "lint": run_lint_command,
 }
 
 

@@ -40,14 +40,14 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.gpu.architecture import GPUArchitecture
-from repro.gpu.libraries import KernelLibrary
-from repro.nn.models import NetworkDescriptor
-from repro.nn.perforation import PerforationPlan
 from repro.core.offline.compiler import CompiledPlan, OfflineCompiler
 from repro.core.offline.kernel_tuning import PCNN_BACKEND
 from repro.core.runtime.scheduler import ExecutionReport, RuntimeKernelManager
 from repro.core.satisfaction import TimeRequirement
+from repro.gpu.architecture import GPUArchitecture
+from repro.gpu.libraries import KernelLibrary
+from repro.nn.models import NetworkDescriptor
+from repro.nn.perforation import PerforationPlan
 
 __all__ = [
     "perforation_fingerprint",

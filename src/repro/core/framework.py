@@ -28,9 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.gpu.architecture import GPUArchitecture
-from repro.gpu.libraries import KernelLibrary
-from repro.nn.models import NetworkDescriptor
 from repro.core.engine import ExecutionEngine
 from repro.core.offline.kernel_tuning import PCNN_BACKEND
 from repro.core.runtime.accuracy_tuning import (
@@ -43,6 +40,9 @@ from repro.core.runtime.calibration import Calibrator
 from repro.core.runtime.scheduler import ExecutionReport
 from repro.core.satisfaction import SoCBreakdown, soc
 from repro.core.user_input import ApplicationSpec, InferredRequirement, infer_requirement
+from repro.gpu.architecture import GPUArchitecture
+from repro.gpu.libraries import KernelLibrary
+from repro.nn.models import NetworkDescriptor
 
 __all__ = ["RequestOutcome", "Deployment", "PervasiveCNN"]
 

@@ -18,13 +18,13 @@ from __future__ import annotations
 import json
 from typing import Dict, List
 
+from repro.core.offline.compiler import CompiledPlan, LayerSchedule
+from repro.core.offline.kernel_tuning import TunedKernel
 from repro.gpu.architecture import get_architecture
 from repro.gpu.kernels import GemmShape, SgemmKernel
 from repro.gpu.spilling import SpillPlan
 from repro.nn.models import get_network
 from repro.nn.perforation import PerforationPlan
-from repro.core.offline.compiler import CompiledPlan, LayerSchedule
-from repro.core.offline.kernel_tuning import TunedKernel
 
 __all__ = [
     "ARTIFACT_VERSION",
@@ -192,7 +192,10 @@ def tuning_table_from_dict(data: Dict):
     # __init__ imports this module, and repro.core.runtime.accuracy_tuning
     # imports repro.core.offline.compiler -- a module-scope import here
     # would re-enter the partially initialized offline package.
-    from repro.core.runtime.accuracy_tuning import TuningEntry, TuningTable
+    from repro.core.runtime.accuracy_tuning import (  # cycle-breaker
+        TuningEntry,
+        TuningTable,
+    )
 
     version = data.get("version")
     if version != ARTIFACT_VERSION:

@@ -20,15 +20,14 @@ emits a Table III 'x' configuration.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
+from repro.core.satisfaction import TimeRequirement
+from repro.gpu import occupancy
 from repro.gpu.architecture import GPUArchitecture
 from repro.gpu.kernels import SgemmKernel
 from repro.gpu.libraries import KernelLibrary
-from repro.gpu import occupancy
 from repro.gpu.memory import NetworkMemoryProfile, fits_in_memory
 from repro.nn.models import NetworkDescriptor
-from repro.core.satisfaction import TimeRequirement
 
 __all__ = [
     "MAX_BATCH",

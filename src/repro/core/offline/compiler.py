@@ -24,17 +24,9 @@ tuner re-invokes the compiler to build each tuning table.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.gpu.architecture import GPUArchitecture
-from repro.gpu.kernels import GemmShape
-from repro.gpu.libraries import KernelLibrary
-from repro.gpu.memory import fits_in_memory
-from repro.nn.layers import ConvSpec, DenseSpec
-from repro.nn.models import NetworkDescriptor, ResolvedLayer
-from repro.nn.perforation import PerforationPlan
-from repro.core.satisfaction import TimeRequirement
 from repro.core.offline import batch_selection
 from repro.core.offline.kernel_tuning import (
     PCNN_BACKEND,
@@ -43,6 +35,13 @@ from repro.core.offline.kernel_tuning import (
 )
 from repro.core.offline.resource_model import opt_sm
 from repro.core.offline.time_model import layer_time
+from repro.core.satisfaction import TimeRequirement
+from repro.gpu.architecture import GPUArchitecture
+from repro.gpu.kernels import GemmShape
+from repro.gpu.libraries import KernelLibrary
+from repro.nn.layers import ConvSpec, DenseSpec
+from repro.nn.models import NetworkDescriptor, ResolvedLayer
+from repro.nn.perforation import PerforationPlan
 
 __all__ = ["LayerSchedule", "CompiledPlan", "OfflineCompiler"]
 

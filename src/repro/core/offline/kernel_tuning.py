@@ -24,14 +24,13 @@ library (hand-tuned-quality issue efficiency, minimal layout overhead).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.gpu import occupancy
 from repro.gpu.architecture import GPUArchitecture
 from repro.gpu.kernels import COMMON_TILES, GemmShape, SgemmKernel, make_kernel
 from repro.gpu.libraries import KernelLibrary
-from repro.gpu import occupancy
 from repro.gpu.spilling import (
     SpillPlan,
     apply_spill,
@@ -39,7 +38,7 @@ from repro.gpu.spilling import (
     spill_cost,
     stair_points,
 )
-from repro.sim.engine import analytic_kernel_time
+from repro.sim.engine import analytic_kernel_time_s
 
 __all__ = [
     "PCNN_BACKEND",
@@ -141,7 +140,7 @@ def kernel_score(
     waste is in the grid size, spill traffic is in the CTA work, the
     wave count is Eq. 8 -- without Eq. 10's degenerate zeros.
     """
-    return analytic_kernel_time(
+    return analytic_kernel_time_s(
         arch, kernel, shape, library=backend, tlp=tlp, n_sms=arch.n_sms
     )
 

@@ -7,7 +7,7 @@ what lets P-CNN compile for a platform it has never executed on.
 Two formulations are exposed:
 
 * :func:`layer_time` -- the model the compiler uses: the wave-based
-  analytic kernel time of :func:`repro.sim.engine.analytic_kernel_time`
+  analytic kernel time of :func:`repro.sim.engine.analytic_kernel_time_s`
   evaluated at (optTLP, optSM), times the layer's per-group GEMM count.
   It converges to the event simulator by construction.
 * :func:`eq12_layer_time` -- the paper's literal Eq. 12::
@@ -23,12 +23,12 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.offline.kernel_tuning import PCNN_BACKEND, TunedKernel
+from repro.gpu import occupancy
 from repro.gpu.architecture import GPUArchitecture
 from repro.gpu.kernels import GemmShape
 from repro.gpu.libraries import KernelLibrary
-from repro.gpu import occupancy
-from repro.sim.engine import analytic_kernel_time, cta_work
-from repro.core.offline.kernel_tuning import PCNN_BACKEND, TunedKernel
+from repro.sim.engine import analytic_kernel_time_s, cta_work
 
 __all__ = ["layer_time", "eq12_layer_time"]
 
@@ -47,7 +47,7 @@ def layer_time(
     residency; the compiler passes its spread-capped scheduling TLP."""
     if gemm_count < 1:
         raise ValueError("gemm_count must be >= 1")
-    single = analytic_kernel_time(
+    single = analytic_kernel_time_s(
         arch,
         tuned.kernel,
         shape,

@@ -36,12 +36,12 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.offline.compiler import CompiledPlan, OfflineCompiler
 from repro.nn.datasets import Dataset
 from repro.nn.inference import NetworkParameters
 from repro.nn.models import NetworkDescriptor
-from repro.nn.perforation import PerforationPlan, RATE_LADDER
+from repro.nn.perforation import RATE_LADDER, PerforationPlan
 from repro.nn.training import evaluate
-from repro.core.offline.compiler import CompiledPlan, OfflineCompiler
 
 __all__ = [
     "EntropySample",
@@ -204,7 +204,7 @@ class AccuracyTuner:
         # imports repro.core.runtime.scheduler -- a module-scope import
         # of the engine would close that cycle before ExecutionEngine
         # is defined.
-        from repro.core.engine import ExecutionEngine
+        from repro.core.engine import ExecutionEngine  # cycle-breaker
 
         if isinstance(engine, OfflineCompiler):
             engine = ExecutionEngine(compiler=engine)
@@ -216,7 +216,9 @@ class AccuracyTuner:
         self.rate_ladder = tuple(rate_ladder)
         if list(self.rate_ladder) != sorted(set(self.rate_ladder)):
             raise ValueError("rate_ladder must be strictly increasing")
-        if self.rate_ladder[0] != 0.0:
+        # Exact sentinel: the dense rung is the assigned constant 0.0,
+        # never a computed value.
+        if self.rate_ladder[0] != 0.0:  # lint: ignore[REP002]
             raise ValueError("rate_ladder must start at 0.0 (dense)")
 
     @property

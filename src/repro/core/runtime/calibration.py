@@ -11,7 +11,7 @@ the calibrator may re-advance toward the fastest entry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.runtime.accuracy_tuning import TuningEntry, TuningTable

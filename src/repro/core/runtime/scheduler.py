@@ -12,15 +12,15 @@ the baseline schedulers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
+from repro.core.offline.compiler import CompiledPlan, LayerSchedule
+from repro.core.offline.kernel_tuning import PCNN_BACKEND
 from repro.gpu.architecture import GPUArchitecture
-from repro.gpu.energy import PowerState, power_draw
+from repro.gpu.energy import PowerState, power_draw_w
 from repro.gpu.libraries import KernelLibrary
 from repro.sim.cta_scheduler import PrioritySMScheduler, RoundRobinScheduler
 from repro.sim.engine import KernelResult, analytic_kernel_result, simulate_kernel
-from repro.core.offline.compiler import CompiledPlan, LayerSchedule
-from repro.core.offline.kernel_tuning import PCNN_BACKEND
 
 __all__ = ["LayerExecution", "ExecutionReport", "RuntimeKernelManager"]
 
@@ -168,4 +168,4 @@ class RuntimeKernelManager:
     def _aux_energy(self, aux_time_s: float) -> float:
         powered = 1 if self.power_gating else self.arch.n_sms
         state = PowerState(powered_sms=powered, busy_sms=min(1, powered), activity=0.3)
-        return power_draw(self.arch, state) * aux_time_s
+        return power_draw_w(self.arch, state) * aux_time_s

@@ -20,9 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
-
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.core.satisfaction import SoCBreakdown, soc
 
@@ -201,7 +199,7 @@ class ServerReport:
     @property
     def deadline_misses(self) -> int:
         """Requests whose SoC_time collapsed to zero."""
-        return sum(1 for r in self.requests if r.soc.soc_time == 0.0)
+        return sum(1 for r in self.requests if r.soc.soc_time <= 0.0)
 
     def to_dict(self, include_requests: bool = False) -> dict:
         """Plain-data summary (JSON-serializable).

@@ -12,7 +12,6 @@ frame-rate deadlines for real-time streams.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 

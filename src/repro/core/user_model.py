@@ -23,8 +23,8 @@ compiler and schedulers consume it unchanged.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.core.satisfaction import TimeRequirement
 

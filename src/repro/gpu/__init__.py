@@ -7,16 +7,17 @@ framework's analytical models consume (paper Eqs. 3-13).
 
 from repro.gpu.architecture import (
     ARCHITECTURES,
-    GPUArchitecture,
-    GTX_970M,
     GTX_1080,
+    GTX_970M,
     JETSON_TX1,
     JETSON_TX2,
     K20C,
     TITAN_X,
+    GPUArchitecture,
     get_architecture,
     list_architectures,
 )
+from repro.gpu.energy import EnergyAccumulator, PowerState, energy_j, power_draw_w
 from repro.gpu.kernels import (
     COMMON_TILES,
     GemmShape,
@@ -40,7 +41,6 @@ from repro.gpu.memory import (
     fits_in_memory,
     usable_memory_bytes,
 )
-from repro.gpu.energy import EnergyAccumulator, PowerState, energy, power_draw
 from repro.gpu.spilling import SpillPlan, plan_spill, spill_cost, stair_points
 
 __all__ = [
@@ -73,8 +73,8 @@ __all__ = [
     "usable_memory_bytes",
     "EnergyAccumulator",
     "PowerState",
-    "energy",
-    "power_draw",
+    "energy_j",
+    "power_draw_w",
     "SpillPlan",
     "plan_spill",
     "spill_cost",

@@ -23,8 +23,7 @@ with them every ``#blocks`` cell of Table IV is reproduced bit-exactly
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "GPUArchitecture",

@@ -23,7 +23,7 @@ from typing import Optional
 
 from repro.gpu.architecture import GPUArchitecture
 
-__all__ = ["PowerState", "power_draw", "energy", "EnergyAccumulator"]
+__all__ = ["PowerState", "power_draw_w", "energy_j", "EnergyAccumulator"]
 
 
 @dataclass(frozen=True)
@@ -56,7 +56,7 @@ class PowerState:
             raise ValueError("activity must be in [0, 1]")
 
 
-def power_draw(arch: GPUArchitecture, state: PowerState) -> float:
+def power_draw_w(arch: GPUArchitecture, state: PowerState) -> float:
     """Instantaneous chip power in watts for ``state``.
 
     ``P = P_idle + powered * P_sm_static + busy * activity * P_sm_dyn``
@@ -73,11 +73,11 @@ def power_draw(arch: GPUArchitecture, state: PowerState) -> float:
     )
 
 
-def energy(arch: GPUArchitecture, state: PowerState, duration_s: float) -> float:
+def energy_j(arch: GPUArchitecture, state: PowerState, duration_s: float) -> float:
     """Energy in joules of holding ``state`` for ``duration_s`` seconds."""
     if duration_s < 0:
         raise ValueError("duration must be non-negative")
-    return power_draw(arch, state) * duration_s
+    return power_draw_w(arch, state) * duration_s
 
 
 class EnergyAccumulator:
@@ -112,7 +112,7 @@ class EnergyAccumulator:
 
     def add(self, state: PowerState, duration_s: float) -> None:
         """Integrate one segment."""
-        self._joules += energy(self._arch, state, duration_s)
+        self._joules += energy_j(self._arch, state, duration_s)
         self._seconds += duration_s
 
     def add_kernel(

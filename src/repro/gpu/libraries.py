@@ -26,11 +26,11 @@ registers/shared-memory/block-size values of the paper's Table IV.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
+from repro.gpu import occupancy
 from repro.gpu.architecture import GPUArchitecture
 from repro.gpu.kernels import GemmShape, SgemmKernel, make_kernel
-from repro.gpu import occupancy
 
 __all__ = [
     "KernelLibrary",

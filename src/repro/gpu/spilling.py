@@ -26,7 +26,6 @@ from typing import List, Tuple
 
 from repro.gpu.architecture import GPUArchitecture
 from repro.gpu.kernels import SgemmKernel
-from repro.gpu import occupancy
 
 __all__ = [
     "SpillPlan",

@@ -1,0 +1,46 @@
+"""``repro.lint``: AST-based invariant analysis for the repro codebase.
+
+The layers built so far -- plan caching, fingerprinted reports, seeded
+chaos replay -- rest on invariants nothing in the language enforces:
+simulation paths must not read wall clocks or unseeded entropy, model
+comparisons must not use float ``==``, anything fingerprinted must
+iterate in a stable order, and the analytical model's unit algebra
+(Eqs. 3-13) must not silently mix ``_ms`` with ``_s`` or ``_j`` with
+``_mj``.  This package machine-checks those invariants on every run:
+
+* :data:`~repro.lint.rules.ALL_RULES` -- the rule catalog (REP001..).
+* :func:`run_lint` -- analyze a set of files or package roots.
+* ``python -m repro lint`` -- the CLI front-end (text or JSON output).
+
+Violations are suppressed per line and per rule with a trailing
+``# lint: ignore[REP001]`` comment (comma-separate several ids); each
+suppression is recorded in the report rather than silently dropped.
+"""
+
+from repro.lint.analyzer import LintReport, run_lint
+from repro.lint.core import (
+    ModuleRule,
+    ProjectRule,
+    Rule,
+    SourceModule,
+    Violation,
+    load_source_module,
+    registry,
+)
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "LintReport",
+    "ModuleRule",
+    "ProjectRule",
+    "Rule",
+    "SourceModule",
+    "Violation",
+    "load_source_module",
+    "registry",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

@@ -1,0 +1,128 @@
+"""The analyzer driver: discover files, run rules, apply suppressions.
+
+:func:`run_lint` is the single entry point the CLI, CI and the
+self-clean test all share, so "the analyzer passes" means the same
+thing everywhere.  Suppressed violations are kept in the report (the
+suppression inventory is reviewable output, not a trapdoor); the exit
+status keys off *unsuppressed* findings only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+# Registering the rule catalog is a package-import side effect; the
+# analyzer must never run with an empty registry.
+import repro.lint.rules  # noqa: F401  (import registers REP001..REP006)
+from repro.lint.core import (
+    ModuleRule,
+    ProjectRule,
+    SourceModule,
+    Violation,
+    iter_python_files,
+    load_source_module,
+    registry,
+)
+
+__all__ = ["LintReport", "run_lint"]
+
+
+@dataclass
+class LintReport:
+    """Everything one analyzer run produced."""
+
+    #: Findings a suppression comment covered, kept for review.
+    suppressed: List[Violation] = field(default_factory=list)
+    #: Findings that count against the exit status.
+    violations: List[Violation] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: List[str] = field(default_factory=list)
+    #: Files that failed to parse: path -> error message.  A file the
+    #: analyzer cannot read is a failure, not a skip.
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean (no unsuppressed findings/errors)."""
+        return not self.violations and not self.errors
+
+    def count_by_rule(self) -> Dict[str, int]:
+        """Unsuppressed findings per rule id (fired rules only)."""
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        """Plain-data view (the ``--format json`` payload)."""
+        return {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules_run": list(self.rules_run),
+            "counts": {
+                rule_id: count
+                for rule_id, count in sorted(self.count_by_rule().items())
+            },
+            "violations": [v.to_dict() for v in self.violations],
+            "suppressed": [v.to_dict() for v in self.suppressed],
+            "errors": {
+                path: message
+                for path, message in sorted(self.errors.items())
+            },
+        }
+
+
+def run_lint(
+    paths: Sequence,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Analyze ``paths`` (files or package roots) with the catalog.
+
+    ``rule_ids`` restricts the run to a subset (unknown ids raise
+    KeyError listing the catalog).  Violations come back sorted by
+    location, suppressions split out, parse failures collected under
+    ``errors``.
+    """
+    rules = registry.select(rule_ids)
+    report = LintReport(rules_run=[rule.rule_id for rule in rules])
+
+    modules: List[SourceModule] = []
+    for path in iter_python_files([Path(p) for p in paths]):
+        try:
+            modules.append(load_source_module(path))
+        except SyntaxError as error:
+            report.errors[str(path)] = "syntax error: %s" % error
+    report.files_scanned = len(modules)
+
+    raw: List[Violation] = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(modules))
+        elif isinstance(rule, ModuleRule):
+            for module in modules:
+                raw.extend(rule.check(module))
+        else:  # pragma: no cover - registry enforces the two shapes
+            raise TypeError("rule %s is neither module- nor project-"
+                            "scoped" % rule.rule_id)
+
+    by_path = {module.display_path: module for module in modules}
+    for violation in sorted(raw):
+        module = by_path.get(violation.path)
+        if module is not None and module.suppressions.covers(
+            violation.line, violation.rule_id
+        ):
+            report.suppressed.append(
+                Violation(
+                    path=violation.path,
+                    line=violation.line,
+                    col=violation.col,
+                    rule_id=violation.rule_id,
+                    message=violation.message,
+                    suppressed=True,
+                )
+            )
+        else:
+            report.violations.append(violation)
+    return report

@@ -1,0 +1,67 @@
+"""The ``python -m repro lint`` front-end.
+
+Kept inside the lint package so :mod:`repro.cli` only wires the
+subparser; everything lint-flavoured (defaults, flag semantics, exit
+codes) lives next to the analyzer it drives.  Default target: the
+installed ``repro`` package itself, so ``python -m repro lint`` checks
+the code actually on ``sys.path`` no matter the working directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.lint.analyzer import run_lint
+from repro.lint.core import registry
+from repro.lint.reporters import render_json, render_text
+
+__all__ = ["add_lint_parser", "run_lint_command"]
+
+
+def default_target() -> Path:
+    """The ``repro`` package directory (what ``lint`` checks bare)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def add_lint_parser(sub) -> None:
+    """Attach the ``lint`` subcommand to the CLI's subparsers."""
+    lint = sub.add_parser(
+        "lint", help="run the AST invariant analyzer (REP001..REP006)"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze "
+        "(default: the repro package itself)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--rule", action="append", dest="rules", metavar="RULE-ID",
+        help="run only this rule (repeatable, e.g. --rule REP001)",
+    )
+    lint.add_argument(
+        "--show-suppressed", action="store_true",
+        help="list suppressed findings in the text report",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute ``lint``; exit 0 iff no unsuppressed violations."""
+    if args.list_rules:
+        for rule in registry:
+            print(rule.describe())
+        return 0
+    paths = args.paths or [default_target()]
+    report = run_lint(paths, rule_ids=args.rules)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.show_suppressed))
+    return 0 if report.ok else 1

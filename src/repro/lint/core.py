@@ -1,0 +1,281 @@
+"""Analyzer core: source modules, the rule protocol, suppressions.
+
+Everything here is deliberately framework-ish and rule-agnostic; the
+project-specific knowledge (which calls are nondeterministic, which
+suffixes carry units) lives in :mod:`repro.lint.rules`.
+
+A :class:`SourceModule` is one parsed file: path, dotted module name
+(derived by walking up through ``__init__.py`` packages), raw source,
+AST, and the per-line suppression table parsed from
+``# lint: ignore[RULE-ID]`` comments.  Rules come in two shapes:
+
+* :class:`ModuleRule` -- sees one module at a time (most rules).
+* :class:`ProjectRule` -- sees every module at once (the import-cycle
+  detector needs the whole graph).
+
+Both produce :class:`Violation` records; the analyzer applies the
+suppression table afterwards, so rules never need to think about it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+__all__ = [
+    "Violation",
+    "SourceModule",
+    "Rule",
+    "ModuleRule",
+    "ProjectRule",
+    "RuleRegistry",
+    "registry",
+    "load_source_module",
+    "iter_python_files",
+]
+
+#: ``# lint: ignore[REP001]`` or ``# lint: ignore[REP001, REP004]``.
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9, ]+)\]")
+
+#: Rule ids look like ``REP001``: a short tag plus a 3-digit number.
+_RULE_ID_RE = re.compile(r"^[A-Z]{2,8}\d{3}$")
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: a rule fired at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    #: Set by the analyzer when a suppression comment covered the line.
+    suppressed: bool = field(default=False, compare=False)
+
+    def to_dict(self) -> dict:
+        """Plain-data view (JSON-serializable, stable key set)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` -- the text reporter's row."""
+        note = "  (suppressed)" if self.suppressed else ""
+        return "%s:%d:%d: %s %s%s" % (
+            self.path, self.line, self.col, self.rule_id, self.message, note
+        )
+
+
+class SuppressionTable:
+    """Per-line rule suppressions parsed from comments.
+
+    Comments are read with :mod:`tokenize` rather than a line regex so
+    a string literal containing the marker text does not suppress
+    anything.  A suppression on a statement's *first* line covers every
+    violation reported on that line; rules anchor their violations to
+    the node's ``lineno``, so one trailing comment is always enough.
+    """
+
+    def __init__(self) -> None:
+        self._by_line: Dict[int, Set[str]] = {}
+
+    @classmethod
+    def parse(cls, source: str) -> "SuppressionTable":
+        table = cls()
+        try:
+            tokens = tokenize.generate_tokens(StringIO(source).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _SUPPRESS_RE.search(token.string)
+                if not match:
+                    continue
+                ids = {part.strip() for part in match.group(1).split(",")}
+                line = token.start[0]
+                table._by_line.setdefault(line, set()).update(
+                    rule_id for rule_id in ids if rule_id
+                )
+        except tokenize.TokenError:
+            pass  # half-written file: no suppressions, not a crash
+        return table
+
+    def covers(self, line: int, rule_id: str) -> bool:
+        """Whether ``rule_id`` is suppressed on ``line``."""
+        return rule_id in self._by_line.get(line, ())
+
+    @property
+    def n_markers(self) -> int:
+        """Lines carrying at least one suppression comment."""
+        return len(self._by_line)
+
+
+@dataclass
+class SourceModule:
+    """One parsed python file, ready for rules to inspect."""
+
+    path: Path
+    #: Dotted module name, e.g. ``repro.serving.report`` -- derived
+    #: from the package layout, empty for a file outside any package.
+    name: str
+    source: str
+    tree: ast.Module
+    suppressions: SuppressionTable
+
+    @property
+    def display_path(self) -> str:
+        """The path as printed in reports (relative when possible)."""
+        try:
+            return str(self.path.relative_to(Path.cwd()))
+        except ValueError:
+            return str(self.path)
+
+    def violation(
+        self, node: ast.AST, rule_id: str, message: str
+    ) -> Violation:
+        """A :class:`Violation` anchored at ``node``'s location."""
+        return Violation(
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=rule_id,
+            message=message,
+        )
+
+
+class Rule:
+    """Base protocol: identity and documentation for one check.
+
+    Subclasses define ``rule_id`` (``REPnnn``), a one-line ``summary``
+    and a ``rationale`` paragraph; both reporters and the docs catalog
+    read them, so a rule is self-describing.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def describe(self) -> str:
+        """``REPnnn: summary`` -- the ``--list-rules`` row."""
+        return "%s: %s" % (self.rule_id, self.summary)
+
+
+class ModuleRule(Rule):
+    """A rule that inspects one module at a time."""
+
+    def check(self, module: SourceModule) -> List[Violation]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that needs every module at once (e.g. the import graph)."""
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> List[Violation]:
+        raise NotImplementedError
+
+
+class RuleRegistry:
+    """The rule catalog: id -> rule instance, registration-ordered."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Rule] = {}
+
+    def register(self, rule_cls):
+        """Class decorator: instantiate and index a rule."""
+        rule = rule_cls()
+        if not _RULE_ID_RE.match(rule.rule_id or ""):
+            raise ValueError(
+                "rule id %r does not match REPnnn" % (rule.rule_id,)
+            )
+        if rule.rule_id in self._rules:
+            raise ValueError("duplicate rule id %r" % (rule.rule_id,))
+        self._rules[rule.rule_id] = rule
+        return rule_cls
+
+    def get(self, rule_id: str) -> Rule:
+        """One rule by id (KeyError lists the known ids)."""
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise KeyError(
+                "unknown rule %r (known: %s)"
+                % (rule_id, ", ".join(sorted(self._rules)))
+            ) from None
+
+    def select(self, rule_ids: Optional[Iterable[str]] = None) -> List[Rule]:
+        """The rules to run: all of them (id order), or the subset."""
+        if rule_ids is None:
+            return list(self)
+        return [self.get(rule_id) for rule_id in rule_ids]
+
+    def __iter__(self):
+        return iter(
+            self._rules[rule_id] for rule_id in sorted(self._rules)
+        )
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+#: The process-wide catalog; rule modules register into it on import.
+registry = RuleRegistry()
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name from the package layout around ``path``.
+
+    Walks parent directories while they contain ``__init__.py``; a file
+    outside any package keeps its bare stem.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    package_dir = path.parent
+    while (package_dir / "__init__.py").exists():
+        parts.insert(0, package_dir.name)
+        package_dir = package_dir.parent
+    return ".".join(parts)
+
+
+def load_source_module(path: Path) -> SourceModule:
+    """Read and parse one file into a :class:`SourceModule`.
+
+    Raises :class:`SyntaxError` for unparseable source -- a file the
+    analyzer cannot read is itself a finding the caller must surface,
+    never something to skip silently.
+    """
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return SourceModule(
+        path=path,
+        name=module_name_for(path),
+        source=source,
+        tree=tree,
+        suppressions=SuppressionTable.parse(source),
+    )
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files and directory roots into a sorted ``.py`` file list."""
+    found: Set[Path] = set()
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            found.update(entry.rglob("*.py"))
+        elif entry.suffix == ".py":
+            found.add(entry)
+        else:
+            raise ValueError("not a python file or directory: %s" % entry)
+    return sorted(found)

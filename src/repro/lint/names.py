@@ -1,0 +1,73 @@
+"""Name-resolution helpers shared by the AST rules.
+
+Static analysis of calls like ``np.random.rand()`` needs the import
+alias table of the module: ``import numpy as np`` makes ``np.random``
+mean ``numpy.random``, and ``from time import time`` makes a bare
+``time()`` call mean ``time.time``.  :class:`ImportAliases` collects
+every binding the module creates (at any nesting level -- a banned
+call hidden behind a function-local import is still banned), and
+:func:`resolve_call_name` expands a call's dotted path through it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+__all__ = ["ImportAliases", "dotted_name", "resolve_call_name"]
+
+
+class ImportAliases:
+    """Local name -> fully qualified dotted path, from import statements."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b.c`` binds ``a``; with ``as x`` it
+                    # binds the full path.
+                    target = alias.name if alias.asname else bound
+                    self._aliases[bound] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:
+                    continue  # relative imports never hit stdlib names
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self._aliases[bound] = "%s.%s" % (node.module, alias.name)
+
+    def expand(self, dotted: str) -> str:
+        """Rewrite the leading segment through the alias table."""
+        head, _, rest = dotted.partition(".")
+        target = self._aliases.get(head)
+        if target is None:
+            return dotted
+        return "%s.%s" % (target, rest) if rest else target
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, None for anything else."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_call_name(
+    call: ast.Call, aliases: ImportAliases
+) -> Optional[str]:
+    """The fully qualified name a call resolves to, or None.
+
+    Only syntactic resolution: calls through variables or attributes of
+    objects (``self.rng.random()``) resolve to their literal dotted
+    path, which by design does not match module-level banned names.
+    """
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    return aliases.expand(name)

@@ -1,0 +1,57 @@
+"""Reporters: render a :class:`~repro.lint.analyzer.LintReport`.
+
+Text for humans (grouped by file, suppression inventory at the end),
+canonical JSON for CI annotations and tooling.  Both render from the
+same ``LintReport.to_dict`` data so they can never disagree about
+what the run found.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.lint.analyzer import LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """Human-readable report; ``verbose`` lists suppressions too."""
+    lines: List[str] = []
+    for path, message in sorted(report.errors.items()):
+        lines.append("%s: error: %s" % (path, message))
+    lines.extend(violation.render() for violation in report.violations)
+    if verbose and report.suppressed:
+        lines.append("")
+        lines.append("suppressed (%d):" % len(report.suppressed))
+        lines.extend(
+            "  " + violation.render() for violation in report.suppressed
+        )
+    lines.append("")
+    counts = report.count_by_rule()
+    breakdown = (
+        " (%s)" % ", ".join(
+            "%s=%d" % (rule_id, counts[rule_id])
+            for rule_id in sorted(counts)
+        )
+        if counts
+        else ""
+    )
+    lines.append(
+        "%s: %d file(s), %d rule(s), %d violation(s)%s, %d suppressed"
+        % (
+            "clean" if report.ok else "FAILED",
+            report.files_scanned,
+            len(report.rules_run),
+            len(report.violations),
+            breakdown,
+            len(report.suppressed),
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Canonical JSON rendering (sorted keys, stable schema)."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)

@@ -1,0 +1,29 @@
+"""The rule catalog.  Importing this package registers every rule.
+
+Rule ids are stable API: tests, suppression comments and the docs
+catalog all refer to them, so ids are never reused or renumbered.
+
+==========  ==========================================================
+REP001      No wall-clock or unseeded randomness in simulation paths.
+REP002      No float ``==`` / ``!=`` in modeling code.
+REP003      Stable iteration order in fingerprint/export paths.
+REP004      No arithmetic across mismatched unit suffixes.
+REP005      No import cycles; local imports marked ``# cycle-breaker``.
+REP006      No mutable default arguments.
+==========  ==========================================================
+"""
+
+from repro.lint.core import registry
+from repro.lint.rules import (  # noqa: F401  (import registers the rules)
+    determinism,
+    float_equality,
+    import_graph,
+    mutable_defaults,
+    ordering,
+    units,
+)
+
+#: Every registered rule, registration-ordered (REP001..REP006).
+ALL_RULES = list(registry)
+
+__all__ = ["ALL_RULES"]

@@ -1,0 +1,112 @@
+"""REP001: determinism sanitizer for simulation paths.
+
+The serving/chaos stack's headline guarantee is bit-identical
+same-seed replay (``RouterReport.fingerprint``).  One
+``time.time()`` or module-level ``np.random.rand()`` anywhere in a
+simulation path silently voids it, and nothing fails until a flaky
+benchmark assertion weeks later.  This rule bans every wall-clock,
+ambient-entropy and global-RNG call inside the packages that feed
+fingerprints; seeded generators (``np.random.default_rng(seed)``,
+``random.Random(seed)``) remain the sanctioned sources.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.core import ModuleRule, SourceModule, Violation, registry
+from repro.lint.names import ImportAliases, resolve_call_name
+
+#: Packages whose modules must stay deterministic end to end.
+SIMULATION_PACKAGES = (
+    "repro.sim",
+    "repro.serving",
+    "repro.faults",
+    "repro.workloads",
+    "repro.schedulers",
+)
+
+#: Exact banned call targets (wall clocks, ambient entropy, global-RNG
+#: reseeding).  ``time.sleep`` is not here: it is slow, not random.
+BANNED_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "ambient entropy",
+    "os.getrandom": "ambient entropy",
+    "uuid.uuid1": "host-and-clock derived id",
+    "uuid.uuid4": "ambient entropy",
+    "numpy.random.seed": "global RNG reseed",
+    "random.seed": "global RNG reseed",
+}
+
+#: Module prefixes whose *any* function call is a global-RNG draw.
+#: ``default_rng`` / ``Generator`` / ``SeedSequence`` construct seeded
+#: generators, which is exactly the sanctioned pattern.
+BANNED_PREFIXES = ("random.", "numpy.random.", "secrets.")
+ALLOWED_UNDER_PREFIX = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "random.Random",
+}
+
+
+def _is_simulation_module(name: str) -> bool:
+    return any(
+        name == package or name.startswith(package + ".")
+        for package in SIMULATION_PACKAGES
+    )
+
+
+@registry.register
+class DeterminismRule(ModuleRule):
+    """Ban nondeterminism sources inside simulation packages."""
+
+    rule_id = "REP001"
+    summary = (
+        "no wall-clock, ambient-entropy or global-RNG calls in "
+        "simulation paths (sim/serving/faults/workloads/schedulers)"
+    )
+    rationale = (
+        "Same-seed runs must be bit-identical for RouterReport "
+        "fingerprints and chaos replay to mean anything; randomness "
+        "must flow from an explicit seed through a Generator object."
+    )
+
+    def check(self, module: SourceModule) -> List[Violation]:
+        if not _is_simulation_module(module.name):
+            return []
+        aliases = ImportAliases(module.tree)
+        violations = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_name(node, aliases)
+            if target is None:
+                continue
+            reason = BANNED_CALLS.get(target)
+            if reason is None and target not in ALLOWED_UNDER_PREFIX:
+                if any(
+                    target.startswith(prefix) for prefix in BANNED_PREFIXES
+                ):
+                    reason = "module-level (unseeded) RNG draw"
+            if reason is not None:
+                violations.append(
+                    module.violation(
+                        node,
+                        self.rule_id,
+                        "call to %s (%s) in a simulation path; thread "
+                        "time and randomness through explicit "
+                        "parameters / a seeded Generator" % (target, reason),
+                    )
+                )
+        return violations

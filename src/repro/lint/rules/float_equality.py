@@ -1,0 +1,75 @@
+"""REP002: no float ``==`` / ``!=`` in modeling code.
+
+The analytical model (Eqs. 3-13) runs entirely on floats -- times,
+energies, rates, SoC scores.  Exact equality on a *computed* float is
+a latent bug: two mathematically equal expressions routinely differ in
+the last ulp, so guards like ``latency == deadline`` silently never
+(or always) fire.  The rule flags comparisons whose operands are
+syntactically float-valued: float literals, ``float(...)`` casts, and
+true-division results.  Comparing against an exact sentinel that was
+*assigned*, never computed (a ``0.0`` rung in a rate ladder) is a
+legitimate pattern -- suppress those sites with a rationale comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.core import ModuleRule, SourceModule, Violation, registry
+
+__all__ = ["FloatEqualityRule", "is_float_like"]
+
+
+def is_float_like(node: ast.AST) -> bool:
+    """Whether an expression is syntactically float-valued."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return is_float_like(node.operand)
+    if isinstance(node, ast.Call):
+        func = node.func
+        return isinstance(func, ast.Name) and func.id == "float"
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True  # true division always yields a float
+        return is_float_like(node.left) or is_float_like(node.right)
+    return False
+
+
+@registry.register
+class FloatEqualityRule(ModuleRule):
+    """Flag ``==`` / ``!=`` with a float-valued operand."""
+
+    rule_id = "REP002"
+    summary = "no == / != against float-valued expressions"
+    rationale = (
+        "Computed floats differ in the last ulp; exact equality on "
+        "them is a comparison that never (or always) holds.  Use "
+        "math.isclose, an explicit tolerance, or restructure so the "
+        "sentinel is an int/enum.  Exact assigned sentinels may be "
+        "suppressed with a rationale."
+    )
+
+    def check(self, module: SourceModule) -> List[Violation]:
+        violations = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(
+                node.ops, operands[:-1], operands[1:]
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if is_float_like(left) or is_float_like(right):
+                    violations.append(
+                        module.violation(
+                            node,
+                            self.rule_id,
+                            "float equality comparison (%s); use "
+                            "math.isclose or an explicit tolerance"
+                            % ("==" if isinstance(op, ast.Eq) else "!="),
+                        )
+                    )
+        return violations

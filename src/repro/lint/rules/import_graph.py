@@ -1,0 +1,233 @@
+"""REP005: whole-package import-cycle detection.
+
+Import cycles are why PR 1 hoisted function-local imports and why the
+remaining ones carry prose apologies: a cycle makes module
+initialization order-dependent, and the failure mode (half-initialized
+module attribute errors) appears far from the cause.  This rule makes
+the rule-of-thumb mechanical:
+
+* the module-level import graph of the scanned package must be
+  acyclic (``TYPE_CHECKING``-guarded imports are type-only and do not
+  count as edges);
+* every function-local import must carry a ``# cycle-breaker`` marker
+  on the import line or within the three lines above it -- a local
+  import is either a deliberate, documented cycle break or it should
+  be hoisted to module scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.lint.core import ProjectRule, SourceModule, Violation, registry
+from repro.lint.names import dotted_name
+
+__all__ = ["ImportGraphRule", "module_import_edges"]
+
+#: Marker text required on (or just above) a function-local import.
+CYCLE_BREAKER_MARKER = "cycle-breaker"
+#: How many lines above the import the marker may sit (comment block).
+MARKER_LOOKBACK_LINES = 3
+
+
+def _is_type_checking_test(test: ast.AST) -> bool:
+    name = dotted_name(test)
+    return name in ("TYPE_CHECKING", "typing.TYPE_CHECKING")
+
+
+def _package_base(module: SourceModule, level: int) -> str:
+    """The absolute package a relative import of ``level`` resolves in."""
+    is_package = module.path.stem == "__init__"
+    parts = module.name.split(".")
+    # Level 1 resolves against the containing package; __init__ *is*
+    # its package, so it drops one segment fewer.
+    drop = level - 1 if is_package else level
+    if drop >= len(parts):
+        return ""
+    return ".".join(parts[: len(parts) - drop])
+
+
+def module_import_edges(
+    module: SourceModule, known: Set[str]
+) -> List[Tuple[str, ast.stmt]]:
+    """Module-level import edges into the ``known`` module set.
+
+    ``from pkg import name`` targets ``pkg.name`` when that is itself a
+    known module, else ``pkg`` (the package __init__ executes either
+    way).  Imports under ``if TYPE_CHECKING:`` are type-only and
+    excluded.
+    """
+    edges: List[Tuple[str, ast.stmt]] = []
+
+    def visit(body, type_only: bool) -> None:
+        for node in body:
+            if isinstance(node, ast.If):
+                guarded = type_only or _is_type_checking_test(node.test)
+                visit(node.body, guarded)
+                visit(node.orelse, type_only)
+            elif isinstance(node, (ast.Try,)):
+                for block in (node.body, node.orelse, node.finalbody):
+                    visit(block, type_only)
+                for handler in node.handlers:
+                    visit(handler.body, type_only)
+            elif isinstance(node, ast.Import) and not type_only:
+                for alias in node.names:
+                    if alias.name in known:
+                        edges.append((alias.name, node))
+            elif isinstance(node, ast.ImportFrom) and not type_only:
+                if node.level:
+                    base = _package_base(module, node.level)
+                    package = (
+                        "%s.%s" % (base, node.module)
+                        if base and node.module
+                        else base or (node.module or "")
+                    )
+                else:
+                    package = node.module or ""
+                if not package:
+                    continue
+                for alias in node.names:
+                    submodule = "%s.%s" % (package, alias.name)
+                    if submodule in known:
+                        edges.append((submodule, node))
+                    elif package in known and package != module.name:
+                        edges.append((package, node))
+
+    visit(module.tree.body, type_only=False)
+    return edges
+
+
+def _strongly_connected(
+    graph: Dict[str, Set[str]]
+) -> List[List[str]]:
+    """Tarjan's SCC, iterative; only components of size > 1."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    result: List[List[str]] = []
+    counter = [0]
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    result.append(sorted(component))
+    return result
+
+
+@registry.register
+class ImportGraphRule(ProjectRule):
+    """Detect import cycles and unmarked function-local imports."""
+
+    rule_id = "REP005"
+    summary = (
+        "acyclic module-level import graph; function-local imports "
+        "carry a # cycle-breaker marker or get hoisted"
+    )
+    rationale = (
+        "Cycles make initialization order-dependent and fail as "
+        "half-initialized-module AttributeErrors far from the cause; "
+        "local imports hide dependencies unless explicitly marked as "
+        "deliberate cycle breaks."
+    )
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> List[Violation]:
+        by_name = {m.name: m for m in modules if m.name}
+        known = set(by_name)
+        graph: Dict[str, Set[str]] = {name: set() for name in known}
+        anchors: Dict[Tuple[str, str], ast.stmt] = {}
+        for module in by_name.values():
+            for target, node in module_import_edges(module, known):
+                if target == module.name:
+                    continue
+                graph[module.name].add(target)
+                anchors.setdefault((module.name, target), node)
+
+        violations: List[Violation] = []
+        for component in _strongly_connected(graph):
+            members = set(component)
+            for name in component:
+                module = by_name[name]
+                in_cycle_targets = sorted(graph[name] & members)
+                node = anchors[(name, in_cycle_targets[0])]
+                violations.append(
+                    module.violation(
+                        node,
+                        self.rule_id,
+                        "import cycle: %s (this module imports %s)"
+                        % (" <-> ".join(component),
+                           ", ".join(in_cycle_targets)),
+                    )
+                )
+        for module in modules:
+            violations.extend(self._check_local_imports(module))
+        return violations
+
+    def _check_local_imports(
+        self, module: SourceModule
+    ) -> List[Violation]:
+        violations = []
+        lines = module.source.splitlines()
+        seen: Set[int] = set()
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                    continue
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                window = lines[
+                    max(0, node.lineno - 1 - MARKER_LOOKBACK_LINES):
+                    node.lineno
+                ]
+                if any(CYCLE_BREAKER_MARKER in line for line in window):
+                    continue
+                violations.append(
+                    module.violation(
+                        node,
+                        self.rule_id,
+                        "function-local import without a "
+                        "# cycle-breaker marker; hoist it to module "
+                        "scope or mark why it must stay local",
+                    )
+                )
+        return violations

@@ -1,0 +1,78 @@
+"""REP006: no mutable default arguments.
+
+The classic python footgun, but in this codebase it is worse than a
+style nit: a shared default list on a router/report constructor means
+two routing runs share state, which breaks run isolation and -- since
+fingerprints hash report contents -- shows up as an inexplicable
+determinism failure two layers away.  Defaults must be immutable;
+use ``None`` plus an in-body fallback, or a dataclass
+``field(default_factory=...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.core import ModuleRule, SourceModule, Violation, registry
+
+#: Constructor calls that build a fresh mutable object per evaluation
+#: of the *default expression* -- which happens once, at def time.
+_MUTABLE_CALLS = ("list", "dict", "set", "bytearray", "defaultdict",
+                  "OrderedDict", "Counter", "deque")
+
+
+def _mutable_kind(node: ast.AST) -> Optional[str]:
+    """Why a default expression is mutable, or None if it is safe."""
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in _MUTABLE_CALLS:
+            return node.func.id
+    return None
+
+
+@registry.register
+class MutableDefaultRule(ModuleRule):
+    """Flag mutable default argument values."""
+
+    rule_id = "REP006"
+    summary = "no mutable default arguments (list/dict/set literals)"
+    rationale = (
+        "Defaults evaluate once at def time; a mutable default is "
+        "shared across calls and leaks state between runs, which "
+        "poisons report fingerprints.  Use None plus a fallback or "
+        "field(default_factory=...)."
+    )
+
+    def check(self, module: SourceModule) -> List[Violation]:
+        violations = []
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                kind = _mutable_kind(default)
+                if kind is None:
+                    continue
+                name = getattr(node, "name", "<lambda>")
+                violations.append(
+                    module.violation(
+                        default,
+                        self.rule_id,
+                        "mutable default (%s) on %r is shared across "
+                        "calls; use None + fallback or "
+                        "field(default_factory=...)" % (kind, name),
+                    )
+                )
+        return violations

@@ -1,0 +1,164 @@
+"""REP004: unit-suffix algebra for the analytical model.
+
+The codebase's convention (and the paper's Eqs. 3-13) carries units in
+names: ``latency_s``, ``soc_time``, ``energy_j``, ``core_clock_mhz``,
+``memory_bytes``.  The convention only protects anything if mixing
+suffixes is mechanically caught: ``total_time_s + decode_ms`` is a
+silent 1000x error that corrupts every SoC score downstream and still
+looks plausible in a table.  The rule flags:
+
+* ``+`` / ``-`` and comparisons whose two operands both carry unit
+  suffixes that differ (``_ms`` vs ``_s``, ``_j`` vs ``_mj``, and any
+  cross-dimension mix like ``_s + _j``).  Multiplication and division
+  legitimately change dimension and are exempt.
+* functions whose docstring declares a unit ("... in seconds") while
+  the function name itself carries no unit suffix -- the declared
+  unit should live in the name where call sites can see it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Tuple
+
+from repro.lint.core import ModuleRule, SourceModule, Violation, registry
+
+__all__ = ["UnitSuffixRule", "unit_suffix", "UNIT_FAMILIES"]
+
+#: dimension -> unit suffixes (longest-match wins across the union).
+UNIT_FAMILIES = {
+    "time": ("_s", "_ms", "_us", "_ns"),
+    "energy": ("_j", "_mj", "_kj"),
+    "power": ("_w", "_mw", "_kw"),
+    "frequency": ("_hz", "_khz", "_mhz", "_ghz"),
+    "memory": ("_bytes", "_kb", "_mb", "_gb", "_kib", "_mib", "_gib"),
+}
+
+#: Every suffix, longest first so ``_ms`` wins over ``_s``.
+_ALL_SUFFIXES: List[Tuple[str, str]] = sorted(
+    (
+        (suffix, family)
+        for family, suffixes in UNIT_FAMILIES.items()
+        for suffix in suffixes
+    ),
+    key=lambda pair: len(pair[0]),
+    reverse=True,
+)
+
+#: Docstring unit declarations -> the suffix the name should carry.
+_DOC_UNIT_RE = re.compile(
+    r"\bin\s+(seconds|milliseconds|microseconds|nanoseconds|joules|"
+    r"millijoules|watts|milliwatts|hertz|megahertz|bytes|kilobytes|"
+    r"megabytes|gigabytes)\b",
+    re.IGNORECASE,
+)
+_DOC_UNIT_SUFFIX = {
+    "seconds": "_s", "milliseconds": "_ms", "microseconds": "_us",
+    "nanoseconds": "_ns", "joules": "_j", "millijoules": "_mj",
+    "watts": "_w", "milliwatts": "_mw", "hertz": "_hz",
+    "megahertz": "_mhz", "bytes": "_bytes", "kilobytes": "_kb",
+    "megabytes": "_mb", "gigabytes": "_gb",
+}
+
+
+def unit_suffix(node: ast.AST) -> Optional[Tuple[str, str]]:
+    """``(family, suffix)`` for a suffixed Name/Attribute, else None."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    lowered = name.lower()
+    for suffix, family in _ALL_SUFFIXES:
+        if lowered.endswith(suffix):
+            return family, suffix
+    return None
+
+
+def _name_has_unit_suffix(name: str) -> bool:
+    lowered = name.lower()
+    return any(lowered.endswith(suffix) for suffix, _ in _ALL_SUFFIXES)
+
+
+@registry.register
+class UnitSuffixRule(ModuleRule):
+    """Flag arithmetic and declarations that mix unit suffixes."""
+
+    rule_id = "REP004"
+    summary = (
+        "no +/- or comparisons across mismatched unit suffixes "
+        "(_ms vs _s, _j vs _mj, _bytes vs _kb); unit-declaring "
+        "functions carry the suffix in their name"
+    )
+    rationale = (
+        "A silent ms/s or J/mJ mix-up rescales Eqs. 3-13 by 1000x and "
+        "every downstream SoC score with it; names are the only place "
+        "python can carry the dimension, so the algebra on them must "
+        "be closed."
+    )
+
+    def check(self, module: SourceModule) -> List[Violation]:
+        violations = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                self._check_pair(module, node, node.left, node.right,
+                                 violations)
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for left, right in zip(operands[:-1], operands[1:]):
+                    self._check_pair(module, node, left, right, violations)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_docstring(module, node, violations)
+        return violations
+
+    def _check_pair(self, module, node, left, right, violations) -> None:
+        left_unit = unit_suffix(left)
+        right_unit = unit_suffix(right)
+        if left_unit is None or right_unit is None:
+            return
+        if left_unit == right_unit:
+            return
+        left_family, left_sfx = left_unit
+        right_family, right_sfx = right_unit
+        if left_family == right_family:
+            detail = "same dimension, different scale (%s vs %s)" % (
+                left_sfx, right_sfx
+            )
+        else:
+            detail = "different dimensions (%s[%s] vs %s[%s])" % (
+                left_sfx, left_family, right_sfx, right_family
+            )
+        violations.append(
+            module.violation(
+                node,
+                self.rule_id,
+                "unit-suffix mismatch in +/-/comparison: %s; convert "
+                "one side explicitly" % detail,
+            )
+        )
+
+    def _check_docstring(self, module, func, violations) -> None:
+        docstring = ast.get_docstring(func)
+        if not docstring:
+            return
+        match = _DOC_UNIT_RE.search(docstring)
+        if match is None:
+            return
+        if _name_has_unit_suffix(func.name):
+            return
+        declared = match.group(1).lower()
+        violations.append(
+            module.violation(
+                func,
+                self.rule_id,
+                "docstring of %r declares a result in %s but the name "
+                "carries no unit suffix; rename (e.g. %s%s) so call "
+                "sites see the unit"
+                % (func.name, declared, func.name,
+                   _DOC_UNIT_SUFFIX[declared]),
+            )
+        )

@@ -2,24 +2,8 @@
 perforation-interpolation, entropy, synthetic datasets and training.
 """
 
-from repro.nn.layers import (
-    ConvSpec,
-    DenseSpec,
-    PoolSpec,
-    SoftmaxSpec,
-    TensorShape,
-)
-from repro.nn.models import (
-    NetworkDescriptor,
-    PAPER_NETWORKS,
-    PCNN_NET_SIZES,
-    ResolvedLayer,
-    alexnet,
-    get_network,
-    googlenet,
-    pcnn_net,
-    vgg16,
-)
+from repro.nn.datasets import Dataset, make_dataset, train_test_split
+from repro.nn.entropy import entropy, max_entropy, mean_entropy, normalized_entropy
 from repro.nn.inference import (
     NetworkParameters,
     forward,
@@ -27,18 +11,34 @@ from repro.nn.inference import (
     predict,
     softmax,
 )
-from repro.nn.perforation import (
-    GridPerforation,
-    PerforationPlan,
-    RATE_LADDER,
-    make_grid_perforation,
+from repro.nn.layers import (
+    ConvSpec,
+    DenseSpec,
+    PoolSpec,
+    SoftmaxSpec,
+    TensorShape,
 )
-from repro.nn.entropy import entropy, max_entropy, mean_entropy, normalized_entropy
-from repro.nn.datasets import Dataset, make_dataset, train_test_split
 from repro.nn.masks import (
     MaskPerforation,
     make_checkerboard_perforation,
     make_scanline_perforation,
+)
+from repro.nn.models import (
+    PAPER_NETWORKS,
+    PCNN_NET_SIZES,
+    NetworkDescriptor,
+    ResolvedLayer,
+    alexnet,
+    get_network,
+    googlenet,
+    pcnn_net,
+    vgg16,
+)
+from repro.nn.perforation import (
+    RATE_LADDER,
+    GridPerforation,
+    PerforationPlan,
+    make_grid_perforation,
 )
 from repro.nn.persistence import load_parameters, save_parameters
 from repro.nn.training import EvalResult, TrainingResult, evaluate, train

@@ -14,7 +14,7 @@ networks are executable too, not just the PcnnNet proxies.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -165,7 +165,6 @@ def _conv_forward_perforated(
     cols, _ = sampled_im2col(
         x, spec.kernel_size, spec.stride, spec.padding, positions
     )
-    n = x.shape[0]
     weights, bias = params["W"], params["b"]
     groups = spec.groups
     if groups == 1:

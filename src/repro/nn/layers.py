@@ -13,9 +13,8 @@ tensors are (N, C, H, W).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 __all__ = [
     "TensorShape",

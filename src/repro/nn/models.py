@@ -22,7 +22,7 @@ substitution rationale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Sequence, Union
 
 from repro.gpu.kernels import GemmShape
 from repro.gpu.memory import NetworkMemoryProfile

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Mapping, Optional
 
 import numpy as np
 
@@ -160,7 +160,9 @@ class PerforationPlan:
     def with_rate(self, layer_name: str, rate: float) -> "PerforationPlan":
         """A new plan with one layer's rate replaced."""
         rates = dict(self.rates)
-        if rate == 0.0:
+        # Exact sentinel: 0.0 is the assigned "dense" rung, never a
+        # computed value (rates are validated to [0, 1) on construction).
+        if rate == 0.0:  # lint: ignore[REP002]
             rates.pop(layer_name, None)
         else:
             rates[layer_name] = rate
@@ -171,13 +173,18 @@ class PerforationPlan:
     ) -> Optional[GridPerforation]:
         """Materialize the sampled grid for a layer (None if dense)."""
         rate = self.rate(layer_name)
-        if rate == 0.0:
+        # Exact sentinel: unlisted layers report the assigned 0.0 rung.
+        if rate == 0.0:  # lint: ignore[REP002]
             return None
         return make_grid_perforation(out_h, out_w, rate)
 
     def is_dense(self) -> bool:
         """True when no layer is perforated."""
-        return all(rate == 0.0 for rate in self.rates.values())
+        # Exact sentinel: stored rates are assigned ladder values.
+        return all(
+            rate == 0.0  # lint: ignore[REP002]
+            for rate in self.rates.values()
+        )
 
     def column_fraction(self, layer_name: str, out_h: int, out_w: int) -> float:
         """Fraction of GEMM columns that survive for a layer.

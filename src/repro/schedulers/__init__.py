@@ -7,6 +7,7 @@ from repro.schedulers.base import (
     SchedulingContext,
     make_context,
 )
+from repro.schedulers.dvfs_pcnn import DvfsDecision, DvfsPCNNScheduler
 from repro.schedulers.energy_efficient import EnergyEfficientScheduler
 from repro.schedulers.evaluation import (
     SchedulerOutcome,
@@ -16,7 +17,6 @@ from repro.schedulers.evaluation import (
     evaluate_scheduler,
     normalized_rows,
 )
-from repro.schedulers.dvfs_pcnn import DvfsDecision, DvfsPCNNScheduler
 from repro.schedulers.ideal import IdealScheduler
 from repro.schedulers.pcnn import PCNNScheduler
 from repro.schedulers.performance import PerformancePreferredScheduler

@@ -27,10 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.gpu.architecture import GPUArchitecture
-from repro.gpu.libraries import KernelLibrary
-from repro.nn.models import NetworkDescriptor
-from repro.nn.perforation import PerforationPlan
 from repro.core.engine import ExecutionEngine
 from repro.core.offline.compiler import CompiledPlan, OfflineCompiler
 from repro.core.offline.kernel_tuning import PCNN_BACKEND
@@ -40,6 +36,10 @@ from repro.core.user_input import (
     InferredRequirement,
     infer_requirement,
 )
+from repro.gpu.architecture import GPUArchitecture
+from repro.gpu.libraries import KernelLibrary
+from repro.nn.models import NetworkDescriptor
+from repro.nn.perforation import PerforationPlan
 
 __all__ = ["SchedulingContext", "SchedulerDecision", "BaseScheduler", "make_context"]
 

@@ -103,11 +103,15 @@ def default_schedulers() -> List[BaseScheduler]:
     # Function-local by necessity: ideal.py imports evaluate_decision
     # from this module at module scope, so importing the scheduler
     # classes at module scope here would close an import cycle.
-    from repro.schedulers.energy_efficient import EnergyEfficientScheduler
-    from repro.schedulers.ideal import IdealScheduler
-    from repro.schedulers.pcnn import PCNNScheduler
-    from repro.schedulers.performance import PerformancePreferredScheduler
-    from repro.schedulers.qpe import QPEPlusScheduler, QPEScheduler
+    from repro.schedulers.energy_efficient import (  # cycle-breaker
+        EnergyEfficientScheduler,
+    )
+    from repro.schedulers.ideal import IdealScheduler  # cycle-breaker
+    from repro.schedulers.pcnn import PCNNScheduler  # cycle-breaker
+    from repro.schedulers.performance import (  # cycle-breaker
+        PerformancePreferredScheduler,
+    )
+    from repro.schedulers.qpe import QPEPlusScheduler, QPEScheduler  # cycle-breaker
 
     return [
         PerformancePreferredScheduler(),

@@ -18,8 +18,6 @@ P-CNN runs the greedy accuracy tuner (Section IV.C.1) and deploys
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.core.runtime.accuracy_tuning import AccuracyTuner, TuningEntry, TuningTable
 from repro.schedulers.base import BaseScheduler, SchedulerDecision, SchedulingContext
 

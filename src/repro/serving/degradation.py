@@ -19,11 +19,11 @@ seconds of work instead of observed entropy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, TYPE_CHECKING
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.core.offline.compiler import CompiledPlan
 from repro.core.runtime.accuracy_tuning import AnalyticEntropyModel
-from repro.nn.perforation import PerforationPlan, RATE_LADDER
+from repro.nn.perforation import RATE_LADDER, PerforationPlan
 
 if TYPE_CHECKING:  # duck-typed to avoid importing the framework here
     from repro.core.framework import Deployment

@@ -23,7 +23,7 @@ fault layer (:mod:`repro.faults`) starts breaking things:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # duck-typed; avoids a request -> resilience cycle
     from repro.serving.request import Request

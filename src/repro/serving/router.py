@@ -63,10 +63,10 @@ from repro.faults.health import PlatformHealth
 from repro.serving.admission import AdmissionController
 from repro.serving.degradation import DegradationController, DegradationLadder
 from repro.serving.dispatch import (
+    POLICIES,
     Dispatcher,
     InFlightBatch,
     PlatformState,
-    POLICIES,
 )
 from repro.serving.events import EventLog
 from repro.serving.report import (

@@ -13,7 +13,7 @@ from repro.sim.cta_scheduler import (
 from repro.sim.engine import (
     CTAWork,
     KernelResult,
-    analytic_kernel_time,
+    analytic_kernel_time_s,
     cta_work,
     simulate_kernel,
 )
@@ -25,13 +25,13 @@ from repro.sim.multikernel import (
     simulate_shared,
 )
 from repro.sim.sm import CTA, SMState, latency_hiding_factor
+from repro.sim.trace import ExecutionTrace, TraceEvent
 from repro.sim.warp import (
     WarpIssueConfig,
     fit_tlp_half,
     hiding_curve,
     simulate_issue_efficiency,
 )
-from repro.sim.trace import ExecutionTrace, TraceEvent
 
 __all__ = [
     "CTAScheduler",
@@ -39,7 +39,7 @@ __all__ = [
     "RoundRobinScheduler",
     "CTAWork",
     "KernelResult",
-    "analytic_kernel_time",
+    "analytic_kernel_time_s",
     "cta_work",
     "simulate_kernel",
     "SharedRunResult",

@@ -18,7 +18,7 @@ when no SM they are willing to use has a free slot.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 __all__ = ["CTAScheduler", "RoundRobinScheduler", "PrioritySMScheduler"]
 

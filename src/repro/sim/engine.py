@@ -12,7 +12,7 @@ Two entry points:
   CTA schedulers and produces an optional :class:`ExecutionTrace` and
   an energy estimate.  Used for the RR-vs-PSM experiments (Fig. 7) and
   the scheduler evaluation (Figs. 13-15).
-* :func:`analytic_kernel_time` -- closed-form wave model matching the
+* :func:`analytic_kernel_time_s` -- closed-form wave model matching the
   simulator's steady state; used by the offline time model (Eq. 12)
   where thousands of evaluations are needed.
 """
@@ -23,13 +23,13 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.gpu import occupancy
 from repro.gpu.architecture import GPUArchitecture
 from repro.gpu.kernels import GemmShape, SgemmKernel
 from repro.gpu.libraries import KernelLibrary
-from repro.gpu import occupancy
 from repro.gpu.spilling import ACCESSES_PER_SPILL, COST_GLOBAL, COST_SHARED
 from repro.sim.cta_scheduler import CTAScheduler, RoundRobinScheduler
-from repro.sim.sm import CTA, DEFAULT_TLP_HALF, SMState, latency_hiding_factor
+from repro.sim.sm import CTA, DEFAULT_TLP_HALF, SMState
 from repro.sim.trace import ExecutionTrace
 
 __all__ = [
@@ -37,7 +37,7 @@ __all__ = [
     "cta_work",
     "KernelResult",
     "simulate_kernel",
-    "analytic_kernel_time",
+    "analytic_kernel_time_s",
     "analytic_kernel_result",
 ]
 
@@ -206,7 +206,6 @@ def simulate_kernel(
 
     sms = [SMState(i, peak_rate) for i in range(arch.n_sms)]
     trace = ExecutionTrace() if collect_trace else None
-    pending = list(range(grid))
     next_cta = 0
     now = 0.0
     tlp_time_integral = 0.0
@@ -283,7 +282,7 @@ def simulate_kernel(
     )
 
 
-def analytic_kernel_time(
+def analytic_kernel_time_s(
     arch: GPUArchitecture,
     kernel: SgemmKernel,
     shape: GemmShape,
@@ -350,7 +349,7 @@ def analytic_kernel_result(
         tlp = occupancy.ctas_per_sm(arch, kernel)
     if n_sms is None:
         n_sms = arch.n_sms
-    seconds = analytic_kernel_time(
+    seconds = analytic_kernel_time_s(
         arch, kernel, shape, library=library, tlp=tlp, n_sms=n_sms
     )
     work = cta_work(kernel, shape)

@@ -20,12 +20,12 @@ the paper's argument against MPS for time-sensitive inference.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
+from repro.gpu import occupancy
 from repro.gpu.architecture import GPUArchitecture
 from repro.gpu.kernels import GemmShape, SgemmKernel
 from repro.gpu.libraries import KernelLibrary
-from repro.gpu import occupancy
 from repro.sim.engine import cta_work
 from repro.sim.sm import CTA, SMState
 

@@ -98,7 +98,7 @@ class SMState:
     def next_completion_in(self) -> Optional[float]:
         """Cycles until the first resident CTA retires (None if idle)."""
         rate = self.rate_per_cta
-        if rate == 0.0:
+        if rate <= 0.0:
             return None
         return min(cta.remaining for cta in self.resident) / rate
 

@@ -22,7 +22,6 @@ warp simulation produces for SGEMM-like instruction mixes.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 

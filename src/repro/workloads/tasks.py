@@ -23,8 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.user_input import ApplicationSpec
 from repro.core.satisfaction import TaskClass
+from repro.core.user_input import ApplicationSpec
 from repro.nn.models import NetworkDescriptor, alexnet, vgg16
 
 __all__ = [

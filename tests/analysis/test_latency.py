@@ -17,14 +17,14 @@ def net():
 class TestStructure:
     def test_covers_conv_and_dense_layers(self, net):
         result = library_network_latency(K20C, net, CUDNN, 1)
-        assert [l.name for l in result.layers] == [
+        assert [layer.name for layer in result.layers] == [
             "conv1", "conv2", "conv3", "conv4", "conv5", "fc6", "fc7", "fc8",
         ]
 
     def test_totals_and_throughput(self, net):
         result = library_network_latency(K20C, net, CUDNN, 8)
         assert result.total_seconds == pytest.approx(
-            sum(l.seconds for l in result.layers) + result.aux_seconds
+            sum(layer.seconds for layer in result.layers) + result.aux_seconds
         )
         assert result.throughput_ips == pytest.approx(
             8 / result.total_seconds
@@ -101,9 +101,9 @@ class TestProfiling:
         report = profile_network(K20C, alexnet(), batch=1)
         assert report.batch == 1
         assert len(report.layers) == 8
-        assert sum(l.time_share for l in report.layers) == pytest.approx(
+        assert sum(layer.time_share for layer in report.layers) == pytest.approx(
             report.total_time_s
-            and sum(l.time_s for l in report.layers) / report.total_time_s
+            and sum(layer.time_s for layer in report.layers) / report.total_time_s
         )
         text = report.render()
         assert "conv2" in text and "Util" in text

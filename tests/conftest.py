@@ -1,9 +1,7 @@
 """Shared fixtures for the P-CNN reproduction test suite."""
 
-import numpy as np
 import pytest
 
-from repro.gpu import GTX_970M, JETSON_TX1, K20C, TITAN_X
 from repro.nn import make_dataset, pcnn_net, train, train_test_split
 
 

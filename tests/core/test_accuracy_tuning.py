@@ -2,15 +2,14 @@
 
 import pytest
 
-from repro.gpu import JETSON_TX1
 from repro.core.offline import OfflineCompiler
 from repro.core.runtime.accuracy_tuning import (
     AccuracyTuner,
     AnalyticEntropyModel,
     EmpiricalEntropyEvaluator,
-    TuningTable,
 )
-from repro.nn.models import alexnet, pcnn_net
+from repro.gpu import JETSON_TX1
+from repro.nn.models import alexnet
 from repro.nn.perforation import PerforationPlan
 
 
@@ -129,7 +128,7 @@ class TestEmpiricalEvaluator:
         evaluator = EmpiricalEntropyEvaluator(net, params, test_set)
         dense = evaluator.evaluate(PerforationPlan.dense())
         heavy = evaluator.evaluate(
-            PerforationPlan({l.name: 0.7 for l in net.conv_layers})
+            PerforationPlan({layer.name: 0.7 for layer in net.conv_layers})
         )
         assert dense.accuracy is not None
         assert heavy.entropy >= dense.entropy - 0.05

@@ -12,7 +12,6 @@ import pytest
 
 from repro.core import ApplicationSpec, PervasiveCNN, TaskClass
 from repro.core.engine import (
-    CompileKey,
     EngineStats,
     ExecuteKey,
     ExecutionEngine,

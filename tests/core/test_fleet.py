@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import ApplicationSpec, TaskClass
 from repro.core.fleet import FleetManager
-from repro.gpu import GTX_970M, JETSON_TX1, K20C, TITAN_X
+from repro.gpu import JETSON_TX1, K20C
 from repro.nn import alexnet
 
 

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.gpu import JETSON_TX1, K20C
 from repro.core import ApplicationSpec, PervasiveCNN, TaskClass
+from repro.gpu import JETSON_TX1, K20C
 from repro.nn.models import alexnet
 
 

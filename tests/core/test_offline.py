@@ -7,11 +7,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.gpu import GTX_970M, JETSON_TX1, K20C
-from repro.gpu.kernels import GemmShape
 from repro.core.offline import (
-    OfflineCompiler,
     PCNN_BACKEND,
+    OfflineCompiler,
     candidate_kernels,
     eq12_layer_time,
     initial_batch,
@@ -24,6 +22,8 @@ from repro.core.offline import (
     tune_layer_kernel,
 )
 from repro.core.satisfaction import TimeRequirement
+from repro.gpu import GTX_970M, JETSON_TX1, K20C
+from repro.gpu.kernels import GemmShape
 from repro.gpu.spilling import plan_spill, stair_points
 from repro.nn.models import alexnet, vgg16
 from repro.nn.perforation import PerforationPlan
@@ -220,7 +220,7 @@ class TestCompiler:
 
     def test_perforation_reduces_conv_time(self, compiler, net):
         dense = compiler.compile_with_batch(net, 1)
-        plan = PerforationPlan({l.name: 0.6 for l in net.conv_layers})
+        plan = PerforationPlan({layer.name: 0.6 for layer in net.conv_layers})
         fast = compiler.compile_with_batch(net, 1, plan)
         dense_conv = sum(
             s.time_s for s in dense.schedules if s.name.startswith("conv")
@@ -232,7 +232,7 @@ class TestCompiler:
 
     def test_perforation_leaves_fc_untouched(self, compiler, net):
         dense = compiler.compile_with_batch(net, 1)
-        plan = PerforationPlan({l.name: 0.6 for l in net.conv_layers})
+        plan = PerforationPlan({layer.name: 0.6 for layer in net.conv_layers})
         fast = compiler.compile_with_batch(net, 1, plan)
         assert fast.schedule_for("fc6").time_s == pytest.approx(
             dense.schedule_for("fc6").time_s

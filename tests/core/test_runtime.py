@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.gpu import JETSON_TX1, K20C
 from repro.core.offline import OfflineCompiler
 from repro.core.runtime import (
     AccuracyTuner,
@@ -12,6 +11,7 @@ from repro.core.runtime import (
     TuningTable,
     UncertaintyMonitor,
 )
+from repro.gpu import JETSON_TX1, K20C
 from repro.nn.models import alexnet
 
 
@@ -31,7 +31,7 @@ def table():
 class TestRuntimeKernelManager:
     def test_execute_covers_all_layers(self, compiled):
         report = RuntimeKernelManager(K20C).execute(compiled)
-        assert [l.name for l in report.layers] == [
+        assert [layer.name for layer in report.layers] == [
             s.name for s in compiled.schedules
         ]
         assert report.total_time_s > 0

@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.satisfaction import (
-    SoCBreakdown,
     TaskClass,
     TimeRequirement,
     soc,

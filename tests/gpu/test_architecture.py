@@ -4,12 +4,12 @@ import pytest
 
 from repro.gpu.architecture import (
     ARCHITECTURES,
-    GPUArchitecture,
     GTX_970M,
     JETSON_TX1,
     K20C,
     RESERVED_REGISTERS_PER_SM,
     TITAN_X,
+    GPUArchitecture,
     get_architecture,
     list_architectures,
 )

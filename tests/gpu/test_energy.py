@@ -3,13 +3,13 @@
 import pytest
 
 from repro.gpu import JETSON_TX1, K20C
-from repro.gpu.energy import EnergyAccumulator, PowerState, energy, power_draw
+from repro.gpu.energy import EnergyAccumulator, PowerState, energy_j, power_draw_w
 
 
 class TestPowerDraw:
     def test_idle_chip(self):
         state = PowerState(powered_sms=0, busy_sms=0)
-        assert power_draw(K20C, state) == pytest.approx(K20C.idle_power_w)
+        assert power_draw_w(K20C, state) == pytest.approx(K20C.idle_power_w)
 
     def test_components_add_up(self):
         state = PowerState(powered_sms=4, busy_sms=2, activity=0.5)
@@ -18,14 +18,14 @@ class TestPowerDraw:
             + 4 * K20C.sm_static_power_w
             + 2 * 0.5 * K20C.sm_dynamic_power_w
         )
-        assert power_draw(K20C, state) == pytest.approx(expected)
+        assert power_draw_w(K20C, state) == pytest.approx(expected)
 
     def test_gating_saves_static_power(self):
         """Power gating removes the static term of idle SMs -- the
         paper's QPE+ energy lever."""
         all_on = PowerState(powered_sms=K20C.n_sms, busy_sms=4, activity=0.8)
         gated = PowerState(powered_sms=4, busy_sms=4, activity=0.8)
-        saving = power_draw(K20C, all_on) - power_draw(K20C, gated)
+        saving = power_draw_w(K20C, all_on) - power_draw_w(K20C, gated)
         assert saving == pytest.approx(
             (K20C.n_sms - 4) * K20C.sm_static_power_w
         )
@@ -40,26 +40,26 @@ class TestPowerDraw:
 
     def test_rejects_overpowered_chip(self):
         with pytest.raises(ValueError):
-            power_draw(JETSON_TX1, PowerState(powered_sms=3, busy_sms=0))
+            power_draw_w(JETSON_TX1, PowerState(powered_sms=3, busy_sms=0))
 
     def test_mobile_chip_draws_less(self):
         state_k20 = PowerState(powered_sms=K20C.n_sms, busy_sms=K20C.n_sms)
         state_tx1 = PowerState(
             powered_sms=JETSON_TX1.n_sms, busy_sms=JETSON_TX1.n_sms
         )
-        assert power_draw(JETSON_TX1, state_tx1) < power_draw(K20C, state_k20)
+        assert power_draw_w(JETSON_TX1, state_tx1) < power_draw_w(K20C, state_k20)
 
 
 class TestEnergy:
     def test_energy_is_power_times_time(self):
         state = PowerState(powered_sms=2, busy_sms=1, activity=1.0)
-        assert energy(K20C, state, 2.0) == pytest.approx(
-            2.0 * power_draw(K20C, state)
+        assert energy_j(K20C, state, 2.0) == pytest.approx(
+            2.0 * power_draw_w(K20C, state)
         )
 
     def test_rejects_negative_duration(self):
         with pytest.raises(ValueError):
-            energy(K20C, PowerState(1, 1), -1.0)
+            energy_j(K20C, PowerState(1, 1), -1.0)
 
 
 class TestAccumulator:
@@ -69,7 +69,7 @@ class TestAccumulator:
         s2 = PowerState(powered_sms=2, busy_sms=2, activity=0.5)
         acc.add(s1, 0.1)
         acc.add(s2, 0.4)
-        expected = energy(K20C, s1, 0.1) + energy(K20C, s2, 0.4)
+        expected = energy_j(K20C, s1, 0.1) + energy_j(K20C, s2, 0.4)
         assert acc.joules == pytest.approx(expected)
         assert acc.seconds == pytest.approx(0.5)
 
@@ -77,7 +77,7 @@ class TestAccumulator:
         acc = EnergyAccumulator(K20C)
         state = PowerState(powered_sms=1, busy_sms=0)
         acc.add(state, 3.0)
-        assert acc.average_power_w == pytest.approx(power_draw(K20C, state))
+        assert acc.average_power_w == pytest.approx(power_draw_w(K20C, state))
 
     def test_empty_average_is_zero(self):
         assert EnergyAccumulator(K20C).average_power_w == 0.0

@@ -6,10 +6,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.gpu import JETSON_TX1, K20C
+from repro.gpu import JETSON_TX1, K20C, occupancy
 from repro.gpu.kernels import GemmShape, SgemmKernel, make_kernel
 from repro.gpu.libraries import CUBLAS, CUDNN
-from repro.gpu import occupancy
 from repro.nn.models import alexnet
 
 
@@ -126,7 +125,6 @@ class TestInvocationsAndREC:
         kernel = make_kernel(64, 64)
         # grid 40: 1 row tile x 40 col tiles
         shape = GemmShape(64, 64 * 40, 64)
-        ten_sm = K20C
         assert kernel.grid_size(shape) == 40
         # emulate 10 SMs by computing directly
         assert math.ceil(40 / (3 * 10)) == 2

@@ -1,7 +1,5 @@
 """Tests for the Pascal-generation platform extensions."""
 
-import pytest
-
 from repro.core.offline import OfflineCompiler
 from repro.gpu import (
     GTX_1080,

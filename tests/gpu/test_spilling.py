@@ -4,8 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.gpu import JETSON_TX1, K20C
-from repro.gpu.kernels import SgemmKernel, make_kernel
+from repro.gpu import K20C
+from repro.gpu.kernels import SgemmKernel
 from repro.gpu.spilling import (
     apply_spill,
     max_registers_for_tlp,

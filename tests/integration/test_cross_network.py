@@ -11,7 +11,7 @@ import math
 import pytest
 
 from repro.core.offline import OfflineCompiler
-from repro.gpu import get_architecture, list_architectures
+from repro.gpu import get_architecture
 from repro.nn.layers import ConvSpec, DenseSpec
 from repro.nn.models import alexnet, googlenet, resnet18, vgg16
 

@@ -9,7 +9,7 @@ from repro.core.runtime import (
     AnalyticEntropyModel,
     EmpiricalEntropyEvaluator,
 )
-from repro.gpu import GTX_970M, JETSON_TX1, K20C, TITAN_X, list_architectures
+from repro.gpu import JETSON_TX1, K20C, list_architectures
 from repro.nn.models import alexnet, googlenet, vgg16
 from repro.nn.perforation import PerforationPlan
 from repro.workloads import difficulty_shift, realtime_trace

@@ -1,0 +1,11 @@
+"""REP005 fixture: one half of a two-module import cycle."""
+from cycle_pkg import beta  # line 2: closes the cycle with beta
+
+
+def ping():
+    return beta.pong()
+
+
+def lazy():
+    import json  # line 10: function-local import, no marker
+    return json.dumps([], sort_keys=True)

@@ -1,0 +1,11 @@
+"""REP005 fixture: the other half of the cycle."""
+from typing import TYPE_CHECKING
+
+import cycle_pkg.alpha  # line 4: closes the cycle with alpha
+
+if TYPE_CHECKING:
+    from cycle_pkg import gamma  # type-only: never a cycle edge
+
+
+def pong():
+    return cycle_pkg.alpha.ping()

@@ -1,0 +1,3 @@
+"""REP005 fixture: imported by gamma; no imports of its own."""
+
+VALUE = 1

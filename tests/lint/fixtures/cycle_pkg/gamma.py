@@ -1,0 +1,13 @@
+"""REP005 fixture: acyclic module with a sanctioned local import."""
+
+
+def late_bind():
+    # Deliberate deferral, documented as a cycle break.
+    from cycle_pkg import delta  # cycle-breaker
+    return delta
+
+
+def marker_above():
+    # cycle-breaker: the marker may sit in the comment block above.
+    import math
+    return math.tau

@@ -1,0 +1,10 @@
+"""REP001 fixture: banned calls *outside* any simulation package.
+
+The determinism rule is scoped to repro.{sim,serving,faults,
+workloads,schedulers}; tooling and offline scripts may read clocks.
+"""
+import time
+
+
+def stamp():
+    return time.time()  # allowed: not a simulation path

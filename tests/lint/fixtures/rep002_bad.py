@@ -1,0 +1,17 @@
+"""REP002 fixture: float equality in modeling-style code."""
+
+
+def latency_matches(latency_s, deadline_s):
+    return latency_s == deadline_s * 1.0  # line 5: float literal operand
+
+
+def is_idle(utilization):
+    return utilization == 0.0  # line 9: == against a float literal
+
+
+def rates_differ(a, b, total):
+    return a / total != b / total  # line 13: != on division results
+
+
+def cast_check(x):
+    return float(x) == x  # line 17: == on a float(...) cast

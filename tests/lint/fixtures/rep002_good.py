@@ -1,0 +1,19 @@
+"""REP002 fixture: comparisons the float-equality rule must not flag."""
+import math
+
+
+def latency_matches(latency_s, deadline_s):
+    return math.isclose(latency_s, deadline_s)
+
+
+def is_idle(n_busy):
+    return n_busy == 0  # int equality is exact
+
+
+def below(latency_s, deadline_s):
+    return latency_s <= deadline_s  # ordering comparisons are fine
+
+
+def sentinel(rate):
+    # Exact assigned sentinel, suppressed with a rationale.
+    return rate == 0.0  # lint: ignore[REP002]

@@ -1,0 +1,22 @@
+"""REP003 fixture: order-unstable iteration in export paths."""
+import json
+
+
+def to_dict(counts):
+    return {
+        "counts": [value for value in counts.values()],  # line 7: view
+        "kinds": list(counts.keys()),  # line 8 is fine: not a loop here
+    }
+
+
+def fingerprint(payload, seen):
+    rows = []
+    for key, value in payload.items():  # line 14: unsorted items()
+        rows.append((key, value))
+    for kind in set(seen):  # line 16: set iteration
+        rows.append(kind)
+    return json.dumps(rows)  # line 18: dumps without sort_keys
+
+
+def export_rows(index):
+    return [index[key] for key in index.keys()]  # line 22: keys() view

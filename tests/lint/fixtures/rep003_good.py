@@ -1,0 +1,30 @@
+"""REP003 fixture: the sanctioned stable-order export patterns."""
+import json
+
+
+def to_dict(counts):
+    return {
+        "counts": [counts[kind] for kind in sorted(counts)],
+        "kinds": sorted(counts.keys()),
+    }
+
+
+def fingerprint(payload, seen):
+    rows = []
+    for key, value in sorted(payload.items()):
+        rows.append((key, value))
+    for kind in sorted(set(seen)):
+        rows.append(kind)
+    return json.dumps(rows, sort_keys=True)
+
+
+def summarize(counts):
+    # Not an export-path function: view iteration is fine here.
+    return sum(value for value in counts.values())
+
+
+def to_dicts(records):
+    # Dict comprehensions are exempt: the result is keyed and the
+    # sorted dump downstream normalizes it.
+    return [{key: value for key, value in record.items()}
+            for record in records]

@@ -1,0 +1,26 @@
+"""REP004 fixture: unit-suffix algebra violations."""
+
+
+def total_latency(queue_ms, service_s):
+    return queue_ms + service_s  # line 5: ms + s
+
+
+def energy_budget_left(budget_j, spent_mj):
+    return budget_j - spent_mj  # line 9: J - mJ
+
+
+def deadline_ok(latency_ms, deadline_s):
+    return latency_ms < deadline_s  # line 13: ms vs s comparison
+
+
+def nonsense(duration_s, energy_j):
+    return duration_s + energy_j  # line 17: seconds + joules
+
+
+def footprint(used_bytes, quota_kb):
+    return used_bytes > quota_kb  # line 21: bytes vs kb
+
+
+def runtime(plan):  # line 24: suffixless name, docstring declares seconds
+    """Predicted execution time in seconds."""
+    return plan.total

@@ -1,0 +1,26 @@
+"""REP004 fixture: unit algebra the rule must accept."""
+
+
+def total_latency_s(queue_s, service_s):
+    return queue_s + service_s  # same unit
+
+
+def total_latency_ms(queue_ms, service_s):
+    return queue_ms + service_s * 1e3  # explicit conversion breaks the pair
+
+
+def energy_j(power_w, duration_s):
+    return power_w * duration_s  # multiplication changes dimension
+
+
+def rate_hz(n_requests, window_s):
+    return n_requests / window_s  # division changes dimension
+
+
+def runtime_s(plan):
+    """Predicted execution time in seconds."""
+    return plan.total  # unit declared and carried in the name
+
+
+def compare_like(latency_s, deadline_s):
+    return latency_s < deadline_s

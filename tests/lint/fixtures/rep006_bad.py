@@ -1,0 +1,18 @@
+"""REP006 fixture: mutable default arguments."""
+
+
+def collect(item, bucket=[]):  # line 4: list literal default
+    bucket.append(item)
+    return bucket
+
+
+def index(key, table={}):  # line 9: dict literal default
+    return table.setdefault(key, len(table))
+
+
+def tags(extra=set()):  # line 13: set call default
+    return extra
+
+
+def keyword_only(*, seen=list()):  # line 17: list call kw-only default
+    return seen

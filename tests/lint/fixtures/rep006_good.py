@@ -1,0 +1,19 @@
+"""REP006 fixture: the sanctioned default patterns."""
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+def collect(item, bucket: Optional[list] = None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def window(sizes: Tuple[int, ...] = (1, 2, 4)):
+    return sizes  # tuples are immutable
+
+
+@dataclass
+class Report:
+    rows: List[int] = field(default_factory=list)

@@ -1,0 +1,33 @@
+"""REP001 fixture: every banned nondeterminism source, one per line."""
+import os
+import random
+import time
+import uuid
+from time import perf_counter
+
+import numpy as np
+
+
+def stamp():
+    return time.time()  # line 12: wall clock
+
+
+def stamp_fast():
+    return perf_counter()  # line 16: aliased wall clock
+
+
+def entropy():
+    return os.urandom(8)  # line 20: ambient entropy
+
+
+def request_id():
+    return uuid.uuid4()  # line 24: ambient entropy
+
+
+def jitter():
+    random.seed(0)  # line 28: global reseed
+    return random.random()  # line 29: module-level RNG draw
+
+
+def noise():
+    return np.random.rand(4)  # line 33: module-level numpy RNG draw

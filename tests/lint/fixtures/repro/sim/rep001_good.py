@@ -1,0 +1,24 @@
+"""REP001 fixture: the sanctioned seeded-randomness patterns."""
+import random
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def make_stdlib_rng(seed):
+    return random.Random(seed)
+
+
+def jitter(rng):
+    return rng.random()  # draws through an explicit Generator
+
+
+def sequence(seed):
+    return np.random.SeedSequence(seed)
+
+
+def elapsed(now_s, start_s):
+    return now_s - start_s  # time flows in as a parameter

@@ -1,0 +1,18 @@
+"""Suppression fixture: findings covered by ignore comments."""
+
+
+def is_idle(utilization):
+    return utilization == 0.0  # lint: ignore[REP002]
+
+
+def total(queue_ms, service_s, bucket=[]):  # lint: ignore[REP004, REP006]
+    bucket.append(queue_ms + service_s)  # lint: ignore[REP004]
+    return bucket
+
+
+def not_a_suppression():
+    return "# lint: ignore[REP006]"  # a string literal, not a comment
+
+
+def still_fires(sink=[]):  # line 17: REP006, not suppressed
+    return sink

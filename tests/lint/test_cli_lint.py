@@ -1,0 +1,76 @@
+"""CLI tests for ``python -m repro lint``."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_lint_clean_paths_exit_zero(capsys):
+    code = main(["lint", str(FIXTURES / "rep006_good.py")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "clean" in out
+
+
+def test_lint_bad_paths_exit_one(capsys):
+    code = main(["lint", str(FIXTURES / "rep006_bad.py")])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "REP006" in out
+
+
+def test_lint_json_format(capsys):
+    code = main(
+        ["lint", str(FIXTURES / "rep002_bad.py"), "--format", "json"]
+    )
+    data = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert data["counts"] == {"REP002": 4}
+
+
+def test_lint_rule_filter(capsys):
+    code = main(
+        ["lint", str(FIXTURES), "--rule", "REP006", "--format", "json"]
+    )
+    data = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert data["rules_run"] == ["REP006"]
+    assert set(data["counts"]) == {"REP006"}
+
+
+def test_lint_unknown_rule_is_an_error(capsys):
+    code = main(["lint", str(FIXTURES), "--rule", "REP999"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "REP999" in captured.err
+
+
+def test_lint_list_rules(capsys):
+    code = main(["lint", "--list-rules"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for rule_id in (
+        "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
+    ):
+        assert rule_id in out
+
+
+def test_lint_default_target_is_the_package(capsys):
+    # Bare ``lint`` checks the installed repro package itself -- this
+    # doubles as the repo-is-clean acceptance gate through the CLI.
+    code = main(["lint"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "clean" in out
+
+
+def test_lint_show_suppressed(capsys):
+    code = main(
+        ["lint", str(FIXTURES / "suppressed.py"), "--show-suppressed"]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "suppressed (3):" in out

@@ -1,0 +1,128 @@
+"""Analyzer core: suppressions, module naming, registry, discovery."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.core import (
+    RuleRegistry,
+    SuppressionTable,
+    iter_python_files,
+    load_source_module,
+    module_name_for,
+    registry,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestSuppressionTable:
+    def test_single_rule(self):
+        table = SuppressionTable.parse("x = 1  # lint: ignore[REP002]\n")
+        assert table.covers(1, "REP002")
+        assert not table.covers(1, "REP001")
+        assert not table.covers(2, "REP002")
+
+    def test_multiple_rules_one_comment(self):
+        table = SuppressionTable.parse(
+            "x = 1  # lint: ignore[REP004, REP006]\n"
+        )
+        assert table.covers(1, "REP004")
+        assert table.covers(1, "REP006")
+
+    def test_marker_inside_string_is_not_a_suppression(self):
+        table = SuppressionTable.parse('x = "# lint: ignore[REP002]"\n')
+        assert not table.covers(1, "REP002")
+
+    def test_marker_count(self):
+        source = (
+            "a = 1  # lint: ignore[REP001]\n"
+            "b = 2\n"
+            "c = 3  # lint: ignore[REP002]\n"
+        )
+        assert SuppressionTable.parse(source).n_markers == 2
+
+    def test_unparseable_source_has_no_suppressions(self):
+        table = SuppressionTable.parse("x = (\n")
+        assert table.n_markers == 0
+
+
+class TestModuleNaming:
+    def test_package_module(self):
+        path = FIXTURES / "repro" / "sim" / "rep001_bad.py"
+        assert module_name_for(path) == "repro.sim.rep001_bad"
+
+    def test_package_init_is_the_package(self):
+        path = FIXTURES / "cycle_pkg" / "__init__.py"
+        assert module_name_for(path) == "cycle_pkg"
+
+    def test_file_outside_any_package(self):
+        path = FIXTURES / "rep002_bad.py"
+        assert module_name_for(path) == "rep002_bad"
+
+
+class TestLoadSourceModule:
+    def test_loads_tree_and_suppressions(self):
+        module = load_source_module(FIXTURES / "suppressed.py")
+        assert module.name == "suppressed"
+        assert module.tree.body
+        assert module.suppressions.n_markers >= 3
+
+    def test_syntax_error_propagates(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        with pytest.raises(SyntaxError):
+            load_source_module(bad)
+
+
+class TestRegistry:
+    def test_catalog_has_the_six_rules(self):
+        ids = [rule.rule_id for rule in registry]
+        assert ids == [
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
+        ]
+
+    def test_every_rule_is_documented(self):
+        for rule in registry:
+            assert rule.summary, rule.rule_id
+            assert rule.rationale, rule.rule_id
+
+    def test_unknown_rule_lists_catalog(self):
+        with pytest.raises(KeyError, match="REP001"):
+            registry.get("REP999")
+
+    def test_select_subset_preserves_request_order(self):
+        rules = registry.select(["REP003", "REP001"])
+        assert [r.rule_id for r in rules] == ["REP003", "REP001"]
+
+    def test_bad_rule_id_rejected_at_registration(self):
+        fresh = RuleRegistry()
+        with pytest.raises(ValueError, match="REPnnn"):
+            @fresh.register
+            class Nameless:  # noqa: N801 - deliberate bad rule
+                rule_id = "not-an-id"
+
+    def test_duplicate_rule_id_rejected(self):
+        fresh = RuleRegistry()
+
+        @fresh.register
+        class First:
+            rule_id = "REP101"
+
+        with pytest.raises(ValueError, match="duplicate"):
+            @fresh.register
+            class Second:
+                rule_id = "REP101"
+
+
+class TestDiscovery:
+    def test_directory_expansion_is_sorted_and_deduped(self):
+        files = iter_python_files([FIXTURES, FIXTURES / "rep002_bad.py"])
+        assert files == sorted(set(files))
+        assert FIXTURES / "rep002_bad.py" in files
+
+    def test_non_python_path_rejected(self, tmp_path):
+        stray = tmp_path / "notes.txt"
+        stray.write_text("hi")
+        with pytest.raises(ValueError, match="notes.txt"):
+            iter_python_files([stray])

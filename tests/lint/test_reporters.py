@@ -1,0 +1,66 @@
+"""Reporter tests: text and JSON render the same report faithfully."""
+
+import json
+from pathlib import Path
+
+from repro.lint import render_json, render_text, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_text_report_lists_locations_and_summary():
+    report = run_lint([FIXTURES / "rep006_bad.py"])
+    text = render_text(report)
+    assert "rep006_bad.py:4:" in text
+    assert "REP006" in text
+    assert "FAILED" in text
+    assert "REP006=4" in text
+
+
+def test_text_report_clean_run():
+    report = run_lint([FIXTURES / "rep006_good.py"])
+    text = render_text(report)
+    assert text.startswith("clean") or "\nclean" in text
+    assert "violation(s)" in text
+
+
+def test_text_report_suppressions_only_when_verbose():
+    report = run_lint([FIXTURES / "suppressed.py"])
+    assert "suppressed (3):" not in render_text(report)
+    verbose = render_text(report, verbose=True)
+    assert "suppressed (3):" in verbose
+    assert "(suppressed)" in verbose
+
+
+def test_json_report_round_trips_and_matches():
+    report = run_lint([FIXTURES / "suppressed.py"])
+    data = json.loads(render_json(report))
+    assert data["ok"] is False
+    assert data["files_scanned"] == 1
+    assert data["counts"] == {"REP006": 1}
+    assert len(data["suppressed"]) == 3
+    assert all(v["suppressed"] for v in data["suppressed"])
+    rules = {v["rule"] for v in data["violations"]}
+    assert rules == {"REP006"}
+
+
+def test_json_schema_is_stable():
+    report = run_lint([FIXTURES / "rep006_good.py"])
+    data = json.loads(render_json(report))
+    assert set(data) == {
+        "ok", "files_scanned", "rules_run", "counts", "violations",
+        "suppressed", "errors",
+    }
+    assert data["ok"] is True
+    assert data["rules_run"] == [
+        "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
+    ]
+
+
+def test_parse_errors_are_reported_not_skipped(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    report = run_lint([broken])
+    assert not report.ok
+    assert list(report.errors) == [str(broken)]
+    assert "syntax error" in render_text(report)

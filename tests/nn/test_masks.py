@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.nn.masks import (
-    MaskPerforation,
     make_checkerboard_perforation,
     make_scanline_perforation,
 )
@@ -101,7 +100,6 @@ class TestExecutorCompatibility:
         checkerboard's adjacent-neighbour interpolation preserves
         accuracy at least as well as the coarser separable grid."""
         from repro.nn.inference import forward
-        from repro.nn.training import evaluate
 
         net, params, test = trained_small_net
         layer = net.conv_layers[0]

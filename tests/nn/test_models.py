@@ -4,8 +4,8 @@ import pytest
 
 from repro.nn.layers import TensorShape
 from repro.nn.models import (
-    NetworkDescriptor,
     PCNN_NET_SIZES,
+    NetworkDescriptor,
     alexnet,
     get_network,
     googlenet,
@@ -28,7 +28,7 @@ class TestAlexNet:
         assert net.total_flops() == pytest.approx(1.45e9, rel=0.05)
 
     def test_five_convs(self, net):
-        assert [l.name for l in net.conv_layers] == [
+        assert [layer.name for layer in net.conv_layers] == [
             "conv1",
             "conv2",
             "conv3",

@@ -6,9 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.nn.perforation import (
-    GridPerforation,
-    PerforationPlan,
     RATE_LADDER,
+    PerforationPlan,
     make_grid_perforation,
 )
 

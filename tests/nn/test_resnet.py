@@ -24,7 +24,7 @@ class TestResNet18Shapes:
     def test_twenty_convs(self, net):
         """16 block convs + conv1 + 3 projection shortcuts."""
         assert len(net.conv_layers) == 20
-        downsamples = [l for l in net.conv_layers if "downsample" in l.name]
+        downsamples = [layer for layer in net.conv_layers if "downsample" in layer.name]
         assert len(downsamples) == 3
 
     def test_stage_spatial_halving(self, net):

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.nn.datasets import make_dataset, train_test_split
 from repro.nn.inference import init_parameters
 from repro.nn.layers import ConvSpec, DenseSpec, PoolSpec, SoftmaxSpec, TensorShape
 from repro.nn.models import NetworkDescriptor, pcnn_net
@@ -148,7 +147,7 @@ class TestEvaluate:
             net,
             params,
             test_set,
-            PerforationPlan({l.name: 0.7 for l in net.conv_layers}),
+            PerforationPlan({layer.name: 0.7 for layer in net.conv_layers}),
         )
         assert heavy.accuracy <= dense.accuracy + 0.02
         assert heavy.mean_entropy >= dense.mean_entropy - 0.05
@@ -158,7 +157,7 @@ class TestEvaluate:
         entropies = []
         for rate in (0.0, 0.4, 0.7):
             plan = PerforationPlan(
-                {l.name: rate for l in net.conv_layers} if rate else {}
+                {layer.name: rate for layer in net.conv_layers} if rate else {}
             )
             entropies.append(evaluate(net, params, test_set, plan).mean_entropy)
         assert entropies[0] <= entropies[-1] + 0.05

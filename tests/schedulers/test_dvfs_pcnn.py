@@ -26,7 +26,6 @@ class TestDvfsPCNN:
         scheduler = DvfsPCNNScheduler(max_tuning_iterations=16)
         decision = scheduler.schedule_with_frequency(background_ctx)
         assert decision.frequency.relative_frequency < 1.0
-        nominal = scheduler.schedule_with_frequency.__wrapped__ if False else None
         # energy at the chosen state beats nominal by construction:
         from repro.gpu.dvfs import FrequencyState, energy_at_frequency
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.nn.perforation import PerforationPlan, RATE_LADDER
+from repro.nn.perforation import RATE_LADDER, PerforationPlan
 from repro.serving import (
     DegradationController,
     DegradationLadder,

@@ -2,14 +2,13 @@
 
 import pytest
 
-from repro.gpu import JETSON_TX1, K20C
+from repro.gpu import JETSON_TX1, K20C, occupancy
 from repro.gpu.kernels import GemmShape, make_kernel
 from repro.gpu.libraries import CUBLAS, NERVANA
-from repro.gpu import occupancy
 from repro.sim.cta_scheduler import PrioritySMScheduler, RoundRobinScheduler
 from repro.sim.engine import (
     analytic_kernel_result,
-    analytic_kernel_time,
+    analytic_kernel_time_s,
     cta_work,
     simulate_kernel,
 )
@@ -126,35 +125,35 @@ class TestAnalyticModel:
         kernel = make_kernel(64, 64, block_size=256)
         shape = GemmShape(512, 4096, 576)
         tlp = occupancy.ctas_per_sm(K20C, kernel)
-        analytic = analytic_kernel_time(K20C, kernel, shape, tlp=tlp)
+        analytic = analytic_kernel_time_s(K20C, kernel, shape, tlp=tlp)
         simulated = simulate_kernel(K20C, kernel, shape).seconds
         assert analytic == pytest.approx(simulated, rel=0.15)
 
     def test_smooth_in_columns(self, kernel):
         """Perforation visibility: fewer columns is never slower."""
         times = [
-            analytic_kernel_time(K20C, kernel, GemmShape(128, n, 1200), tlp=4)
+            analytic_kernel_time_s(K20C, kernel, GemmShape(128, n, 1200), tlp=4)
             for n in range(1500, 300, -100)
         ]
         assert all(t2 <= t1 + 1e-12 for t1, t2 in zip(times, times[1:]))
 
     def test_more_sms_never_slower(self, kernel, shape):
         times = [
-            analytic_kernel_time(K20C, kernel, shape, tlp=4, n_sms=s)
+            analytic_kernel_time_s(K20C, kernel, shape, tlp=4, n_sms=s)
             for s in (1, 4, 8, 13)
         ]
         assert times == sorted(times, reverse=True)
 
     def test_rejects_bad_args(self, kernel, shape):
         with pytest.raises(ValueError):
-            analytic_kernel_time(K20C, kernel, shape, tlp=0)
+            analytic_kernel_time_s(K20C, kernel, shape, tlp=0)
         with pytest.raises(ValueError):
-            analytic_kernel_time(K20C, kernel, shape, tlp=2, n_sms=99)
+            analytic_kernel_time_s(K20C, kernel, shape, tlp=2, n_sms=99)
 
     def test_analytic_result_consistent(self, kernel, shape):
         result = analytic_kernel_result(K20C, kernel, shape, tlp=4)
         assert result.seconds == pytest.approx(
-            analytic_kernel_time(K20C, kernel, shape, tlp=4)
+            analytic_kernel_time_s(K20C, kernel, shape, tlp=4)
         )
         assert result.grid_size == kernel.grid_size(shape)
         assert 0 < result.sms_used <= K20C.n_sms

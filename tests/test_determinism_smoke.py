@@ -1,0 +1,49 @@
+"""Determinism double-run smoke: the bit-reproducibility claim, executed.
+
+PRs 2/3 assert that same-seed router runs are bit-identical
+(``RouterReport.fingerprint``); the benchmarks check it inside one
+process invocation.  This test raises the bar to two *independent*
+in-process executions of the router-overload bench at ``--quick``
+scale -- fresh fleet, fresh engine caches, fresh report -- and demands
+identical fingerprints.  Anything REP001 exists to catch (a stray
+wall-clock read, an unseeded draw, unstable iteration feeding the
+fingerprint) breaks this test before it breaks a nightly bench.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+BENCHMARKS_DIR = Path(__file__).parent.parent / "benchmarks"
+
+
+def _load_bench(name):
+    # The benches import their shared helpers as ``common`` relative to
+    # the benchmarks directory, so it must be importable first.
+    if str(BENCHMARKS_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCHMARKS_DIR))
+    spec = importlib.util.spec_from_file_location(
+        name, BENCHMARKS_DIR / ("%s.py" % name)
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_router_overload_quick_is_bit_identical_across_runs():
+    bench = _load_bench("bench_router_overload")
+    n = bench.QUICK_N_REQUESTS
+
+    _, first, first_rerun, _, _ = bench.reproduce(n)
+    _, second, second_rerun, _, _ = bench.reproduce(n)
+
+    fingerprints = {
+        report.fingerprint()
+        for report in (first, first_rerun, second, second_rerun)
+    }
+    assert len(fingerprints) == 1, (
+        "same-seed --quick runs diverged: %s" % sorted(fingerprints)
+    )
+    # The fingerprint covers real work, not an empty run.
+    assert first.n_offered == second.n_offered > 0
+    assert first.n_completed == second.n_completed > 0

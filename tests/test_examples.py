@@ -7,7 +7,6 @@ benchmark session instead).
 
 import importlib.util
 import os
-import sys
 
 import pytest
 

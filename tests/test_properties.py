@@ -15,10 +15,9 @@ from hypothesis import strategies as st
 from repro.core.offline import OfflineCompiler, opt_sm
 from repro.core.offline.kernel_tuning import PCNN_BACKEND, tune_layer_kernel
 from repro.core.satisfaction import TimeRequirement, soc, soc_accuracy, soc_time
-from repro.gpu import GTX_970M, JETSON_TX1, K20C, TITAN_X
+from repro.gpu import GTX_970M, JETSON_TX1, K20C, TITAN_X, occupancy
 from repro.gpu.kernels import GemmShape, make_kernel
-from repro.gpu import occupancy
-from repro.sim.engine import analytic_kernel_time
+from repro.sim.engine import analytic_kernel_time_s
 
 ARCHS = (K20C, TITAN_X, GTX_970M, JETSON_TX1)
 
@@ -76,10 +75,10 @@ class TestTimeModelProperties:
         kernel = make_kernel(*tile)
         assume(kernel.shared_mem_bytes * tlp <= arch.shared_mem_per_sm)
         lo, hi = sorted((n1, n2))
-        t_lo = analytic_kernel_time(
+        t_lo = analytic_kernel_time_s(
             arch, kernel, GemmShape(64, lo, 512), tlp=tlp
         )
-        t_hi = analytic_kernel_time(
+        t_hi = analytic_kernel_time_s(
             arch, kernel, GemmShape(64, hi, 512), tlp=tlp
         )
         assert t_lo <= t_hi + 1e-15
@@ -93,7 +92,7 @@ class TestTimeModelProperties:
     def test_time_positive_and_finite(self, shape, tile, arch):
         kernel = make_kernel(*tile)
         assume(kernel.shared_mem_bytes <= arch.shared_mem_per_sm)
-        seconds = analytic_kernel_time(arch, kernel, shape, tlp=1)
+        seconds = analytic_kernel_time_s(arch, kernel, shape, tlp=1)
         assert 0.0 < seconds < 1e4
 
     @given(shape=gemm_shapes, arch=st.sampled_from(ARCHS))
@@ -105,7 +104,7 @@ class TestTimeModelProperties:
         tuned = tune_layer_kernel(arch, shape)
         for kernel in candidate_kernels(arch):
             tlp, _regs = stair_points(arch, kernel)[0]
-            other = analytic_kernel_time(
+            other = analytic_kernel_time_s(
                 arch, kernel, shape, library=PCNN_BACKEND, tlp=tlp
             )
             assert tuned.score <= other + 1e-15
@@ -197,7 +196,7 @@ class TestPerforationTimeConsistency:
     def test_column_fraction_matches_executed_grid(self, rate):
         """The time model's column reduction and the executor's sampled
         grid agree exactly (the realized, quantized fraction)."""
-        from repro.nn.perforation import PerforationPlan, make_grid_perforation
+        from repro.nn.perforation import PerforationPlan
 
         plan = PerforationPlan({"conv1": rate} if rate > 0 else {})
         fraction = plan.column_fraction("conv1", 27, 27)
@@ -225,7 +224,7 @@ class TestSimulatorAnalyticAgreement:
         kernel = make_kernel(64, 64, block_size=256)
         shape = GemmShape(m, n, k)
         tlp = occupancy.ctas_per_sm(arch, kernel)
-        analytic = analytic_kernel_time(arch, kernel, shape, tlp=tlp)
+        analytic = analytic_kernel_time_s(arch, kernel, shape, tlp=tlp)
         simulated = simulate_kernel(arch, kernel, shape).seconds
         assert analytic == pytest.approx(simulated, rel=0.20)
 

@@ -7,24 +7,18 @@ with one SM, pathological tuning thresholds, contradictory calibration
 streams.
 """
 
-import math
+from dataclasses import replace
 
 import numpy as np
 import pytest
-from dataclasses import replace
 
 from repro.core import ApplicationSpec, PervasiveCNN, TaskClass
 from repro.core.offline import OfflineCompiler
-from repro.core.runtime import (
-    AccuracyTuner,
-    AnalyticEntropyModel,
-    Calibrator,
-    TuningTable,
-)
+from repro.core.runtime import AccuracyTuner, AnalyticEntropyModel
 from repro.core.satisfaction import TimeRequirement
 from repro.gpu import JETSON_TX1, K20C
 from repro.gpu.kernels import GemmShape, make_kernel
-from repro.nn.layers import ConvSpec, DenseSpec, PoolSpec, SoftmaxSpec, TensorShape
+from repro.nn.layers import ConvSpec, DenseSpec, SoftmaxSpec, TensorShape
 from repro.nn.models import NetworkDescriptor
 from repro.nn.perforation import PerforationPlan, make_grid_perforation
 from repro.sim.engine import simulate_kernel
@@ -190,7 +184,7 @@ class TestNumericalEdges:
 
         net, params, test = trained_small_net
         plan = PerforationPlan(
-            {l.name: RATE_LADDER[-1] for l in net.conv_layers}
+            {layer.name: RATE_LADDER[-1] for layer in net.conv_layers}
         )
         probs = forward(net, params, test.images[:4], plan)
         assert np.isfinite(probs).all()
