@@ -13,6 +13,8 @@ pinned at rung 0.  The acceptance bars:
   (:meth:`~repro.serving.RouterReport.fingerprint`).
 """
 
+import time
+
 import pytest
 from common import emit, emit_json, run_once
 
@@ -22,6 +24,7 @@ from repro.core.fleet import FleetManager
 from repro.core.satisfaction import TimeRequirement
 from repro.gpu import JETSON_TX1, K20C
 from repro.nn import alexnet
+from repro.obs import Instrumentation, chrome_trace, validate_chrome_trace
 from repro.serving import RequestRouter, RouterConfig, Tenant, TenantLoad
 from repro.workloads import bursty_trace
 
@@ -48,6 +51,12 @@ QUICK_N_REQUESTS = 3000
 
 #: The PR's acceptance bar: degradation vs FIFO-baseline hit-rate.
 MIN_HIT_RATIO = 1.5
+
+#: Tracing bars: the Chrome export must cover at least this fraction
+#: of the dispatched (completed) requests, and disabled-by-default
+#: instrumentation may cost at most this much relative wall-clock.
+MIN_TRACE_COVERAGE = 0.90
+MAX_DISABLED_OVERHEAD = 0.05
 
 
 def _fleet():
@@ -122,6 +131,66 @@ def reproduce(n_requests=N_REQUESTS):
         % (OVERLOAD, n_requests, OVERLOAD * capacity),
     )
     return text, degraded, rerun, baseline, hit_ratio
+
+
+def reproduce_traced(n_requests=N_REQUESTS):
+    """One instrumented run: report plus its Instrumentation."""
+    spec, fleet = _fleet()
+    capacity = _capacity_rps(fleet)
+    loads = _loads(spec, OVERLOAD * capacity, n_requests)
+    obs = Instrumentation()
+    report = RequestRouter(fleet, RouterConfig()).run(loads, obs=obs)
+    return report, obs
+
+
+def _disabled_overhead(n_requests, rounds=3):
+    """Best-of-N relative cost of disabled instrumentation.
+
+    Wall clock is fine here: benchmarks sit outside the REP001
+    simulation packages, and the minimum over rounds suppresses
+    scheduler noise.
+    """
+    spec, fleet = _fleet()
+    capacity = _capacity_rps(fleet)
+    loads = _loads(spec, OVERLOAD * capacity, n_requests)
+    # Warm the engine caches so neither variant pays compile time.
+    RequestRouter(fleet, RouterConfig()).run(loads)
+
+    def best(obs_factory):
+        timings = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            RequestRouter(fleet, RouterConfig()).run(loads, obs=obs_factory())
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    plain = best(lambda: None)
+    disabled = best(Instrumentation.disabled)
+    return disabled / plain - 1.0
+
+
+@pytest.mark.benchmark(group="serving")
+def test_bench_router_tracing(benchmark, quick):
+    n = QUICK_N_REQUESTS if quick else N_REQUESTS
+    report, obs = run_once(benchmark, lambda: reproduce_traced(n))
+
+    trace = chrome_trace(obs.buffer)
+    problems = validate_chrome_trace(trace)
+    assert problems == [], "invalid Chrome trace: %s" % problems
+    emit_json("router_overload_trace", trace)
+
+    completed = [r.request.rid for r in report.completed]
+    coverage = obs.coverage_of(completed)
+    assert coverage >= MIN_TRACE_COVERAGE, (
+        "execute_batch spans cover only %.0f%% of completed requests"
+        % (coverage * 100)
+    )
+
+    overhead = _disabled_overhead(n // 4 or 1)
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        "disabled instrumentation costs %.1f%% (bar: %.0f%%)"
+        % (overhead * 100, MAX_DISABLED_OVERHEAD * 100)
+    )
 
 
 @pytest.mark.benchmark(group="serving")

@@ -20,10 +20,16 @@ Sub-commands:
   accuracy tuning with the analytic model and print the tuning path.
 * ``serve-fleet [--gpus G1,G2] [--load L] [--requests N]
   [--no-degradation] [--fifo] [--chaos] [--chaos-seed S]
-  [--no-resilience] [--json]`` -- route a bursty multi-tenant storm
+  [--no-resilience] [--json] [--trace F] [--chrome-trace F]
+  [--metrics-out F]`` -- route a bursty multi-tenant storm
   across the fleet and print the router report; ``--chaos`` injects a
   seeded fault trace (outages, SM failures, throttles, transients)
-  and reports the recovery metrics.
+  and reports the recovery metrics; the trace/metrics flags enable
+  instrumentation and write deterministic span/metric exports.
+* ``trace SCENARIO [--gpus G1,G2] [--requests N] [--chaos] ...`` --
+  run one paper scenario through an instrumented router and export
+  its spans/metrics (span JSON, Chrome ``trace_event`` for Perfetto,
+  metrics JSON, Prometheus text).
 * ``lint [PATHS ...] [--format json] [--rule REPnnn] [--list-rules]``
   -- run the AST invariant analyzer (determinism, float equality,
   fingerprint ordering, unit algebra, import cycles, mutable
@@ -53,9 +59,23 @@ from repro.faults import FaultTraceConfig, generate_fault_trace
 from repro.gpu import get_architecture, list_architectures
 from repro.lint.cli import add_lint_parser, run_lint_command
 from repro.nn.models import EXTRA_NETWORKS, PAPER_NETWORKS, PCNN_NET_SIZES, get_network
+from repro.obs import (
+    Instrumentation,
+    chrome_trace_json,
+    metrics_to_json,
+    prometheus_text,
+    trace_to_json,
+)
 from repro.schedulers import compare_schedulers, make_context
 from repro.serving import RequestRouter, RouterConfig, Tenant, TenantLoad
-from repro.workloads import bursty_trace, paper_scenarios, pareto_trace
+from repro.workloads import (
+    age_detection,
+    bursty_trace,
+    image_tagging,
+    paper_scenarios,
+    pareto_trace,
+    video_surveillance,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -170,9 +190,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the report as JSON instead of tables",
     )
+    _add_obs_export_args(serve)
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="instrumented routing run of one paper scenario with "
+        "span/metric export",
+    )
+    trace_cmd.add_argument(
+        "scenario",
+        choices=sorted(_SCENARIOS),
+        help="paper scenario to trace",
+    )
+    trace_cmd.add_argument(
+        "--gpus", default="k20c,tx1",
+        help="comma-separated platform list (default: the paper's pair)",
+    )
+    trace_cmd.add_argument(
+        "--load", type=float, default=2.0,
+        help="offered load as a multiple of rung-0 fleet capacity",
+    )
+    trace_cmd.add_argument("--requests", type=int, default=500,
+                           help="requests in the storm")
+    trace_cmd.add_argument("--seed", type=int, default=42)
+    trace_cmd.add_argument(
+        "--chaos", action="store_true",
+        help="inject a seeded fault trace during the traced run",
+    )
+    trace_cmd.add_argument(
+        "--chaos-seed", type=int, default=7,
+        help="seed of the generated fault trace (with --chaos)",
+    )
+    _add_obs_export_args(trace_cmd)
+    trace_cmd.add_argument(
+        "--prometheus-out", default=None, metavar="FILE",
+        help="write the metrics in Prometheus text exposition format",
+    )
 
     add_lint_parser(sub)
     return parser
+
+
+def _add_obs_export_args(parser) -> None:
+    """The instrumentation-export flags shared by serve-fleet/trace."""
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="enable tracing and write the span trace as canonical JSON",
+    )
+    parser.add_argument(
+        "--chrome-trace", default=None, metavar="FILE",
+        help="enable tracing and write a Chrome trace_event file "
+        "(opens in Perfetto / chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="enable metrics and write the registry snapshot as "
+        "canonical JSON",
+    )
 
 
 def _spec_for(args) -> ApplicationSpec:
@@ -365,6 +439,53 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+#: Scenario presets of the ``trace`` sub-command (the paper's Fig.
+#: 13-15 triple, keyed by CLI name).
+_SCENARIOS = {
+    "age-detection": age_detection,
+    "video-surveillance": video_surveillance,
+    "image-tagging": image_tagging,
+}
+
+
+def _obs_for(args) -> Optional[Instrumentation]:
+    """An Instrumentation when any export flag asks for one."""
+    wants = (
+        args.trace is not None
+        or args.chrome_trace is not None
+        or args.metrics_out is not None
+        or getattr(args, "prometheus_out", None) is not None
+    )
+    return Instrumentation() if wants else None
+
+
+def _write_obs_exports(obs: Instrumentation, args) -> None:
+    """Write every export the flags requested (deterministic bytes)."""
+    # Notes go to stderr so --json stdout stays machine-parseable.
+    if args.trace is not None:
+        with open(args.trace, "w") as handle:
+            handle.write(trace_to_json(obs.buffer))
+        print("span trace written to %s" % args.trace, file=sys.stderr)
+    if args.chrome_trace is not None:
+        with open(args.chrome_trace, "w") as handle:
+            handle.write(chrome_trace_json(obs.buffer))
+        print(
+            "chrome trace written to %s" % args.chrome_trace,
+            file=sys.stderr,
+        )
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(metrics_to_json(obs.metrics))
+        print("metrics written to %s" % args.metrics_out, file=sys.stderr)
+    if getattr(args, "prometheus_out", None) is not None:
+        with open(args.prometheus_out, "w") as handle:
+            handle.write(prometheus_text(obs.metrics))
+        print(
+            "prometheus exposition written to %s" % args.prometheus_out,
+            file=sys.stderr,
+        )
+
+
 def _cmd_serve_fleet(args) -> int:
     network = get_network(args.network)
     spec = ApplicationSpec(
@@ -442,7 +563,10 @@ def _cmd_serve_fleet(args) -> int:
             ),
             seed=args.chaos_seed,
         )
-    report = RequestRouter(fleet, config).run(loads, faults)
+    obs = _obs_for(args)
+    report = RequestRouter(fleet, config).run(loads, faults, obs=obs)
+    if obs is not None:
+        _write_obs_exports(obs, args)
 
     if args.json:
         print(
@@ -533,6 +657,88 @@ def _cmd_serve_fleet(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Instrumented routing run of one paper scenario."""
+    scenario = _SCENARIOS[args.scenario]()
+    architectures = [
+        get_architecture(name.strip()) for name in args.gpus.split(",")
+    ]
+    fleet = FleetManager(
+        scenario.network, scenario.spec, architectures=architectures
+    )
+    deployments = fleet.deploy_all()
+
+    capacity = 0.0
+    for deployment in deployments.values():
+        entry = deployment.current_entry
+        execution = deployment.engine.execute(
+            entry.compiled,
+            power_gating=deployment.power_gating,
+            use_priority_sm=deployment.use_priority_sm,
+        )
+        capacity += entry.compiled.batch / execution.total_time_s
+
+    tenant = Tenant.from_spec(scenario.spec, priority=1)
+    loads = [
+        TenantLoad(
+            tenant,
+            bursty_trace(
+                n_requests=args.requests,
+                rate_hz=args.load * capacity,
+                seed=args.seed,
+            ),
+        )
+    ]
+    faults = None
+    if args.chaos:
+        horizon = float(loads[0].trace.arrivals_s[-1])
+        faults = generate_fault_trace(
+            platforms=sorted(deployments),
+            horizon_s=horizon,
+            config=FaultTraceConfig(
+                outages=1,
+                outage_duration_s=0.25 * horizon,
+                transients=2,
+            ),
+            seed=args.chaos_seed,
+        )
+
+    obs = Instrumentation()
+    report = RequestRouter(fleet, RouterConfig()).run(
+        loads, faults, obs=obs
+    )
+    _write_obs_exports(obs, args)
+
+    counts = obs.buffer.counts
+    print(format_table(
+        ["span", "count"],
+        [(name, counts[name]) for name in sorted(counts) if counts[name]],
+        title="Trace of %s (%d spans, %d requests, %d platforms)"
+        % (
+            args.scenario,
+            len(obs.buffer),
+            report.n_offered,
+            len(report.platforms),
+        ),
+    ))
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ("completed", report.n_completed),
+            ("rejected", report.n_rejected),
+            ("deadline hit-rate", "%.0f%%" % (report.deadline_hit_rate * 100)),
+            ("mean SoC", "%.3f" % report.mean_soc),
+            ("p95 latency ms",
+             "%.1f" % (report.percentile_latency_s(95.0) * 1e3)),
+            ("metric series", obs.metrics.n_series),
+            ("trace fingerprint", obs.buffer.fingerprint()),
+        ],
+        title="Run summary",
+    ))
+    return 0
+
+
 _COMMANDS = {
     "platforms": _cmd_platforms,
     "networks": _cmd_networks,
@@ -544,6 +750,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "tune": _cmd_tune,
     "serve-fleet": _cmd_serve_fleet,
+    "trace": _cmd_trace,
     "lint": run_lint_command,
 }
 

@@ -23,9 +23,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.core.satisfaction import SoCBreakdown, soc
+from repro.obs.metrics import linear_percentile
 
 if TYPE_CHECKING:  # avoid a circular import; Deployment is duck-typed
     from repro.core.framework import Deployment
+    from repro.obs.instrument import Instrumentation
 from repro.workloads.generators import RequestTrace
 
 __all__ = [
@@ -152,20 +154,11 @@ class ServerReport:
         "linear" method), so small request counts yield a graded value
         instead of collapsing every high percentile to the max -- the
         old nearest-rank index ``ceil(0.99 n) - 1`` returned the
-        maximum for any n < 100.
+        maximum for any n < 100.  Delegated to
+        :func:`repro.obs.metrics.linear_percentile`, the single
+        percentile implementation the router report shares.
         """
-        if not 0.0 <= q <= 100.0:
-            raise ValueError("percentile must be in [0, 100], got %r" % (q,))
-        if not self.requests:
-            return 0.0
-        ordered = sorted(r.latency_s for r in self.requests)
-        position = (len(ordered) - 1) * q / 100.0
-        low = math.floor(position)
-        high = math.ceil(position)
-        if low == high:
-            return ordered[low]
-        fraction = position - low
-        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+        return linear_percentile([r.latency_s for r in self.requests], q)
 
     @property
     def p50_latency_s(self) -> float:
@@ -243,12 +236,27 @@ class InferenceServer:
             raise ValueError("flush_timeout_s must be positive")
         self.flush_timeout_s = flush_timeout_s
 
-    def serve(self, trace: RequestTrace) -> ServerReport:
-        """Serve a whole trace; returns the per-request accounting."""
+    def serve(
+        self,
+        trace: RequestTrace,
+        obs: Optional["Instrumentation"] = None,
+    ) -> ServerReport:
+        """Serve a whole trace; returns the per-request accounting.
+
+        ``obs`` optionally observes the loop: one ``execute_batch``
+        span per batch plus the engine's compile/cache/calibration
+        relays, all stamped with the server's simulated clock.
+        """
         deployment = self.deployment
         report = ServerReport()
         queue: List[int] = []  # indices into the trace
         gpu_free_at = 0.0
+        now_s = [0.0]  # engine relays read the loop's sim time
+        detach = (
+            obs.attach_engine(deployment.engine, lambda: now_s[0])
+            if obs is not None
+            else None
+        )
         i = 0
         n = trace.n_requests
         while i < n or queue:
@@ -277,11 +285,20 @@ class InferenceServer:
                 ready = policy.flush_at(head_arrival)  # timeout flush
             start = max(ready, gpu_free_at)
 
+            now_s[0] = start
             execution = deployment.execute_current()
             finish = start + execution.total_time_s
             gpu_free_at = finish
             report.batches += 1
             report.total_energy_j += execution.total_energy_joules
+            if obs is not None:
+                obs.server_batch(
+                    start,
+                    finish,
+                    len(batch_indices),
+                    policy.capacity,
+                    execution.total_energy_joules,
+                )
 
             # Energy convention: a timeout-flushed partial batch still
             # executes the full compiled-batch plan, so per-request
@@ -317,6 +334,9 @@ class InferenceServer:
                     )
                 )
             # One calibration observation per batch (its worst output).
+            now_s[0] = finish
             deployment.observe_entropy(batch_entropy)
+        if detach is not None:
+            detach()
         report.requests.sort(key=lambda r: r.index)
         return report

@@ -25,6 +25,7 @@ SIMULATION_PACKAGES = (
     "repro.faults",
     "repro.workloads",
     "repro.schedulers",
+    "repro.obs",
 )
 
 #: Exact banned call targets (wall clocks, ambient entropy, global-RNG

@@ -1,0 +1,592 @@
+"""Instrumentation: the handle a run threads through the system.
+
+:class:`Instrumentation` bundles one :class:`~repro.obs.span.Tracer`
+(over one :class:`~repro.obs.span.TraceBuffer`) with one
+:class:`~repro.obs.metrics.MetricsRegistry` and exposes the narrow
+callback surface the serving/runtime layers invoke:
+
+* the :class:`~repro.serving.router.RequestRouter` calls the
+  ``run_* / request_* / batch_* / fault`` family at its decision
+  points (all sim-time-stamped by the caller);
+* the :class:`~repro.core.engine.ExecutionEngine`'s hook bus is
+  attached via :meth:`attach_engine`, relaying compilations, plan
+  -cache lookups and calibration backtracking into spans and counters;
+* the :class:`~repro.core.runtime.server.InferenceServer` records its
+  batches through :meth:`server_batch`.
+
+A disabled instance (:meth:`Instrumentation.disabled`, or
+``enabled=False``) keeps every method callable but reduces each to a
+single guard check, so instrumented hot paths stay cheap when
+observability is off -- the "disabled-by-default adds < 5%" bar the
+router-overload benchmark asserts.
+
+One instance observes one run: create a fresh ``Instrumentation`` per
+``RequestRouter.run`` call (reusing one across runs concatenates
+their traces).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    OCCUPANCY_BUCKETS,
+    SLACK_BUCKETS_S,
+    MetricsRegistry,
+)
+from repro.obs.span import CACHE_SENSITIVE_SPANS, SpanHandle, TraceBuffer, Tracer
+
+__all__ = [
+    "CACHE_SENSITIVE_METRIC_PREFIX",
+    "Instrumentation",
+    "cache_neutral_obs_section",
+]
+
+#: Metric families whose values depend on engine cache temperature
+#: (compiles skipped on a warm cache); stripped from same-seed
+#: fingerprint comparisons alongside :data:`CACHE_SENSITIVE_SPANS`.
+CACHE_SENSITIVE_METRIC_PREFIX = "engine_"
+
+#: Fault kinds that open an episode / close it again; transients are
+#: instantaneous.
+_EPISODE_BEGIN = {
+    "outage": "outage",
+    "sm_fail": "sm_fail",
+    "bw_degrade": "bw_degrade",
+    "throttle": "throttle",
+}
+_EPISODE_END = {
+    "restore": "outage",
+    "sm_recover": "sm_fail",
+    "bw_recover": "bw_degrade",
+    "throttle_end": "throttle",
+}
+
+
+def cache_neutral_obs_section(section: dict) -> dict:
+    """An ``obs`` report section with cache-temperature noise removed.
+
+    Used by ``RouterReport.fingerprint``: span counts of
+    :data:`~repro.obs.span.CACHE_SENSITIVE_SPANS` and metric families
+    prefixed ``engine_`` vary with engine cache warmth, so they (and
+    the total span count they shift) are dropped before hashing.
+    """
+    span_counts = {
+        name: count
+        for name, count in section.get("span_counts", {}).items()
+        if name not in CACHE_SENSITIVE_SPANS
+    }
+    metrics = {
+        series: value
+        for series, value in section.get("metrics", {}).items()
+        if not series.startswith(CACHE_SENSITIVE_METRIC_PREFIX)
+    }
+    return {
+        "span_counts": span_counts,
+        "metrics": metrics,
+        "trace_fingerprint": section.get("trace_fingerprint"),
+    }
+
+
+class Instrumentation:
+    """Tracer + metrics + the callback surface of one observed run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.buffer = TraceBuffer()
+        self.tracer = Tracer(self.buffer, enabled=enabled)
+        self.metrics = MetricsRegistry()
+        self._run: Optional[SpanHandle] = None
+        self._platforms: Dict[str, SpanHandle] = {}
+        self._requests: Dict[int, SpanHandle] = {}
+        self._episodes: Dict[tuple, SpanHandle] = {}
+        self._max_time_s = 0.0
+
+    @classmethod
+    def disabled(cls) -> "Instrumentation":
+        """An inert instance: every callback is a no-op guard check."""
+        return cls(enabled=False)
+
+    def _touch(self, time_s: float) -> None:
+        if time_s > self._max_time_s:
+            self._max_time_s = time_s
+
+    # -- run lifecycle ---------------------------------------------------
+    def run_started(self, platforms: Sequence[str], time_s: float = 0.0) -> None:
+        """Open the run root and one platform track per deployment."""
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        self._run = self.tracer.begin(
+            "run", time_s, platforms=",".join(sorted(platforms))
+        )
+        for name in sorted(platforms):
+            self._platforms[name] = self.tracer.begin(
+                "platform", time_s, parent=self._run, platform=name
+            )
+
+    def run_finished(self, time_s: float) -> None:
+        """Close every still-open span at ``max(time_s, latest seen)``."""
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        end_s = self._max_time_s
+        for key in sorted(self._episodes, key=str):
+            self.tracer.end(self._episodes[key], end_s, open_at_drain=True)
+        self._episodes.clear()
+        for rid in sorted(self._requests):
+            self.tracer.end(
+                self._requests[rid], end_s, outcome="open_at_drain"
+            )
+        self._requests.clear()
+        for name in sorted(self._platforms):
+            self.tracer.end(self._platforms[name], end_s)
+        self._platforms.clear()
+        if self._run is not None:
+            self.tracer.end(self._run, end_s)
+            self._run = None
+        self.tracer.drain_open(end_s)
+
+    # -- requests --------------------------------------------------------
+    def _request_span(self, request) -> SpanHandle:
+        handle = self._requests.get(request.rid)
+        if handle is None:
+            handle = self.tracer.begin(
+                "request",
+                request.arrival_s,
+                parent=self._run,
+                rid=request.rid,
+                tenant=request.tenant.name,
+            )
+            self._requests[request.rid] = handle
+        return handle
+
+    def request_admitted(
+        self, request, time_s: float, platform: str, level: int,
+        reason: str, queue_depth: int,
+    ) -> None:
+        """One request cleared admission onto ``platform``'s queue."""
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        parent = self._request_span(request)
+        self.tracer.instant(
+            "admission",
+            time_s,
+            parent=parent,
+            platform=platform,
+            level=level,
+            reason=reason,
+        )
+        self.metrics.counter(
+            "requests_admitted_total",
+            "requests admitted onto a platform queue",
+            platform=platform,
+        ).inc()
+        self.metrics.gauge(
+            "queue_depth",
+            "requests queued on the platform",
+            platform=platform,
+        ).set(queue_depth)
+
+    def request_rejected(self, request, time_s: float, reason: str) -> None:
+        """One request reached a terminal rejection."""
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        handle = self._requests.pop(request.rid, None)
+        if handle is None:
+            # Rejected at admission: the span brackets arrival -> now.
+            handle = self.tracer.begin(
+                "request",
+                request.arrival_s,
+                parent=self._run,
+                rid=request.rid,
+                tenant=request.tenant.name,
+            )
+        self.tracer.end(handle, time_s, outcome="rejected", reason=reason)
+        self.metrics.counter(
+            "requests_rejected_total",
+            "requests terminally rejected",
+            reason=reason,
+        ).inc()
+
+    def request_completed(
+        self, request, time_s: float, platform: str, level: int,
+    ) -> None:
+        """One request's batch finished inside a completed batch."""
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        handle = self._requests.pop(request.rid, None)
+        if handle is not None:
+            self.tracer.end(
+                handle,
+                time_s,
+                outcome="completed",
+                platform=platform,
+                level=level,
+            )
+        self.metrics.counter(
+            "requests_completed_total",
+            "requests served to completion",
+            platform=platform,
+        ).inc()
+        latency_s = time_s - request.arrival_s
+        self.metrics.histogram(
+            "request_latency_s",
+            LATENCY_BUCKETS_S,
+            "arrival to batch completion",
+        ).observe(latency_s)
+        slack_s = request.deadline_s - time_s
+        self.metrics.histogram(
+            "deadline_slack_s",
+            SLACK_BUCKETS_S,
+            "deadline minus finish (negative: missed)",
+        ).observe(slack_s)
+
+    def retry_scheduled(
+        self, request, time_s: float, attempt: int, backoff_s: float
+    ) -> None:
+        """A failed request re-enters admission after backoff."""
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        self.tracer.instant(
+            "retry",
+            time_s,
+            parent=self._request_span(request),
+            attempt=attempt,
+            backoff_s=backoff_s,
+        )
+        self.metrics.counter(
+            "retries_total", "failed requests re-admitted after backoff"
+        ).inc()
+
+    def failover(self, request, time_s: float, origin: str, target: str) -> None:
+        """A request was evacuated off a dead platform."""
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        self.metrics.counter(
+            "failovers_total",
+            "requests moved off a dead platform",
+            origin=origin,
+        ).inc()
+        self.tracer.instant(
+            "dispatch",
+            time_s,
+            parent=self._request_span(request),
+            platform=target,
+            cause="failover",
+            origin=origin,
+        )
+
+    # -- batches ---------------------------------------------------------
+    def batch_dispatched(
+        self, platform: str, batch, capacity: int, queue_depth: int,
+        time_s: float,
+    ) -> None:
+        """A batch launched; opens its ``execute_batch`` span.
+
+        The open handle rides on ``batch.obs_span`` (the in-flight
+        batch object), so completion/failure can close it without the
+        instrumentation keying state off object identity.
+        """
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        rids = tuple(r.rid for r in batch.requests)
+        self.tracer.instant(
+            "dispatch",
+            time_s,
+            parent=self._platforms.get(platform),
+            platform=platform,
+            n_requests=len(rids),
+            level=batch.rung.level,
+        )
+        batch.obs_span = self.tracer.begin(
+            "execute_batch",
+            time_s,
+            parent=self._platforms.get(platform),
+            platform=platform,
+            request_ids=rids,
+            level=batch.rung.level,
+            batch=len(rids),
+            capacity=capacity,
+        )
+        self.metrics.counter(
+            "batches_dispatched_total",
+            "batches launched",
+            platform=platform,
+        ).inc()
+        self.metrics.histogram(
+            "batch_occupancy",
+            OCCUPANCY_BUCKETS,
+            "occupied slots over plan capacity at launch",
+            platform=platform,
+        ).observe(len(rids) / capacity)
+        self.metrics.gauge(
+            "queue_depth",
+            "requests queued on the platform",
+            platform=platform,
+        ).set(queue_depth)
+
+    def _close_batch(
+        self, platform: str, batch, time_s: float, outcome: str
+    ) -> None:
+        handle = getattr(batch, "obs_span", None)
+        if handle is not None:
+            self.tracer.end(handle, time_s, outcome=outcome)
+            batch.obs_span = None
+
+    def batch_completed(
+        self, platform: str, batch, time_s: float, energy_j: float
+    ) -> None:
+        """A launched batch finished successfully."""
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        self._close_batch(platform, batch, time_s, "completed")
+        self.metrics.counter(
+            "platform_energy_j",
+            "energy spent serving completed batches",
+            platform=platform,
+        ).inc(energy_j)
+
+    def batch_failed(self, platform: str, batch, time_s: float) -> None:
+        """A launched batch did not complete (outage or transient)."""
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        self._close_batch(platform, batch, time_s, "failed")
+        self.metrics.counter(
+            "batch_failures_total",
+            "batches that launched and failed",
+            platform=platform,
+        ).inc()
+
+    def batch_abandoned(self, platform: str, batch, time_s: float) -> None:
+        """An in-flight batch was evacuated (outage failover) or
+        stranded at drain -- it has no finish-time outcome."""
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        self._close_batch(platform, batch, time_s, "abandoned")
+
+    # -- degradation / resilience ---------------------------------------
+    def degradation_move(
+        self, platform: str, move: str, level: int, time_s: float
+    ) -> None:
+        """The platform's ladder stepped (``degrade``/``restore``)."""
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        self.metrics.counter(
+            "degradation_moves_total",
+            "ladder steps taken",
+            platform=platform,
+            move=move,
+        ).inc()
+        self.metrics.gauge(
+            "degradation_level",
+            "current ladder level",
+            platform=platform,
+        ).set(level)
+
+    def breaker_transition(
+        self, platform: str, transition: str, time_s: float
+    ) -> None:
+        """A circuit breaker changed state."""
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        self.metrics.counter(
+            "breaker_transitions_total",
+            "circuit-breaker state changes",
+            platform=platform,
+            transition=transition,
+        ).inc()
+
+    # -- faults ----------------------------------------------------------
+    def fault(self, event, time_s: float) -> None:
+        """One injected fault event was applied to its platform."""
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        self.metrics.counter(
+            "faults_injected_total",
+            "fault events applied",
+            kind=event.kind,
+            platform=event.platform,
+        ).inc()
+        parent = self._platforms.get(event.platform)
+        episode = _EPISODE_BEGIN.get(event.kind)
+        if episode is not None:
+            key = (event.platform, episode)
+            open_handle = self._episodes.pop(key, None)
+            if open_handle is not None:
+                # Re-begin without an end: close the stale episode here.
+                self.tracer.end(open_handle, time_s, reopened=True)
+            self._episodes[key] = self.tracer.begin(
+                "fault_episode",
+                time_s,
+                parent=parent,
+                platform=event.platform,
+                fault_kind=episode,
+            )
+            return
+        episode = _EPISODE_END.get(event.kind)
+        if episode is not None:
+            open_handle = self._episodes.pop((event.platform, episode), None)
+            if open_handle is not None:
+                self.tracer.end(open_handle, time_s)
+            return
+        # Transient: an instantaneous episode.
+        self.tracer.instant(
+            "fault_episode",
+            time_s,
+            parent=parent,
+            platform=event.platform,
+            fault_kind=event.kind,
+        )
+
+    # -- engine hook bus -------------------------------------------------
+    def attach_engine(
+        self, engine, clock: Callable[[], float]
+    ) -> Callable[[], None]:
+        """Relay an engine's hook-bus events; returns the unsubscriber.
+
+        ``clock`` supplies the sim time the relayed spans are stamped
+        with (the engine itself is timeless -- its activity happens
+        inside the caller's event loop).
+        """
+        if not self.enabled:
+            return lambda: None
+
+        def on_compile(key, plan, **_ignored):
+            time_s = clock()
+            self._touch(time_s)
+            self.tracer.instant(
+                "compile",
+                time_s,
+                platform=key.arch,
+                network=key.network,
+                batch=key.batch,
+                perforation=key.perforation,
+            )
+            self.metrics.counter(
+                "engine_compiles_total", "plan-cache misses compiled"
+            ).inc()
+
+        def on_cache_hit(kind, key, **_ignored):
+            time_s = clock()
+            self._touch(time_s)
+            if kind == "compile":
+                self.tracer.instant(
+                    "plan_cache_lookup",
+                    time_s,
+                    platform=getattr(key, "arch", None),
+                    outcome="hit",
+                )
+            self.metrics.counter(
+                "engine_cache_hits_total",
+                "compile/execute cache hits",
+                cache=kind,
+            ).inc()
+
+        def on_execute(key, plan, report, cached, **_ignored):
+            self.metrics.counter(
+                "engine_executes_total", "plan executions (hits included)"
+            ).inc()
+
+        def on_calibrate(step, **_ignored):
+            time_s = clock()
+            self._touch(time_s)
+            self.metrics.counter(
+                "calibration_steps_total",
+                "calibrator decisions",
+                action=step.action,
+            ).inc()
+            if step.action == "backtrack":
+                self.tracer.instant(
+                    "calibration_backtrack",
+                    time_s,
+                    entry_index=step.entry_index,
+                    observed_entropy=step.observed_entropy,
+                )
+
+        engine.hooks.subscribe("on_compile", on_compile)
+        engine.hooks.subscribe("on_cache_hit", on_cache_hit)
+        engine.hooks.subscribe("on_execute", on_execute)
+        engine.hooks.subscribe("on_calibrate", on_calibrate)
+
+        def unsubscribe():
+            engine.hooks.unsubscribe("on_compile", on_compile)
+            engine.hooks.unsubscribe("on_cache_hit", on_cache_hit)
+            engine.hooks.unsubscribe("on_execute", on_execute)
+            engine.hooks.unsubscribe("on_calibrate", on_calibrate)
+
+        return unsubscribe
+
+    # -- single-platform server -----------------------------------------
+    def server_batch(
+        self, start_s: float, finish_s: float, n_requests: int,
+        capacity: int, energy_j: float,
+    ) -> None:
+        """One :class:`InferenceServer` batch execution."""
+        if not self.enabled:
+            return
+        self._touch(finish_s)
+        self.tracer.emit(
+            "execute_batch",
+            start_s,
+            finish_s,
+            parent=self._run,
+            batch=n_requests,
+            capacity=capacity,
+        )
+        self.metrics.counter(
+            "batches_dispatched_total", "batches launched", platform="server"
+        ).inc()
+        self.metrics.histogram(
+            "batch_occupancy",
+            OCCUPANCY_BUCKETS,
+            "occupied slots over plan capacity at launch",
+            platform="server",
+        ).observe(n_requests / capacity)
+        self.metrics.counter(
+            "platform_energy_j",
+            "energy spent serving completed batches",
+            platform="server",
+        ).inc(energy_j)
+
+    # -- reporting -------------------------------------------------------
+    def report_section(self) -> dict:
+        """The plain-data ``obs`` section a report embeds.
+
+        Span counts per name, the full metrics snapshot, and the
+        cache-neutral trace fingerprint.  Keys are sorted; the section
+        is JSON-serializable as-is.
+        """
+        counts = self.buffer.counts
+        return {
+            "n_spans": len(self.buffer),
+            "span_counts": {
+                name: counts[name] for name in sorted(counts) if counts[name]
+            },
+            "metrics": self.metrics.snapshot(),
+            "trace_fingerprint": self.buffer.fingerprint(),
+        }
+
+    def coverage_of(self, request_ids: Sequence[int]) -> float:
+        """Fraction of ``request_ids`` appearing in some
+        ``execute_batch`` span -- the bench's span-coverage bar."""
+        wanted = set(request_ids)
+        if not wanted:
+            return 1.0
+        seen: set = set()
+        for span in self.buffer.of_name("execute_batch"):
+            seen.update(span.attrs.get("request_ids", ()))
+        return len(wanted & seen) / len(wanted)

@@ -1,0 +1,294 @@
+"""Metrics: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` holds named instrument families; each
+family fans out into one instrument per label set, so
+``registry.counter("batches_total", platform="K20c")`` and the same
+name with ``platform="TX1"`` are independent series under one family.
+A snapshot at any sim time is a pure, sorted plain-data view -- the
+substrate for the JSON and Prometheus exporters in
+:mod:`repro.obs.export` and for the ``obs`` section of a
+:class:`~repro.serving.report.RouterReport`.
+
+Boundary conventions (shared, by design, with the serving layer):
+
+* **Histogram buckets are upper-inclusive**: a sample lands in the
+  first bucket whose edge satisfies ``value <= edge`` (Prometheus's
+  ``le`` semantics), with one overflow bucket above the last edge.
+  This matches :class:`~repro.core.runtime.server.FlushPolicy`, whose
+  timeout boundary is inclusive (a request arriving exactly at the
+  flush point still joins the batch), so "exactly at the edge" always
+  means "inside the lower/earlier bucket" across the codebase.
+* **Percentiles interpolate linearly** between order statistics
+  (numpy's "linear" method): :func:`linear_percentile` is the single
+  implementation behind ``ServerReport.percentile`` and
+  ``RouterReport.percentile_latency_s``, so the two report types
+  cannot drift apart on edge handling (empty series -> 0.0, single
+  sample -> that sample at every q).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "linear_percentile",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS_S",
+    "SLACK_BUCKETS_S",
+    "OCCUPANCY_BUCKETS",
+]
+
+#: Default latency histogram edges in seconds (upper-inclusive).
+LATENCY_BUCKETS_S = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+#: Deadline-slack edges in seconds; negative slack is a missed
+#: deadline, so the low edges resolve *how badly* a request missed.
+SLACK_BUCKETS_S = (-1.0, -0.5, -0.1, 0.0, 0.1, 0.25, 0.5, 1.0, 2.5)
+
+#: Batch-occupancy edges (occupied slots / plan capacity).
+OCCUPANCY_BUCKETS = (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
+
+
+def linear_percentile(values: Sequence[float], q: float) -> float:
+    """``q``-th percentile (0..100) with linear interpolation.
+
+    The shared edge conventions: an empty series yields 0.0 (reports
+    aggregate "nothing served" as zero, not an error), a single sample
+    is every percentile of itself, and ``q`` exactly 0/100 are the
+    min/max order statistics.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be in [0, 100], got %r" % (q,))
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    position = (len(ordered) - 1) * q / 100.0
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    fraction = position - low
+    interpolated = ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+    # Clamp: the lerp can drift past its endpoints by one ulp, and a
+    # percentile must never leave the observed range.
+    return min(max(interpolated, ordered[low]), ordered[high])
+
+
+def _label_key(labels: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+    """Canonical (sorted, stringified) form of one label set."""
+    return tuple((key, str(labels[key])) for key in sorted(labels))
+
+
+def render_series(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    """``name{a=x,b=y}`` -- the stable series id used in exports."""
+    if not labels:
+        return name
+    return "%s{%s}" % (
+        name, ",".join("%s=%s" % (key, value) for key, value in labels)
+    )
+
+
+class Counter:
+    """Monotone accumulator."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counter increments must be >= 0, got %r" % (amount,))
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        """Plain-data view."""
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        """Shift the current level by ``delta``."""
+        self.value += delta
+
+    def snapshot(self) -> dict:
+        """Plain-data view."""
+        return {"value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with upper-inclusive edges.
+
+    ``edges`` must be strictly increasing; a sample ``v`` lands in the
+    first bucket with ``v <= edge`` and in the overflow bucket when it
+    exceeds the last edge.  ``sum``/``count``/``min``/``max`` ride
+    along so means and ranges survive the bucketing.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        ordered = list(edges)
+        if any(b <= a for a, b in zip(ordered, ordered[1:])):
+            raise ValueError(
+                "bucket edges must be strictly increasing, got %r" % (edges,)
+            )
+        self.edges: Tuple[float, ...] = tuple(ordered)
+        self.bucket_counts: List[int] = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        index = len(self.edges)  # overflow unless an edge admits it
+        for position, edge in enumerate(self.edges):
+            if value <= edge:
+                index = position
+                break
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs, the
+        overflow bucket rendered as ``inf``."""
+        pairs = []
+        running = 0
+        for edge, bucket in zip(self.edges, self.bucket_counts):
+            running += bucket
+            pairs.append((edge, running))
+        pairs.append((math.inf, running + self.bucket_counts[-1]))
+        return pairs
+
+    def snapshot(self) -> dict:
+        """Plain-data view (bucket edges as strings so ``inf`` and JSON
+        coexist)."""
+        return {
+            "buckets": [
+                ["%.12g" % edge, count] for edge, count in self.cumulative()
+            ],
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named instrument families, each fanned out per label set."""
+
+    _KINDS = ("counter", "gauge", "histogram")
+
+    def __init__(self) -> None:
+        #: family name -> (kind, help text)
+        self._families: Dict[str, Tuple[str, str]] = {}
+        #: (family name, label key) -> instrument
+        self._series: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], object] = {}
+
+    def _instrument(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        labels: Dict[str, object],
+        factory,
+    ):
+        known = self._families.get(name)
+        if known is None:
+            self._families[name] = (kind, help_text)
+        elif known[0] != kind:
+            raise ValueError(
+                "metric %r is a %s, requested as %s" % (name, known[0], kind)
+            )
+        key = (name, _label_key(labels))
+        instrument = self._series.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._series[key] = instrument
+        return instrument
+
+    def counter(self, name: str, help_text: str = "", **labels) -> Counter:
+        """The counter series for ``name`` + ``labels`` (created lazily)."""
+        return self._instrument("counter", name, help_text, labels, Counter)
+
+    def gauge(self, name: str, help_text: str = "", **labels) -> Gauge:
+        """The gauge series for ``name`` + ``labels`` (created lazily)."""
+        return self._instrument("gauge", name, help_text, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        edges: Sequence[float],
+        help_text: str = "",
+        **labels,
+    ) -> Histogram:
+        """The histogram series for ``name`` + ``labels``.
+
+        Every series of one family must share ``edges``; differing
+        edges for an existing family is an error.
+        """
+        histogram = self._instrument(
+            "histogram", name, help_text, labels, lambda: Histogram(edges)
+        )
+        if histogram.edges != tuple(edges):
+            raise ValueError(
+                "histogram %r already registered with edges %r, got %r"
+                % (name, histogram.edges, tuple(edges))
+            )
+        return histogram
+
+    @property
+    def n_series(self) -> int:
+        """Registered (family, label set) series."""
+        return len(self._series)
+
+    def families(self) -> List[Tuple[str, str, str]]:
+        """``(name, kind, help)`` per family, sorted by name."""
+        return [
+            (name,) + self._families[name] for name in sorted(self._families)
+        ]
+
+    def series(self) -> List[Tuple[str, Tuple[Tuple[str, str], ...], object]]:
+        """``(family, labels, instrument)`` sorted by (family, labels)."""
+        return [
+            (name, labels, self._series[(name, labels)])
+            for name, labels in sorted(self._series)
+        ]
+
+    def snapshot(self) -> dict:
+        """The whole registry as sorted plain data.
+
+        ``{series id: {"kind": ..., **instrument state}}`` -- stable
+        under label/family insertion order, so two same-seed runs
+        produce byte-identical snapshots.
+        """
+        data = {}
+        for name, labels, instrument in self.series():
+            entry = {"kind": instrument.kind}
+            entry.update(instrument.snapshot())
+            data[render_series(name, labels)] = entry
+        return data

@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.satisfaction import SoCBreakdown
+from repro.obs.instrument import cache_neutral_obs_section
+from repro.obs.metrics import linear_percentile
 from repro.serving.events import EventLog
 from repro.serving.request import Request
 
@@ -231,6 +232,11 @@ class RouterReport:
     horizon_s: float = 0.0
     #: Recovery metrics of a fault-injected run (None on clean runs).
     resilience: Optional[ResilienceStats] = None
+    #: Observability section of an instrumented run (None otherwise):
+    #: span counts, the metrics snapshot, and the cache-neutral trace
+    #: fingerprint -- see
+    #: :meth:`repro.obs.instrument.Instrumentation.report_section`.
+    obs: Optional[dict] = None
 
     # -- fleet-level views ----------------------------------------------
     @property
@@ -286,19 +292,10 @@ class RouterReport:
 
     def percentile_latency_s(self, q: float) -> float:
         """``q``-th percentile (0..100) of completed-request latency,
-        linearly interpolated (the server report's convention)."""
-        if not 0.0 <= q <= 100.0:
-            raise ValueError("percentile must be in [0, 100], got %r" % (q,))
-        if not self.completed:
-            return 0.0
-        ordered = sorted(r.latency_s for r in self.completed)
-        position = (len(ordered) - 1) * q / 100.0
-        low = math.floor(position)
-        high = math.ceil(position)
-        if low == high:
-            return ordered[low]
-        fraction = position - low
-        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+        linearly interpolated -- delegated to
+        :func:`repro.obs.metrics.linear_percentile`, the same edge
+        conventions ``ServerReport.percentile`` uses."""
+        return linear_percentile([r.latency_s for r in self.completed], q)
 
     # -- per-tenant aggregation -----------------------------------------
     def per_tenant(self) -> List[TenantStats]:
@@ -395,6 +392,8 @@ class RouterReport:
         }
         if self.resilience is not None:
             data["resilience"] = self.resilience.to_dict()
+        if self.obs is not None:
+            data["obs"] = self.obs
         if include_events:
             data["events"] = self.events.to_dicts()
         if include_requests:
@@ -430,5 +429,11 @@ class RouterReport:
             for kind, count in data["event_counts"].items()
             if kind not in self._CACHE_KINDS
         }
+        if self.obs is not None:
+            # Same rule for the obs section: engine-relayed span counts
+            # and metrics vary with cache temperature, the rest must
+            # not (the embedded trace fingerprint is already
+            # cache-neutral by construction).
+            data["obs"] = cache_neutral_obs_section(self.obs)
         payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha1(payload.encode("utf-8")).hexdigest()

@@ -60,6 +60,7 @@ from repro.core.runtime.server import FlushPolicy, default_flush_timeout
 from repro.core.satisfaction import soc
 from repro.faults.events import FaultEvent, FaultTrace
 from repro.faults.health import PlatformHealth
+from repro.obs.instrument import Instrumentation
 from repro.serving.admission import AdmissionController
 from repro.serving.degradation import DegradationController, DegradationLadder
 from repro.serving.dispatch import (
@@ -201,9 +202,15 @@ _PROBE = "probe"
 class _RunState:
     """Everything mutable about one :meth:`RequestRouter.run` call."""
 
-    def __init__(self, events: EventLog, retry_policy: RetryPolicy) -> None:
+    def __init__(
+        self,
+        events: EventLog,
+        retry_policy: RetryPolicy,
+        obs: Instrumentation,
+    ) -> None:
         self.events = events
         self.retry_policy = retry_policy
+        self.obs = obs
         self.completed: List[CompletedRequest] = []
         self.rejected: List[RejectedRequest] = []
         self.states: Dict[str, PlatformState] = {}
@@ -261,6 +268,7 @@ class RequestRouter:
         self,
         loads: Sequence[TenantLoad],
         faults: Optional[FaultTrace] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> RouterReport:
         """Serve every tenant's trace; returns the aggregate report.
 
@@ -268,7 +276,11 @@ class RequestRouter:
         rebuilt from the deployments (compilation being engine-cached,
         repeat runs are cheap) and nothing carries over between runs.
         ``faults`` optionally subjects the run to a chaos schedule;
-        the report then carries :class:`ResilienceStats`.
+        the report then carries :class:`ResilienceStats`.  ``obs``
+        optionally observes the run (spans + metrics); the report then
+        carries an ``obs`` section and the instrumentation retains the
+        full trace buffer and metrics registry for export.  One
+        instrumentation instance observes one run.
         """
         config = self.config
         if faults is not None:
@@ -281,6 +293,8 @@ class RequestRouter:
                     % (", ".join(unknown), ", ".join(self.deployments))
                 )
         events = EventLog()
+        if obs is None:
+            obs = Instrumentation.disabled()
         run = _RunState(
             events,
             RetryPolicy(
@@ -288,9 +302,11 @@ class RequestRouter:
                 backoff_s=config.retry_backoff_s,
                 growth=config.retry_backoff_growth,
             ),
+            obs,
         )
         self._now = 0.0
-        unsubscribe = self._subscribe_engines(events)
+        obs.run_started(tuple(self.deployments), 0.0)
+        unsubscribe = self._subscribe_engines(events, obs)
         try:
             run.states = self._build_states(events)
             dispatcher = Dispatcher(run.states, policy=config.policy)
@@ -347,6 +363,7 @@ class RequestRouter:
             horizon = max(horizon, max(r.finish_s for r in run.completed))
         if requests:
             horizon = max(horizon, requests[-1].arrival_s)
+        obs.run_finished(horizon)
         return RouterReport(
             completed=sorted(run.completed, key=lambda r: r.request.rid),
             rejected=sorted(run.rejected, key=lambda r: r.request.rid),
@@ -356,12 +373,14 @@ class RequestRouter:
             resilience=(
                 run.resilience_stats() if faults is not None else None
             ),
+            obs=obs.report_section() if obs.enabled else None,
         )
 
     # -- setup -----------------------------------------------------------
-    def _subscribe_engines(self, events: EventLog):
-        """Relay engine compile/cache activity into the event log for
-        the duration of one run; returns the unsubscribe closure."""
+    def _subscribe_engines(self, events: EventLog, obs: Instrumentation):
+        """Relay engine compile/cache activity into the event log (and
+        the instrumentation, when enabled) for the duration of one
+        run; returns the unsubscribe closure."""
         engines = {}
         for deployment in self.deployments.values():
             engines[id(deployment.engine)] = deployment.engine
@@ -384,14 +403,18 @@ class RequestRouter:
                 cache=kind,
             )
 
+        detachers = []
         for engine in engines.values():
             engine.hooks.subscribe("on_compile", on_compile)
             engine.hooks.subscribe("on_cache_hit", on_cache_hit)
+            detachers.append(obs.attach_engine(engine, lambda: self._now))
 
         def unsubscribe():
             for engine in engines.values():
                 engine.hooks.unsubscribe("on_compile", on_compile)
                 engine.hooks.unsubscribe("on_cache_hit", on_cache_hit)
+            for detach in detachers:
+                detach()
 
         return unsubscribe
 
@@ -457,6 +480,9 @@ class RequestRouter:
                 cause="admission",
                 level=state.controller.level,
             )
+            run.obs.degradation_move(
+                state.name, "degrade", state.controller.level, now
+            )
         state.queue.append(request)
         run.events.record(
             "enqueue",
@@ -467,6 +493,14 @@ class RequestRouter:
             level=candidate.level,
             predicted_soc=candidate.predicted_soc,
             predicted_latency_s=candidate.predicted_latency_s,
+        )
+        run.obs.request_admitted(
+            request,
+            now,
+            state.name,
+            candidate.level,
+            decision.reason,
+            len(state.queue),
         )
         self._try_dispatch(state, run, push)
 
@@ -490,6 +524,7 @@ class RequestRouter:
         state = run.states[fault.platform]
         consequence = state.health.apply(fault)
         run.faults_injected += 1
+        run.obs.fault(fault, now)
         run.events.record(
             "fault",
             time_s=now,
@@ -527,6 +562,7 @@ class RequestRouter:
             return
         victims: List[Request] = []
         if state.inflight is not None:
+            run.obs.batch_abandoned(state.name, state.inflight, self._now)
             victims.extend(state.inflight.requests)
             state.inflight = None
         victims.extend(state.queue)
@@ -559,6 +595,7 @@ class RequestRouter:
             origin=origin,
             level=decision.candidate.level,
         )
+        run.obs.failover(request, now, origin, target.name)
         self._try_dispatch(target, run, push)
 
     def _on_batch_failure(
@@ -577,10 +614,12 @@ class RequestRouter:
             request_ids=rids,
             level=batch.rung.level,
         )
+        run.obs.batch_failed(state.name, batch, now)
         if state.breaker is not None:
             move = state.breaker.on_failure(now)
             if move is not None:
                 run.events.record(move, time_s=now, platform=state.name)
+                run.obs.breaker_transition(state.name, move, now)
                 if move == "breaker_open":
                     push(
                         now + self.config.breaker_cooldown_s, _PROBE, state
@@ -606,6 +645,7 @@ class RequestRouter:
                     attempt=attempt,
                     backoff_s=delay,
                 )
+                run.obs.retry_scheduled(request, now, attempt, delay)
                 push(now + delay, _RETRY, request)
                 return
             self._reject(request, "retries-exhausted", run)
@@ -624,6 +664,7 @@ class RequestRouter:
             reason=reason,
             **detail,
         )
+        run.obs.request_rejected(request, self._now, reason)
 
     def _reject_stranded(self, run: _RunState) -> None:
         """Zero-loss backstop: any request still queued (or somehow in
@@ -632,6 +673,7 @@ class RequestRouter:
             state = run.states[name]
             stranded: List[Request] = []
             if state.inflight is not None:
+                run.obs.batch_abandoned(name, state.inflight, self._now)
                 stranded.extend(state.inflight.requests)
                 state.inflight = None
             stranded.extend(state.queue)
@@ -732,6 +774,7 @@ class RequestRouter:
             move = state.breaker.on_dispatch(now)
             if move is not None:
                 run.events.record(move, time_s=now, platform=state.name)
+                run.obs.breaker_transition(state.name, move, now)
         push(finish, _FREE, state)
         run.events.record(
             "dispatch",
@@ -742,6 +785,9 @@ class RequestRouter:
             batch=take,
             capacity=rung.batch,
             finish_s=finish,
+        )
+        run.obs.batch_dispatched(
+            state.name, state.inflight, rung.batch, len(state.queue), now
         )
         # Degradation reacts to the *standing* queue left behind: the
         # work the platform is already committed to does not count,
@@ -755,6 +801,9 @@ class RequestRouter:
                 platform=state.name,
                 cause="backlog",
                 level=state.controller.level,
+            )
+            run.obs.degradation_move(
+                state.name, move, state.controller.level, now
             )
 
     def _complete_batch(
@@ -771,6 +820,8 @@ class RequestRouter:
             move = state.breaker.on_success(now)
             if move is not None:
                 run.events.record(move, time_s=now, platform=state.name)
+                run.obs.breaker_transition(state.name, move, now)
+        run.obs.batch_completed(state.name, batch, batch.finish_s, rung.energy_j)
         batch_entropy = 0.0
         for request in batch.requests:
             entropy = rung.entropy * request.difficulty
@@ -801,6 +852,10 @@ class RequestRouter:
             request_ids=tuple(r.rid for r in batch.requests),
             level=rung.level,
         )
+        for request in batch.requests:
+            run.obs.request_completed(
+                request, batch.finish_s, state.name, rung.level
+            )
         if self.config.calibrate and rung.level == 0:
             state.deployment.observe_entropy(batch_entropy)
 

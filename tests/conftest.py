@@ -1,8 +1,55 @@
 """Shared fixtures for the P-CNN reproduction test suite."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.nn import make_dataset, pcnn_net, train, train_test_split
+
+GOLDENS_DIR = Path(__file__).parent / "goldens"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from current behaviour "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def golden(request):
+    """Compare ``payload`` against the pinned ``tests/goldens/<name>.json``.
+
+    With ``--update-goldens`` the file is rewritten instead, so an
+    intentional behaviour change is a one-flag re-pin reviewed as a
+    plain JSON diff.
+    """
+    update = request.config.getoption("--update-goldens")
+
+    def check(name, payload):
+        path = GOLDENS_DIR / (name + ".json")
+        rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if update:
+            GOLDENS_DIR.mkdir(exist_ok=True)
+            path.write_text(rendered)
+            return
+        if not path.exists():
+            pytest.fail(
+                "golden %s missing; run pytest --update-goldens to pin it"
+                % path
+            )
+        if path.read_text() != rendered:
+            pytest.fail(
+                "golden %s drifted from current behaviour; inspect the "
+                "diff and re-pin with --update-goldens if intentional:\n"
+                "%s" % (path, rendered)
+            )
+
+    return check
 
 
 @pytest.fixture(params=["k20c", "titanx", "gtx970m", "tx1"])

@@ -1,0 +1,63 @@
+"""Golden-file regression tests for the paper's headline tables.
+
+Unlike the benchmark assertions (which check *relations*: throughput
+plateaus, TX1 saturates before K20c), these pin the *exact values* to
+``tests/goldens/*.json``.  Any drift — a kernel-selection change, an
+occupancy-formula edit, a batch-picker tweak — fails with a JSON diff;
+an intentional change is re-pinned with ``pytest --update-goldens``
+and reviewed as a plain-text diff in the PR.
+"""
+
+from repro.core import ExecutionEngine
+from repro.gpu import GTX_970M, JETSON_TX1, K20C
+from repro.gpu.libraries import CUBLAS, CUDNN
+from repro.gpu.occupancy import occupancy_report
+from repro.nn import alexnet
+
+
+class TestTable4OccupancyGolden:
+    def test_kernel_occupancy_pinned(self, golden):
+        net = alexnet()
+        payload = {}
+        for gpu in (JETSON_TX1, K20C):
+            for lib in (CUBLAS, CUDNN):
+                for layer_name in ("conv2", "conv5"):
+                    shape = net.gemm_shape(net.layer(layer_name), batch=1)
+                    kernel = lib.select_kernel(gpu, shape)
+                    report = occupancy_report(gpu, kernel, shape)
+                    key = "%s/%s/%s" % (gpu.name, lib.name, layer_name)
+                    payload[key] = {
+                        "kernel": report.kernel,
+                        "result_matrix": list(report.result_matrix),
+                        "sub_matrix": list(report.sub_matrix),
+                        "regs_per_thread": report.regs_per_thread,
+                        "shared_mem_bytes": report.shared_mem_bytes,
+                        "block_size": report.block_size,
+                        "blocks_register": report.blocks_register,
+                        "blocks_shared_mem": report.blocks_shared_mem,
+                        "max_blocks": report.max_blocks,
+                        "grid_size": report.grid_size,
+                        "util": round(report.util, 6),
+                    }
+        golden("table4_occupancy", payload)
+
+
+class TestFig8OptimalBatchGolden:
+    BATCHES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+    def test_optimal_batch_picks_pinned(self, golden):
+        net = alexnet()
+        engine = ExecutionEngine()
+        payload = {}
+        for gpu in (K20C, GTX_970M, JETSON_TX1):
+            throughputs = {}
+            for batch in self.BATCHES:
+                plan = engine.compile_with_batch(net, batch, arch=gpu)
+                throughputs["b%d" % batch] = round(plan.throughput_ips, 3)
+            payload[gpu.name] = {
+                "optimal_batch": engine.compiler_for(gpu).background_batch(
+                    net
+                ),
+                "throughput_ips": throughputs,
+            }
+        golden("fig8_optimal_batch", payload)

@@ -56,3 +56,17 @@ def test_simulation_packages_exist_for_rep001_scope():
     for package in SIMULATION_PACKAGES:
         relative = Path(*package.split(".")[1:])
         assert (PACKAGE_ROOT / relative / "__init__.py").exists(), package
+
+
+def test_obs_package_is_rep001_rep003_clean():
+    # The observability layer feeds trace/metric fingerprints, so it
+    # sits inside REP001's simulation scope and its exporters must be
+    # REP003-clean -- pinned explicitly, not just via the package scan.
+    from repro.lint.rules.determinism import SIMULATION_PACKAGES
+
+    assert "repro.obs" in SIMULATION_PACKAGES
+    obs_root = PACKAGE_ROOT / "obs"
+    report = run_lint([obs_root], rule_ids=["REP001", "REP003"])
+    assert report.ok, "\n".join(v.render() for v in report.violations)
+    assert report.files_scanned == len(list(obs_root.rglob("*.py")))
+    assert not report.suppressed, "obs must not carry suppressions"

@@ -1,0 +1,1 @@
+"""Tests for repro.obs: the deterministic observability layer."""

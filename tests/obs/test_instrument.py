@@ -1,0 +1,329 @@
+"""Tests for repro.obs.instrument: the Instrumentation facade."""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import pytest
+
+from repro.core.engine import ExecutionEngine
+from repro.core.satisfaction import TimeRequirement
+from repro.faults.events import FaultEvent
+from repro.gpu import K20C
+from repro.nn import alexnet
+from repro.obs.instrument import (
+    CACHE_SENSITIVE_METRIC_PREFIX,
+    Instrumentation,
+    cache_neutral_obs_section,
+)
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    OCCUPANCY_BUCKETS,
+    SLACK_BUCKETS_S,
+)
+from repro.serving.request import Request, Tenant
+
+
+@dataclass
+class _Rung:
+    level: int = 0
+
+
+@dataclass
+class _Batch:
+    """Duck-typed stand-in for the router's InFlightBatch."""
+
+    requests: List[Request]
+    rung: _Rung = field(default_factory=_Rung)
+    obs_span: Optional[object] = None
+
+
+def _tenant(deadline_s: float = 0.5) -> Tenant:
+    return Tenant(
+        "t", TimeRequirement(imperceptible_s=0.1, unusable_s=deadline_s)
+    )
+
+
+def _request(rid: int, arrival_s: float = 0.0) -> Request:
+    return Request(rid=rid, tenant=_tenant(), arrival_s=arrival_s)
+
+
+class TestLifecycle:
+    def test_full_request_lifecycle_spans(self):
+        obs = Instrumentation()
+        obs.run_started(("a", "b"), 0.0)
+        request = _request(0, arrival_s=0.1)
+        obs.request_admitted(request, 0.1, "a", 0, "ok", 1)
+        batch = _Batch([request])
+        obs.batch_dispatched("a", batch, 4, 0, 0.2)
+        assert batch.obs_span is not None
+        obs.batch_completed("a", batch, 0.4, energy_j=2.0)
+        assert batch.obs_span is None
+        obs.request_completed(request, 0.4, "a", 0)
+        obs.run_finished(0.4)
+
+        counts = obs.buffer.counts
+        assert counts["run"] == 1
+        assert counts["platform"] == 2
+        assert counts["request"] == 1
+        assert counts["admission"] == 1
+        assert counts["dispatch"] == 1
+        assert counts["execute_batch"] == 1
+
+        spans = {s.span_id: s for s in obs.buffer}
+        for span in obs.buffer:
+            if span.parent_id is not None:
+                assert spans[span.parent_id].contains(span)
+        request_span = obs.buffer.of_name("request")[0]
+        assert request_span.attrs["outcome"] == "completed"
+
+    def test_rejected_at_admission_still_gets_a_span(self):
+        obs = Instrumentation()
+        obs.run_started(("a",), 0.0)
+        request = _request(3, arrival_s=0.2)
+        obs.request_rejected(request, 0.3, "saturated")
+        obs.run_finished(0.3)
+        span = obs.buffer.of_name("request")[0]
+        assert span.start_s == 0.2 and span.end_s == 0.3
+        assert span.attrs["outcome"] == "rejected"
+        assert span.attrs["reason"] == "saturated"
+
+    def test_retry_and_failover_marks(self):
+        obs = Instrumentation()
+        obs.run_started(("a", "b"), 0.0)
+        request = _request(1)
+        obs.request_admitted(request, 0.0, "a", 0, "ok", 1)
+        obs.retry_scheduled(request, 0.2, attempt=1, backoff_s=0.05)
+        obs.failover(request, 0.3, "a", "b")
+        obs.request_completed(request, 0.5, "b", 0)
+        obs.run_finished(0.5)
+        assert obs.buffer.counts["retry"] == 1
+        assert obs.metrics.counter("retries_total").value == 1.0
+        assert (
+            obs.metrics.counter("failovers_total", origin="a").value == 1.0
+        )
+
+    def test_open_request_spans_drained_at_run_end(self):
+        obs = Instrumentation()
+        obs.run_started(("a",), 0.0)
+        obs.request_admitted(_request(0), 0.0, "a", 0, "ok", 1)
+        obs.run_finished(1.0)
+        span = obs.buffer.of_name("request")[0]
+        assert span.attrs["outcome"] == "open_at_drain"
+        assert obs.tracer.open_spans == 0
+
+    def test_batch_failure_and_abandonment(self):
+        obs = Instrumentation()
+        obs.run_started(("a",), 0.0)
+        request = _request(0)
+        failing = _Batch([request])
+        obs.batch_dispatched("a", failing, 4, 0, 0.1)
+        obs.batch_failed("a", failing, 0.2)
+        stranded = _Batch([request])
+        obs.batch_dispatched("a", stranded, 4, 0, 0.3)
+        obs.batch_abandoned("a", stranded, 0.4)
+        obs.request_rejected(request, 0.4, "retries-exhausted")
+        obs.run_finished(0.5)
+        outcomes = sorted(
+            s.attrs["outcome"] for s in obs.buffer.of_name("execute_batch")
+        )
+        assert outcomes == ["abandoned", "failed"]
+        assert (
+            obs.metrics.counter("batch_failures_total", platform="a").value
+            == 1.0
+        )
+
+
+class TestMetricsCatalog:
+    def test_deadline_slack_and_latency_histograms(self):
+        obs = Instrumentation()
+        obs.run_started(("a",), 0.0)
+        request = _request(0, arrival_s=0.0)  # deadline 0.5
+        obs.request_admitted(request, 0.0, "a", 0, "ok", 1)
+        obs.request_completed(request, 0.4, "a", 0)
+        obs.run_finished(0.4)
+        latency = obs.metrics.histogram(
+            "request_latency_s", LATENCY_BUCKETS_S
+        )
+        assert latency.count == 1
+        assert latency.sum == pytest.approx(0.4)
+        slack = obs.metrics.histogram("deadline_slack_s", SLACK_BUCKETS_S)
+        assert slack.sum == pytest.approx(0.1)  # 0.5 deadline - 0.4 finish
+
+    def test_occupancy_and_energy(self):
+        obs = Instrumentation()
+        obs.run_started(("a",), 0.0)
+        batch = _Batch([_request(0), _request(1)])
+        obs.batch_dispatched("a", batch, 4, 3, 0.1)
+        obs.batch_completed("a", batch, 0.2, energy_j=5.0)
+        obs.run_finished(0.2)
+        occupancy = obs.metrics.histogram(
+            "batch_occupancy", OCCUPANCY_BUCKETS, platform="a"
+        )
+        assert occupancy.sum == pytest.approx(0.5)  # 2 of 4 slots
+        assert (
+            obs.metrics.counter("platform_energy_j", platform="a").value
+            == 5.0
+        )
+        assert (
+            obs.metrics.gauge("queue_depth", platform="a").value == 3.0
+        )
+
+    def test_breaker_and_degradation_counters(self):
+        obs = Instrumentation()
+        obs.run_started(("a",), 0.0)
+        obs.breaker_transition("a", "breaker_open", 0.1)
+        obs.breaker_transition("a", "breaker_close", 0.2)
+        obs.degradation_move("a", "degrade", 1, 0.1)
+        obs.run_finished(0.2)
+        assert (
+            obs.metrics.counter(
+                "breaker_transitions_total",
+                platform="a",
+                transition="breaker_open",
+            ).value
+            == 1.0
+        )
+        assert obs.metrics.gauge("degradation_level", platform="a").value == 1.0
+
+
+class TestFaultEpisodes:
+    def test_episode_pairing(self):
+        obs = Instrumentation()
+        obs.run_started(("a",), 0.0)
+        down = FaultEvent(time_s=1.0, kind="outage", platform="a", episode=0)
+        up = FaultEvent(time_s=2.5, kind="restore", platform="a", episode=0)
+        obs.fault(down, 1.0)
+        obs.fault(up, 2.5)
+        obs.run_finished(3.0)
+        episode = obs.buffer.of_name("fault_episode")[0]
+        assert episode.start_s == 1.0 and episode.end_s == 2.5
+        assert episode.attrs["fault_kind"] == "outage"
+        assert "open_at_drain" not in episode.attrs
+
+    def test_unclosed_episode_drained(self):
+        obs = Instrumentation()
+        obs.run_started(("a",), 0.0)
+        obs.fault(
+            FaultEvent(time_s=1.0, kind="throttle", platform="a", episode=0),
+            1.0,
+        )
+        obs.run_finished(4.0)
+        episode = obs.buffer.of_name("fault_episode")[0]
+        assert episode.end_s == 4.0
+        assert episode.attrs["open_at_drain"] is True
+
+    def test_transient_is_instant(self):
+        obs = Instrumentation()
+        obs.run_started(("a",), 0.0)
+        obs.fault(
+            FaultEvent(time_s=1.5, kind="transient", platform="a"), 1.5
+        )
+        obs.run_finished(2.0)
+        episode = obs.buffer.of_name("fault_episode")[0]
+        assert episode.duration_s == 0.0
+        assert (
+            obs.metrics.counter(
+                "faults_injected_total", kind="transient", platform="a"
+            ).value
+            == 1.0
+        )
+
+
+class TestEngineAttach:
+    def test_compile_and_cache_relays(self):
+        engine = ExecutionEngine(K20C)
+        obs = Instrumentation()
+        clock = [0.0]
+        detach = obs.attach_engine(engine, lambda: clock[0])
+        network = alexnet()
+        engine.compile_with_batch(network, 1)  # miss -> compile span
+        clock[0] = 1.0
+        engine.compile_with_batch(network, 1)  # hit -> lookup span
+        detach()
+        engine.compile_with_batch(network, 2)  # after detach: unobserved
+        assert obs.buffer.counts["compile"] == 1
+        assert obs.buffer.counts["plan_cache_lookup"] == 1
+        assert obs.metrics.counter("engine_compiles_total").value == 1.0
+        assert (
+            obs.metrics.counter(
+                "engine_cache_hits_total", cache="compile"
+            ).value
+            == 1.0
+        )
+
+    def test_disabled_attach_is_inert(self):
+        engine = ExecutionEngine(K20C)
+        obs = Instrumentation.disabled()
+        detach = obs.attach_engine(engine, lambda: 0.0)
+        engine.compile_with_batch(alexnet(), 1)
+        detach()
+        assert len(obs.buffer) == 0
+        assert obs.metrics.n_series == 0
+
+
+class TestDisabled:
+    def test_every_callback_is_inert(self):
+        obs = Instrumentation.disabled()
+        request = _request(0)
+        batch = _Batch([request])
+        obs.run_started(("a",), 0.0)
+        obs.request_admitted(request, 0.0, "a", 0, "ok", 1)
+        obs.batch_dispatched("a", batch, 4, 0, 0.1)
+        obs.batch_completed("a", batch, 0.2, 1.0)
+        obs.request_completed(request, 0.2, "a", 0)
+        obs.retry_scheduled(request, 0.2, 1, 0.05)
+        obs.failover(request, 0.2, "a", "b")
+        obs.batch_failed("a", batch, 0.2)
+        obs.batch_abandoned("a", batch, 0.2)
+        obs.degradation_move("a", "degrade", 1, 0.2)
+        obs.breaker_transition("a", "breaker_open", 0.2)
+        obs.fault(FaultEvent(time_s=0.2, kind="transient", platform="a"), 0.2)
+        obs.request_rejected(request, 0.2, "saturated")
+        obs.run_finished(0.3)
+        assert len(obs.buffer) == 0
+        assert obs.metrics.n_series == 0
+        assert batch.obs_span is None
+
+
+class TestReportSection:
+    def _observed(self):
+        obs = Instrumentation()
+        obs.run_started(("a",), 0.0)
+        request = _request(0)
+        obs.request_admitted(request, 0.0, "a", 0, "ok", 1)
+        obs.request_completed(request, 0.2, "a", 0)
+        obs.metrics.counter("engine_compiles_total").inc(3)
+        obs.tracer.instant("compile", 0.0)
+        obs.run_finished(0.2)
+        return obs
+
+    def test_section_shape(self):
+        section = self._observed().report_section()
+        assert section["n_spans"] == len(self._observed().buffer)
+        assert section["span_counts"]["request"] == 1
+        assert "compile" in section["span_counts"]
+        assert isinstance(section["metrics"], dict)
+        assert len(section["trace_fingerprint"]) == 40
+
+    def test_cache_neutral_section_strips_engine_noise(self):
+        section = self._observed().report_section()
+        neutral = cache_neutral_obs_section(section)
+        assert "compile" not in neutral["span_counts"]
+        assert "request" in neutral["span_counts"]
+        assert not any(
+            key.startswith(CACHE_SENSITIVE_METRIC_PREFIX)
+            for key in neutral["metrics"]
+        )
+        assert "n_spans" not in neutral
+        assert neutral["trace_fingerprint"] == section["trace_fingerprint"]
+
+    def test_coverage_of(self):
+        obs = Instrumentation()
+        obs.run_started(("a",), 0.0)
+        batch = _Batch([_request(0), _request(1)])
+        obs.batch_dispatched("a", batch, 4, 0, 0.1)
+        obs.batch_completed("a", batch, 0.2, 1.0)
+        obs.run_finished(0.2)
+        assert obs.coverage_of([0, 1]) == 1.0
+        assert obs.coverage_of([0, 1, 2, 3]) == 0.5
+        assert obs.coverage_of([]) == 1.0

@@ -1,0 +1,192 @@
+"""Property-based tests for the span algebra (hypothesis).
+
+The unit tests in ``test_span.py`` check the tracer pointwise; these
+pin the structural invariants for *arbitrary* open/close/instant
+sequences: span trees stay well-nested (child intervals contained in
+their parent), span ids are dense and monotone in begin order, and the
+canonical JSON export round-trips bit-identically.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, linear_percentile
+from repro.obs.span import SPAN_NAMES, TraceBuffer, Tracer
+
+_NAMES = st.sampled_from(sorted(SPAN_NAMES))
+_DT = st.floats(
+    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+#: One tracer step: open a child under the current span, close the
+#: current span, or record an instant.  Each advances the sim clock by
+#: a non-negative amount, so time is monotone by construction — the
+#: tracer must *preserve* that, never reorder it.
+_steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("open"), _NAMES, _DT),
+        st.tuples(st.just("close"), st.just(None), _DT),
+        st.tuples(st.just("instant"), _NAMES, _DT),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _run_steps(steps):
+    """Drive a Tracer with a stack discipline; return its buffer."""
+    tracer = Tracer()
+    clock = 0.0
+    stack = []
+    for action, name, dt in steps:
+        clock += dt
+        if action == "open":
+            parent = stack[-1] if stack else None
+            stack.append(tracer.begin(name, clock, parent=parent))
+        elif action == "close" and stack:
+            tracer.end(stack.pop(), clock)
+        elif action == "instant":
+            parent = stack[-1] if stack else None
+            tracer.instant(name, clock, parent=parent)
+    tracer.drain_open(clock)
+    return tracer.buffer
+
+
+class TestWellNesting:
+    @given(steps=_steps)
+    @settings(max_examples=120, deadline=None)
+    def test_children_contained_in_parents(self, steps):
+        buffer = _run_steps(steps)
+        spans = {s.span_id: s for s in buffer}
+        for span in buffer:
+            if span.parent_id is not None:
+                assert spans[span.parent_id].contains(span)
+
+    @given(steps=_steps)
+    @settings(max_examples=120, deadline=None)
+    def test_every_span_has_nonnegative_duration(self, steps):
+        for span in _run_steps(steps):
+            assert span.end_s >= span.start_s
+
+    @given(steps=_steps)
+    @settings(max_examples=120, deadline=None)
+    def test_nothing_left_open(self, steps):
+        tracer = Tracer()
+        clock = 0.0
+        stack = []
+        for action, name, dt in steps:
+            clock += dt
+            if action == "open":
+                parent = stack[-1] if stack else None
+                stack.append(tracer.begin(name, clock, parent=parent))
+            elif action == "close" and stack:
+                tracer.end(stack.pop(), clock)
+        tracer.drain_open(clock)
+        assert tracer.open_spans == 0
+
+
+class TestMonotoneSimTime:
+    @given(steps=_steps)
+    @settings(max_examples=120, deadline=None)
+    def test_span_ids_dense_and_start_times_monotone(self, steps):
+        buffer = _run_steps(steps)
+        spans = sorted(buffer, key=lambda s: s.span_id)
+        assert [s.span_id for s in spans] == list(range(len(spans)))
+        starts = [s.start_s for s in spans]
+        assert starts == sorted(starts)
+
+    @given(steps=_steps)
+    @settings(max_examples=120, deadline=None)
+    def test_children_start_no_earlier_than_parent(self, steps):
+        buffer = _run_steps(steps)
+        spans = {s.span_id: s for s in buffer}
+        for span in buffer:
+            if span.parent_id is not None:
+                assert span.start_s >= spans[span.parent_id].start_s
+
+
+class TestExportRoundTrip:
+    @given(steps=_steps)
+    @settings(max_examples=120, deadline=None)
+    def test_json_round_trip_bit_identical(self, steps):
+        buffer = _run_steps(steps)
+        payload = buffer.to_json()
+        rebuilt = TraceBuffer.from_json(payload)
+        assert rebuilt.to_json() == payload
+        assert rebuilt.fingerprint() == buffer.fingerprint()
+
+    @given(steps=_steps)
+    @settings(max_examples=120, deadline=None)
+    def test_dict_round_trip_preserves_every_span(self, steps):
+        buffer = _run_steps(steps)
+        rebuilt = TraceBuffer.from_dicts(buffer.to_dicts())
+        # The live buffer records spans as they *end*; the canonical
+        # export is id-ordered, so compare id-ordered on both sides.
+        def by_id(span):
+            return span.span_id
+
+        assert sorted(rebuilt, key=by_id) == sorted(buffer, key=by_id)
+
+    @given(steps=_steps)
+    @settings(max_examples=60, deadline=None)
+    def test_export_is_deterministic(self, steps):
+        a = _run_steps(steps)
+        b = _run_steps(list(steps))
+        assert a.to_json() == b.to_json()
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestHistogramProperties:
+    _values = st.lists(
+        st.floats(
+            min_value=-100.0,
+            max_value=100.0,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        max_size=50,
+    )
+    _edges = st.lists(
+        st.floats(
+            min_value=-50.0,
+            max_value=50.0,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        min_size=1,
+        max_size=8,
+        unique=True,
+    ).map(sorted)
+
+    @given(values=_values, edges=_edges)
+    @settings(max_examples=120, deadline=None)
+    def test_bucket_counts_total_to_count(self, values, edges):
+        hist = Histogram(edges)
+        for v in values:
+            hist.observe(v)
+        assert sum(hist.bucket_counts) == hist.count == len(values)
+        cumulative = [c for _, c in hist.cumulative()]
+        assert cumulative == sorted(cumulative)
+        assert (cumulative[-1] if cumulative else 0) == len(values)
+
+    @given(values=_values, q=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=120, deadline=None)
+    def test_percentile_bounded_by_extremes(self, values, q):
+        result = linear_percentile(values, q)
+        if not values:
+            assert result == 0.0
+        else:
+            assert min(values) <= result <= max(values)
+
+    @given(steps=_steps)
+    @settings(max_examples=40, deadline=None)
+    def test_chrome_export_parses_when_nonempty(self, steps):
+        from repro.obs.export import chrome_trace_json, validate_chrome_trace
+
+        buffer = _run_steps(steps)
+        if len(buffer) == 0:
+            return
+        data = json.loads(chrome_trace_json(buffer))
+        assert validate_chrome_trace(data) == []

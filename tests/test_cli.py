@@ -120,3 +120,62 @@ class TestCompare:
         out = capsys.readouterr().out
         for name in ("performance-preferred", "qpe+", "p-cnn", "ideal"):
             assert name in out
+
+
+class TestObservabilityExports:
+    def _serve(self, tmp_path, extra):
+        trace_path = tmp_path / "trace.json"
+        chrome_path = tmp_path / "trace.chrome.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            ["serve-fleet", "--gpus", "tx1", "--requests", "60",
+             "--trace", str(trace_path),
+             "--chrome-trace", str(chrome_path),
+             "--metrics-out", str(metrics_path)] + extra
+        )
+        assert code == 0
+        return trace_path, chrome_path, metrics_path
+
+    def test_serve_fleet_writes_all_exports(self, tmp_path, capsys):
+        trace_path, chrome_path, metrics_path = self._serve(tmp_path, [])
+        spans = json.loads(trace_path.read_text())
+        assert spans and any(s["name"] == "run" for s in spans)
+        chrome = json.loads(chrome_path.read_text())
+        assert chrome["traceEvents"]
+        metrics = json.loads(metrics_path.read_text())
+        assert any(k.startswith("requests_") for k in metrics)
+
+    def test_serve_fleet_json_stdout_stays_parseable(self, tmp_path, capsys):
+        self._serve(tmp_path, ["--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert "obs" in payload
+        assert payload["obs"]["n_spans"] > 0
+
+    def test_serve_fleet_exports_are_deterministic(self, tmp_path, capsys):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        first = self._serve(tmp_path / "a", [])
+        second = self._serve(tmp_path / "b", [])
+        for a, b in zip(first, second):
+            assert a.read_text() == b.read_text()
+
+    def test_trace_subcommand(self, tmp_path, capsys):
+        prom_path = tmp_path / "metrics.prom"
+        code = main(
+            ["trace", "age-detection", "--gpus", "tx1", "--requests", "60",
+             "--prometheus-out", str(prom_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execute_batch" in out
+        assert "trace fingerprint" in out
+        text = prom_path.read_text()
+        assert "# TYPE" in text and text.endswith("\n")
+
+    def test_trace_with_chaos(self, capsys):
+        code = main(
+            ["trace", "video-surveillance", "--gpus", "tx1",
+             "--requests", "60", "--chaos"]
+        )
+        assert code == 0
+        assert "fault_episode" in capsys.readouterr().out

@@ -47,3 +47,29 @@ def test_router_overload_quick_is_bit_identical_across_runs():
     # The fingerprint covers real work, not an empty run.
     assert first.n_offered == second.n_offered > 0
     assert first.n_completed == second.n_completed > 0
+
+
+def test_router_overload_traced_runs_are_bit_identical():
+    """The tracing-enabled variant of the same bar.
+
+    Instrumentation must neither perturb routing nor itself diverge:
+    two independent traced executions produce identical report
+    fingerprints AND identical cache-neutral trace fingerprints, and
+    the trace's execute_batch spans account for every completed
+    request.
+    """
+    bench = _load_bench("bench_router_overload")
+    n = bench.QUICK_N_REQUESTS
+
+    first, first_obs = bench.reproduce_traced(n)
+    second, second_obs = bench.reproduce_traced(n)
+
+    assert first.fingerprint() == second.fingerprint(), (
+        "tracing-enabled same-seed runs diverged"
+    )
+    assert (
+        first_obs.buffer.fingerprint() == second_obs.buffer.fingerprint()
+    ), "same-seed runs produced different traces"
+    assert first.obs is not None and second.obs is not None
+    completed = [r.request.rid for r in first.completed]
+    assert completed and first_obs.coverage_of(completed) == 1.0
