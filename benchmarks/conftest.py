@@ -37,12 +37,26 @@ def pytest_addoption(parser):
         default=False,
         help="run benchmarks with reduced workloads (CI smoke mode)",
     )
+    parser.addoption(
+        "--shards",
+        type=int,
+        default=2,
+        help="shard count the fleet-sharding bench scales to in "
+        "--quick mode (full mode sweeps 1/2/4/8)",
+    )
 
 
 @pytest.fixture(scope="session")
 def quick(request):
     """Whether the suite runs in ``--quick`` smoke mode."""
     return request.config.getoption("--quick")
+
+
+@pytest.fixture(scope="session")
+def shards(request):
+    """The --shards option: quick-mode shard count for the sharding
+    bench."""
+    return request.config.getoption("--shards")
 
 
 @pytest.fixture(scope="session")

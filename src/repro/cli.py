@@ -19,13 +19,17 @@ Sub-commands:
 * ``tune --network N --gpu G [--slack S]`` -- run entropy-guided
   accuracy tuning with the analytic model and print the tuning path.
 * ``serve-fleet [--gpus G1,G2] [--load L] [--requests N]
-  [--no-degradation] [--fifo] [--chaos] [--chaos-seed S]
-  [--no-resilience] [--json] [--trace F] [--chrome-trace F]
-  [--metrics-out F]`` -- route a bursty multi-tenant storm
-  across the fleet and print the router report; ``--chaos`` injects a
-  seeded fault trace (outages, SM failures, throttles, transients)
-  and reports the recovery metrics; the trace/metrics flags enable
-  instrumentation and write deterministic span/metric exports.
+  [--shards N] [--shard-inline] [--no-degradation] [--fifo]
+  [--chaos] [--chaos-seed S] [--no-resilience] [--json] [--trace F]
+  [--chrome-trace F] [--metrics-out F]`` -- route a bursty
+  multi-tenant storm across the fleet and print the router report;
+  ``--shards N`` scales the run out to N router shards in
+  ``multiprocessing`` spawn workers (each with its own fleet and
+  per-shard seeded tenants) and prints the deterministically merged
+  report; ``--chaos`` injects a seeded fault trace (outages, SM
+  failures, throttles, transients) and reports the recovery metrics;
+  the trace/metrics flags enable instrumentation and write
+  deterministic span/metric exports.
 * ``trace SCENARIO [--gpus G1,G2] [--requests N] [--chaos] ...`` --
   run one paper scenario through an instrumented router and export
   its spans/metrics (span JSON, Chrome ``trace_event`` for Perfetto,
@@ -41,6 +45,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.analysis import (
@@ -67,7 +72,15 @@ from repro.obs import (
     trace_to_json,
 )
 from repro.schedulers import compare_schedulers, make_context
-from repro.serving import RequestRouter, RouterConfig, Tenant, TenantLoad
+from repro.serving import (
+    FleetCoordinator,
+    FleetSpec,
+    RequestRouter,
+    RouterConfig,
+    Tenant,
+    TenantLoad,
+)
+from repro.serving.shard import shard_label, shard_platform, shard_seed
 from repro.workloads import (
     age_detection,
     bursty_trace,
@@ -164,6 +177,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--requests", type=int, default=2000,
                        help="requests per tenant in the storm")
     serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="router shards; above 1 each shard runs its own fleet "
+        "and per-shard-seeded tenant pair in a spawn worker and the "
+        "per-shard reports are merged deterministically",
+    )
+    serve.add_argument(
+        "--shard-inline", action="store_true",
+        help="run shards sequentially in-process instead of "
+        "multiprocessing spawn workers (same bits, easier debugging)",
+    )
     serve.add_argument(
         "--no-degradation", action="store_true",
         help="pin every platform at rung 0 (no overload ladder)",
@@ -486,6 +510,131 @@ def _write_obs_exports(obs: Instrumentation, args) -> None:
         )
 
 
+def _chaos_config(horizon_s: float) -> FaultTraceConfig:
+    """The serve-fleet chaos recipe, scaled to one run's horizon."""
+    return FaultTraceConfig(
+        outages=1,
+        outage_duration_s=0.25 * horizon_s,
+        sm_failures=1,
+        sm_failure_duration_s=0.25 * horizon_s,
+        throttles=1,
+        throttle_duration_s=0.25 * horizon_s,
+        bandwidth_degradations=1,
+        bandwidth_duration_s=0.25 * horizon_s,
+        transients=3,
+    )
+
+
+def _serve_fleet_sharded(args, spec, platforms, offered, config):
+    """The ``serve-fleet --shards N`` path: coordinator run + exports.
+
+    Every shard serves its own tenant pair (``interactive-s<k>`` /
+    ``background-s<k>``) at the full offered rate with seeds derived
+    via :func:`shard_seed` -- weak scaling, so doubling the shards
+    doubles the total storm.  Chaos generates one schedule per shard
+    on qualified ``s<k>/<platform>`` names from the per-shard chaos
+    seed, then merges them into the single coherent trace the
+    coordinator expects.
+    """
+    interactive = Tenant.from_spec(spec, priority=1)
+    background = Tenant.from_spec(
+        ApplicationSpec("background", TaskClass.BACKGROUND), priority=0
+    )
+    shard_loads = []
+    for shard in range(args.shards):
+        shard_loads.append([
+            TenantLoad(
+                replace(interactive, name="interactive-%s" % shard_label(shard)),
+                bursty_trace(
+                    n_requests=args.requests,
+                    rate_hz=0.8 * offered,
+                    seed=shard_seed(args.seed, shard),
+                ),
+            ),
+            TenantLoad(
+                replace(background, name="background-%s" % shard_label(shard)),
+                pareto_trace(
+                    n_requests=max(1, args.requests // 4),
+                    rate_hz=0.2 * offered,
+                    seed=shard_seed(args.seed + 1, shard),
+                ),
+            ),
+        ])
+    faults = None
+    if args.chaos:
+        horizon = max(
+            float(load.trace.arrivals_s[-1])
+            for loads in shard_loads
+            for load in loads
+            if load.trace.n_requests
+        )
+        pieces = [
+            generate_fault_trace(
+                platforms=[
+                    shard_platform(shard, name) for name in platforms
+                ],
+                horizon_s=horizon,
+                config=_chaos_config(horizon),
+                seed=shard_seed(args.chaos_seed, shard),
+            )
+            for shard in range(args.shards)
+        ]
+        faults = pieces[0].merged_with(*pieces[1:])
+    instrument = (
+        args.trace is not None
+        or args.chrome_trace is not None
+        or args.metrics_out is not None
+    )
+    coordinator = FleetCoordinator(
+        FleetSpec(
+            network=args.network,
+            spec=spec,
+            gpus=tuple(name.strip() for name in args.gpus.split(",")),
+        ),
+        config,
+        n_shards=args.shards,
+        seed=args.seed,
+        inline=args.shard_inline,
+    )
+    outcome = coordinator.run(
+        shard_loads=shard_loads, faults=faults, instrument=instrument
+    )
+    if instrument:
+        _write_shard_exports(outcome, args)
+    return outcome
+
+
+def _write_shard_exports(outcome, args) -> None:
+    """Span/metric exports for a sharded run (deterministic bytes).
+
+    Traces come from the stitched global buffer; the metrics snapshot
+    comes from the merged report's obs section, which carries the
+    associatively merged per-shard series (same schema as
+    ``metrics_to_json``).
+    """
+    if args.trace is not None:
+        with open(args.trace, "w") as handle:
+            handle.write(trace_to_json(outcome.buffer))
+        print("span trace written to %s" % args.trace, file=sys.stderr)
+    if args.chrome_trace is not None:
+        with open(args.chrome_trace, "w") as handle:
+            handle.write(chrome_trace_json(outcome.buffer))
+        print(
+            "chrome trace written to %s" % args.chrome_trace,
+            file=sys.stderr,
+        )
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(
+                json.dumps(
+                    outcome.report.obs["metrics"],
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            )
+        print("metrics written to %s" % args.metrics_out, file=sys.stderr)
+
+
 def _cmd_serve_fleet(args) -> int:
     network = get_network(args.network)
     spec = ApplicationSpec(
@@ -508,72 +657,77 @@ def _cmd_serve_fleet(args) -> int:
         )
         capacity += entry.compiled.batch / execution.total_time_s
 
-    # Two tenants share the fleet: a deadline-bound interactive stream
-    # carrying 80% of the offered storm, and a deadline-free background
-    # dump (heavy-tailed arrivals) carrying the remaining 20%.
+    # Two tenants share each fleet: a deadline-bound interactive
+    # stream carrying 80% of the offered storm, and a deadline-free
+    # background dump (heavy-tailed arrivals) carrying the remaining
+    # 20%.  Weak scaling: with --shards every shard gets its own
+    # fleet replica and its own per-shard-seeded tenant pair at the
+    # same offered rate.
     offered = args.load * capacity
-    interactive = Tenant.from_spec(spec, priority=1)
-    background = Tenant.from_spec(
-        ApplicationSpec("background", TaskClass.BACKGROUND), priority=0
-    )
-    loads = [
-        TenantLoad(
-            interactive,
-            bursty_trace(
-                n_requests=args.requests,
-                rate_hz=0.8 * offered,
-                seed=args.seed,
-            ),
-        ),
-        TenantLoad(
-            background,
-            pareto_trace(
-                n_requests=max(1, args.requests // 4),
-                rate_hz=0.2 * offered,
-                seed=args.seed + 1,
-            ),
-        ),
-    ]
-
     config = RouterConfig(
         degradation=not args.no_degradation,
         policy="fifo" if args.fifo else "soc",
         resilience=not args.no_resilience,
     )
-    faults = None
-    if args.chaos:
-        horizon = max(
-            float(load.trace.arrivals_s[-1])
-            for load in loads
-            if load.trace.n_requests
+
+    outcome = None
+    if args.shards > 1:
+        outcome = _serve_fleet_sharded(
+            args, spec, sorted(deployments), offered, config
         )
-        faults = generate_fault_trace(
-            platforms=sorted(deployments),
-            horizon_s=horizon,
-            config=FaultTraceConfig(
-                outages=1,
-                outage_duration_s=0.25 * horizon,
-                sm_failures=1,
-                sm_failure_duration_s=0.25 * horizon,
-                throttles=1,
-                throttle_duration_s=0.25 * horizon,
-                bandwidth_degradations=1,
-                bandwidth_duration_s=0.25 * horizon,
-                transients=3,
+        report = outcome.report
+    else:
+        interactive = Tenant.from_spec(spec, priority=1)
+        background = Tenant.from_spec(
+            ApplicationSpec("background", TaskClass.BACKGROUND), priority=0
+        )
+        loads = [
+            TenantLoad(
+                interactive,
+                bursty_trace(
+                    n_requests=args.requests,
+                    rate_hz=0.8 * offered,
+                    seed=args.seed,
+                ),
             ),
-            seed=args.chaos_seed,
-        )
-    obs = _obs_for(args)
-    report = RequestRouter(fleet, config).run(loads, faults, obs=obs)
-    if obs is not None:
-        _write_obs_exports(obs, args)
+            TenantLoad(
+                background,
+                pareto_trace(
+                    n_requests=max(1, args.requests // 4),
+                    rate_hz=0.2 * offered,
+                    seed=args.seed + 1,
+                ),
+            ),
+        ]
+        faults = None
+        if args.chaos:
+            horizon = max(
+                float(load.trace.arrivals_s[-1])
+                for load in loads
+                if load.trace.n_requests
+            )
+            faults = generate_fault_trace(
+                platforms=sorted(deployments),
+                horizon_s=horizon,
+                config=_chaos_config(horizon),
+                seed=args.chaos_seed,
+            )
+        obs = _obs_for(args)
+        report = RequestRouter(fleet, config).run(loads, faults, obs=obs)
+        if obs is not None:
+            _write_obs_exports(obs, args)
 
     if args.json:
-        print(
-            json.dumps(
-                report.to_dict(include_events=False), indent=2, sort_keys=True
-            )
-        )
+        payload = report.to_dict(include_events=False)
+        if outcome is not None:
+            payload["sharding"] = {
+                "n_shards": args.shards,
+                "seeds": list(outcome.seeds),
+                "rehomed": outcome.rehomed,
+                "dead_shards": list(outcome.dead_shards),
+                "failover_target": outcome.failover_target,
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
 
     print(format_table(
@@ -642,6 +796,23 @@ def _cmd_serve_fleet(args) -> int:
             title="Resilience (chaos seed %d%s)"
             % (args.chaos_seed,
                ", resilience disabled" if args.no_resilience else ""),
+        ))
+    if outcome is not None:
+        print()
+        print(format_table(
+            ["shard", "offered", "completed", "rejected", "role"],
+            [(
+                shard_label(shard_id),
+                shard_report.n_offered,
+                shard_report.n_completed,
+                shard_report.n_rejected,
+                "dead" if shard_id in outcome.dead_shards
+                else ("target" if shard_id == outcome.failover_target
+                      else "ok"),
+            ) for shard_id, shard_report
+                in enumerate(outcome.shard_reports)],
+            title="Per shard (%d shards, %d re-homed)"
+            % (args.shards, outcome.rehomed),
         ))
     counts = report.events.counts
     print()

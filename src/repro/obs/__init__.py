@@ -17,6 +17,7 @@ from repro.obs.instrument import (
     CACHE_SENSITIVE_METRIC_PREFIX,
     Instrumentation,
     cache_neutral_obs_section,
+    merge_obs_sections,
 )
 from repro.obs.metrics import (
     LATENCY_BUCKETS_S,
@@ -57,6 +58,7 @@ __all__ = [
     "chrome_trace",
     "chrome_trace_json",
     "linear_percentile",
+    "merge_obs_sections",
     "metrics_to_json",
     "prometheus_text",
     "trace_to_json",

@@ -27,6 +27,8 @@ their traces).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.obs.metrics import (
@@ -41,6 +43,7 @@ __all__ = [
     "CACHE_SENSITIVE_METRIC_PREFIX",
     "Instrumentation",
     "cache_neutral_obs_section",
+    "merge_obs_sections",
 ]
 
 #: Metric families whose values depend on engine cache temperature
@@ -82,21 +85,136 @@ def cache_neutral_obs_section(section: dict) -> dict:
         for series, value in section.get("metrics", {}).items()
         if not series.startswith(CACHE_SENSITIVE_METRIC_PREFIX)
     }
-    return {
+    neutral = {
         "span_counts": span_counts,
         "metrics": metrics,
         "trace_fingerprint": section.get("trace_fingerprint"),
     }
+    if "trace_fingerprints" in section:
+        # Merged sections carry the per-shard leaf fingerprints too;
+        # they are cache-neutral by construction, so they survive.
+        neutral["trace_fingerprints"] = section["trace_fingerprints"]
+    return neutral
+
+
+def _merge_metric_series(series: str, entries: List[dict]) -> dict:
+    """Fold one metric series' snapshots from several obs sections.
+
+    Counters and histogram states are sums (associative and, in the
+    shard layer, over disjoint label sets anyway); gauges -- last-write
+    -wins instantaneous levels with no cross-process "last" -- merge as
+    the maximum, the conservative envelope for the levels they track
+    (queue depth, degradation level).
+    """
+    kinds = sorted({entry["kind"] for entry in entries})
+    if len(kinds) != 1:
+        raise ValueError(
+            "metric series %r has conflicting kinds across sections: %s"
+            % (series, ", ".join(kinds))
+        )
+    kind = kinds[0]
+    if kind == "counter":
+        return {"kind": kind, "value": sum(e["value"] for e in entries)}
+    if kind == "gauge":
+        return {"kind": kind, "value": max(e["value"] for e in entries)}
+    if kind != "histogram":
+        raise ValueError("unknown metric kind %r in series %r" % (kind, series))
+    edges = [tuple(edge for edge, _count in e["buckets"]) for e in entries]
+    if any(other != edges[0] for other in edges[1:]):
+        raise ValueError(
+            "histogram series %r has mismatched bucket edges across "
+            "sections" % (series,)
+        )
+    buckets = [
+        [edge, sum(e["buckets"][index][1] for e in entries)]
+        for index, edge in enumerate(edges[0])
+    ]
+    mins = [e["min"] for e in entries if e["min"] is not None]
+    maxs = [e["max"] for e in entries if e["max"] is not None]
+    return {
+        "kind": kind,
+        "buckets": buckets,
+        "count": sum(e["count"] for e in entries),
+        "sum": sum(e["sum"] for e in entries),
+        "min": min(mins) if mins else None,
+        "max": max(maxs) if maxs else None,
+    }
+
+
+def merge_obs_sections(sections: Sequence[dict]) -> dict:
+    """Fold several per-run ``obs`` report sections into one.
+
+    Span counts, metric counters and histogram states sum; gauges take
+    their maximum.  The merged section keeps every leaf trace
+    fingerprint (sorted, under ``trace_fingerprints``) and derives the
+    combined ``trace_fingerprint`` by hashing that sorted list -- so
+    the result is independent of merge order and grouping.  Callers
+    wanting that associativity guarantee must pass leaf sections in a
+    canonical order (``RouterReport.merge`` sorts its leaves before
+    folding).
+    """
+    if not sections:
+        raise ValueError("merge_obs_sections needs at least one section")
+    if len(sections) == 1:
+        return dict(sections[0])
+    span_counts: Dict[str, int] = {}
+    for section in sections:
+        for name, count in section.get("span_counts", {}).items():
+            span_counts[name] = span_counts.get(name, 0) + count
+    series_entries: Dict[str, List[dict]] = {}
+    for section in sections:
+        for series, entry in section.get("metrics", {}).items():
+            series_entries.setdefault(series, []).append(entry)
+    metrics = {
+        series: _merge_metric_series(series, series_entries[series])
+        for series in sorted(series_entries)
+    }
+    fingerprints: List[str] = []
+    for section in sections:
+        nested = section.get("trace_fingerprints")
+        if nested is not None:
+            fingerprints.extend(nested)
+        elif section.get("trace_fingerprint") is not None:
+            fingerprints.append(section["trace_fingerprint"])
+    fingerprints.sort()
+    combined = hashlib.sha1(
+        json.dumps(
+            fingerprints, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+    ).hexdigest()
+    return {
+        "n_spans": sum(section.get("n_spans", 0) for section in sections),
+        "span_counts": {
+            name: span_counts[name] for name in sorted(span_counts)
+        },
+        "metrics": metrics,
+        "trace_fingerprint": combined,
+        "trace_fingerprints": fingerprints,
+    }
 
 
 class Instrumentation:
-    """Tracer + metrics + the callback surface of one observed run."""
+    """Tracer + metrics + the callback surface of one observed run.
 
-    def __init__(self, enabled: bool = True) -> None:
+    ``shard`` optionally names the shard this run executes on (e.g.
+    ``"s0"``): the run/platform spans carry it as a ``shard``
+    attribute and every metric series gets a ``shard`` base label, so
+    merging per-shard obs sections never collides series from
+    different workers.  ``None`` (the default) leaves spans and
+    series exactly as an unsharded run produces them -- the 1-shard
+    degenerate case must not perturb a single fingerprint.
+    """
+
+    def __init__(
+        self, enabled: bool = True, shard: Optional[str] = None
+    ) -> None:
         self.enabled = enabled
+        self.shard = shard
         self.buffer = TraceBuffer()
         self.tracer = Tracer(self.buffer, enabled=enabled)
-        self.metrics = MetricsRegistry()
+        self.metrics = MetricsRegistry(
+            base_labels={"shard": shard} if shard is not None else None
+        )
         self._run: Optional[SpanHandle] = None
         self._platforms: Dict[str, SpanHandle] = {}
         self._requests: Dict[int, SpanHandle] = {}
@@ -118,12 +236,16 @@ class Instrumentation:
         if not self.enabled:
             return
         self._touch(time_s)
-        self._run = self.tracer.begin(
-            "run", time_s, platforms=",".join(sorted(platforms))
-        )
+        attrs: Dict[str, object] = {"platforms": ",".join(sorted(platforms))}
+        if self.shard is not None:
+            attrs["shard"] = self.shard
+        self._run = self.tracer.begin("run", time_s, **attrs)
         for name in sorted(platforms):
+            platform_attrs: Dict[str, object] = {"platform": name}
+            if self.shard is not None:
+                platform_attrs["shard"] = self.shard
             self._platforms[name] = self.tracer.begin(
-                "platform", time_s, parent=self._run, platform=name
+                "platform", time_s, parent=self._run, **platform_attrs
             )
 
     def run_finished(self, time_s: float) -> None:

@@ -199,15 +199,23 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named instrument families, each fanned out per label set."""
+    """Named instrument families, each fanned out per label set.
+
+    ``base_labels`` are merged into every series' label set (caller
+    labels win on collision) -- how the shard layer stamps a worker's
+    entire registry with its shard identity so per-shard snapshots
+    stay disjoint and merge associatively.
+    """
 
     _KINDS = ("counter", "gauge", "histogram")
 
-    def __init__(self) -> None:
+    def __init__(self, base_labels: Optional[Dict[str, object]] = None) -> None:
         #: family name -> (kind, help text)
         self._families: Dict[str, Tuple[str, str]] = {}
         #: (family name, label key) -> instrument
         self._series: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], object] = {}
+        #: labels stamped onto every series of this registry
+        self._base_labels: Dict[str, object] = dict(base_labels or {})
 
     def _instrument(
         self,
@@ -217,6 +225,8 @@ class MetricsRegistry:
         labels: Dict[str, object],
         factory,
     ):
+        if self._base_labels:
+            labels = {**self._base_labels, **labels}
         known = self._families.get(name)
         if known is None:
             self._families[name] = (kind, help_text)

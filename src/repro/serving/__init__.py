@@ -30,6 +30,13 @@ with recovery metrics reported as :class:`ResilienceStats`.
 
 Everything is simulated time: the router is bit-identical across runs
 with the same seed and configuration.
+
+The shard layer (:mod:`repro.serving.shard`) scales one router into a
+fleet of fleets: a :class:`FleetCoordinator` launches N router shards
+in ``multiprocessing`` spawn workers, re-homes requests off
+chaos-dead shards, and merges the per-shard reports into one
+fingerprinted global ledger -- same-seed merged fingerprints are
+bit-identical at any shard count.
 """
 
 from repro.serving.admission import AdmissionController, AdmissionDecision
@@ -57,6 +64,19 @@ from repro.serving.report import (
 from repro.serving.request import Request, Tenant, TenantLoad, merge_loads
 from repro.serving.resilience import BREAKER_STATES, CircuitBreaker, RetryPolicy
 from repro.serving.router import RequestRouter, RouterConfig
+from repro.serving.shard import (
+    FleetCoordinator,
+    FleetRunOutcome,
+    FleetSpec,
+    ShardPlan,
+    ShardPlanner,
+    ShardResult,
+    ShardSpec,
+    ShardWorker,
+    run_shard,
+    shard_seed,
+    split_fault_trace,
+)
 
 __all__ = [
     "AdmissionController",
@@ -70,6 +90,9 @@ __all__ = [
     "DegradationRung",
     "Dispatcher",
     "EventLog",
+    "FleetCoordinator",
+    "FleetRunOutcome",
+    "FleetSpec",
     "InFlightBatch",
     "PlatformState",
     "PlatformStats",
@@ -81,9 +104,17 @@ __all__ = [
     "RouterConfig",
     "RouterEvent",
     "RouterReport",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardResult",
+    "ShardSpec",
+    "ShardWorker",
     "Tenant",
     "TenantLoad",
     "TenantStats",
     "escalate_perforation",
     "merge_loads",
+    "run_shard",
+    "shard_seed",
+    "split_fault_trace",
 ]

@@ -12,7 +12,7 @@ guarantee is asserted by fingerprinting it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = ["RouterEvent", "EventLog"]
 
@@ -102,6 +102,35 @@ class EventLog:
         )
         self._events.append(event)
         return event
+
+    @classmethod
+    def from_events(cls, events: "Sequence[RouterEvent]") -> "EventLog":
+        """Rebuild a log from existing events, renumbering sequence ids.
+
+        The merge/qualification paths construct transformed copies of
+        events from several logs; this re-bases their ``seq`` numbers
+        onto one monotone sequence in the order given (which the
+        caller must have made deterministic).
+        """
+        log = cls()
+        for event in events:
+            if event.kind not in cls.KINDS:
+                raise ValueError(
+                    "unknown event kind %r (known: %s)"
+                    % (event.kind, ", ".join(cls.KINDS))
+                )
+            log._events.append(
+                RouterEvent(
+                    seq=len(log._events),
+                    time_s=event.time_s,
+                    kind=event.kind,
+                    tenant=event.tenant,
+                    platform=event.platform,
+                    request_ids=tuple(event.request_ids),
+                    detail=dict(event.detail),
+                )
+            )
+        return log
 
     def __len__(self) -> int:
         return len(self._events)

@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.satisfaction import SoCBreakdown
-from repro.obs.instrument import cache_neutral_obs_section
+from repro.obs.instrument import cache_neutral_obs_section, merge_obs_sections
 from repro.obs.metrics import linear_percentile
-from repro.serving.events import EventLog
+from repro.serving.events import EventLog, RouterEvent
 from repro.serving.request import Request
 
 __all__ = [
@@ -193,6 +193,10 @@ class ResilienceStats:
     #: Mean time-to-recovery over outage episodes that closed
     #: (restore observed) during the run.
     mttr_s: float = 0.0
+    #: Outage episodes that closed during the run -- the weight of
+    #: ``mttr_s``, carried so merging reports can recombine the means
+    #: exactly (an unweighted mean of means is not associative).
+    mttr_episodes: int = 0
     #: Batches that launched and failed (outage or transient).
     batch_failures: int = 0
     #: Failed requests re-admitted after backoff.
@@ -205,12 +209,44 @@ class ResilienceStats:
     breaker_opens: int = 0
     breaker_closes: int = 0
 
+    @classmethod
+    def merge(cls, stats: "Sequence[ResilienceStats]") -> "ResilienceStats":
+        """Fold several runs' recovery metrics into one.
+
+        Every field is a sum except ``mttr_s``, which recombines as
+        the episode-weighted mean -- with the weights carried in
+        ``mttr_episodes``, the fold is exact for any grouping of the
+        same leaf set in the same order.
+        """
+        stats = list(stats)
+        if not stats:
+            raise ValueError("ResilienceStats.merge needs at least one input")
+        episodes = sum(s.mttr_episodes for s in stats)
+        mttr_s = (
+            sum(s.mttr_s * s.mttr_episodes for s in stats) / episodes
+            if episodes
+            else 0.0
+        )
+        return cls(
+            faults_injected=sum(s.faults_injected for s in stats),
+            outages=sum(s.outages for s in stats),
+            mttr_s=mttr_s,
+            mttr_episodes=episodes,
+            batch_failures=sum(s.batch_failures for s in stats),
+            retries=sum(s.retries for s in stats),
+            failovers=sum(s.failovers for s in stats),
+            requests_rescued=sum(s.requests_rescued for s in stats),
+            breaker_opens=sum(s.breaker_opens for s in stats),
+            breaker_closes=sum(s.breaker_closes for s in stats),
+        )
+
     def to_dict(self) -> dict:
         """Plain-data view with a stable key order."""
         return {
             "faults_injected": self.faults_injected,
             "outages": self.outages,
             "mttr_s": self.mttr_s,
+            "mttr_episodes": self.mttr_episodes,
             "batch_failures": self.batch_failures,
             "retries": self.retries,
             "failovers": self.failovers,
@@ -237,6 +273,14 @@ class RouterReport:
     #: fingerprint -- see
     #: :meth:`repro.obs.instrument.Instrumentation.report_section`.
     obs: Optional[dict] = None
+    #: The leaf reports this report was folded from (None for a leaf
+    #: produced directly by a router run).  :meth:`merge` always
+    #: flattens to leaves and folds them in one canonical order, which
+    #: is what makes it associative and order-independent bit-for-bit;
+    #: the field never enters :meth:`to_dict` or the fingerprint.
+    merged_from: Optional[Tuple["RouterReport", ...]] = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- fleet-level views ----------------------------------------------
     @property
@@ -363,6 +407,194 @@ class RouterReport:
         raise KeyError(
             "no platform %r in the report (known: %s)" % (name, known)
         )
+
+    # -- merging ---------------------------------------------------------
+    @classmethod
+    def merge(cls, reports: "Sequence[RouterReport]") -> "RouterReport":
+        """Fold several routing runs' reports into one global report.
+
+        Request ids are re-enumerated over the union of all terminal
+        records, ordered by ``(arrival_s, tenant name)`` -- the same
+        total order :func:`~repro.serving.request.merge_loads` assigns
+        rids along, so a report merged from per-tenant partitions of
+        one load set numbers requests exactly as a single router run
+        over the merged load set would.  Events interleave by
+        ``(time_s, leaf, seq)`` with rids remapped; platform stats,
+        :class:`ResilienceStats` and obs sections fold with their
+        associative merges.
+
+        The fold is *exactly* associative and order-independent:
+        inputs are flattened to their leaf reports (via
+        ``merged_from``), the leaves are sorted by fingerprint, and
+        every aggregate is computed over that canonical sequence --
+        so any grouping or permutation of the same leaves produces a
+        bit-identical result, floating-point sums included.  Merging a
+        single report returns it unchanged (the 1-shard degenerate
+        case preserves existing fingerprints by construction).
+        """
+        reports = list(reports)
+        if not reports:
+            raise ValueError("RouterReport.merge needs at least one report")
+        if len(reports) == 1:
+            return reports[0]
+        leaves: List[RouterReport] = []
+        for report in reports:
+            leaves.extend(report.merged_from or (report,))
+        leaves.sort(key=lambda leaf: leaf.fingerprint())
+
+        # Global rid assignment over every terminal record: a stable
+        # sort by (arrival, tenant) with ties resolved by canonical
+        # leaf order, then local rid order.
+        rid_maps: List[Dict[int, int]] = [{} for _ in leaves]
+        keyed: List[Tuple[float, str, int, int]] = []
+        for index, leaf in enumerate(leaves):
+            requests = sorted(
+                [record.request for record in leaf.completed]
+                + [record.request for record in leaf.rejected],
+                key=lambda request: request.rid,
+            )
+            for request in requests:
+                keyed.append(
+                    (request.arrival_s, request.tenant.name, index, request.rid)
+                )
+        keyed.sort(key=lambda item: (item[0], item[1]))
+        for new_rid, (_arrival, _tenant, index, old_rid) in enumerate(keyed):
+            if old_rid in rid_maps[index]:
+                raise ValueError(
+                    "request id %d appears twice in one merged report"
+                    % (old_rid,)
+                )
+            rid_maps[index][old_rid] = new_rid
+
+        def renumber(index: int, record):
+            request = record.request
+            return replace(
+                record,
+                request=replace(request, rid=rid_maps[index][request.rid]),
+            )
+
+        completed = [
+            renumber(index, record)
+            for index, leaf in enumerate(leaves)
+            for record in leaf.completed
+        ]
+        completed.sort(key=lambda record: record.request.rid)
+        rejected = [
+            renumber(index, record)
+            for index, leaf in enumerate(leaves)
+            for record in leaf.rejected
+        ]
+        rejected.sort(key=lambda record: record.request.rid)
+
+        horizon_s = max(leaf.horizon_s for leaf in leaves)
+        platforms = cls._merge_platforms(leaves, horizon_s)
+        events = cls._merge_events(leaves, rid_maps)
+        stats = [
+            leaf.resilience for leaf in leaves if leaf.resilience is not None
+        ]
+        resilience = ResilienceStats.merge(stats) if stats else None
+        sections = [leaf.obs for leaf in leaves if leaf.obs is not None]
+        obs = merge_obs_sections(sections) if sections else None
+        return cls(
+            completed=completed,
+            rejected=rejected,
+            platforms=platforms,
+            events=events,
+            horizon_s=horizon_s,
+            resilience=resilience,
+            obs=obs,
+            merged_from=tuple(leaves),
+        )
+
+    @staticmethod
+    def _merge_platforms(
+        leaves: "Sequence[RouterReport]", horizon_s: float
+    ) -> List[PlatformStats]:
+        """Fold per-platform stats across leaves (sums; utilization
+        and mean level re-derived against the merged horizon/batch
+        count).  Shard-qualified platform names never collide, but
+        same-name folding is supported for unqualified merges."""
+        by_name: Dict[str, dict] = {}
+        for leaf in leaves:
+            for stats in leaf.platforms:
+                agg = by_name.get(stats.platform)
+                if agg is None:
+                    by_name[stats.platform] = agg = {
+                        "gpu": stats.gpu,
+                        "batches": 0,
+                        "requests": 0,
+                        "busy_s": 0.0,
+                        "energy_j": 0.0,
+                        "level_batches": 0.0,
+                        "peak_level": 0,
+                        "final_level": 0,
+                        "failed_batches": 0,
+                    }
+                elif agg["gpu"] != stats.gpu:
+                    raise ValueError(
+                        "platform %r maps to GPU %r in one report and %r "
+                        "in another" % (stats.platform, agg["gpu"], stats.gpu)
+                    )
+                agg["batches"] += stats.batches
+                agg["requests"] += stats.requests
+                agg["busy_s"] += stats.busy_s
+                agg["energy_j"] += stats.energy_j
+                agg["level_batches"] += stats.mean_level * stats.batches
+                agg["peak_level"] = max(agg["peak_level"], stats.peak_level)
+                agg["final_level"] = max(agg["final_level"], stats.final_level)
+                agg["failed_batches"] += stats.failed_batches
+        merged = []
+        for name in sorted(by_name):
+            agg = by_name[name]
+            merged.append(
+                PlatformStats(
+                    platform=name,
+                    gpu=agg["gpu"],
+                    batches=agg["batches"],
+                    requests=agg["requests"],
+                    busy_s=agg["busy_s"],
+                    utilization=(
+                        agg["busy_s"] / horizon_s if horizon_s > 0 else 0.0
+                    ),
+                    energy_j=agg["energy_j"],
+                    mean_level=(
+                        agg["level_batches"] / agg["batches"]
+                        if agg["batches"]
+                        else 0.0
+                    ),
+                    peak_level=agg["peak_level"],
+                    final_level=agg["final_level"],
+                    failed_batches=agg["failed_batches"],
+                )
+            )
+        return merged
+
+    @staticmethod
+    def _merge_events(
+        leaves: "Sequence[RouterReport]",
+        rid_maps: "Sequence[Dict[int, int]]",
+    ) -> EventLog:
+        """Interleave leaf event logs by (time, leaf, local seq) --
+        per-leaf causal order survives -- remapping request ids onto
+        the merged numbering."""
+        entries: List[Tuple[float, int, int, RouterEvent]] = []
+        for index, leaf in enumerate(leaves):
+            for event in leaf.events:
+                entries.append((event.time_s, index, event.seq, event))
+        entries.sort(key=lambda item: (item[0], item[1], item[2]))
+        merged: List[RouterEvent] = []
+        for _time_s, index, _seq, event in entries:
+            try:
+                request_ids = tuple(
+                    rid_maps[index][rid] for rid in event.request_ids
+                )
+            except KeyError as error:
+                raise ValueError(
+                    "event %r references request id %s with no terminal "
+                    "record in its report" % (event.kind, error)
+                ) from None
+            merged.append(replace(event, request_ids=request_ids))
+        return EventLog.from_events(merged)
 
     # -- export ----------------------------------------------------------
     def to_dict(

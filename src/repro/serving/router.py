@@ -237,6 +237,7 @@ class _RunState:
             faults_injected=self.faults_injected,
             outages=self.outages,
             mttr_s=sum(episodes) / len(episodes) if episodes else 0.0,
+            mttr_episodes=len(episodes),
             batch_failures=self.batch_failures,
             retries=self.retries,
             failovers=self.failovers,

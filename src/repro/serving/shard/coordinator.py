@@ -1,0 +1,366 @@
+"""FleetCoordinator: launch router shards, re-home around dead ones,
+merge their reports into one deterministic global ledger.
+
+The coordinator is the fleet-of-fleets control plane.  It turns one
+run description (fleet spec, router config, loads, optional fault
+trace) into per-shard :class:`~repro.serving.shard.worker.ShardSpec`
+values, executes them -- in ``multiprocessing`` spawn workers by
+default, inline for debugging and coverage -- and folds the results
+back together:
+
+1. faults are carved per shard via
+   :func:`~repro.serving.shard.planner.split_fault_trace`;
+2. shards run independently (spawn pool, one process per shard);
+3. cross-shard failover: a shard whose fleet chaos-degraded into
+   dead-platform rejections (:data:`DEAD_SHARD_REASONS`) is *dead*;
+   its rejected requests are re-homed -- original arrival times and
+   difficulties, hence original deadline clocks -- onto the
+   least-loaded healthy shard, which re-runs with the extra load;
+4. per-shard reports are platform-qualified (``s<k>/...``) and merged
+   via :meth:`RouterReport.merge`; spans are stitched under a global
+   ``run`` root.
+
+Determinism: every step is a pure function of (fleet spec, config,
+loads, faults, seed, n_shards), so same-seed coordinator runs produce
+bit-identical merged fingerprints regardless of worker scheduling --
+the pool only changes *when* results arrive, never what they are.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.events import FaultTrace
+from repro.obs.span import TraceBuffer
+from repro.serving.report import RejectedRequest, RouterReport
+from repro.serving.request import Tenant, TenantLoad
+from repro.serving.router import RouterConfig
+from repro.serving.shard.merge import (
+    qualify_report,
+    stitch_spans,
+    strip_requests,
+)
+from repro.serving.shard.planner import (
+    ShardPlanner,
+    shard_seed,
+    split_fault_trace,
+)
+from repro.serving.shard.worker import (
+    FleetSpec,
+    ShardResult,
+    ShardSpec,
+    run_shard,
+)
+from repro.workloads.generators import RequestTrace, merge_traces
+
+__all__ = ["FleetCoordinator", "FleetRunOutcome"]
+
+#: Reject reasons only a chaos-dead platform produces: ``outage`` is
+#: a request whose in-shard failover found no live platform,
+#: ``stranded`` a queued request whose platform died under it.  Any
+#: shard reporting one of these is *dead* for cross-shard failover.
+DEAD_SHARD_REASONS = ("outage", "stranded")
+
+
+@dataclass(frozen=True)
+class FleetRunOutcome:
+    """The merged report plus per-shard diagnostics."""
+
+    #: The global, fingerprintable ledger (all shards merged).
+    report: RouterReport
+    #: Each shard's own (qualified, post-failover) report, by shard id.
+    shard_reports: Tuple[RouterReport, ...]
+    #: Each shard's derived RNG seed, by shard id.
+    seeds: Tuple[int, ...]
+    #: Requests re-homed off dead shards during failover.
+    rehomed: int
+    #: Shards that rejected requests with reason ``outage``.
+    dead_shards: Tuple[int, ...]
+    #: The healthy shard that absorbed the re-homed load (None when
+    #: no failover happened).
+    failover_target: Optional[int]
+    #: The stitched global span tree (None unless instrumented).
+    buffer: Optional[TraceBuffer] = None
+
+
+class FleetCoordinator:
+    """Launches 1..N router shards over one fleet description.
+
+    ``inline=True`` runs every shard in the calling process (no
+    spawn) -- bit-identical results, since workers are deterministic
+    either way.  ``n_shards=1`` is the degenerate case: no platform
+    qualification, no shard obs labels, and a merged report whose
+    fingerprint equals the plain single-router fingerprint.
+
+    Spawn mode follows the standard ``multiprocessing`` contract: a
+    script calling :meth:`run` at import time must guard the call
+    with ``if __name__ == "__main__":`` or every worker re-runs it
+    while bootstrapping.  A ``__main__`` with no real file (stdin
+    scripts) is rejected up front -- see :meth:`_check_spawnable`.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetSpec,
+        config: Optional[RouterConfig] = None,
+        n_shards: int = 1,
+        seed: int = 0,
+        inline: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1, got %r" % (n_shards,))
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(
+                "max_workers must be >= 1, got %r" % (max_workers,)
+            )
+        self.fleet = fleet
+        self.config = config if config is not None else RouterConfig()
+        self.n_shards = n_shards
+        self.seed = seed
+        self.inline = inline
+        self.max_workers = max_workers
+        self.planner = ShardPlanner(n_shards)
+
+    # -- public entry ----------------------------------------------------
+    def run(
+        self,
+        loads: Optional[Sequence[TenantLoad]] = None,
+        shard_loads: Optional[Sequence[Sequence[TenantLoad]]] = None,
+        faults: Optional[FaultTrace] = None,
+        instrument: bool = False,
+    ) -> FleetRunOutcome:
+        """Execute every shard and merge.
+
+        Pass exactly one of ``loads`` (a flat tenant mix, partitioned
+        by the hash-by-tenant planner) or ``shard_loads`` (explicit
+        per-shard placement, e.g. the weak-scaling bench's fixed
+        per-shard load).  With more than one shard, ``faults`` must
+        address qualified ``s<k>/<platform>`` names.
+        """
+        if (loads is None) == (shard_loads is None):
+            raise ValueError(
+                "pass exactly one of loads= or shard_loads="
+            )
+        if loads is not None:
+            placed = self.planner.plan(list(loads)).shard_loads
+        else:
+            placed = tuple(tuple(piece) for piece in shard_loads)
+            if len(placed) != self.n_shards:
+                raise ValueError(
+                    "shard_loads has %d entries for %d shards"
+                    % (len(placed), self.n_shards)
+                )
+        shard_faults = split_fault_trace(faults, self.n_shards)
+        specs = [
+            ShardSpec(
+                shard_id=shard_id,
+                n_shards=self.n_shards,
+                fleet=self.fleet,
+                config=self.config,
+                loads=placed[shard_id],
+                faults=shard_faults[shard_id],
+                seed=shard_seed(self.seed, shard_id),
+                instrument=instrument,
+            )
+            for shard_id in range(self.n_shards)
+        ]
+        results = self._execute(specs)
+        rehomed = 0
+        dead: List[int] = []
+        target: Optional[int] = None
+        reports = [result.report for result in results]
+        if self.n_shards > 1 and self.config.resilience:
+            reports, results, rehomed, dead, target = self._failover(
+                specs, results
+            )
+        if self.n_shards > 1:
+            reports = [
+                qualify_report(report, shard_id)
+                for shard_id, report in enumerate(reports)
+            ]
+        merged = RouterReport.merge(reports)
+        buffer = (
+            stitch_spans(results, merged.horizon_s, self.n_shards)
+            if instrument
+            else None
+        )
+        return FleetRunOutcome(
+            report=merged,
+            shard_reports=tuple(reports),
+            seeds=tuple(spec.seed for spec in specs),
+            rehomed=rehomed,
+            dead_shards=tuple(dead),
+            failover_target=target,
+            buffer=buffer,
+        )
+
+    # -- execution -------------------------------------------------------
+    def _execute(self, specs: Sequence[ShardSpec]) -> List[ShardResult]:
+        """Run every spec, inline or in a spawn pool.
+
+        Spawn (never fork) so workers import a clean interpreter --
+        the same environment every platform provides -- and results
+        come back via ``Pool.map``, which preserves input order.
+        """
+        if self.inline:
+            return [run_shard(spec) for spec in specs]
+        self._check_spawnable()
+        processes = len(specs)
+        if self.max_workers is not None:
+            processes = min(processes, self.max_workers)
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=processes) as pool:
+            return pool.map(run_shard, specs)
+
+    @staticmethod
+    def _check_spawnable() -> None:
+        """Refuse to spawn when workers cannot re-import ``__main__``.
+
+        Spawn bootstraps each worker by re-running the parent's main
+        script from its path.  A ``__main__`` without a real file --
+        ``python - <<EOF`` heredocs report ``<stdin>`` -- makes every
+        worker die during bootstrap and the pool respawn forever, a
+        silent hang.  Fail fast with the fix instead.
+        """
+        main = sys.modules.get("__main__")
+        main_file = getattr(main, "__file__", None)
+        if main_file is not None and not os.path.exists(main_file):
+            raise RuntimeError(
+                "spawn workers cannot re-import __main__ from %r "
+                "(script fed via stdin?); run from a real file or use "
+                "FleetCoordinator(..., inline=True)" % (main_file,)
+            )
+
+    # -- failover --------------------------------------------------------
+    def _failover(
+        self, specs: Sequence[ShardSpec], results: List[ShardResult]
+    ) -> Tuple[
+        List[RouterReport], List[ShardResult], int, List[int], Optional[int]
+    ]:
+        """Re-home a dead shard's rejected requests onto a healthy one.
+
+        A shard is dead when its report contains any rejection with a
+        reason from :data:`DEAD_SHARD_REASONS` (its own in-shard
+        failover already rescued what it could; what is left had
+        nowhere to go locally).  *Every* rejected request of a dead
+        shard is re-homed -- a dead fleet also rejects with capacity
+        reasons like ``saturated``, and the healthy target is the
+        honest judge of whether those were chaos casualties or truly
+        unservable.  The target is the healthy shard with the least
+        total busy time (ties to the lowest shard id); it re-runs
+        with the extra tenants appended, and re-homed requests keep
+        their original arrival times, so their deadline clocks are
+        preserved, not reset.  Dead shards' ledgers are stripped of
+        the re-homed request ids so the merged report counts each
+        request exactly once.
+        """
+        outage: Dict[int, List[RejectedRequest]] = {}
+        for shard_id, result in enumerate(results):
+            if self._is_dead(result.report):
+                outage[shard_id] = list(result.report.rejected)
+        reports = [result.report for result in results]
+        dead = sorted(outage)
+        healthy = [
+            shard_id
+            for shard_id in range(self.n_shards)
+            if shard_id not in outage
+        ]
+        if not dead or not healthy:
+            return reports, results, 0, dead, None
+        target = min(
+            healthy,
+            key=lambda shard_id: (
+                sum(
+                    stats.busy_s
+                    for stats in results[shard_id].report.platforms
+                ),
+                shard_id,
+            ),
+        )
+        stranded = [
+            record for shard_id in dead for record in outage[shard_id]
+        ]
+        target_spec = self._rehome_spec(specs[target], stranded)
+        results = list(results)
+        results[target] = self._execute([target_spec])[0]
+        rehomed = 0
+        reports = []
+        for shard_id, result in enumerate(results):
+            report = result.report
+            if shard_id in outage:
+                rids = [record.request.rid for record in outage[shard_id]]
+                rehomed += len(rids)
+                report = strip_requests(report, rids)
+            reports.append(report)
+        return reports, results, rehomed, dead, target
+
+    @staticmethod
+    def _is_dead(report: RouterReport) -> bool:
+        """Whether one shard's report shows a chaos-dead fleet.
+
+        Two signatures: an explicit dead-platform reject reason
+        (:data:`DEAD_SHARD_REASONS`), or injected outages together
+        with *any* rejections -- an outage that lands before traffic
+        arrives leaves no request in flight to tag with ``outage``,
+        so its casualties surface as plain admission rejects.
+        """
+        reasons = {record.reason for record in report.rejected}
+        if reasons.intersection(DEAD_SHARD_REASONS):
+            return True
+        resilience = report.resilience
+        return (
+            resilience is not None
+            and resilience.outages > 0
+            and bool(report.rejected)
+        )
+
+    @staticmethod
+    def _rehome_spec(
+        spec: ShardSpec, stranded: Sequence[RejectedRequest]
+    ) -> ShardSpec:
+        """The target's spec with the stranded requests' load added.
+
+        Stranded requests are regrouped by tenant into fresh traces
+        (original arrivals and difficulties); a tenant the target
+        already serves has the extra trace merged into its existing
+        one, keeping per-run tenant names unique as the router
+        requires.
+        """
+        tenants: Dict[str, Tenant] = {}
+        grouped: Dict[str, List] = {}
+        for record in stranded:
+            request = record.request
+            tenants[request.tenant.name] = request.tenant
+            grouped.setdefault(request.tenant.name, []).append(request)
+        loads = list(spec.loads)
+        position = {
+            load.tenant.name: index for index, load in enumerate(loads)
+        }
+        for name in sorted(grouped):
+            requests = sorted(
+                grouped[name], key=lambda r: (r.arrival_s, r.rid)
+            )
+            trace = RequestTrace(
+                arrivals_s=np.array(
+                    [r.arrival_s for r in requests], dtype=float
+                ),
+                difficulty=np.array(
+                    [r.difficulty for r in requests], dtype=float
+                ),
+            )
+            if name in position:
+                index = position[name]
+                loads[index] = TenantLoad(
+                    loads[index].tenant,
+                    merge_traces(loads[index].trace, trace),
+                )
+            else:
+                loads.append(TenantLoad(tenants[name], trace))
+        return replace(spec, loads=tuple(loads))

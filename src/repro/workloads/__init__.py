@@ -13,6 +13,7 @@ from repro.workloads.generators import (
     realtime_trace,
     scale_rate,
 )
+from repro.workloads.partition import partition_trace, stable_shard
 from repro.workloads.tasks import (
     Scenario,
     age_detection,
@@ -30,8 +31,10 @@ __all__ = [
     "interactive_trace",
     "merge_traces",
     "pareto_trace",
+    "partition_trace",
     "realtime_trace",
     "scale_rate",
+    "stable_shard",
     "Scenario",
     "age_detection",
     "image_tagging",

@@ -1,0 +1,80 @@
+"""Deterministic trace partitioning for sharded serving.
+
+The shard layer (:mod:`repro.serving.shard`) splits one request
+stream across N independent router processes and merges the results
+exactly.  That only works if the split itself is a pure function of
+the trace: :func:`stable_shard` hashes with SHA-1 rather than
+Python's builtin ``hash`` (which is randomized per process via
+``PYTHONHASHSEED``), so a spawn worker and its parent always agree on
+every assignment, and :func:`partition_trace` preserves per-partition
+arrival order so :func:`~repro.workloads.generators.merge_traces`
+reassembles the original stream bit-exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.workloads.generators import RequestTrace
+
+__all__ = ["stable_shard", "partition_trace"]
+
+
+def stable_shard(key: object, n_shards: int) -> int:
+    """Process-stable hash of ``key`` into ``[0, n_shards)``.
+
+    ``key`` is stringified and SHA-1 hashed, so the mapping is
+    identical across interpreter invocations and across the
+    multiprocessing spawn boundary -- unlike ``hash()``, whose string
+    hashing is randomized per process.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1, got %r" % (n_shards,))
+    digest = hashlib.sha1(str(key).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_shards
+
+
+def partition_trace(
+    trace: RequestTrace,
+    n_shards: int,
+    key: Optional[Callable[[int], object]] = None,
+) -> List[RequestTrace]:
+    """Split a trace into ``n_shards`` disjoint sub-traces.
+
+    ``key`` maps a request's position in the trace to the value hashed
+    for shard assignment (default: the position itself, which spreads
+    requests evenly); returning a tenant or session id instead gives
+    affinity partitioning.  Each sub-trace keeps the original arrival
+    order, so for traces with strictly increasing arrivals
+
+    ``merge_traces(*partition_trace(t, n)) == t``
+
+    exactly (and up to reordering of simultaneous arrivals otherwise).
+    ``n_shards == 1`` returns ``[trace]`` unchanged.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1, got %r" % (n_shards,))
+    if n_shards == 1:
+        return [trace]
+    if key is None:
+        key = lambda position: position  # noqa: E731
+    assigned = np.array(
+        [
+            stable_shard(key(position), n_shards)
+            for position in range(trace.n_requests)
+        ],
+        dtype=int,
+    )
+    parts: List[RequestTrace] = []
+    for shard in range(n_shards):
+        mask = assigned == shard
+        parts.append(
+            RequestTrace(
+                arrivals_s=np.asarray(trace.arrivals_s, dtype=float)[mask],
+                difficulty=np.asarray(trace.difficulty, dtype=float)[mask],
+            )
+        )
+    return parts

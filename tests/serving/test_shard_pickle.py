@@ -1,0 +1,168 @@
+"""Pickle round-trips for everything that crosses the spawn boundary,
+plus one real spawn-pool coordinator run.
+
+``multiprocessing`` with the spawn start method serializes the whole
+:class:`ShardSpec` (fleet description, router config, tenant loads,
+fault trace) into each worker; these tests pin that contract so a
+future unpicklable field fails here, not inside a worker traceback.
+"""
+
+import pickle
+
+import numpy as np
+
+from repro.core import ApplicationSpec, TaskClass
+from repro.core.satisfaction import TimeRequirement
+from repro.faults import (
+    FaultEvent,
+    FaultTrace,
+    FaultTraceConfig,
+    generate_fault_trace,
+)
+from repro.serving import (
+    FleetCoordinator,
+    FleetSpec,
+    Request,
+    RouterConfig,
+    Tenant,
+    TenantLoad,
+)
+from repro.serving.shard import ShardSpec, shard_platform
+from repro.workloads import RequestTrace, bursty_trace
+
+_REQUIREMENT = TimeRequirement(imperceptible_s=0.1, unusable_s=0.5)
+
+
+def round_trip(value):
+    return pickle.loads(pickle.dumps(value))
+
+
+def _spec():
+    return ApplicationSpec(
+        "age-detection", TaskClass.INTERACTIVE, entropy_slack=0.30
+    )
+
+
+def _loads(name="pickled", n=10, seed=3):
+    return (
+        TenantLoad(
+            Tenant(name, _REQUIREMENT, priority=1),
+            bursty_trace(n, 20.0, seed=seed),
+        ),
+    )
+
+
+class TestPickleRoundTrips:
+    def test_router_config(self):
+        config = RouterConfig(queue_limit=8, retry_limit=1, policy="soc")
+        assert round_trip(config) == config
+
+    def test_fault_event_and_trace(self):
+        trace = FaultTrace([
+            FaultEvent(time_s=1.0, kind="outage",
+                       platform="s0/K20c", episode=1),
+            FaultEvent(time_s=2.0, kind="restore",
+                       platform="s0/K20c", episode=1),
+        ])
+        restored = round_trip(trace)
+        assert list(restored) == list(trace)
+
+    def test_generated_fault_trace(self):
+        trace = generate_fault_trace(
+            platforms=["K20c", "TX1"],
+            horizon_s=10.0,
+            config=FaultTraceConfig(outages=1, transients=2),
+            seed=7,
+        )
+        assert list(round_trip(trace)) == list(trace)
+
+    def test_request_trace(self):
+        trace = bursty_trace(32, 25.0, seed=9)
+        restored = round_trip(trace)
+        assert np.array_equal(restored.arrivals_s, trace.arrivals_s)
+        assert np.array_equal(restored.difficulty, trace.difficulty)
+
+    def test_tenant_and_request(self):
+        tenant = Tenant("alpha", _REQUIREMENT, priority=2)
+        assert round_trip(tenant) == tenant
+        request = Request(rid=4, tenant=tenant, arrival_s=1.5,
+                          difficulty=1.2)
+        assert round_trip(request) == request
+
+    def test_tenant_load(self):
+        (load,) = _loads()
+        restored = round_trip(load)
+        assert restored.tenant == load.tenant
+        assert np.array_equal(
+            restored.trace.arrivals_s, load.trace.arrivals_s
+        )
+
+    def test_fleet_spec(self):
+        fleet = FleetSpec(
+            network="alexnet", spec=_spec(), gpus=("k20c", "tx1"),
+            max_tuning_iterations=4,
+        )
+        assert round_trip(fleet) == fleet
+
+    def test_shard_spec(self):
+        spec = ShardSpec(
+            shard_id=1,
+            n_shards=2,
+            fleet=FleetSpec(
+                network="alexnet", spec=_spec(), gpus=("k20c",),
+            ),
+            config=RouterConfig(),
+            loads=_loads(),
+            faults=FaultTrace([
+                FaultEvent(time_s=1.0, kind="transient", platform="K20c"),
+            ]),
+            seed=17,
+            instrument=True,
+        )
+        restored = round_trip(spec)
+        assert restored.shard_id == spec.shard_id
+        assert restored.seed == spec.seed
+        assert restored.config == spec.config
+        assert restored.fleet == spec.fleet
+        assert len(restored.loads) == 1
+
+    def test_empty_request_trace(self):
+        trace = RequestTrace(
+            arrivals_s=np.array([], dtype=float),
+            difficulty=np.array([], dtype=float),
+        )
+        assert round_trip(trace).n_requests == 0
+
+
+class TestSpawnExecution:
+    def test_spawn_matches_inline(self):
+        """One real spawn pool run: bit-identical to inline."""
+        fleet = FleetSpec(
+            network="alexnet", spec=_spec(), gpus=("k20c", "tx1"),
+            max_tuning_iterations=4,
+        )
+        shard_loads = [
+            list(_loads("t0", n=8, seed=1)),
+            list(_loads("t1", n=8, seed=2)),
+        ]
+        faults = FaultTrace([
+            FaultEvent(time_s=0.05, kind="transient",
+                       platform=shard_platform(0, "K20c")),
+        ])
+
+        def run(inline):
+            return FleetCoordinator(
+                fleet, RouterConfig(), n_shards=2, seed=11,
+                inline=inline,
+            ).run(shard_loads=shard_loads, faults=faults,
+                  instrument=True)
+
+        spawned = run(inline=False)
+        inline = run(inline=True)
+        assert (
+            spawned.report.fingerprint() == inline.report.fingerprint()
+        )
+        assert (
+            spawned.buffer.fingerprint() == inline.buffer.fingerprint()
+        )
+        assert spawned.seeds == inline.seeds

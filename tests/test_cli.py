@@ -179,3 +179,31 @@ class TestObservabilityExports:
         )
         assert code == 0
         assert "fault_episode" in capsys.readouterr().out
+
+class TestServeFleetSharded:
+    def test_sharded_json_payload(self, capsys):
+        code = main(
+            ["serve-fleet", "--gpus", "tx1", "--requests", "30",
+             "--shards", "2", "--shard-inline", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        sharding = payload["sharding"]
+        assert sharding["n_shards"] == 2
+        assert len(sharding["seeds"]) == 2
+        assert sharding["rehomed"] == 0
+        assert sharding["dead_shards"] == []
+        # Each shard gets its own interactive tenant at the full
+        # request count (plus a background tenant's traffic).
+        assert payload["summary"]["offered"] >= 2 * 30
+        summary = payload["summary"]
+        assert summary["completed"] + summary["rejected"] == summary["offered"]
+
+    def test_sharded_human_output_lists_shards(self, capsys):
+        code = main(
+            ["serve-fleet", "--gpus", "tx1", "--requests", "30",
+             "--shards", "2", "--shard-inline"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "s0" in out and "s1" in out

@@ -1,0 +1,101 @@
+"""Tests for repro.workloads.partition: stable hashing and trace
+partitioning with the merge round-trip guarantee."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    bursty_trace,
+    empty_trace,
+    merge_traces,
+    pareto_trace,
+    partition_trace,
+    stable_shard,
+)
+
+
+class TestStableShard:
+    def test_deterministic(self):
+        assert stable_shard("tenant-a", 4) == stable_shard("tenant-a", 4)
+
+    def test_in_range(self):
+        for key in ("a", "b", 17, ("x", 3)):
+            assert 0 <= stable_shard(key, 5) < 5
+
+    def test_single_shard_always_zero(self):
+        assert stable_shard("anything", 1) == 0
+
+    def test_spreads_keys(self):
+        # 64 tenants over 4 shards: SHA-1 should not collapse them
+        # onto one shard.
+        shards = {stable_shard("tenant-%d" % i, 4) for i in range(64)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            stable_shard("a", 0)
+
+    def test_differs_from_builtin_hash_semantics(self):
+        # The assignment is a pure function of str(key): equal string
+        # renderings share a shard regardless of type.
+        assert stable_shard(42, 8) == stable_shard("42", 8)
+
+
+class TestPartitionTrace:
+    def test_single_shard_identity(self):
+        trace = bursty_trace(50, 40.0, seed=1)
+        (part,) = partition_trace(trace, 1)
+        assert part is trace
+
+    def test_partition_covers_and_is_disjoint(self):
+        trace = bursty_trace(120, 40.0, seed=2)
+        parts = partition_trace(trace, 4)
+        assert len(parts) == 4
+        assert sum(p.n_requests for p in parts) == trace.n_requests
+
+    def test_preserves_arrival_order_within_shard(self):
+        trace = bursty_trace(100, 50.0, seed=3)
+        for part in partition_trace(trace, 3):
+            assert np.all(np.diff(part.arrivals_s) >= 0)
+
+    def test_empty_trace(self):
+        parts = partition_trace(empty_trace(), 3)
+        assert [p.n_requests for p in parts] == [0, 0, 0]
+
+    def test_key_override_groups_requests(self):
+        trace = bursty_trace(60, 50.0, seed=4)
+        # Everything keyed identically lands on one shard.
+        parts = partition_trace(trace, 4, key=lambda position: "same")
+        sizes = sorted(p.n_requests for p in parts)
+        assert sizes == [0, 0, 0, 60]
+
+    def test_deterministic(self):
+        trace = pareto_trace(80, 30.0, seed=5)
+        first = partition_trace(trace, 3)
+        second = partition_trace(trace, 3)
+        for a, b in zip(first, second):
+            assert np.array_equal(a.arrivals_s, b.arrivals_s)
+            assert np.array_equal(a.difficulty, b.difficulty)
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            partition_trace(bursty_trace(10, 10.0, seed=6), 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_shards=st.integers(min_value=1, max_value=8),
+        generator=st.sampled_from(["mmpp", "pareto"]),
+    )
+    def test_merge_round_trip(self, seed, n_shards, generator):
+        """merge_traces(*partition_trace(t, n)) == t for seeded
+        MMPP and Pareto traces (strictly increasing arrivals)."""
+        if generator == "mmpp":
+            trace = bursty_trace(64, 40.0, seed=seed)
+        else:
+            trace = pareto_trace(64, 40.0, seed=seed)
+        merged = merge_traces(*partition_trace(trace, n_shards))
+        assert np.array_equal(merged.arrivals_s, trace.arrivals_s)
+        assert np.array_equal(merged.difficulty, trace.difficulty)
