@@ -54,6 +54,7 @@ from repro.analysis import (
     profile_network,
     roofline_point,
 )
+from repro.control import ControllerConfig
 from repro.core import ApplicationSpec, TaskClass
 from repro.core.engine import ExecutionEngine
 from repro.core.fleet import FleetManager
@@ -187,6 +188,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-inline", action="store_true",
         help="run shards sequentially in-process instead of "
         "multiprocessing spawn workers (same bits, easier debugging)",
+    )
+    serve.add_argument(
+        "--controller", choices=["off", "ewma", "holt-winters"],
+        default="off",
+        help="predictive control plane: per-tenant arrival forecasting "
+        "with plan pre-warm, proactive degradation and DVFS "
+        "(default: off, purely reactive serving)",
     )
     serve.add_argument(
         "--no-degradation", action="store_true",
@@ -525,7 +533,8 @@ def _chaos_config(horizon_s: float) -> FaultTraceConfig:
     )
 
 
-def _serve_fleet_sharded(args, spec, platforms, offered, config):
+def _serve_fleet_sharded(args, spec, platforms, offered, config,
+                         controller=None):
     """The ``serve-fleet --shards N`` path: coordinator run + exports.
 
     Every shard serves its own tenant pair (``interactive-s<k>`` /
@@ -595,6 +604,7 @@ def _serve_fleet_sharded(args, spec, platforms, offered, config):
         n_shards=args.shards,
         seed=args.seed,
         inline=args.shard_inline,
+        controller=controller,
     )
     outcome = coordinator.run(
         shard_loads=shard_loads, faults=faults, instrument=instrument
@@ -669,11 +679,14 @@ def _cmd_serve_fleet(args) -> int:
         policy="fifo" if args.fifo else "soc",
         resilience=not args.no_resilience,
     )
+    controller = None
+    if args.controller != "off":
+        controller = ControllerConfig(kind=args.controller)
 
     outcome = None
     if args.shards > 1:
         outcome = _serve_fleet_sharded(
-            args, spec, sorted(deployments), offered, config
+            args, spec, sorted(deployments), offered, config, controller
         )
         report = outcome.report
     else:
@@ -713,7 +726,10 @@ def _cmd_serve_fleet(args) -> int:
                 seed=args.chaos_seed,
             )
         obs = _obs_for(args)
-        report = RequestRouter(fleet, config).run(loads, faults, obs=obs)
+        report = RequestRouter(fleet, config).run(
+            loads, faults, obs=obs,
+            controller=controller.build() if controller is not None else None,
+        )
         if obs is not None:
             _write_obs_exports(obs, args)
 

@@ -1,0 +1,38 @@
+"""Predictive control plane above the reactive serving router.
+
+The router (``repro.serving``) rescues after the fact: backlog grows,
+hysteresis trips, the ladder degrades.  This package acts *before*:
+per-tenant forecasters (:mod:`repro.control.forecast`) watch windowed
+arrival rates, and a :class:`~repro.control.plane.ControlPlane` runs
+on a fixed control-tick cadence to pre-warm plan-cache entries for
+the rungs it predicts it will need, step the degradation ladder
+proactively, and ramp DVFS ahead of forecast spikes (power-gating
+ahead of troughs).  :mod:`repro.control.whatif` replays the same
+trace reactive vs predictive and emits a fingerprinted comparison.
+
+Everything here is deterministic and sim-clock-only (REP001 scope):
+same seed, same trace -> bit-identical reports.
+"""
+
+from repro.control.forecast import (
+    ArrivalForecaster,
+    EwmaForecaster,
+    HoltWintersForecaster,
+)
+from repro.control.plane import (
+    ControlPlane,
+    ControllerConfig,
+    TickOutcome,
+)
+from repro.control.whatif import WhatIfOutcome, run_whatif
+
+__all__ = [
+    "ArrivalForecaster",
+    "ControlPlane",
+    "ControllerConfig",
+    "EwmaForecaster",
+    "HoltWintersForecaster",
+    "TickOutcome",
+    "WhatIfOutcome",
+    "run_whatif",
+]

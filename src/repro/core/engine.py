@@ -171,7 +171,14 @@ class HookBus:
         Payload: ``key`` (:class:`CompileKey`), ``plan``.
     ``on_cache_hit``
         A cache returned a stored artifact.
-        Payload: ``kind`` (``"compile"``/``"execute"``), ``key``.
+        Payload: ``kind`` (``"compile"``/``"execute"``), ``key``, and for
+        compile hits ``prewarmed`` (bool) -- whether the entry was
+        planted by :meth:`ExecutionEngine.prewarm` rather than compiled
+        on the critical path.
+    ``on_prewarm``
+        A prewarm request resolved (hit or compiled ahead of need).
+        Payload: ``key`` (:class:`CompileKey`), ``hit`` (bool -- the
+        plan was already cached).
     ``on_execute``
         A plan was executed (fires on hits *and* misses).
         Payload: ``key`` (:class:`ExecuteKey`), ``plan``, ``report``,
@@ -181,7 +188,13 @@ class HookBus:
         Payload: ``step`` (:class:`~repro.core.runtime.calibration.CalibrationStep`).
     """
 
-    EVENTS = ("on_compile", "on_cache_hit", "on_execute", "on_calibrate")
+    EVENTS = (
+        "on_compile",
+        "on_cache_hit",
+        "on_execute",
+        "on_calibrate",
+        "on_prewarm",
+    )
 
     def __init__(self) -> None:
         self._subscribers: Dict[str, List[Callable[..., None]]] = {
@@ -222,6 +235,12 @@ class EngineStats:
     execute_calls: int = 0
     execute_misses: int = 0
     calibrations: int = 0
+    #: Plans requested by ExecutionEngine.prewarm (hits included).
+    prewarm_requests: int = 0
+    #: Prewarm requests that actually compiled (were not already cached).
+    prewarm_misses: int = 0
+    #: Compile-cache hits served by an entry a prewarm planted.
+    prewarmed_hits: int = 0
     #: Simulated seconds served across every execute call (hits included).
     simulated_time_s: float = 0.0
     #: Execute call counts per plan fingerprint.
@@ -236,6 +255,11 @@ class EngineStats:
     def execute_hits(self) -> int:
         """Execute requests answered from the cache."""
         return self.execute_calls - self.execute_misses
+
+    @property
+    def prewarm_hits(self) -> int:
+        """Prewarm requests that were already cached (no compile needed)."""
+        return self.prewarm_requests - self.prewarm_misses
 
     @property
     def compile_hit_rate(self) -> float:
@@ -257,6 +281,7 @@ class EngineStats:
         hooks.subscribe("on_cache_hit", self._on_cache_hit)
         hooks.subscribe("on_execute", self._on_execute)
         hooks.subscribe("on_calibrate", self._on_calibrate)
+        hooks.subscribe("on_prewarm", self._on_prewarm)
         return self
 
     # -- subscribers ----------------------------------------------------
@@ -264,9 +289,11 @@ class EngineStats:
         self.compile_calls += 1
         self.compile_misses += 1
 
-    def _on_cache_hit(self, kind, key, **_ignored) -> None:
+    def _on_cache_hit(self, kind, key, prewarmed=False, **_ignored) -> None:
         if kind == "compile":
             self.compile_calls += 1
+            if prewarmed:
+                self.prewarmed_hits += 1
 
     def _on_execute(self, key, plan, report, cached, **_ignored) -> None:
         self.execute_calls += 1
@@ -277,6 +304,11 @@ class EngineStats:
 
     def _on_calibrate(self, step, **_ignored) -> None:
         self.calibrations += 1
+
+    def _on_prewarm(self, key, hit, **_ignored) -> None:
+        self.prewarm_requests += 1
+        if not hit:
+            self.prewarm_misses += 1
 
 
 # ----------------------------------------------------------------------
@@ -321,6 +353,7 @@ class ExecutionEngine:
         self._plans: Dict[CompileKey, CompiledPlan] = {}
         self._batch_decisions: Dict[tuple, int] = {}
         self._reports: Dict[ExecuteKey, ExecutionReport] = {}
+        self._prewarmed: set = set()
 
     # -- plumbing -------------------------------------------------------
     def _resolve(
@@ -406,7 +439,12 @@ class ExecutionEngine:
         if self.cache_plans:
             cached = self._plans.get(key)
             if cached is not None:
-                self.hooks.emit("on_cache_hit", kind="compile", key=key)
+                self.hooks.emit(
+                    "on_cache_hit",
+                    kind="compile",
+                    key=key,
+                    prewarmed=key in self._prewarmed,
+                )
                 return cached
         plan = self.compiler_for(arch, backend).compile_with_batch(
             network, batch, perforation
@@ -457,6 +495,44 @@ class ExecutionEngine:
             self._plans[key] = plan
         self.hooks.emit("on_compile", key=key, plan=plan)
         return plan
+
+    def prewarm(
+        self,
+        specs,
+        arch: Optional[GPUArchitecture] = None,
+        backend: Optional[KernelLibrary] = None,
+    ) -> Dict[CompileKey, bool]:
+        """Plant plan-cache entries ahead of need (the control-plane seam).
+
+        ``specs`` is an iterable of ``(network, batch, perforation,
+        arch)`` tuples; a spec's ``arch`` of ``None`` falls back to the
+        ``arch`` argument and then the engine default.  Each spec is
+        compiled through the normal plan cache (so an entry that is
+        already present costs one lookup) and remembered as prewarmed:
+        later organic ``compile_with_batch`` hits on these keys carry
+        ``prewarmed=True``, letting stats and obs distinguish hits the
+        controller bought from hits the workload earned.
+
+        Returns ``{key: hit}`` -- ``True`` when the plan was already
+        cached, ``False`` when the prewarm compiled it.
+        """
+        results: Dict[CompileKey, bool] = {}
+        for network, batch, perforation, spec_arch in specs:
+            use_arch, use_backend = self._resolve(
+                spec_arch if spec_arch is not None else arch, backend
+            )
+            key = self.compile_key(
+                network, batch, perforation, use_arch, use_backend
+            )
+            hit = self.cache_plans and key in self._plans
+            if not hit:
+                self.compile_with_batch(
+                    network, batch, perforation, use_arch, use_backend
+                )
+            self._prewarmed.add(key)
+            self.hooks.emit("on_prewarm", key=key, hit=hit)
+            results[key] = hit
+        return results
 
     # -- execute --------------------------------------------------------
     def execute(
@@ -536,6 +612,7 @@ class ExecutionEngine:
             self._plans.clear()
             self._reports.clear()
             self._batch_decisions.clear()
+            self._prewarmed.clear()
             return removed
         net_fp = network_fingerprint(network) if network is not None else None
         arch_name = arch.name if arch is not None else None
@@ -551,6 +628,7 @@ class ExecutionEngine:
         doomed_fps = {plan_fingerprint(self._plans[k]) for k in doomed_plans}
         for k in doomed_plans:
             del self._plans[k]
+        self._prewarmed.difference_update(doomed_plans)
         doomed_reports = [k for k in self._reports if k.plan in doomed_fps]
         for k in doomed_reports:
             del self._reports[k]

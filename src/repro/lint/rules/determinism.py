@@ -26,6 +26,7 @@ SIMULATION_PACKAGES = (
     "repro.workloads",
     "repro.schedulers",
     "repro.obs",
+    "repro.control",
 )
 
 #: Exact banned call targets (wall clocks, ambient entropy, global-RNG

@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.obs.metrics import (
     LATENCY_BUCKETS_S,
     OCCUPANCY_BUCKETS,
+    RATE_ERROR_BUCKETS_RPS,
     SLACK_BUCKETS_S,
     MetricsRegistry,
 )
@@ -517,6 +518,76 @@ class Instrumentation:
             platform=platform,
         ).set(level)
 
+    # -- control plane ---------------------------------------------------
+    def control_tick(
+        self,
+        time_s: float,
+        observed_rps: float,
+        forecast_rps: float,
+        target_level: int,
+        error_rps: Optional[float] = None,
+    ) -> None:
+        """One predictive-controller cadence firing."""
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        self.tracer.instant(
+            "control_tick",
+            time_s,
+            parent=self._run,
+            observed_rps=observed_rps,
+            forecast_rps=forecast_rps,
+            target_level=target_level,
+        )
+        self.metrics.counter(
+            "control_ticks_total", "predictive controller ticks"
+        ).inc()
+        self.metrics.gauge(
+            "forecast_rate_rps", "forecast fleet arrival rate"
+        ).set(forecast_rps)
+        if error_rps is not None:
+            self.metrics.histogram(
+                "forecast_error_rps",
+                RATE_ERROR_BUCKETS_RPS,
+                "absolute one-step forecast error",
+            ).observe(error_rps)
+
+    def prewarm(self, platform: str, level: int, time_s: float) -> None:
+        """The controller planted a plan-cache entry ahead of need."""
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        self.tracer.instant(
+            "prewarm",
+            time_s,
+            parent=self._platforms.get(platform),
+            platform=platform,
+            level=level,
+        )
+        self.metrics.counter(
+            "control_prewarms_total",
+            "rungs pre-warmed by the controller",
+            platform=platform,
+        ).inc()
+
+    def dvfs_move(
+        self, platform: str, relative_frequency: float, time_s: float
+    ) -> None:
+        """The controller commanded a platform DVFS state."""
+        if not self.enabled:
+            return
+        self._touch(time_s)
+        self.metrics.counter(
+            "dvfs_moves_total",
+            "controller-commanded frequency changes",
+            platform=platform,
+        ).inc()
+        self.metrics.gauge(
+            "platform_frequency",
+            "commanded relative frequency",
+            platform=platform,
+        ).set(relative_frequency)
+
     def breaker_transition(
         self, platform: str, transition: str, time_s: float
     ) -> None:
@@ -623,6 +694,13 @@ class Instrumentation:
                 "engine_executes_total", "plan executions (hits included)"
             ).inc()
 
+        def on_prewarm(key, hit, **_ignored):
+            self.metrics.counter(
+                "engine_prewarms_total",
+                "plan-cache entries requested by prewarm",
+                outcome="hit" if hit else "miss",
+            ).inc()
+
         def on_calibrate(step, **_ignored):
             time_s = clock()
             self._touch(time_s)
@@ -642,12 +720,14 @@ class Instrumentation:
         engine.hooks.subscribe("on_compile", on_compile)
         engine.hooks.subscribe("on_cache_hit", on_cache_hit)
         engine.hooks.subscribe("on_execute", on_execute)
+        engine.hooks.subscribe("on_prewarm", on_prewarm)
         engine.hooks.subscribe("on_calibrate", on_calibrate)
 
         def unsubscribe():
             engine.hooks.unsubscribe("on_compile", on_compile)
             engine.hooks.unsubscribe("on_cache_hit", on_cache_hit)
             engine.hooks.unsubscribe("on_execute", on_execute)
+            engine.hooks.unsubscribe("on_prewarm", on_prewarm)
             engine.hooks.unsubscribe("on_calibrate", on_calibrate)
 
         return unsubscribe

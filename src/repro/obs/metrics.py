@@ -40,6 +40,7 @@ __all__ = [
     "LATENCY_BUCKETS_S",
     "SLACK_BUCKETS_S",
     "OCCUPANCY_BUCKETS",
+    "RATE_ERROR_BUCKETS_RPS",
 ]
 
 #: Default latency histogram edges in seconds (upper-inclusive).
@@ -51,6 +52,10 @@ SLACK_BUCKETS_S = (-1.0, -0.5, -0.1, 0.0, 0.1, 0.25, 0.5, 1.0, 2.5)
 
 #: Batch-occupancy edges (occupied slots / plan capacity).
 OCCUPANCY_BUCKETS = (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
+
+#: Forecast-error edges in requests/second (absolute one-step error of
+#: the control plane's arrival-rate forecasters).
+RATE_ERROR_BUCKETS_RPS = (1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
 
 
 def linear_percentile(values: Sequence[float], q: float) -> float:

@@ -42,7 +42,9 @@ __all__ = [
 #: ``compile``/``plan_cache_lookup`` relay the execution engine's
 #: hook-bus activity; ``calibration_backtrack`` marks the calibrator
 #: stepping back down the tuning path; ``fault_episode`` brackets an
-#: injected fault's begin/end pair.
+#: injected fault's begin/end pair; ``control_tick``/``prewarm`` are
+#: instant marks of the predictive control plane's cadence firings and
+#: plan-cache pre-warms.
 SPAN_NAMES = (
     "run",
     "platform",
@@ -55,6 +57,8 @@ SPAN_NAMES = (
     "plan_cache_lookup",
     "calibration_backtrack",
     "fault_episode",
+    "control_tick",
+    "prewarm",
 )
 
 #: Span names whose presence/count depends on engine cache temperature

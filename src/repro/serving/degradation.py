@@ -89,6 +89,21 @@ class DegradationLadder:
     candidate only if it improves throughput by at least ``min_gain``.
     Entropy beyond the tuning table is estimated with the analytic
     model anchored at the dense entry's measured entropy.
+
+    The ladder's *shape* -- each level's (batch, perforation) pair --
+    is a cheap fixed-point walk computed up front; the expensive part
+    (compiling and executing a plan per level) is the
+    *materialization*.  By default every level materializes in
+    ``__init__`` (the historical eager behavior, bit-identical compile
+    and execute order).  With ``lazy=True`` only level 0 materializes
+    and deeper rungs compile on first access -- the control plane's
+    mode, where :meth:`prewarm_specs` exposes not-yet-materialized
+    levels so the predicted ones can be planted in the engine's plan
+    cache ahead of dispatch.
+
+    A level whose measured throughput fails the ``min_gain`` bar
+    truncates the ladder there; requests for deeper levels clamp to
+    the deepest real rung.
     """
 
     def __init__(
@@ -98,6 +113,7 @@ class DegradationLadder:
         batch_growth: int = 2,
         max_batch: int = 64,
         min_gain: float = 1.02,
+        lazy: bool = False,
     ) -> None:
         if max_levels < 1:
             raise ValueError("ladder needs at least one level")
@@ -106,16 +122,10 @@ class DegradationLadder:
         if min_gain <= 1.0:
             raise ValueError("min_gain must exceed 1.0")
         self.deployment = deployment
+        self.min_gain = min_gain
         entry = deployment.current_entry
-        engine = deployment.engine
-        def execute(plan):
-            return engine.execute(
-                plan,
-                power_gating=deployment.power_gating,
-                use_priority_sm=deployment.use_priority_sm,
-            )
-        base_report = execute(entry.compiled)
-        rungs: List[DegradationRung] = [
+        base_report = self._execute(entry.compiled)
+        self.rungs: List[DegradationRung] = [
             DegradationRung(
                 level=0,
                 batch=entry.compiled.batch,
@@ -126,14 +136,16 @@ class DegradationLadder:
                 entropy=entry.entropy,
             )
         ]
-        model = AnalyticEntropyModel(
+        self._model = AnalyticEntropyModel(
             deployment.network,
             base_entropy=deployment.tuning_table.dense.entropy,
         )
         conv_names = [layer.name for layer in deployment.network.conv_layers]
+        # The shape walk: pure arithmetic, no compilation.
+        shapes: List[tuple] = []
         batch = entry.compiled.batch
         perforation = entry.plan
-        for level in range(1, max_levels):
+        for _level in range(1, max_levels):
             next_batch = min(batch * batch_growth, max(max_batch, batch))
             next_perforation = escalate_perforation(perforation, conv_names)
             if (
@@ -141,22 +153,53 @@ class DegradationLadder:
                 and next_perforation.rates == perforation.rates
             ):
                 break  # the ladder's fixed point: nothing left to trade
-            plan = engine.compile_with_batch(
+            shapes.append((next_batch, next_perforation))
+            batch = next_batch
+            perforation = next_perforation
+        self._shapes = shapes
+        self._truncated = False
+        if not lazy:
+            self._materialize_to(len(shapes))
+
+    def _execute(self, plan: CompiledPlan):
+        deployment = self.deployment
+        return deployment.engine.execute(
+            plan,
+            power_gating=deployment.power_gating,
+            use_priority_sm=deployment.use_priority_sm,
+        )
+
+    def _materialize_to(self, level: int) -> None:
+        """Compile-and-measure rungs up through ``level`` (clamped)."""
+        while (
+            not self._truncated
+            and len(self.rungs) <= level
+            and len(self.rungs) <= len(self._shapes)
+        ):
+            next_level = len(self.rungs)
+            next_batch, next_perforation = self._shapes[next_level - 1]
+            deployment = self.deployment
+            plan = deployment.engine.compile_with_batch(
                 deployment.network,
                 next_batch,
                 next_perforation,
                 arch=deployment.arch,
             )
-            report = execute(plan)
+            report = self._execute(plan)
             throughput = next_batch / report.total_time_s
-            if throughput < rungs[-1].throughput_rps * min_gain:
-                break  # no real capacity gain; stop degrading here
+            if throughput < self.rungs[-1].throughput_rps * self.min_gain:
+                # No real capacity gain: the ladder ends here, and the
+                # deeper shapes become unreachable.
+                self._truncated = True
+                del self._shapes[next_level - 1:]
+                break
             entropy = max(
-                rungs[-1].entropy, model.evaluate(next_perforation).entropy
+                self.rungs[-1].entropy,
+                self._model.evaluate(next_perforation).entropy,
             )
-            rungs.append(
+            self.rungs.append(
                 DegradationRung(
-                    level=level,
+                    level=next_level,
                     batch=next_batch,
                     perforation=next_perforation,
                     plan=plan,
@@ -165,9 +208,29 @@ class DegradationLadder:
                     entropy=entropy,
                 )
             )
-            batch = next_batch
-            perforation = next_perforation
-        self.rungs = rungs
+
+    def all_rungs(self) -> List[DegradationRung]:
+        """Every reachable rung, materializing any still pending."""
+        self._materialize_to(len(self._shapes))
+        return list(self.rungs)
+
+    def prewarm_specs(self, levels) -> List[tuple]:
+        """Compile specs for not-yet-materialized levels among ``levels``.
+
+        Returns ``(network, batch, perforation, arch)`` tuples in level
+        order, ready for :meth:`repro.core.engine.ExecutionEngine.prewarm`;
+        already-materialized and out-of-range levels are skipped.
+        """
+        specs = []
+        deployment = self.deployment
+        for level in sorted(set(levels)):
+            if level < len(self.rungs) or level > len(self._shapes):
+                continue
+            batch, perforation = self._shapes[level - 1]
+            specs.append(
+                (deployment.network, batch, perforation, deployment.arch)
+            )
+        return specs
 
     @classmethod
     def from_rungs(
@@ -184,24 +247,36 @@ class DegradationLadder:
             raise ValueError("ladder needs at least one rung")
         ladder = cls.__new__(cls)
         ladder.deployment = deployment
+        ladder.min_gain = 1.02
         ladder.rungs = list(rungs)
+        ladder._model = None
+        ladder._shapes = [(r.batch, r.perforation) for r in ladder.rungs[1:]]
+        ladder._truncated = False
         return ladder
 
     def __len__(self) -> int:
-        return len(self.rungs)
+        """Reachable depth: pending shapes count until truncation."""
+        return 1 + len(self._shapes)
 
     def __getitem__(self, level: int) -> DegradationRung:
+        if level < 0:
+            raise IndexError("ladder levels are non-negative")
+        self._materialize_to(level)
+        if level >= len(self.rungs):
+            # min_gain truncated the ladder below the requested depth;
+            # the deepest real rung stands in.
+            return self.rungs[-1]
         return self.rungs[level]
 
     @property
     def max_level(self) -> int:
         """The deepest available level."""
-        return len(self.rungs) - 1
+        return len(self) - 1
 
     @property
     def peak_throughput_rps(self) -> float:
         """The fleet-planner's capacity number: the deepest rung."""
-        return self.rungs[-1].throughput_rps
+        return self.all_rungs()[-1].throughput_rps
 
 
 class DegradationController:

@@ -16,10 +16,11 @@ the baseline the overload benchmark compares against.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.satisfaction import soc
+from repro.gpu.dvfs import FrequencyState, scaled_runtime
 from repro.serving.degradation import (
     DegradationController,
     DegradationLadder,
@@ -86,6 +87,9 @@ class PlatformState:
     # -- fault / resilience state ---------------------------------------
     #: Live hardware health (None outside fault-injected runs).
     health: Optional["PlatformHealth"] = None
+    #: Controller-commanded DVFS state (None at nominal frequency, so
+    #: controller-free runs are untouched by the scaling below).
+    frequency: Optional[FrequencyState] = None
     #: Per-platform circuit breaker (None when resilience is off).
     breaker: Optional[CircuitBreaker] = None
     #: The ladder compiled against the *healthy* architecture; kept so
@@ -105,10 +109,18 @@ class PlatformState:
 
     def rung_at(self, level: int) -> DegradationRung:
         """The effective rung at a ladder level: the compiled numbers,
-        scaled by any active thermal throttle."""
+        scaled by any active thermal throttle, then by the control
+        plane's commanded DVFS state (compute-bound runtime stretch,
+        static power tracking V^2)."""
         rung = self.ladder[level]
         if self.health is not None:
             rung = self.health.scale_rung(rung)
+        if self.frequency is not None:
+            rung = replace(
+                rung,
+                exec_time_s=scaled_runtime(rung.exec_time_s, self.frequency),
+                energy_j=rung.energy_j * self.frequency.static_power_scale,
+            )
         return rung
 
     @property

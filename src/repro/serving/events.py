@@ -55,6 +55,9 @@ class EventLog:
     #: ``retry`` a failed request re-entering admission after backoff,
     #: ``failover`` a request rescued off a dead platform, and the
     #: ``breaker_*`` kinds are circuit-breaker state transitions.
+    #: The control-plane kinds: ``control_tick`` is one predictive
+    #: controller cadence firing, ``prewarm`` a plan-cache entry
+    #: planted ahead of need, and ``dvfs`` a commanded frequency move.
     KINDS = (
         "enqueue",
         "reject",
@@ -71,6 +74,9 @@ class EventLog:
         "breaker_open",
         "breaker_half_open",
         "breaker_close",
+        "control_tick",
+        "prewarm",
+        "dvfs",
     )
 
     def __init__(self) -> None:

@@ -273,6 +273,11 @@ class RouterReport:
     #: fingerprint -- see
     #: :meth:`repro.obs.instrument.Instrumentation.report_section`.
     obs: Optional[dict] = None
+    #: Control-plane section of a predictively controlled run (None
+    #: otherwise): forecaster accuracy per tenant, tick/prewarm/DVFS
+    #: counters -- see
+    #: :meth:`repro.control.plane.ControlPlane.report_section`.
+    control: Optional[dict] = None
     #: The leaf reports this report was folded from (None for a leaf
     #: produced directly by a router run).  :meth:`merge` always
     #: flattens to leaves and folds them in one canonical order, which
@@ -495,6 +500,12 @@ class RouterReport:
         resilience = ResilienceStats.merge(stats) if stats else None
         sections = [leaf.obs for leaf in leaves if leaf.obs is not None]
         obs = merge_obs_sections(sections) if sections else None
+        controls = [
+            leaf.control for leaf in leaves if leaf.control is not None
+        ]
+        control = (
+            cls._merge_control_sections(controls) if controls else None
+        )
         return cls(
             completed=completed,
             rejected=rejected,
@@ -503,8 +514,88 @@ class RouterReport:
             horizon_s=horizon_s,
             resilience=resilience,
             obs=obs,
+            control=control,
             merged_from=tuple(leaves),
         )
+
+    @staticmethod
+    def _merge_control_sections(sections: "Sequence[dict]") -> dict:
+        """Fold per-shard control-plane sections into one.
+
+        Configuration keys (``kind``/``tick_s``/``horizon_ticks``)
+        must agree across shards; counters sum; per-tenant forecaster
+        stats fold observation-weighted (a tenant split across shards
+        recombines its mean rate exactly and its MAE as the
+        observation-weighted mean); the fleet-level forecast error
+        recombines tick-weighted.
+        """
+        if not sections:
+            raise ValueError(
+                "_merge_control_sections needs at least one section"
+            )
+        if len(sections) == 1:
+            return dict(sections[0])
+        for key in ("kind", "tick_s", "horizon_ticks"):
+            values = sorted({repr(section.get(key)) for section in sections})
+            if len(values) != 1:
+                raise ValueError(
+                    "control sections disagree on %r across shards: %s"
+                    % (key, ", ".join(values))
+                )
+        ticks = sum(section.get("ticks", 0) for section in sections)
+        error_weighted = sum(
+            section.get("mean_abs_error_rps", 0.0) * section.get("ticks", 0)
+            for section in sections
+        )
+        tenants: Dict[str, dict] = {}
+        for section in sections:
+            for name, stats in section.get("tenants", {}).items():
+                agg = tenants.setdefault(
+                    name,
+                    {"observations": 0, "rate_sum": 0.0, "mae_sum": 0.0},
+                )
+                agg["observations"] += stats["observations"]
+                agg["rate_sum"] += (
+                    stats["mean_rate_rps"] * stats["observations"]
+                )
+                agg["mae_sum"] += stats["mae_rps"] * stats["observations"]
+        merged_tenants = {
+            name: {
+                "observations": agg["observations"],
+                "mean_rate_rps": (
+                    agg["rate_sum"] / agg["observations"]
+                    if agg["observations"]
+                    else 0.0
+                ),
+                "mae_rps": (
+                    agg["mae_sum"] / agg["observations"]
+                    if agg["observations"]
+                    else 0.0
+                ),
+            }
+            for name, agg in sorted(tenants.items())
+        }
+        return {
+            "kind": sections[0]["kind"],
+            "tick_s": sections[0]["tick_s"],
+            "horizon_ticks": sections[0]["horizon_ticks"],
+            "ticks": ticks,
+            "mean_abs_error_rps": error_weighted / ticks if ticks else 0.0,
+            "prewarm": {
+                key: sum(
+                    section.get("prewarm", {}).get(key, 0)
+                    for section in sections
+                )
+                for key in ("requested", "hits", "misses")
+            },
+            "degrades": sum(
+                section.get("degrades", 0) for section in sections
+            ),
+            "dvfs_moves": sum(
+                section.get("dvfs_moves", 0) for section in sections
+            ),
+            "tenants": merged_tenants,
+        }
 
     @staticmethod
     def _merge_platforms(
@@ -626,6 +717,8 @@ class RouterReport:
             data["resilience"] = self.resilience.to_dict()
         if self.obs is not None:
             data["obs"] = self.obs
+        if self.control is not None:
+            data["control"] = self.control
         if include_events:
             data["events"] = self.events.to_dicts()
         if include_requests:
@@ -667,5 +760,14 @@ class RouterReport:
             # not (the embedded trace fingerprint is already
             # cache-neutral by construction).
             data["obs"] = cache_neutral_obs_section(self.obs)
+        if self.control is not None:
+            # Prewarm hit/miss split is cache temperature too (a warm
+            # engine answers every prewarm from storage); the request
+            # count is routing behaviour and stays.
+            control = dict(self.control)
+            prewarm = control.get("prewarm")
+            if isinstance(prewarm, dict):
+                control["prewarm"] = {"requested": prewarm.get("requested")}
+            data["control"] = control
         payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha1(payload.encode("utf-8")).hexdigest()

@@ -197,6 +197,7 @@ _FLUSH = "flush"
 _FAULT = "fault"
 _RETRY = "retry"
 _PROBE = "probe"
+_TICK = "tick"
 
 
 class _RunState:
@@ -270,6 +271,7 @@ class RequestRouter:
         loads: Sequence[TenantLoad],
         faults: Optional[FaultTrace] = None,
         obs: Optional[Instrumentation] = None,
+        controller: Optional[object] = None,
     ) -> RouterReport:
         """Serve every tenant's trace; returns the aggregate report.
 
@@ -282,6 +284,17 @@ class RequestRouter:
         carries an ``obs`` section and the instrumentation retains the
         full trace buffer and metrics registry for export.  One
         instrumentation instance observes one run.
+
+        ``controller`` optionally attaches a predictive control plane
+        (duck-typed to :class:`repro.control.plane.ControlPlane`): the
+        router notifies it of every arrival, fires its fixed-cadence
+        control ticks as ordinary simulation events, and lets it
+        pre-warm plan-cache entries, escalate degradation ladders
+        ahead of forecast load, and command per-platform DVFS states.
+        Degradation ladders are then built *lazily* so the controller's
+        pre-warm decides which rungs compile ahead of dispatch.  One
+        controller instance observes one run; the report then carries
+        a ``control`` section.
         """
         config = self.config
         if faults is not None:
@@ -309,7 +322,9 @@ class RequestRouter:
         obs.run_started(tuple(self.deployments), 0.0)
         unsubscribe = self._subscribe_engines(events, obs)
         try:
-            run.states = self._build_states(events)
+            run.states = self._build_states(
+                events, lazy=controller is not None
+            )
             dispatcher = Dispatcher(run.states, policy=config.policy)
             run.admission = AdmissionController(
                 dispatcher,
@@ -334,12 +349,21 @@ class RequestRouter:
             if faults is not None:
                 for fault in faults:
                     push(fault.time_s, _FAULT, fault)
+            last_arrival_s = requests[-1].arrival_s if requests else 0.0
+            if controller is not None:
+                controller.begin(run.states, 0.0)
+                if controller.tick_s <= last_arrival_s:
+                    push(controller.tick_s, _TICK, controller)
 
             while heap:
                 time_s, _seq, kind, payload = heapq.heappop(heap)
                 self._now = time_s
                 if kind == _ARRIVAL or kind == _RETRY:
+                    if kind == _ARRIVAL and controller is not None:
+                        controller.observe_arrival(payload, time_s)
                     self._on_arrival(payload, run, push)
+                elif kind == _TICK:
+                    self._on_tick(payload, run, push, last_arrival_s)
                 elif kind == _FREE:
                     self._on_free(payload, run, push)
                 elif kind == _FAULT:
@@ -375,6 +399,11 @@ class RequestRouter:
                 run.resilience_stats() if faults is not None else None
             ),
             obs=obs.report_section() if obs.enabled else None,
+            control=(
+                controller.report_section()
+                if controller is not None
+                else None
+            ),
         )
 
     # -- setup -----------------------------------------------------------
@@ -419,7 +448,9 @@ class RequestRouter:
 
         return unsubscribe
 
-    def _build_states(self, events: EventLog) -> Dict[str, PlatformState]:
+    def _build_states(
+        self, events: EventLog, lazy: bool = False
+    ) -> Dict[str, PlatformState]:
         config = self.config
         states: Dict[str, PlatformState] = {}
         for name, deployment in self.deployments.items():
@@ -429,6 +460,7 @@ class RequestRouter:
                 batch_growth=config.batch_growth,
                 max_batch=config.max_batch,
                 min_gain=config.min_gain,
+                lazy=lazy,
             )
             base_time = ladder[0].exec_time_s
             controller = DegradationController(
@@ -552,6 +584,62 @@ class RequestRouter:
             state.transient_pending += 1
         # "rescale" needs no action: rungs are scaled lazily through
         # PlatformState.rung_at / PlatformHealth.scale_rung.
+
+    def _on_tick(
+        self, controller, run: _RunState, push, last_arrival_s: float
+    ) -> None:
+        """One control-plane tick: let the controller forecast and
+        act, then mirror its actions into the event log and obs, wake
+        any platform it changed, and re-arm the next tick (ticks stop
+        once the trace's last arrival is behind us -- the drain phase
+        is the reactive machinery's business)."""
+        now = self._now
+        outcome = controller.tick(now, run.states)
+        run.events.record(
+            "control_tick",
+            time_s=now,
+            observed_rps=outcome.observed_rps,
+            forecast_rps=outcome.forecast_rps,
+            level=outcome.target_level,
+        )
+        run.obs.control_tick(
+            now,
+            outcome.observed_rps,
+            outcome.forecast_rps,
+            outcome.target_level,
+            outcome.error_rps,
+        )
+        for platform, level, batch in outcome.prewarmed:
+            run.events.record(
+                "prewarm",
+                time_s=now,
+                platform=platform,
+                level=level,
+                batch=batch,
+            )
+            run.obs.prewarm(platform, level, now)
+        for platform, _old, level in outcome.degraded:
+            run.events.record(
+                "degrade",
+                time_s=now,
+                platform=platform,
+                cause="forecast",
+                level=level,
+            )
+            run.obs.degradation_move(platform, "degrade", level, now)
+        for platform, relative_frequency in outcome.dvfs_moves:
+            run.events.record(
+                "dvfs",
+                time_s=now,
+                platform=platform,
+                relative_frequency=relative_frequency,
+            )
+            run.obs.dvfs_move(platform, relative_frequency, now)
+        for name in sorted(outcome.changed_platforms):
+            self._try_dispatch(run.states[name], run, push)
+        next_tick = now + controller.tick_s
+        if next_tick <= last_arrival_s:
+            push(next_tick, _TICK, controller)
 
     def _on_outage(self, state: PlatformState, run: _RunState, push) -> None:
         """The platform just died.  Resilient mode evacuates its work
@@ -700,7 +788,7 @@ class RequestRouter:
             return
         engine = deployment.engine
         rungs = []
-        for rung in state.base_ladder.rungs:
+        for rung in state.base_ladder.all_rungs():
             plan = engine.compile_with_batch(
                 deployment.network,
                 rung.batch,

@@ -113,6 +113,7 @@ class FleetCoordinator:
         seed: int = 0,
         inline: bool = False,
         max_workers: Optional[int] = None,
+        controller: Optional[object] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1, got %r" % (n_shards,))
@@ -126,6 +127,11 @@ class FleetCoordinator:
         self.seed = seed
         self.inline = inline
         self.max_workers = max_workers
+        #: Optional picklable controller recipe (see
+        #: :attr:`ShardSpec.controller`): every shard builds its own
+        #: fresh plane from it, so predictive state never crosses the
+        #: process boundary.
+        self.controller = controller
         self.planner = ShardPlanner(n_shards)
 
     # -- public entry ----------------------------------------------------
@@ -168,6 +174,7 @@ class FleetCoordinator:
                 faults=shard_faults[shard_id],
                 seed=shard_seed(self.seed, shard_id),
                 instrument=instrument,
+                controller=self.controller,
             )
             for shard_id in range(self.n_shards)
         ]

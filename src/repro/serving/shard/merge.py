@@ -74,6 +74,7 @@ def qualify_report(report: RouterReport, shard_id: int) -> RouterReport:
         horizon_s=report.horizon_s,
         resilience=report.resilience,
         obs=report.obs,
+        control=report.control,
     )
 
 
@@ -117,6 +118,7 @@ def strip_requests(report: RouterReport, rids: Iterable[int]) -> RouterReport:
         horizon_s=report.horizon_s,
         resilience=report.resilience,
         obs=report.obs,
+        control=report.control,
     )
 
 

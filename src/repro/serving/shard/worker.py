@@ -83,6 +83,12 @@ class ShardSpec:
     faults: Optional[FaultTrace] = None
     seed: int = 0
     instrument: bool = False
+    #: Optional predictive-controller recipe.  Duck-typed on purpose
+    #: (anything picklable with a ``build()`` returning a router
+    #: controller, in practice a
+    #: :class:`repro.control.plane.ControllerConfig`) so the serving
+    #: layer keeps zero imports of :mod:`repro.control`.
+    controller: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -132,7 +138,12 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         Instrumentation(shard=spec.label) if spec.instrument else None
     )
     router = RequestRouter(fleet, spec.config)
-    report = router.run(list(spec.loads), faults=spec.faults, obs=obs)
+    plane = (
+        spec.controller.build() if spec.controller is not None else None
+    )
+    report = router.run(
+        list(spec.loads), faults=spec.faults, obs=obs, controller=plane
+    )
     spans = (
         tuple(obs.buffer.to_dicts()) if obs is not None else None
     )

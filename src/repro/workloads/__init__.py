@@ -6,6 +6,7 @@ from repro.workloads.generators import (
     background_trace,
     bursty_trace,
     difficulty_shift,
+    diurnal_trace,
     empty_trace,
     interactive_trace,
     merge_traces,
@@ -14,6 +15,7 @@ from repro.workloads.generators import (
     scale_rate,
 )
 from repro.workloads.partition import partition_trace, stable_shard
+from repro.workloads.rates import windowed_counts, windowed_rates
 from repro.workloads.tasks import (
     Scenario,
     age_detection,
@@ -27,6 +29,7 @@ __all__ = [
     "background_trace",
     "bursty_trace",
     "difficulty_shift",
+    "diurnal_trace",
     "empty_trace",
     "interactive_trace",
     "merge_traces",
@@ -35,6 +38,8 @@ __all__ = [
     "realtime_trace",
     "scale_rate",
     "stable_shard",
+    "windowed_counts",
+    "windowed_rates",
     "Scenario",
     "age_detection",
     "image_tagging",

@@ -22,6 +22,7 @@ __all__ = [
     "realtime_trace",
     "background_trace",
     "bursty_trace",
+    "diurnal_trace",
     "pareto_trace",
     "empty_trace",
     "merge_traces",
@@ -133,6 +134,43 @@ def bursty_trace(
             arrivals.append(now)
         now = state_end
         state = 1 - state
+    return RequestTrace(
+        arrivals_s=np.asarray(arrivals), difficulty=np.ones(n_requests)
+    )
+
+
+def diurnal_trace(
+    n_requests: int = 400,
+    base_rate_hz: float = 50.0,
+    amplitude: float = 0.6,
+    period_s: float = 10.0,
+    seed: int = 0,
+) -> RequestTrace:
+    """A seasonal (diurnal) non-homogeneous Poisson arrival stream.
+
+    The instantaneous rate follows a sinusoid,
+    ``rate(t) = base_rate_hz * (1 + amplitude * sin(2 pi t / period_s))``,
+    the compressed-time analogue of a day/night traffic cycle.
+    Arrivals are drawn by thinning a homogeneous Poisson process at
+    the peak rate, so the stream is exact (not a per-window
+    approximation) and fully determined by the seed.  The seasonal
+    forecaster tests lock onto ``period_s``.
+    """
+    if base_rate_hz <= 0 or period_s <= 0:
+        raise ValueError("base_rate_hz and period_s must be positive")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("amplitude must be in [0, 1)")
+    peak_rate = base_rate_hz * (1.0 + amplitude)
+    rng = np.random.default_rng(seed)
+    arrivals: List[float] = []
+    now = 0.0
+    while len(arrivals) < n_requests:
+        now += rng.exponential(1.0 / peak_rate)
+        rate = base_rate_hz * (
+            1.0 + amplitude * np.sin(2.0 * np.pi * now / period_s)
+        )
+        if rng.random() * peak_rate <= rate:
+            arrivals.append(now)
     return RequestTrace(
         arrivals_s=np.asarray(arrivals), difficulty=np.ones(n_requests)
     )

@@ -1,0 +1,49 @@
+"""Shared fixtures for the control-plane test suite.
+
+Mirrors the serving suite's layout: fleet deployment dominates
+wall-clock, so one two-platform fleet is deployed per module and
+shared.  Tests that need cold engine caches (the prewarm causal
+chain) build their own fleet.
+"""
+
+import pytest
+
+from repro.core import ApplicationSpec, TaskClass
+from repro.core.fleet import FleetManager
+from repro.core.satisfaction import TimeRequirement
+from repro.gpu import JETSON_TX1, K20C
+from repro.nn import alexnet
+from repro.serving import Tenant
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ApplicationSpec(
+        "age-detection", TaskClass.INTERACTIVE, entropy_slack=0.30
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet(spec):
+    manager = FleetManager(
+        alexnet(),
+        spec,
+        architectures=[K20C, JETSON_TX1],
+        max_tuning_iterations=8,
+    )
+    manager.deploy_all()
+    return manager
+
+
+@pytest.fixture(scope="module")
+def deployments(fleet):
+    return fleet.deploy_all()
+
+
+@pytest.fixture
+def snappy_tenant():
+    """An interactive tenant with a deadline tight enough to miss."""
+    return Tenant(
+        "snappy", TimeRequirement(imperceptible_s=0.1, unusable_s=0.5),
+        priority=1,
+    )

@@ -70,3 +70,18 @@ def test_obs_package_is_rep001_rep003_clean():
     assert report.ok, "\n".join(v.render() for v in report.violations)
     assert report.files_scanned == len(list(obs_root.rglob("*.py")))
     assert not report.suppressed, "obs must not carry suppressions"
+
+
+def test_control_package_is_rep001_clean():
+    # The predictive control plane feeds forecasts and DVFS commands
+    # straight into fingerprinted router runs, so it lives inside
+    # REP001's simulation scope and must be wall-clock/ambient-entropy
+    # free with no suppressions.
+    from repro.lint.rules.determinism import SIMULATION_PACKAGES
+
+    assert "repro.control" in SIMULATION_PACKAGES
+    control_root = PACKAGE_ROOT / "control"
+    report = run_lint([control_root], rule_ids=["REP001"])
+    assert report.ok, "\n".join(v.render() for v in report.violations)
+    assert report.files_scanned == len(list(control_root.rglob("*.py")))
+    assert not report.suppressed, "control must not carry suppressions"
