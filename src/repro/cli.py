@@ -28,6 +28,12 @@ Sub-commands:
   per-shard seeded tenants) and prints the deterministically merged
   report; ``--chaos`` injects a seeded fault trace (outages, SM
   failures, throttles, transients) and reports the recovery metrics;
+  ``--proc-chaos [--proc-chaos-seed S]`` injects *process* faults
+  (worker crashes, hangs, corrupted results) the shard supervisor
+  must recover from bit-identically, with ``--shard-timeout-s S`` /
+  ``--shard-retries K`` / ``--shard-witness`` / ``--processes P``
+  tuning the supervision policy and ``--resume-dir D`` checkpointing
+  shard results so a rerun re-executes only failed shards;
   the trace/metrics flags enable instrumentation and write
   deterministic span/metric exports.
 * ``trace SCENARIO [--gpus G1,G2] [--requests N] [--chaos] ...`` --
@@ -72,6 +78,7 @@ from repro.obs import (
     prometheus_text,
     trace_to_json,
 )
+from repro.resilience import ProcFaultPlan, SupervisorConfig
 from repro.schedulers import compare_schedulers, make_context
 from repro.serving import (
     FleetCoordinator,
@@ -188,6 +195,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-inline", action="store_true",
         help="run shards sequentially in-process instead of "
         "multiprocessing spawn workers (same bits, easier debugging)",
+    )
+    serve.add_argument(
+        "--processes", type=int, default=None,
+        help="cap on concurrently live shard workers "
+        "(default: min(shards, cpu count))",
+    )
+    serve.add_argument(
+        "--proc-chaos", action="store_true",
+        help="inject seeded *process* faults into the shard workers "
+        "(self-kill, corrupted results); the supervisor recovers via "
+        "kill-and-retry and the merged fingerprint stays bit-identical "
+        "to the fault-free run",
+    )
+    serve.add_argument(
+        "--proc-chaos-seed", type=int, default=11,
+        help="seed of the process-fault plan (with --proc-chaos)",
+    )
+    serve.add_argument(
+        "--shard-timeout-s", type=float, default=None,
+        help="wall-clock budget per shard attempt; hung workers are "
+        "killed and retried (default: no timeout)",
+    )
+    serve.add_argument(
+        "--shard-retries", type=int, default=3,
+        help="attempts per shard before its load is escalated onto a "
+        "healthy shard",
+    )
+    serve.add_argument(
+        "--shard-witness", action="store_true",
+        help="re-execute every shard and require fingerprint "
+        "agreement before accepting its result (duplicate-execution "
+        "quorum; catches forged payloads)",
+    )
+    serve.add_argument(
+        "--resume-dir", default=None, metavar="DIR",
+        help="checkpoint completed shard results here; a re-run with "
+        "the same inputs executes only the shards that failed",
     )
     serve.add_argument(
         "--controller", choices=["off", "ewma", "holt-winters"],
@@ -594,6 +638,30 @@ def _serve_fleet_sharded(args, spec, platforms, offered, config,
         or args.chrome_trace is not None
         or args.metrics_out is not None
     )
+    proc_faults = None
+    if args.proc_chaos:
+        # Crash + corruption only: the hang kind needs a timeout to be
+        # recoverable, so it joins the draw only when the user set one
+        # (with a sleep guaranteed to overrun it).  One faulty attempt
+        # per shard at most, so the retry always lands clean and the
+        # merged fingerprint matches the fault-free run bit for bit.
+        hang_rate = 0.0 if args.shard_timeout_s is None else 0.2
+        proc_faults = ProcFaultPlan(
+            seed=args.proc_chaos_seed,
+            crash_rate=0.3,
+            corrupt_rate=0.2,
+            hang_rate=hang_rate,
+            hang_s=(
+                3600.0
+                if args.shard_timeout_s is None
+                else 10.0 * args.shard_timeout_s
+            ),
+        )
+    supervision = SupervisorConfig(
+        timeout_s=args.shard_timeout_s,
+        max_attempts=args.shard_retries,
+        witness=args.shard_witness,
+    )
     coordinator = FleetCoordinator(
         FleetSpec(
             network=args.network,
@@ -605,6 +673,10 @@ def _serve_fleet_sharded(args, spec, platforms, offered, config,
         seed=args.seed,
         inline=args.shard_inline,
         controller=controller,
+        processes=args.processes,
+        supervision=supervision,
+        proc_faults=proc_faults,
+        resume_dir=args.resume_dir,
     )
     outcome = coordinator.run(
         shard_loads=shard_loads, faults=faults, instrument=instrument
@@ -643,6 +715,17 @@ def _write_shard_exports(outcome, args) -> None:
                 )
             )
         print("metrics written to %s" % args.metrics_out, file=sys.stderr)
+
+
+def _shard_status(outcome, shard_id: int) -> str:
+    """One shard's table cell: supervision status plus any fleet role
+    (chaos-dead, failover/escalation target), ``+``-joined."""
+    parts = [outcome.statuses[shard_id]] if outcome.statuses else ["ok"]
+    if shard_id in outcome.dead_shards and "dead" not in parts:
+        parts.append("dead")
+    if shard_id in (outcome.failover_target, outcome.escalation_target):
+        parts.append("target")
+    return "+".join(parts)
 
 
 def _cmd_serve_fleet(args) -> int:
@@ -684,7 +767,13 @@ def _cmd_serve_fleet(args) -> int:
         controller = ControllerConfig(kind=args.controller)
 
     outcome = None
-    if args.shards > 1:
+    supervised = (
+        args.proc_chaos
+        or args.resume_dir is not None
+        or args.shard_timeout_s is not None
+        or args.shard_witness
+    )
+    if args.shards > 1 or supervised:
         outcome = _serve_fleet_sharded(
             args, spec, sorted(deployments), offered, config, controller
         )
@@ -735,6 +824,7 @@ def _cmd_serve_fleet(args) -> int:
 
     if args.json:
         payload = report.to_dict(include_events=False)
+        payload["fingerprint"] = report.fingerprint()
         if outcome is not None:
             payload["sharding"] = {
                 "n_shards": args.shards,
@@ -742,6 +832,14 @@ def _cmd_serve_fleet(args) -> int:
                 "rehomed": outcome.rehomed,
                 "dead_shards": list(outcome.dead_shards),
                 "failover_target": outcome.failover_target,
+                "statuses": list(outcome.statuses),
+                "escalated": list(outcome.escalated),
+                "escalation_target": outcome.escalation_target,
+                "failures": [
+                    failure.to_dict()
+                    for failure in outcome.supervision.failures
+                ],
+                "supervision": outcome.supervision.to_dict(),
             }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
@@ -816,19 +914,18 @@ def _cmd_serve_fleet(args) -> int:
     if outcome is not None:
         print()
         print(format_table(
-            ["shard", "offered", "completed", "rejected", "role"],
+            ["shard", "offered", "completed", "rejected", "status"],
             [(
                 shard_label(shard_id),
                 shard_report.n_offered,
                 shard_report.n_completed,
                 shard_report.n_rejected,
-                "dead" if shard_id in outcome.dead_shards
-                else ("target" if shard_id == outcome.failover_target
-                      else "ok"),
+                _shard_status(outcome, shard_id),
             ) for shard_id, shard_report
                 in enumerate(outcome.shard_reports)],
-            title="Per shard (%d shards, %d re-homed)"
-            % (args.shards, outcome.rehomed),
+            title="Per shard (%d shards, %d re-homed, %d retries)"
+            % (args.shards, outcome.rehomed,
+               outcome.supervision.counters()["retries"]),
         ))
     counts = report.events.counts
     print()

@@ -27,6 +27,7 @@ SIMULATION_PACKAGES = (
     "repro.schedulers",
     "repro.obs",
     "repro.control",
+    "repro.resilience",
 )
 
 #: Exact banned call targets (wall clocks, ambient entropy, global-RNG

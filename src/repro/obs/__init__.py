@@ -15,6 +15,7 @@ from repro.obs.export import (
 )
 from repro.obs.instrument import (
     CACHE_SENSITIVE_METRIC_PREFIX,
+    SUPERVISION_METRIC_PREFIX,
     Instrumentation,
     cache_neutral_obs_section,
     merge_obs_sections,
@@ -50,6 +51,7 @@ __all__ = [
     "OCCUPANCY_BUCKETS",
     "SLACK_BUCKETS_S",
     "SPAN_NAMES",
+    "SUPERVISION_METRIC_PREFIX",
     "Span",
     "SpanHandle",
     "TraceBuffer",

@@ -42,6 +42,7 @@ from repro.obs.span import CACHE_SENSITIVE_SPANS, SpanHandle, TraceBuffer, Trace
 
 __all__ = [
     "CACHE_SENSITIVE_METRIC_PREFIX",
+    "SUPERVISION_METRIC_PREFIX",
     "Instrumentation",
     "cache_neutral_obs_section",
     "merge_obs_sections",
@@ -51,6 +52,13 @@ __all__ = [
 #: (compiles skipped on a warm cache); stripped from same-seed
 #: fingerprint comparisons alongside :data:`CACHE_SENSITIVE_SPANS`.
 CACHE_SENSITIVE_METRIC_PREFIX = "engine_"
+
+#: Metric families recording shard-supervision history (attempts,
+#: retries, failures by kind).  They describe host-level accidents --
+#: how many times the wall clock made us re-run a worker -- never
+#: simulated behaviour, so like the engine-cache families they are
+#: stripped before same-seed fingerprint comparisons.
+SUPERVISION_METRIC_PREFIX = "supervisor_"
 
 #: Fault kinds that open an episode / close it again; transients are
 #: instantaneous.
@@ -73,8 +81,10 @@ def cache_neutral_obs_section(section: dict) -> dict:
 
     Used by ``RouterReport.fingerprint``: span counts of
     :data:`~repro.obs.span.CACHE_SENSITIVE_SPANS` and metric families
-    prefixed ``engine_`` vary with engine cache warmth, so they (and
-    the total span count they shift) are dropped before hashing.
+    prefixed ``engine_`` vary with engine cache warmth, and the
+    ``supervisor_`` families vary with host-level chaos and retries,
+    so they (and the total span count they shift) are dropped before
+    hashing.
     """
     span_counts = {
         name: count
@@ -85,6 +95,7 @@ def cache_neutral_obs_section(section: dict) -> dict:
         series: value
         for series, value in section.get("metrics", {}).items()
         if not series.startswith(CACHE_SENSITIVE_METRIC_PREFIX)
+        and not series.startswith(SUPERVISION_METRIC_PREFIX)
     }
     neutral = {
         "span_counts": span_counts,

@@ -44,7 +44,9 @@ __all__ = [
 #: stepping back down the tuning path; ``fault_episode`` brackets an
 #: injected fault's begin/end pair; ``control_tick``/``prewarm`` are
 #: instant marks of the predictive control plane's cadence firings and
-#: plan-cache pre-warms.
+#: plan-cache pre-warms; ``supervise`` is the coordinator's zero-width
+#: record of one shard's supervision history (attempts, failures) in
+#: the stitched fleet trace.
 SPAN_NAMES = (
     "run",
     "platform",
@@ -59,13 +61,16 @@ SPAN_NAMES = (
     "fault_episode",
     "control_tick",
     "prewarm",
+    "supervise",
 )
 
-#: Span names whose presence/count depends on engine cache temperature
-#: rather than on routing behaviour: a warm plan cache answers from
-#: storage instead of compiling, so these must not feed same-seed
-#: fingerprint comparisons (mirrors ``RouterReport._CACHE_KINDS``).
-CACHE_SENSITIVE_SPANS = ("compile", "plan_cache_lookup")
+#: Span names whose presence/count depends on execution-environment
+#: accidents rather than on routing behaviour: a warm plan cache
+#: answers from storage instead of compiling, and supervision records
+#: depend on host-level chaos (crashes, hangs) the sim never sees --
+#: so none of these may feed same-seed fingerprint comparisons
+#: (mirrors ``RouterReport._CACHE_KINDS``).
+CACHE_SENSITIVE_SPANS = ("compile", "plan_cache_lookup", "supervise")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,114 @@
+"""Checkpoint/resume: completed shard results persisted to a run dir.
+
+A supervised fleet run can die halfway -- the host reboots, the
+supervisor exhausts one shard's retries with no healthy escalation
+target.  :class:`CheckpointStore` makes the *completed* work durable:
+every accepted shard result is pickled into the run directory keyed
+by a digest of its (normalized) spec, and a re-run with the same
+inputs loads those results back instead of re-executing -- only the
+shards that actually failed run again.
+
+The digest normalizes away ``attempt`` and ``proc_faults``: which
+attempt finally succeeded and what chaos was scheduled are execution
+noise, not inputs to the result (attempt-invariance is exactly the
+supervisor's contract), so a resume under a different fault plan
+still reuses clean results.
+
+Corrupt or stale checkpoint files are treated as misses, never
+errors: the worst a bad checkpoint can do is cost one re-execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from typing import Optional
+
+__all__ = ["CheckpointStore"]
+
+
+class CheckpointStore:
+    """Durable per-shard results under one run directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- keys ------------------------------------------------------------
+    @staticmethod
+    def spec_digest(spec) -> str:
+        """A stable content hash of one spec's *inputs*.
+
+        ``attempt`` and ``proc_faults`` are normalized out (see module
+        docstring); everything else -- loads, faults, seed, config --
+        feeds the pickle that is hashed, so a changed workload never
+        resurrects a stale result.
+        """
+        normalized = spec
+        if dataclasses.is_dataclass(spec):
+            fields = {f.name for f in dataclasses.fields(spec)}
+            overrides = {}
+            if "attempt" in fields:
+                overrides["attempt"] = 1
+            if "proc_faults" in fields:
+                overrides["proc_faults"] = None
+            if overrides:
+                normalized = dataclasses.replace(spec, **overrides)
+        payload = pickle.dumps(normalized, protocol=4)
+        return hashlib.sha1(payload).hexdigest()
+
+    def path_for(self, spec) -> str:
+        """Where one spec's result lives (digest-keyed, so the same
+        shard id can hold both its original and an escalation spec)."""
+        return os.path.join(
+            self.root,
+            "shard-%02d-%s.pkl"
+            % (spec.shard_id, self.spec_digest(spec)[:12]),
+        )
+
+    # -- round trip ------------------------------------------------------
+    def load(self, spec) -> Optional[object]:
+        """The previously-saved result for ``spec``, or ``None``.
+
+        Misses on absent, unreadable, or digest-mismatched files --
+        a resume never fails because of a bad checkpoint, it just
+        re-executes.
+        """
+        path = self.path_for(spec)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("digest") != self.spec_digest(spec):
+            return None
+        return payload.get("result")
+
+    def save(self, spec, result) -> str:
+        """Persist one accepted result (atomic write-then-rename)."""
+        path = self.path_for(spec)
+        payload = {
+            "digest": self.spec_digest(spec),
+            "shard_id": spec.shard_id,
+            "result": result,
+        }
+        staging = path + ".tmp"
+        with open(staging, "wb") as handle:
+            pickle.dump(payload, handle, protocol=4)
+        os.replace(staging, path)
+        return path
+
+    def write_manifest(self, payload: dict) -> str:
+        """A human-readable summary of the supervised run (JSON)."""
+        path = os.path.join(self.root, "manifest.json")
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path

@@ -10,7 +10,9 @@ Three transforms bridge worker-local reports into one global ledger:
   shard's ledger so the global report counts each request exactly
   once (the failover target owns their terminal records).
 * :func:`stitch_spans` -- re-parent every shard's span tree under one
-  synthetic global ``run`` span with densely re-based span ids.
+  synthetic global ``run`` span with densely re-based span ids,
+  appending zero-width ``supervise`` spans that record the
+  supervision history (attempts, failures) per shard.
 
 All three are pure functions over plain report data; they introduce
 no ordering of their own beyond shard-id order, so the coordinator's
@@ -20,7 +22,7 @@ output is a deterministic function of the shard results.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.obs.span import Span, TraceBuffer
 from repro.serving.events import EventLog
@@ -123,7 +125,10 @@ def strip_requests(report: RouterReport, rids: Iterable[int]) -> RouterReport:
 
 
 def stitch_spans(
-    results: Sequence[ShardResult], horizon_s: float, n_shards: int
+    results: Sequence[ShardResult],
+    horizon_s: float,
+    n_shards: int,
+    supervision: Optional[object] = None,
 ) -> TraceBuffer:
     """One global trace from every shard's exported spans.
 
@@ -134,6 +139,16 @@ def stitch_spans(
     a well-formed :class:`TraceBuffer` -- exportable through the
     standard span/Chrome exporters and fingerprintable like any
     single-run trace.
+
+    When a supervision report (anything with ``records`` carrying
+    ``shard_id``/``status``/``attempts``/``failures``) is given, one
+    zero-width ``supervise`` span per shard is appended under the
+    root, with one child per recorded failure.  They are zero-width
+    and carry no wall-clock attrs on purpose: the *shape* of the
+    supervision history is deterministic under the fault plan, so the
+    stitched trace stays byte-stable run to run, while ``supervise``
+    sits in :data:`~repro.obs.span.CACHE_SENSITIVE_SPANS` so trace
+    fingerprints ignore supervision entirely.
     """
     stitched: List[Span] = []
     end_s = horizon_s
@@ -156,6 +171,44 @@ def stitch_spans(
             )
             end_s = max(end_s, span.end_s)
         offset += len(result.spans)
+    if supervision is not None:
+        records = sorted(
+            getattr(supervision, "records", ()),
+            key=lambda record: record.shard_id,
+        )
+        for record in records:
+            record_id = offset
+            offset += 1
+            stitched.append(
+                Span(
+                    span_id=record_id,
+                    parent_id=0,
+                    name="supervise",
+                    start_s=0.0,
+                    end_s=0.0,
+                    attrs={
+                        "shard": "s%d" % record.shard_id,
+                        "status": record.status,
+                        "attempts": record.attempts,
+                    },
+                )
+            )
+            for failure in record.failures:
+                stitched.append(
+                    Span(
+                        span_id=offset,
+                        parent_id=record_id,
+                        name="supervise",
+                        start_s=0.0,
+                        end_s=0.0,
+                        attrs={
+                            "shard": "s%d" % failure.shard_id,
+                            "attempt": failure.attempt,
+                            "kind": failure.kind,
+                        },
+                    )
+                )
+                offset += 1
     buffer = TraceBuffer()
     buffer.add(
         Span(

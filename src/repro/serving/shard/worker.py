@@ -15,6 +15,8 @@ cache-neutral by construction.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -89,6 +91,19 @@ class ShardSpec:
     #: :class:`repro.control.plane.ControllerConfig`) so the serving
     #: layer keeps zero imports of :mod:`repro.control`.
     controller: Optional[object] = None
+    #: Optional process-fault injection plan.  Duck-typed like
+    #: ``controller`` (anything picklable with ``decide(shard_id,
+    #: attempt)`` and ``tamper(kind, result)``, in practice a
+    #: :class:`repro.resilience.ProcFaultPlan`): the worker consults
+    #: it once at the top of :func:`run_shard` and either dies, stalls
+    #: or tampers with its own result -- deterministic host-level
+    #: chaos for the supervisor to absorb.
+    proc_faults: Optional[object] = None
+    #: Which supervised attempt this spec describes (audit only: it
+    #: feeds fault decisions and result metadata, never the sim seed,
+    #: so every attempt of one shard produces the same report
+    #: fingerprint).
+    attempt: int = 1
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -99,6 +114,10 @@ class ShardSpec:
             raise ValueError(
                 "shard_id %r out of range for %d shards"
                 % (self.shard_id, self.n_shards)
+            )
+        if self.attempt < 1:
+            raise ValueError(
+                "attempt must be >= 1, got %r" % (self.attempt,)
             )
 
     @property
@@ -125,6 +144,13 @@ class ShardResult:
     seed: int
     report: RouterReport
     spans: Optional[Tuple[dict, ...]] = None
+    #: Which supervised attempt produced this result (audit trail).
+    attempt: int = 1
+    #: The report fingerprint the worker computed *before* returning.
+    #: The supervisor recomputes it from the received report; any
+    #: divergence means the payload mutated in flight (or a fault
+    #: plan corrupted it) and the attempt is rejected.
+    declared_fingerprint: Optional[str] = None
 
 
 def run_shard(spec: ShardSpec) -> ShardResult:
@@ -132,7 +158,26 @@ def run_shard(spec: ShardSpec) -> ShardResult:
 
     Top-level on purpose: the spawn start method pickles a reference
     to this function plus the spec, and nothing else.
+
+    When the spec carries a ``proc_faults`` plan, the worker is its
+    own chaos monkey: a ``crash`` decision kills the process outright
+    (``os._exit``, no teardown -- exactly what a segfault or OOM kill
+    looks like from outside), a ``hang`` sleeps before running (the
+    supervisor's timeout judges whether that is fatal), and the
+    tamper kinds sabotage the result after the fact.  Decisions are
+    pure in ``(plan seed, shard_id, attempt)``, so supervised chaos
+    runs replay bit-identically.
     """
+    plan = spec.proc_faults
+    fault = (
+        plan.decide(spec.shard_id, spec.attempt)
+        if plan is not None
+        else None
+    )
+    if fault == "crash":
+        os._exit(plan.crash_exit_code)
+    if fault == "hang":
+        time.sleep(plan.hang_s)
     fleet = spec.fleet.build()
     obs = (
         Instrumentation(shard=spec.label) if spec.instrument else None
@@ -147,12 +192,17 @@ def run_shard(spec: ShardSpec) -> ShardResult:
     spans = (
         tuple(obs.buffer.to_dicts()) if obs is not None else None
     )
-    return ShardResult(
+    result = ShardResult(
         shard_id=spec.shard_id,
         seed=spec.seed,
         report=report,
         spans=spans,
+        attempt=spec.attempt,
+        declared_fingerprint=report.fingerprint(),
     )
+    if fault in ("corrupt", "truncate", "forge"):
+        result = plan.tamper(fault, result)
+    return result
 
 
 class ShardWorker:

@@ -19,6 +19,15 @@ from repro.faults import (
     FaultTraceConfig,
     generate_fault_trace,
 )
+from repro.resilience import (
+    ProcFaultPlan,
+    ShardFailure,
+    ShardRunRecord,
+    SupervisionReport,
+    SupervisorConfig,
+)
+from repro.serving.report import RouterReport
+from repro.serving.shard import ShardResult
 from repro.serving import (
     FleetCoordinator,
     FleetSpec,
@@ -132,6 +141,66 @@ class TestPickleRoundTrips:
             difficulty=np.array([], dtype=float),
         )
         assert round_trip(trace).n_requests == 0
+
+    def test_proc_fault_plan(self):
+        plan = ProcFaultPlan(
+            seed=11, crash_rate=0.2, hang_rate=0.1,
+            forced=((1, "crash"), (2, "hang")),
+            max_faulty_attempts=2, hang_s=30.0,
+        )
+        restored = round_trip(plan)
+        assert restored == plan
+        assert restored.decide(1, 1) == plan.decide(1, 1)
+
+    def test_supervisor_config(self):
+        config = SupervisorConfig(
+            timeout_s=45.0, max_attempts=2, witness=True,
+            kill_grace_s=1.0,
+        )
+        assert round_trip(config) == config
+
+    def test_shard_failure_and_records(self):
+        failure = ShardFailure(
+            shard_id=1, attempt=2, kind="timeout",
+            detail="killed at 30s", exitcode=-9, wall_s=30.2,
+        )
+        assert round_trip(failure) == failure
+        record = ShardRunRecord(
+            shard_id=1, status="retried", attempts=2,
+            failures=(failure,),
+        )
+        assert round_trip(record) == record
+        report = SupervisionReport(records=(record,))
+        assert round_trip(report).counters() == report.counters()
+
+    def test_shard_spec_with_fault_plan_and_attempt(self):
+        spec = ShardSpec(
+            shard_id=0,
+            n_shards=2,
+            fleet=FleetSpec(
+                network="alexnet", spec=_spec(), gpus=("k20c",),
+            ),
+            config=RouterConfig(),
+            loads=_loads(),
+            proc_faults=ProcFaultPlan(seed=3, crash_rate=0.5),
+            attempt=2,
+        )
+        restored = round_trip(spec)
+        assert restored.attempt == 2
+        assert restored.proc_faults == spec.proc_faults
+
+    def test_shard_result_with_declared_fingerprint(self):
+        report = RouterReport(horizon_s=2.0)
+        result = ShardResult(
+            shard_id=1, seed=9, report=report, attempt=3,
+            declared_fingerprint=report.fingerprint(),
+        )
+        restored = round_trip(result)
+        assert restored.attempt == 3
+        assert (
+            restored.declared_fingerprint
+            == restored.report.fingerprint()
+        )
 
 
 class TestSpawnExecution:

@@ -207,3 +207,64 @@ class TestServeFleetSharded:
         assert code == 0
         out = capsys.readouterr().out
         assert "s0" in out and "s1" in out
+
+
+class TestServeFleetSupervised:
+    _BASE = ["serve-fleet", "--gpus", "tx1", "--requests", "30",
+             "--shard-inline", "--seed", "9"]
+
+    def test_proc_chaos_json_reports_failures_and_statuses(self, capsys):
+        code = main(
+            self._BASE + ["--shards", "2", "--proc-chaos", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        sharding = payload["sharding"]
+        assert sharding["statuses"] == ["retried", "retried"]
+        assert sharding["escalated"] == []
+        kinds = {failure["kind"] for failure in sharding["failures"]}
+        assert kinds <= {"crashed", "timeout", "error", "integrity",
+                         "witness"}
+        assert kinds, "proc chaos at seed 11 must inject something"
+        counters = sharding["supervision"]["counters"]
+        assert counters["retries"] == len(sharding["failures"])
+        assert counters["failed"] == 0
+        summary = payload["summary"]
+        assert summary["completed"] + summary["rejected"] == summary["offered"]
+
+    def test_proc_chaos_fingerprint_matches_clean_run(self, capsys):
+        assert main(self._BASE + ["--shards", "2", "--json"]) == 0
+        clean = json.loads(capsys.readouterr().out)
+        assert main(
+            self._BASE + ["--shards", "2", "--proc-chaos", "--json"]
+        ) == 0
+        chaos = json.loads(capsys.readouterr().out)
+        assert chaos["fingerprint"] == clean["fingerprint"]
+
+    def test_status_column_in_table(self, capsys):
+        code = main(self._BASE + ["--shards", "2", "--proc-chaos"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "status" in out
+        assert "retried" in out
+
+    def test_supervision_flags_route_single_shard_through_coordinator(
+        self, capsys
+    ):
+        code = main(self._BASE + ["--shard-timeout-s", "120", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sharding"]["n_shards"] == 1
+        assert payload["sharding"]["statuses"] == ["ok"]
+
+    def test_resume_dir_round_trip(self, tmp_path, capsys):
+        resume = str(tmp_path / "ckpt")
+        args = self._BASE + ["--shards", "2", "--resume-dir", resume,
+                             "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["sharding"]["statuses"] == ["ok", "ok"]
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["sharding"]["statuses"] == ["resumed", "resumed"]
+        assert second["fingerprint"] == first["fingerprint"]
