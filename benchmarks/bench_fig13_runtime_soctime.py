@@ -77,10 +77,12 @@ def test_fig13_runtime_soctime(benchmark, scenario_outcomes):
 
     # TX1 real-time: P-CNN (and Ideal) make the deadline; the
     # baselines' SoC_time collapses to 0.
+    # Exact sentinels: SoC_time saturates to exactly 0/1 by
+    # construction (Eq. 1 piecewise regions), so == is intended.
     for name in ("performance-preferred", "energy-efficient", "qpe", "qpe+"):
-        assert float(cells[("TX1", "video-surveillance", name)][6]) == 0.0
-    assert float(cells[("TX1", "video-surveillance", "p-cnn")][6]) == 1.0
+        assert float(cells[("TX1", "video-surveillance", name)][6]) == 0.0  # lint: ignore[REP002]
+    assert float(cells[("TX1", "video-surveillance", "p-cnn")][6]) == 1.0  # lint: ignore[REP002]
 
     # Background tasks: runtime does not affect satisfaction.
     for name in ORDER:
-        assert float(cells[("K20c", "image-tagging", name)][6]) == 1.0
+        assert float(cells[("K20c", "image-tagging", name)][6]) == 1.0  # lint: ignore[REP002]

@@ -40,10 +40,12 @@ Sub-commands:
   run one paper scenario through an instrumented router and export
   its spans/metrics (span JSON, Chrome ``trace_event`` for Perfetto,
   metrics JSON, Prometheus text).
-* ``lint [PATHS ...] [--format json] [--rule REPnnn] [--list-rules]``
-  -- run the AST invariant analyzer (determinism, float equality,
-  fingerprint ordering, unit algebra, import cycles, mutable
-  defaults) over the package or the given paths.
+* ``lint [PATHS ...] [--format json|sarif] [--rule REPnnn]
+  [--changed [--base REF]] [--show-stale] [--list-rules]`` -- run the
+  AST invariant analyzer (determinism incl. interprocedural taint,
+  float equality, fingerprint ordering, unit algebra, import cycles,
+  mutable defaults, spawn-boundary pickle contract, hook purity)
+  over the package or the given paths.
 """
 
 from __future__ import annotations

@@ -17,9 +17,10 @@ Violations are suppressed per line and per rule with a trailing
 suppression is recorded in the report rather than silently dropped.
 """
 
-from repro.lint.analyzer import LintReport, run_lint
+from repro.lint.analyzer import LintReport, StaleSuppression, run_lint
 from repro.lint.core import (
     ModuleRule,
+    ProjectContext,
     ProjectRule,
     Rule,
     SourceModule,
@@ -27,20 +28,23 @@ from repro.lint.core import (
     load_source_module,
     registry,
 )
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import render_json, render_sarif, render_text
 from repro.lint.rules import ALL_RULES
 
 __all__ = [
     "ALL_RULES",
     "LintReport",
     "ModuleRule",
+    "ProjectContext",
     "ProjectRule",
     "Rule",
     "SourceModule",
+    "StaleSuppression",
     "Violation",
     "load_source_module",
     "registry",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_lint",
 ]

@@ -5,19 +5,31 @@ self-clean test all share, so "the analyzer passes" means the same
 thing everywhere.  Suppressed violations are kept in the report (the
 suppression inventory is reviewable output, not a trapdoor); the exit
 status keys off *unsuppressed* findings only.
+
+Two whole-program facilities live here rather than in any rule:
+
+* the shared :class:`~repro.lint.core.ProjectContext` -- project
+  rules (REP005, REP007..REP009) receive one context per run, so the
+  call graph is computed at most once no matter how many rules need
+  it;
+* the stale-suppression pass -- a ``# lint: ignore[...]`` comment
+  that suppressed nothing this run (or names a rule id the registry
+  does not know) is itself reported, so the suppression inventory
+  cannot silently rot as the code under it gets fixed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 # Registering the rule catalog is a package-import side effect; the
 # analyzer must never run with an empty registry.
-import repro.lint.rules  # noqa: F401  (import registers REP001..REP006)
+import repro.lint.rules  # noqa: F401  (import registers REP001..REP009)
 from repro.lint.core import (
     ModuleRule,
+    ProjectContext,
     ProjectRule,
     SourceModule,
     Violation,
@@ -26,7 +38,37 @@ from repro.lint.core import (
     registry,
 )
 
-__all__ = ["LintReport", "run_lint"]
+__all__ = ["LintReport", "StaleSuppression", "run_lint"]
+
+
+@dataclass(frozen=True, order=True)
+class StaleSuppression:
+    """A suppression comment that earns its keep no longer."""
+
+    path: str
+    line: int
+    rule_id: str
+    #: ``unused`` (rule ran, nothing matched the line) or
+    #: ``unknown-rule`` (the id is not in the registry at all).
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule_id,
+            "reason": self.reason,
+        }
+
+    def render(self) -> str:
+        detail = (
+            "suppresses nothing"
+            if self.reason == "unused"
+            else "names an unregistered rule"
+        )
+        return "%s:%d: stale suppression for %s (%s)" % (
+            self.path, self.line, self.rule_id, detail,
+        )
 
 
 @dataclass
@@ -37,6 +79,8 @@ class LintReport:
     suppressed: List[Violation] = field(default_factory=list)
     #: Findings that count against the exit status.
     violations: List[Violation] = field(default_factory=list)
+    #: Suppression comments that covered nothing this run.
+    stale: List[StaleSuppression] = field(default_factory=list)
     files_scanned: int = 0
     rules_run: List[str] = field(default_factory=list)
     #: Files that failed to parse: path -> error message.  A file the
@@ -67,11 +111,49 @@ class LintReport:
             },
             "violations": [v.to_dict() for v in self.violations],
             "suppressed": [v.to_dict() for v in self.suppressed],
+            "stale_suppressions": [s.to_dict() for s in self.stale],
             "errors": {
                 path: message
                 for path, message in sorted(self.errors.items())
             },
         }
+
+
+def _stale_suppressions(
+    modules: Sequence[SourceModule],
+    rules_run: Sequence[str],
+    raw_hits: Set[Tuple[str, int, str]],
+) -> List[StaleSuppression]:
+    """Markers whose (line, rule) matched no raw finding this run.
+
+    An id the registry does not know is always stale; a known id is
+    only judged when its rule actually ran, so ``--rule`` filtered
+    runs never flag suppressions for the rules they skipped.
+    """
+    ran = set(rules_run)
+    known = {rule.rule_id for rule in registry}
+    stale: List[StaleSuppression] = []
+    for module in modules:
+        for line, rule_ids in module.suppressions.entries():
+            for rule_id in rule_ids:
+                if rule_id not in known:
+                    stale.append(
+                        StaleSuppression(
+                            module.display_path, line, rule_id,
+                            "unknown-rule",
+                        )
+                    )
+                elif (
+                    rule_id in ran
+                    and (module.display_path, line, rule_id)
+                    not in raw_hits
+                ):
+                    stale.append(
+                        StaleSuppression(
+                            module.display_path, line, rule_id, "unused",
+                        )
+                    )
+    return sorted(stale)
 
 
 def run_lint(
@@ -83,7 +165,7 @@ def run_lint(
     ``rule_ids`` restricts the run to a subset (unknown ids raise
     KeyError listing the catalog).  Violations come back sorted by
     location, suppressions split out, parse failures collected under
-    ``errors``.
+    ``errors``, stale suppression comments under ``stale``.
     """
     rules = registry.select(rule_ids)
     report = LintReport(rules_run=[rule.rule_id for rule in rules])
@@ -96,10 +178,11 @@ def run_lint(
             report.errors[str(path)] = "syntax error: %s" % error
     report.files_scanned = len(modules)
 
+    context = ProjectContext(modules)
     raw: List[Violation] = []
     for rule in rules:
         if isinstance(rule, ProjectRule):
-            raw.extend(rule.check_project(modules))
+            raw.extend(rule.check_project(modules, context))
         elif isinstance(rule, ModuleRule):
             for module in modules:
                 raw.extend(rule.check(module))
@@ -108,11 +191,16 @@ def run_lint(
                             "scoped" % rule.rule_id)
 
     by_path = {module.display_path: module for module in modules}
+    raw_hits: Set[Tuple[str, int, str]] = set()
     for violation in sorted(raw):
         module = by_path.get(violation.path)
-        if module is not None and module.suppressions.covers(
+        covered = module is not None and module.suppressions.covers(
             violation.line, violation.rule_id
-        ):
+        )
+        if covered:
+            raw_hits.add(
+                (violation.path, violation.line, violation.rule_id)
+            )
             report.suppressed.append(
                 Violation(
                     path=violation.path,
@@ -121,8 +209,12 @@ def run_lint(
                     rule_id=violation.rule_id,
                     message=violation.message,
                     suppressed=True,
+                    chain=violation.chain,
                 )
             )
         else:
             report.violations.append(violation)
+    report.stale = _stale_suppressions(
+        modules, report.rules_run, raw_hits
+    )
     return report

@@ -5,18 +5,27 @@ subparser; everything lint-flavoured (defaults, flag semantics, exit
 codes) lives next to the analyzer it drives.  Default target: the
 installed ``repro`` package itself, so ``python -m repro lint`` checks
 the code actually on ``sys.path`` no matter the working directory.
+
+``--changed`` narrows a run to the files ``git diff --name-only
+<base>`` reports (fast local iteration); outside a git checkout -- or
+when git itself fails -- it falls back to the full sweep rather than
+silently checking nothing.  Whole-program rules still see only the
+narrowed file set, so a pre-merge gate should run the full sweep.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
+import sys
 from pathlib import Path
+from typing import List, Optional, Sequence
 
 from repro.lint.analyzer import run_lint
-from repro.lint.core import registry
-from repro.lint.reporters import render_json, render_text
+from repro.lint.core import iter_python_files, registry
+from repro.lint.reporters import render_json, render_sarif, render_text
 
-__all__ = ["add_lint_parser", "run_lint_command"]
+__all__ = ["add_lint_parser", "changed_files", "run_lint_command"]
 
 
 def default_target() -> Path:
@@ -27,7 +36,7 @@ def default_target() -> Path:
 def add_lint_parser(sub) -> None:
     """Attach the ``lint`` subcommand to the CLI's subparsers."""
     lint = sub.add_parser(
-        "lint", help="run the AST invariant analyzer (REP001..REP006)"
+        "lint", help="run the AST invariant analyzer (REP001..REP009)"
     )
     lint.add_argument(
         "paths", nargs="*",
@@ -35,7 +44,7 @@ def add_lint_parser(sub) -> None:
         "(default: the repro package itself)",
     )
     lint.add_argument(
-        "--format", choices=["text", "json"], default="text",
+        "--format", choices=["text", "json", "sarif"], default="text",
         help="report format (default: text)",
     )
     lint.add_argument(
@@ -47,21 +56,106 @@ def add_lint_parser(sub) -> None:
         help="list suppressed findings in the text report",
     )
     lint.add_argument(
+        "--show-stale", action="store_true",
+        help="report suppression comments that suppress nothing (or "
+        "name an unregistered rule); such comments fail the run",
+    )
+    lint.add_argument(
+        "--changed", action="store_true",
+        help="only analyze files changed vs --base (git diff); falls "
+        "back to the full sweep outside a git checkout",
+    )
+    lint.add_argument(
+        "--base", default="HEAD", metavar="REF",
+        help="git ref --changed diffs against (default: HEAD)",
+    )
+    lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
 
 
+def changed_files(base: str) -> Optional[List[Path]]:
+    """Changed python files per git, or None when git is unusable.
+
+    Untracked (but not ignored) files count as changed -- a brand-new
+    module must not be invisible to ``--changed``.  Deleted files are
+    filtered out (nothing to parse); the caller treats None as "fall
+    back to the full sweep".
+    """
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", base, "--"],
+            capture_output=True, text=True, check=True, cwd=top,
+        ).stdout
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True, text=True, check=True, cwd=top,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    root = Path(top)
+    names = dict.fromkeys(diff.splitlines() + untracked.splitlines())
+    return [
+        root / line
+        for line in names
+        if line.endswith(".py") and (root / line).exists()
+    ]
+
+
+def _narrow_to_changed(
+    paths: Sequence, base: str
+) -> Optional[List[Path]]:
+    """Intersect the target file set with git's changed set.
+
+    Returns None to request the full sweep (no git).  An empty list
+    is a real answer: nothing relevant changed.
+    """
+    changed = changed_files(base)
+    if changed is None:
+        return None
+    changed_set = {path.resolve() for path in changed}
+    return [
+        path
+        for path in iter_python_files([Path(p) for p in paths])
+        if path.resolve() in changed_set
+    ]
+
+
 def run_lint_command(args: argparse.Namespace) -> int:
-    """Execute ``lint``; exit 0 iff no unsuppressed violations."""
+    """Execute ``lint``; exit 0 iff no unsuppressed violations (and,
+    under ``--show-stale``, no stale suppressions)."""
     if args.list_rules:
         for rule in registry:
             print(rule.describe())
         return 0
     paths = args.paths or [default_target()]
+    if args.changed:
+        narrowed = _narrow_to_changed(paths, args.base)
+        if narrowed is None:
+            print(
+                "lint: --changed needs a git checkout; running the "
+                "full sweep",
+                file=sys.stderr,
+            )
+        else:
+            paths = narrowed
     report = run_lint(paths, rule_ids=args.rules)
     if args.format == "json":
         print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report))
     else:
-        print(render_text(report, verbose=args.show_suppressed))
-    return 0 if report.ok else 1
+        print(
+            render_text(
+                report,
+                verbose=args.show_suppressed,
+                show_stale=args.show_stale,
+            )
+        )
+    failed = not report.ok or (args.show_stale and report.stale)
+    return 1 if failed else 0

@@ -10,8 +10,10 @@ AST, and the per-line suppression table parsed from
 ``# lint: ignore[RULE-ID]`` comments.  Rules come in two shapes:
 
 * :class:`ModuleRule` -- sees one module at a time (most rules).
-* :class:`ProjectRule` -- sees every module at once (the import-cycle
-  detector needs the whole graph).
+* :class:`ProjectRule` -- sees every module at once plus a shared
+  :class:`ProjectContext` (the import-cycle detector needs the whole
+  import graph; the interprocedural rules REP007..REP009 share one
+  call graph, computed lazily and exactly once per run).
 
 Both produce :class:`Violation` records; the analyzer applies the
 suppression table afterwards, so rules never need to think about it.
@@ -25,7 +27,19 @@ import tokenize
 from dataclasses import dataclass, field
 from io import StringIO
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from repro.lint.callgraph import CallGraph
 
 __all__ = [
     "Violation",
@@ -33,13 +47,16 @@ __all__ = [
     "Rule",
     "ModuleRule",
     "ProjectRule",
+    "ProjectContext",
     "RuleRegistry",
     "registry",
     "load_source_module",
     "iter_python_files",
 ]
 
-#: ``# lint: ignore[REP001]`` or ``# lint: ignore[REP001, REP004]``.
+#: A ``lint: ignore[REP001]`` marker behind a comment hash (one or
+#: more comma-separated rule ids).  Spelled obliquely here so this
+#: very line does not register as a live suppression.
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9, ]+)\]")
 
 #: Rule ids look like ``REP001``: a short tag plus a 3-digit number.
@@ -57,6 +74,10 @@ class Violation:
     message: str
     #: Set by the analyzer when a suppression comment covered the line.
     suppressed: bool = field(default=False, compare=False)
+    #: Interprocedural rules attach the witness call chain (caller to
+    #: sink, qualified names) so tooling can render it structurally;
+    #: the human-readable message already spells it out.
+    chain: Tuple[str, ...] = field(default=(), compare=False)
 
     def to_dict(self) -> dict:
         """Plain-data view (JSON-serializable, stable key set)."""
@@ -67,6 +88,7 @@ class Violation:
             "rule": self.rule_id,
             "message": self.message,
             "suppressed": self.suppressed,
+            "chain": list(self.chain),
         }
 
     def render(self) -> str:
@@ -114,6 +136,15 @@ class SuppressionTable:
         """Whether ``rule_id`` is suppressed on ``line``."""
         return rule_id in self._by_line.get(line, ())
 
+    def entries(self) -> List[Tuple[int, Tuple[str, ...]]]:
+        """Every marker as ``(line, sorted rule ids)`` -- the stale-
+        suppression pass walks this to find comments that suppress
+        nothing."""
+        return [
+            (line, tuple(sorted(ids)))
+            for line, ids in sorted(self._by_line.items())
+        ]
+
     @property
     def n_markers(self) -> int:
         """Lines carrying at least one suppression comment."""
@@ -141,7 +172,11 @@ class SourceModule:
             return str(self.path)
 
     def violation(
-        self, node: ast.AST, rule_id: str, message: str
+        self,
+        node: ast.AST,
+        rule_id: str,
+        message: str,
+        chain: Tuple[str, ...] = (),
     ) -> Violation:
         """A :class:`Violation` anchored at ``node``'s location."""
         return Violation(
@@ -150,6 +185,7 @@ class SourceModule:
             col=getattr(node, "col_offset", 0),
             rule_id=rule_id,
             message=message,
+            chain=chain,
         )
 
 
@@ -177,11 +213,36 @@ class ModuleRule(Rule):
         raise NotImplementedError
 
 
+class ProjectContext:
+    """Shared whole-program state for one analyzer run.
+
+    The expensive artifacts (today: the call graph) are built lazily
+    on first access and cached, so a run restricted to module-local
+    rules never pays for them, and a run with all three
+    interprocedural rules builds them exactly once.
+    """
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules: Sequence[SourceModule] = modules
+        self._callgraph: Optional["CallGraph"] = None
+
+    @property
+    def callgraph(self) -> "CallGraph":
+        """The project call graph, built on first access."""
+        if self._callgraph is None:
+            # cycle-breaker: callgraph.py imports SourceModule from
+            # this module, so the builder resolves lazily here.
+            from repro.lint.callgraph import build_callgraph
+
+            self._callgraph = build_callgraph(self.modules)
+        return self._callgraph
+
+
 class ProjectRule(Rule):
     """A rule that needs every module at once (e.g. the import graph)."""
 
     def check_project(
-        self, modules: Sequence[SourceModule]
+        self, modules: Sequence[SourceModule], context: ProjectContext
     ) -> List[Violation]:
         raise NotImplementedError
 

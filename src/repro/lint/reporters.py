@@ -1,9 +1,9 @@
 """Reporters: render a :class:`~repro.lint.analyzer.LintReport`.
 
 Text for humans (grouped by file, suppression inventory at the end),
-canonical JSON for CI annotations and tooling.  Both render from the
-same ``LintReport.to_dict`` data so they can never disagree about
-what the run found.
+canonical JSON for CI annotations and tooling, SARIF 2.1.0 for code
+-scanning UIs.  All three render from the same ``LintReport`` data so
+they can never disagree about what the run found.
 """
 
 from __future__ import annotations
@@ -12,12 +12,24 @@ import json
 from typing import List
 
 from repro.lint.analyzer import LintReport
+from repro.lint.core import Violation, registry
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_json", "render_sarif", "render_text"]
+
+#: The SARIF 2.1.0 schema this renderer targets.
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
-def render_text(report: LintReport, verbose: bool = False) -> str:
-    """Human-readable report; ``verbose`` lists suppressions too."""
+def render_text(
+    report: LintReport,
+    verbose: bool = False,
+    show_stale: bool = False,
+) -> str:
+    """Human-readable report; ``verbose`` lists suppressions too,
+    ``show_stale`` appends the stale-suppression inventory."""
     lines: List[str] = []
     for path, message in sorted(report.errors.items()):
         lines.append("%s: error: %s" % (path, message))
@@ -28,6 +40,10 @@ def render_text(report: LintReport, verbose: bool = False) -> str:
         lines.extend(
             "  " + violation.render() for violation in report.suppressed
         )
+    if show_stale and report.stale:
+        lines.append("")
+        lines.append("stale suppressions (%d):" % len(report.stale))
+        lines.extend("  " + stale.render() for stale in report.stale)
     lines.append("")
     counts = report.count_by_rule()
     breakdown = (
@@ -55,3 +71,97 @@ def render_text(report: LintReport, verbose: bool = False) -> str:
 def render_json(report: LintReport) -> str:
     """Canonical JSON rendering (sorted keys, stable schema)."""
     return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def _sarif_result(violation: Violation) -> dict:
+    """One SARIF ``result`` object for a violation."""
+    result = {
+        "ruleId": violation.rule_id,
+        "level": "note" if violation.suppressed else "error",
+        "message": {"text": violation.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": violation.line,
+                        # SARIF columns are 1-based; AST cols 0-based.
+                        "startColumn": violation.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if violation.suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    if violation.chain:
+        result["properties"] = {"callChain": list(violation.chain)}
+    return result
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 rendering (the CI code-scanning artifact).
+
+    Unsuppressed violations land as ``error`` results, suppressed
+    ones as ``note`` results carrying an ``inSource`` suppression,
+    and parse failures as tool-level ``error`` notifications, so the
+    artifact is the complete run record -- same contract as JSON.
+    """
+    rules = []
+    for rule_id in report.rules_run:
+        rule = registry.get(rule_id)
+        rules.append(
+            {
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.summary},
+                "fullDescription": {"text": rule.rationale},
+            }
+        )
+    results = [_sarif_result(v) for v in report.violations]
+    results.extend(_sarif_result(v) for v in report.suppressed)
+    notifications = [
+        {
+            "level": "error",
+            "message": {"text": message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": path.replace("\\", "/"),
+                        }
+                    }
+                }
+            ],
+        }
+        for path, message in sorted(report.errors.items())
+    ]
+    run = {
+        "tool": {
+            "driver": {
+                "name": "repro-lint",
+                "rules": rules,
+            }
+        },
+        "results": results,
+        "properties": {
+            "filesScanned": report.files_scanned,
+            "staleSuppressions": [
+                stale.to_dict() for stale in report.stale
+            ],
+        },
+    }
+    if notifications:
+        run["invocations"] = [
+            {
+                "executionSuccessful": False,
+                "toolExecutionNotifications": notifications,
+            }
+        ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [run],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -20,7 +20,13 @@ from __future__ import annotations
 import ast
 from typing import Dict, List, Sequence, Set, Tuple
 
-from repro.lint.core import ProjectRule, SourceModule, Violation, registry
+from repro.lint.core import (
+    ProjectContext,
+    ProjectRule,
+    SourceModule,
+    Violation,
+    registry,
+)
 from repro.lint.names import dotted_name
 
 __all__ = ["ImportGraphRule", "module_import_edges"]
@@ -167,7 +173,7 @@ class ImportGraphRule(ProjectRule):
     )
 
     def check_project(
-        self, modules: Sequence[SourceModule]
+        self, modules: Sequence[SourceModule], context: ProjectContext
     ) -> List[Violation]:
         by_name = {m.name: m for m in modules if m.name}
         known = set(by_name)

@@ -1,0 +1,353 @@
+"""REP008: spawn-boundary picklability contract.
+
+Everything that crosses into a ``multiprocessing`` spawn worker --
+the shard job descriptions, the fault plans, the checkpoint payloads
+-- must pickle by reference: every class involved has to be a
+module-top-level definition in an importable package, with no lambda,
+closure or local-class fields or defaults.  PR 6/8 pin this at
+runtime with pickle-contract tests, which only cover the types the
+tests happen to instantiate; this rule walks the *static* type
+references so a new field whose type breaks the contract fails the
+analyzer before any worker ever spawns.
+
+Starting from the spawn roots (:data:`SPAWN_ROOT_NAMES` resolved in
+any scanned ``repro.*`` module), the rule follows class-body and
+``__init__`` annotations -- including string annotations -- through
+the import alias table to every transitively-referenced project
+class, and checks each one:
+
+* defined at module top level (pickle resolves classes by module
+  attribute lookup; a nested class has no importable path);
+* defined inside a package (a bare top-level script module is not
+  importable by name from a spawn worker);
+* no ``lambda`` values in class-body assignments,
+  ``field(default=...)`` / ``field(default_factory=...)`` or
+  ``__init__`` parameter defaults (lambdas never pickle), and no
+  defaults naming a nested (closure) function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.callgraph import CallGraph, ClassInfo
+from repro.lint.core import (
+    ProjectContext,
+    ProjectRule,
+    SourceModule,
+    Violation,
+    registry,
+)
+
+__all__ = ["SpawnContractRule", "SPAWN_ROOT_NAMES"]
+
+#: Definitions whose referenced types must satisfy the contract.
+#: Matched by symbol name in any scanned module under ``repro.``, so
+#: the fixture corpus can exercise the rule with a miniature package.
+SPAWN_ROOT_NAMES = (
+    "ShardSpec",
+    "FleetSpec",
+    "run_shard",
+    "ProcFaultPlan",
+    "CheckpointStore",
+)
+
+
+def _annotation_names(node: ast.AST) -> List[str]:
+    """Dotted names referenced anywhere inside an annotation.
+
+    String annotations (``"RouterReport"``) are parsed and recursed
+    into; unparseable strings are ignored (conservative).
+    """
+    names: List[str] = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Constant) and isinstance(
+            current.value, str
+        ):
+            try:
+                stack.append(ast.parse(current.value, mode="eval").body)
+            except SyntaxError:
+                pass
+            continue
+        if isinstance(current, (ast.Name, ast.Attribute)):
+            dotted = _dotted(current)
+            if dotted is not None:
+                names.append(dotted)
+                continue
+        stack.extend(ast.iter_child_nodes(current))
+    return names
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _iter_defaults(
+    info: ClassInfo,
+) -> Iterable[Tuple[ast.AST, str]]:
+    """Every default-value expression of a class: ``(expr, where)``.
+
+    Covers class-body assignments (dataclass field defaults),
+    ``field(default=... / default_factory=...)`` keywords, and
+    ``__init__`` parameter defaults.
+    """
+    for stmt in info.node.body:
+        value = None
+        if isinstance(stmt, ast.AnnAssign):
+            value = stmt.value
+        elif isinstance(stmt, ast.Assign):
+            value = stmt.value
+        if value is None:
+            continue
+        if isinstance(value, ast.Call) and _dotted(value.func) in (
+            "field", "dataclasses.field",
+        ):
+            for keyword in value.keywords:
+                if keyword.arg in ("default", "default_factory"):
+                    yield keyword.value, "field(%s=...)" % keyword.arg
+        else:
+            yield value, "class-body default"
+    for stmt in info.node.body:
+        if (
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name == "__init__"
+        ):
+            defaults = list(stmt.args.defaults) + [
+                default
+                for default in stmt.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                yield default, "__init__ parameter default"
+
+
+def _referenced_names(info: ClassInfo) -> List[Tuple[str, ast.AST]]:
+    """Type names a class references: body + ``__init__`` annotations,
+    plus ``field(default_factory=Name)`` targets."""
+    refs: List[Tuple[str, ast.AST]] = []
+    for stmt in info.node.body:
+        if isinstance(stmt, ast.AnnAssign):
+            for name in _annotation_names(stmt.annotation):
+                refs.append((name, stmt))
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and stmt.name == "__init__":
+            for arg in (
+                list(stmt.args.posonlyargs)
+                + list(stmt.args.args)
+                + list(stmt.args.kwonlyargs)
+            ):
+                if arg.annotation is not None:
+                    for name in _annotation_names(arg.annotation):
+                        refs.append((name, arg.annotation))
+    for value, _where in _iter_defaults(info):
+        dotted = _dotted(value)
+        if dotted is not None:
+            refs.append((dotted, value))
+    return refs
+
+
+@registry.register
+class SpawnContractRule(ProjectRule):
+    """Statically verify the spawn boundary's pickle contract."""
+
+    rule_id = "REP008"
+    summary = (
+        "types reachable from the spawn roots (ShardSpec/FleetSpec/"
+        "run_shard/ProcFaultPlan/CheckpointStore) are top-level, "
+        "closure-free and importable"
+    )
+    rationale = (
+        "Spawn workers rebuild their arguments by unpickling; a "
+        "nested class, a lambda default or a type defined outside an "
+        "importable package fails only at worker start -- or worse, "
+        "only under the one config that ships it.  The runtime "
+        "pickle-contract tests cover instantiated values; this rule "
+        "covers the declared type graph."
+    )
+
+    def check_project(
+        self, modules: Sequence[SourceModule], context: ProjectContext
+    ) -> List[Violation]:
+        graph = context.callgraph
+        roots = self._roots(graph)
+        violations: List[Violation] = []
+        visited: Set[str] = set()
+        # (class, reference path from a root) -- breadth-first so the
+        # recorded path is a shortest one; sorted for determinism.
+        queue: List[Tuple[ClassInfo, Tuple[str, ...]]] = sorted(
+            roots, key=lambda item: item[0].qualname
+        )
+        while queue:
+            info, path = queue.pop(0)
+            if info.qualname in visited:
+                continue
+            visited.add(info.qualname)
+            here = path + (info.qualname,)
+            violations.extend(self._check_class(info, here, graph))
+            children = []
+            for name, node in _referenced_names(info):
+                resolved = graph.resolve_class(info.module, name)
+                if resolved is not None:
+                    if resolved.qualname not in visited:
+                        children.append((resolved, here))
+                    continue
+                nested = _nested_definition(graph, info.module, name)
+                if nested is not None:
+                    violations.append(
+                        info.module.violation(
+                            node,
+                            self.rule_id,
+                            "spawn-boundary class %s references the "
+                            "local (closure) definition %s; spawn "
+                            "workers cannot import it -- hoist it to "
+                            "module top level (reference path: %s)"
+                            % (info.qualname, nested, " -> ".join(here)),
+                            chain=here,
+                        )
+                    )
+            queue.extend(
+                sorted(children, key=lambda item: item[0].qualname)
+            )
+        return violations
+
+    def _roots(
+        self, graph: CallGraph
+    ) -> List[Tuple[ClassInfo, Tuple[str, ...]]]:
+        roots: List[Tuple[ClassInfo, Tuple[str, ...]]] = []
+        for qualname in sorted(graph.classes):
+            info = graph.classes[qualname]
+            module_name = info.module.name
+            if not module_name.startswith("repro."):
+                continue
+            if info.name in SPAWN_ROOT_NAMES:
+                roots.append((info, ()))
+        # ``run_shard`` is a function root: its parameter and return
+        # annotations seed the class walk.
+        for qualname in sorted(graph.functions):
+            info = graph.functions[qualname]
+            if not info.module.name.startswith("repro."):
+                continue
+            node = info.node
+            if (
+                getattr(node, "name", "") not in SPAWN_ROOT_NAMES
+                or info.owner_class is not None
+                or info.is_nested
+            ):
+                continue
+            names: List[str] = []
+            for arg in (
+                list(node.args.posonlyargs)
+                + list(node.args.args)
+                + list(node.args.kwonlyargs)
+            ):
+                if arg.annotation is not None:
+                    names.extend(_annotation_names(arg.annotation))
+            if node.returns is not None:
+                names.extend(_annotation_names(node.returns))
+            for name in names:
+                resolved = graph.resolve_class(info.module, name)
+                if resolved is not None:
+                    roots.append((resolved, (qualname,)))
+        return roots
+
+    def _check_class(
+        self, info: ClassInfo, path: Tuple[str, ...], graph: CallGraph
+    ) -> List[Violation]:
+        violations: List[Violation] = []
+        via = " -> ".join(path)
+        if not info.top_level:
+            violations.append(
+                info.module.violation(
+                    info.node,
+                    self.rule_id,
+                    "spawn-boundary class %s is not defined at module "
+                    "top level; pickle resolves classes by module "
+                    "attribute, so spawn workers cannot rebuild it "
+                    "(reference path: %s)" % (info.qualname, via),
+                    chain=path,
+                )
+            )
+        if "." not in (info.module.name or ""):
+            violations.append(
+                info.module.violation(
+                    info.node,
+                    self.rule_id,
+                    "spawn-boundary class %s lives in %r, outside any "
+                    "importable package; spawn workers import types "
+                    "by module path (reference path: %s)" % (
+                        info.qualname,
+                        info.module.name or str(info.module.path.name),
+                        via,
+                    ),
+                    chain=path,
+                )
+            )
+        for value, where in _iter_defaults(info):
+            if isinstance(value, ast.Lambda):
+                violations.append(
+                    info.module.violation(
+                        value,
+                        self.rule_id,
+                        "lambda in %s of spawn-boundary class %s "
+                        "never pickles; use a module-level function "
+                        "(reference path: %s)" % (
+                            where, info.qualname, via,
+                        ),
+                        chain=path,
+                    )
+                )
+                continue
+            dotted = _dotted(value)
+            if dotted is None or "." in dotted:
+                continue
+            nested = _nested_definition(graph, info.module, dotted)
+            if nested is not None:
+                violations.append(
+                    info.module.violation(
+                        value,
+                        self.rule_id,
+                        "%s of spawn-boundary class %s names the "
+                        "local (closure) definition %s, which never "
+                        "pickles; use a module-level function "
+                        "(reference path: %s)" % (
+                            where, info.qualname, nested, via,
+                        ),
+                        chain=path,
+                    )
+                )
+        return violations
+
+
+def _nested_definition(
+    graph: CallGraph, module: SourceModule, name: str
+) -> Optional[str]:
+    """A same-module nested (closure) definition ``name`` refers to.
+
+    Only consulted after top-level/import resolution failed, so a
+    module-level definition of the same name always wins.  Returns
+    the nested qualname, or None.
+    """
+    if "." in name:
+        return None
+    module_key = module.name or module.path.stem
+    if name in graph.module_defs.get(module_key, {}):
+        return None  # a module-level definition of the name wins
+    suffix = ".<locals>." + name
+    for table in (graph.functions, graph.classes):
+        for qualname in sorted(table):
+            if qualname.startswith(module_key + ".") and (
+                qualname.endswith(suffix)
+            ):
+                return qualname
+    return None

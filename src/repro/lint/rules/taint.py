@@ -1,0 +1,215 @@
+"""REP007: interprocedural determinism taint.
+
+REP001 bans wall-clock/entropy calls *written directly inside* a
+simulation module -- the precise, fast path.  What it cannot see is a
+sanctioned-looking helper call whose implementation, one or two hops
+away in ``repro.gpu`` / ``repro.core`` / ``repro.nn``, reads a clock:
+the fingerprint guarantee is voided just as surely, and nothing fails
+until a flaky benchmark weeks later.
+
+This rule closes that hole on the shared project call graph: taint is
+seeded at every REP001-banned call *anywhere in the scanned tree*
+(not just the simulation packages), propagated backwards along call
+edges to every function that can reach one, and reported for each
+function defined in a simulation package whose taint is *indirect* --
+direct offenders stay REP001's, so the two rules never double-report
+the same line.  The message carries the full witness call chain, from
+the flagged function down to the banned call.
+
+A ``# lint: ignore[REP001]`` (or ``[REP007]``) on the banned call
+itself declares the read contained -- the reviewed supervisor
+timeout clock, for example -- and stops seeding, so a deliberate,
+documented clock never taints its callers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.callgraph import CallGraph, CallSite
+from repro.lint.core import (
+    ProjectContext,
+    ProjectRule,
+    SourceModule,
+    Violation,
+    registry,
+)
+from repro.lint.rules.determinism import (
+    ALLOWED_UNDER_PREFIX,
+    BANNED_CALLS,
+    BANNED_PREFIXES,
+    _is_simulation_module,
+)
+
+__all__ = ["TaintRule", "banned_reason", "propagate_taint"]
+
+
+def banned_reason(target: str) -> Optional[str]:
+    """Why a resolved external call name is banned, or None.
+
+    Exactly REP001's matching logic, factored over the call graph's
+    pre-expanded names.
+    """
+    reason = BANNED_CALLS.get(target)
+    if reason is None and target not in ALLOWED_UNDER_PREFIX:
+        if any(target.startswith(prefix) for prefix in BANNED_PREFIXES):
+            reason = "module-level (unseeded) RNG draw"
+    return reason
+
+
+#: A direct seed: the banned external name, why, and the call node.
+_Seed = Tuple[str, str, ast.Call]
+
+
+def _direct_seeds(
+    graph: CallGraph,
+) -> Tuple[Dict[str, _Seed], List[Violation]]:
+    """Functions whose own body contains a banned call, plus the
+    containment records.
+
+    A suppression on the banned call line is a reviewed containment
+    claim and stops the seed: ``REP001`` markers count inside the
+    simulation packages (where REP001 itself fires on that line), and
+    ``REP007`` markers count anywhere -- those emit a violation
+    anchored at the call so the analyzer files it under the
+    suppression inventory (a contained clock is reviewable output,
+    and removing the code under the marker makes the marker stale).
+    """
+    seeds: Dict[str, _Seed] = {}
+    contained: List[Violation] = []
+    for qualname in sorted(graph.functions):
+        info = graph.functions[qualname]
+        for site in info.calls:
+            if site.external is None:
+                continue
+            reason = banned_reason(site.external)
+            if reason is None:
+                continue
+            line = site.node.lineno
+            if info.module.suppressions.covers(line, "REP007"):
+                contained.append(
+                    info.module.violation(
+                        site.node,
+                        "REP007",
+                        "contained nondeterminism source: %s (%s) in "
+                        "%s seeds interprocedural taint unless "
+                        "reviewed" % (site.external, reason, qualname),
+                        chain=(qualname, site.external),
+                    )
+                )
+                continue
+            if _is_simulation_module(
+                info.module.name
+            ) and info.module.suppressions.covers(line, "REP001"):
+                continue
+            if qualname not in seeds:
+                seeds[qualname] = (site.external, reason, site.node)
+    return seeds, contained
+
+
+def propagate_taint(
+    graph: CallGraph, seeds: Dict[str, _Seed]
+) -> Dict[str, Tuple[str, CallSite]]:
+    """Breadth-first taint over reverse call edges.
+
+    Returns ``caller -> (next hop qualname, call site)`` witness
+    pointers for every *indirectly* tainted function.  Processing is
+    level-ordered with sorted tie-breaking, so the witness chains --
+    and therefore the reported violations -- are independent of the
+    module analysis order: the witness is always a shortest chain,
+    and among equals the lexicographically smallest next hop with the
+    earliest call site wins.
+    """
+    witness: Dict[str, Tuple[str, CallSite]] = {}
+    frontier = sorted(seeds)
+    reached = set(frontier)
+    while frontier:
+        next_frontier = []
+        candidates: Dict[str, Tuple[str, CallSite]] = {}
+        for callee in frontier:
+            for caller, site in graph.callers_of(callee):
+                if caller in reached:
+                    continue
+                best = candidates.get(caller)
+                key = (callee, site.node.lineno, site.node.col_offset)
+                if best is None or key < (
+                    best[0],
+                    best[1].node.lineno,
+                    best[1].node.col_offset,
+                ):
+                    candidates[caller] = (callee, site)
+        for caller in sorted(candidates):
+            witness[caller] = candidates[caller]
+            reached.add(caller)
+            next_frontier.append(caller)
+        frontier = next_frontier
+    return witness
+
+
+@registry.register
+class TaintRule(ProjectRule):
+    """Flag simulation functions that reach nondeterminism indirectly."""
+
+    rule_id = "REP007"
+    summary = (
+        "no call chain from a simulation-package function to a "
+        "wall-clock/entropy/global-RNG read anywhere in the project"
+    )
+    rationale = (
+        "REP001 only sees banned calls written directly in simulation "
+        "modules; a helper in repro.gpu or repro.core that reads a "
+        "clock voids same-seed replay just as surely.  Taint is seeded "
+        "at every banned call in the scanned tree and propagated along "
+        "the call graph, so the guarantee holds interprocedurally."
+    )
+
+    def check_project(
+        self, modules: Sequence[SourceModule], context: ProjectContext
+    ) -> List[Violation]:
+        graph = context.callgraph
+        seeds, contained = _direct_seeds(graph)
+        witness = propagate_taint(graph, seeds)
+
+        violations: List[Violation] = list(contained)
+        for qualname in sorted(witness):
+            info = graph.functions[qualname]
+            if not _is_simulation_module(info.module.name):
+                continue
+            chain, seed, anchor = self._chain(
+                qualname, witness, seeds
+            )
+            target, reason, _node = seed
+            violations.append(
+                info.module.violation(
+                    anchor,
+                    self.rule_id,
+                    "%s (%s) reached indirectly from a simulation "
+                    "path; call chain: %s -> %s" % (
+                        target,
+                        reason,
+                        " -> ".join(chain),
+                        target,
+                    ),
+                    chain=tuple(chain) + (target,),
+                )
+            )
+        return violations
+
+    @staticmethod
+    def _chain(
+        qualname: str,
+        witness: Dict[str, Tuple[str, CallSite]],
+        seeds: Dict[str, _Seed],
+    ) -> Tuple[List[str], _Seed, ast.Call]:
+        """Walk witness pointers down to the direct seed."""
+        chain = [qualname]
+        anchor = witness[qualname][1].node
+        current = qualname
+        while current not in seeds:
+            current = witness[current][0]
+            chain.append(current)
+        return chain, seeds[current], anchor
+    # NOTE: ``witness`` maps every indirectly tainted function to a
+    # next hop that is either a seed or itself witnessed, so the walk
+    # above always terminates at a seed.

@@ -1,0 +1,2 @@
+"""Fixture mini-package: non-simulation helpers (clocks allowed here,
+but REP007 still traces them into simulation callers)."""

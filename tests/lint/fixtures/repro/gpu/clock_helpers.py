@@ -1,0 +1,28 @@
+"""REP007 fixture helpers: nondeterminism buried below the sim API.
+
+Nothing here matches REP001 (repro.gpu is not a simulation package),
+which is exactly the hole REP007 closes: these reads taint whatever
+calls them from ``repro.sim``.
+"""
+import time
+import uuid
+
+
+def deep_clock():
+    return time.time()  # line 12: the buried wall-clock read
+
+
+def middle(scale):
+    return deep_clock() * scale  # hop between sim and the clock
+
+
+def fresh_tag():
+    return str(uuid.uuid4())  # line 20: buried ambient entropy
+
+
+def contained_clock():
+    return time.time()  # lint: ignore[REP007]
+
+
+def scaled(value, scale):
+    return value * scale  # pure: taints nobody

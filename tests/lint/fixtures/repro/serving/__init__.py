@@ -1,0 +1,1 @@
+"""Fixture mini-package: the spawn-boundary (REP008) corpus."""

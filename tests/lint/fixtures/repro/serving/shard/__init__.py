@@ -1,0 +1,1 @@
+"""Fixture mini-package: shard specs that cross the spawn boundary."""

@@ -1,0 +1,32 @@
+"""REP008 fixture: spawn payloads that cannot pickle by reference.
+
+``ShardSpec`` is a spawn root by name; the rule walks its declared
+type graph and flags every way it breaks the pickle-by-reference
+contract: a lambda field default, a closure-captured local class,
+and a type defined outside any importable package.
+"""
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from spawn_helpers import OutsidePayload
+
+
+def make_payload():
+    @dataclass
+    class LocalPayload:  # closure-captured: no importable path
+        value: int = 0
+
+    return LocalPayload
+
+
+@dataclass
+class FaultKnobs:
+    jitter: Callable = field(default_factory=lambda: 0.0)  # line 24
+
+
+@dataclass
+class ShardSpec:
+    shard_id: int = 0
+    knobs: Optional[FaultKnobs] = None
+    payload: Optional["LocalPayload"] = None  # line 31: local class
+    outside: Optional[OutsidePayload] = None  # -> spawn_helpers.py

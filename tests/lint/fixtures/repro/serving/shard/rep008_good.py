@@ -1,0 +1,24 @@
+"""REP008 fixture: a spawn payload that pickles by reference.
+
+Top-level dataclasses inside a package, defaults that are constants
+or module-level functions -- the contract the shard workers rely on.
+"""
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+def default_stages():
+    return ()
+
+
+@dataclass
+class ShardPlanEntry:
+    stage: str = ""
+    weight: int = 1
+
+
+@dataclass
+class FleetSpec:
+    fleet_id: int = 0
+    stages: Tuple[str, ...] = field(default_factory=default_stages)
+    head: Optional[ShardPlanEntry] = None

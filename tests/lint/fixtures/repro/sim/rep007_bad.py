@@ -1,0 +1,16 @@
+"""REP007 fixture: nondeterminism reached through helper call chains.
+
+No line here matches REP001 -- the banned reads live in
+``repro.gpu.clock_helpers`` -- yet same-seed replay is voided all the
+same.  REP007 walks the call graph and anchors its report at the
+first hop out of the simulation function.
+"""
+from repro.gpu.clock_helpers import fresh_tag, middle
+
+
+def step_window(scale):
+    return middle(scale)  # line 12: two hops to time.time
+
+
+def label_run(run):
+    return "%s-%s" % (run, fresh_tag())  # line 16: one hop to uuid4

@@ -1,0 +1,15 @@
+"""REP007 fixture: the clean patterns stay clean.
+
+Time flows in as a parameter, pure helpers taint nobody, and a
+``# lint: ignore[REP007]`` on the banned read itself (the reviewed
+containment claim) stops the seed before it reaches this module.
+"""
+from repro.gpu.clock_helpers import contained_clock, scaled
+
+
+def step_window(now, scale):
+    return scaled(now, scale)  # pure helper: no taint
+
+
+def watchdog_deadline(grace):
+    return contained_clock() + grace  # contained upstream: no taint

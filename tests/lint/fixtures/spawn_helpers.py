@@ -1,0 +1,12 @@
+"""REP008 fixture: a payload class outside any importable package.
+
+This file sits at the fixture root with no ``__init__.py`` above it,
+so a spawn worker has no module path to import ``OutsidePayload``
+from -- referencing it from a spawn root is a contract violation.
+"""
+from dataclasses import dataclass
+
+
+@dataclass
+class OutsidePayload:
+    blob: bytes = b""

@@ -1,0 +1,14 @@
+"""Stale-suppression fixture: markers that earn their keep no longer.
+
+The first marker names a real rule that no longer fires on its line
+(the code under it got fixed); the second names a rule id the
+registry has never heard of.  Both must surface under --show-stale.
+"""
+
+
+def fixed_now(flag):
+    return bool(flag)  # lint: ignore[REP002]
+
+
+def typo_rule(value):
+    return value  # lint: ignore[REP999]

@@ -1,0 +1,227 @@
+"""Unit tests for the conservative project call graph.
+
+The whole-program rules (REP007..REP009) all lean on the same
+resolution substrate; these tests pin each resolution path in
+isolation -- lexical scope, aliases, methods, constructors -- and the
+property test at the bottom pins the headline guarantee: taint
+analysis results do not depend on module analysis order.
+"""
+
+import textwrap
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.callgraph import build_callgraph
+from repro.lint.core import (
+    ProjectContext,
+    iter_python_files,
+    load_source_module,
+)
+from repro.lint.rules.taint import TaintRule
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _graph(tmp_path, sources):
+    modules = []
+    for name, text in sorted(sources.items()):
+        path = tmp_path / ("%s.py" % name)
+        path.write_text(textwrap.dedent(text))
+        modules.append(load_source_module(path))
+    return build_callgraph(modules)
+
+
+def _targets(graph, qualname):
+    return sorted(
+        target
+        for site in graph.functions[qualname].calls
+        for target in site.targets
+    )
+
+
+def test_module_function_edge(tmp_path):
+    graph = _graph(tmp_path, {
+        "m": """
+            def helper():
+                return 1
+
+
+            def entry():
+                return helper()
+        """,
+    })
+    assert _targets(graph, "m.entry") == ["m.helper"]
+
+
+def test_cross_module_alias_and_external_names(tmp_path):
+    graph = _graph(tmp_path, {
+        "helpers": """
+            def work():
+                return 0
+        """,
+        "consumer": """
+            import time
+            from time import perf_counter
+            from helpers import work as w
+
+
+            def go():
+                w()
+                time.time()
+                perf_counter()
+        """,
+    })
+    assert _targets(graph, "consumer.go") == ["helpers.work"]
+    externals = sorted(
+        site.external
+        for site in graph.functions["consumer.go"].calls
+        if site.external is not None
+    )
+    # Alias expansion recovers the true dotted names (REP001 parity).
+    assert externals == ["time.perf_counter", "time.time"]
+
+
+def test_method_resolution_through_project_bases(tmp_path):
+    graph = _graph(tmp_path, {
+        "m": """
+            class Base:
+                def ping(self):
+                    return 1
+
+
+            class Child(Base):
+                def run(self):
+                    return self.ping()
+        """,
+    })
+    assert _targets(graph, "m.Child.run") == ["m.Base.ping"]
+
+
+def test_closure_inside_method_sees_self(tmp_path):
+    graph = _graph(tmp_path, {
+        "m": """
+            class Plane:
+                def helper(self):
+                    return 1
+
+                def tick(self):
+                    def inner():
+                        return self.helper()
+                    return inner
+        """,
+    })
+    inner = "m.Plane.tick.<locals>.inner"
+    assert _targets(graph, inner) == ["m.Plane.helper"]
+
+
+def test_constructor_edges_reach_init_and_post_init(tmp_path):
+    graph = _graph(tmp_path, {
+        "m": """
+            class Spec:
+                def __init__(self):
+                    self.x = 0
+
+                def __post_init__(self):
+                    pass
+
+
+            def build():
+                return Spec()
+        """,
+    })
+    assert _targets(graph, "m.build") == [
+        "m.Spec.__init__", "m.Spec.__post_init__",
+    ]
+
+
+def test_nested_definitions_resolve_lexically(tmp_path):
+    graph = _graph(tmp_path, {
+        "m": """
+            def outer():
+                def inner():
+                    return 1
+                return inner()
+        """,
+    })
+    assert _targets(graph, "m.outer") == ["m.outer.<locals>.inner"]
+
+
+def test_calls_through_objects_stay_unresolved(tmp_path):
+    # Conservatism: an attribute call on a plain object is neither a
+    # project edge nor a reason to guess.
+    graph = _graph(tmp_path, {
+        "m": """
+            def go(engine):
+                return engine.dispatch()
+        """,
+    })
+    assert _targets(graph, "m.go") == []
+
+
+def test_callers_of_reverse_index(tmp_path):
+    graph = _graph(tmp_path, {
+        "m": """
+            def helper():
+                return 1
+
+
+            def a():
+                return helper()
+
+
+            def b():
+                return helper()
+        """,
+    })
+    callers = sorted(name for name, _ in graph.callers_of("m.helper"))
+    assert callers == ["m.a", "m.b"]
+
+
+def _fixture_modules():
+    return [
+        load_source_module(path)
+        for path in iter_python_files([FIXTURES])
+    ]
+
+
+def _taint_key(violation):
+    return (
+        violation.path, violation.line, violation.col,
+        violation.message, violation.chain,
+    )
+
+
+def test_graph_shape_is_order_independent():
+    modules = _fixture_modules()
+    forward = build_callgraph(modules)
+    backward = build_callgraph(list(reversed(modules)))
+    assert sorted(forward.functions) == sorted(backward.functions)
+    for qualname in forward.functions:
+        assert [
+            (site.targets, site.external)
+            for site in forward.functions[qualname].calls
+        ] == [
+            (site.targets, site.external)
+            for site in backward.functions[qualname].calls
+        ], qualname
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.permutations(list(range(len(_fixture_modules())))))
+def test_taint_results_independent_of_module_order(order):
+    # The acceptance property for REP007: any analysis order yields
+    # byte-identical violations, witness chains included.
+    modules = _fixture_modules()
+    baseline = TaintRule().check_project(
+        modules, ProjectContext(modules)
+    )
+    permuted = [modules[index] for index in order]
+    result = TaintRule().check_project(
+        permuted, ProjectContext(permuted)
+    )
+    assert sorted(map(_taint_key, result)) == sorted(
+        map(_taint_key, baseline)
+    )
+    assert len(result) == len(baseline)

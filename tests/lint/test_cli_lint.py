@@ -1,11 +1,20 @@
 """CLI tests for ``python -m repro lint``."""
 
 import json
+import subprocess
 from pathlib import Path
 
 from repro.cli import main
 
 FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _git(args, cwd):
+    subprocess.run(
+        ["git", "-c", "user.email=t@t.invalid", "-c", "user.name=t"]
+        + args,
+        cwd=cwd, check=True, capture_output=True,
+    )
 
 
 def test_lint_clean_paths_exit_zero(capsys):
@@ -74,3 +83,135 @@ def test_lint_show_suppressed(capsys):
     out = capsys.readouterr().out
     assert code == 1
     assert "suppressed (3):" in out
+
+
+def test_lint_sarif_format(capsys):
+    code = main(
+        ["lint", str(FIXTURES / "rep006_bad.py"), "--format", "sarif"]
+    )
+    data = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert data["version"] == "2.1.0"
+    run = data["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert "REP006" in rule_ids
+    assert {r["ruleId"] for r in run["results"]} == {"REP006"}
+    assert all(r["level"] == "error" for r in run["results"])
+    region = run["results"][0]["locations"][0]["physicalLocation"][
+        "region"
+    ]
+    assert region["startLine"] == 4 and region["startColumn"] >= 1
+
+
+def test_lint_sarif_carries_chains_suppressions_and_stale(capsys):
+    code = main(["lint", str(FIXTURES), "--format", "sarif"])
+    run = json.loads(capsys.readouterr().out)["runs"][0]
+    assert code == 1
+    chains = [
+        r["properties"]["callChain"]
+        for r in run["results"]
+        if r["ruleId"] == "REP007"
+        and r["level"] == "error"
+        and "properties" in r
+    ]
+    assert [
+        "repro.sim.rep007_bad.step_window",
+        "repro.gpu.clock_helpers.middle",
+        "repro.gpu.clock_helpers.deep_clock",
+        "time.time",
+    ] in chains
+    notes = [r for r in run["results"] if r["level"] == "note"]
+    assert notes
+    assert all(
+        r["suppressions"] == [{"kind": "inSource"}] for r in notes
+    )
+    stale = run["properties"]["staleSuppressions"]
+    assert {s["rule"] for s in stale} == {"REP002", "REP004", "REP999"}
+
+
+def test_lint_show_stale_fails_on_stale_markers(capsys):
+    code = main(["lint", str(FIXTURES / "stale.py"), "--show-stale"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "stale suppressions (2):" in out
+    assert "REP999" in out
+    assert "unregistered" in out
+
+
+def test_stale_markers_do_not_fail_without_the_flag(capsys):
+    code = main(["lint", str(FIXTURES / "stale.py")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "clean" in out
+
+
+def test_lint_changed_narrows_to_git_diff(tmp_path, monkeypatch, capsys):
+    _git(["init", "-q"], tmp_path)
+    clean = tmp_path / "clean.py"
+    clean.write_text("def ok():\n    return 1\n")
+    bad = tmp_path / "bad.py"
+    bad.write_text("def seed(x):\n    return x\n")
+    _git(["add", "."], tmp_path)
+    _git(["commit", "-q", "-m", "seed"], tmp_path)
+    bad.write_text("def hit(sink=[]):\n    return sink\n")
+    monkeypatch.chdir(tmp_path)
+    code = main(
+        ["lint", str(tmp_path), "--changed", "--format", "json"]
+    )
+    data = json.loads(capsys.readouterr().out)
+    assert code == 1
+    # Only the file git reports as changed is analyzed.
+    assert data["files_scanned"] == 1
+    assert data["counts"] == {"REP006": 1}
+
+
+def test_lint_changed_includes_untracked_files(
+    tmp_path, monkeypatch, capsys
+):
+    _git(["init", "-q"], tmp_path)
+    (tmp_path / "clean.py").write_text("def ok():\n    return 1\n")
+    _git(["add", "."], tmp_path)
+    _git(["commit", "-q", "-m", "seed"], tmp_path)
+    # A brand-new module, never git-added, must still be analyzed.
+    (tmp_path / "new.py").write_text("def hit(sink=[]):\n    return sink\n")
+    monkeypatch.chdir(tmp_path)
+    code = main(
+        ["lint", str(tmp_path), "--changed", "--format", "json"]
+    )
+    data = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert data["files_scanned"] == 1
+    assert data["counts"] == {"REP006": 1}
+
+
+def test_lint_changed_with_a_clean_diff_scans_nothing(
+    tmp_path, monkeypatch, capsys
+):
+    _git(["init", "-q"], tmp_path)
+    bad = tmp_path / "bad.py"
+    bad.write_text("def hit(sink=[]):\n    return sink\n")
+    _git(["add", "."], tmp_path)
+    _git(["commit", "-q", "-m", "seed"], tmp_path)
+    monkeypatch.chdir(tmp_path)
+    code = main(
+        ["lint", str(tmp_path), "--changed", "--format", "json"]
+    )
+    data = json.loads(capsys.readouterr().out)
+    # An empty diff is a real answer, not a fallback: exit clean.
+    assert code == 0
+    assert data["files_scanned"] == 0
+
+
+def test_lint_changed_falls_back_outside_git(
+    tmp_path, monkeypatch, capsys
+):
+    target = tmp_path / "tree"
+    target.mkdir()
+    (target / "bad.py").write_text("def hit(sink=[]):\n    return sink\n")
+    monkeypatch.chdir(tmp_path)  # not a git checkout
+    code = main(["lint", str(target), "--changed"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "full sweep" in captured.err
+    assert "REP006" in captured.out

@@ -76,10 +76,11 @@ class TestLoadSourceModule:
 
 
 class TestRegistry:
-    def test_catalog_has_the_six_rules(self):
+    def test_catalog_has_the_nine_rules(self):
         ids = [rule.rule_id for rule in registry]
         assert ids == [
-            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
+            "REP001", "REP002", "REP003", "REP004", "REP005",
+            "REP006", "REP007", "REP008", "REP009",
         ]
 
     def test_every_rule_is_documented(self):

@@ -56,6 +56,22 @@ GOLDEN = {
         ("REP006", 13),
         ("REP006", 17),
     ],
+    "repro/sim/rep007_bad.py": [
+        ("REP007", 12),  # two hops to time.time via repro.gpu
+        ("REP007", 16),  # one hop to uuid.uuid4
+    ],
+    "repro/serving/shard/rep008_bad.py": [
+        ("REP008", 24),  # lambda field(default_factory=...)
+        ("REP008", 31),  # closure-captured local class reference
+    ],
+    "spawn_helpers.py": [
+        ("REP008", 11),  # class outside any importable package
+    ],
+    "rep009_bad.py": [
+        ("REP009", 15),  # subscriber records a fingerprinted kind
+        ("REP009", 18),  # subscriber records a dynamic kind
+        ("REP009", 33),  # ledger write reached from ControlPlane.tick
+    ],
 }
 
 #: Fixtures that must produce zero unsuppressed findings.
@@ -68,6 +84,11 @@ CLEAN = [
     "cycle_pkg/gamma.py",
     "cycle_pkg/delta.py",
     "rep006_good.py",
+    "repro/sim/rep007_good.py",
+    "repro/gpu/clock_helpers.py",
+    "repro/serving/shard/rep008_good.py",
+    "rep009_good.py",
+    "stale.py",
 ]
 
 
@@ -114,6 +135,62 @@ def test_suppression_fixture_splits_records():
     ]
     assert all(v.suppressed for v in report.suppressed)
     assert not report.ok
+
+
+def test_rep007_renders_the_full_call_chain():
+    report = run_lint([FIXTURES])
+    hits = [
+        v
+        for v in report.violations
+        if v.rule_id == "REP007" and v.path.endswith("rep007_bad.py")
+    ]
+    by_line = {v.line: v for v in hits}
+    assert by_line[12].chain == (
+        "repro.sim.rep007_bad.step_window",
+        "repro.gpu.clock_helpers.middle",
+        "repro.gpu.clock_helpers.deep_clock",
+        "time.time",
+    )
+    assert (
+        "call chain: repro.sim.rep007_bad.step_window -> "
+        "repro.gpu.clock_helpers.middle -> "
+        "repro.gpu.clock_helpers.deep_clock -> time.time"
+        in by_line[12].message
+    )
+    assert by_line[16].chain == (
+        "repro.sim.rep007_bad.label_run",
+        "repro.gpu.clock_helpers.fresh_tag",
+        "uuid.uuid4",
+    )
+
+
+def test_rep007_containment_marker_records_a_suppression():
+    # The ``# lint: ignore[REP007]`` on the banned read both stops
+    # the seed (watchdog_deadline stays clean) and files the read in
+    # the reviewable suppression inventory -- never silently dropped.
+    report = run_lint([FIXTURES])
+    contained = [
+        (v.rule_id, v.line)
+        for v in report.suppressed
+        if v.path.endswith("clock_helpers.py")
+    ]
+    assert contained == [("REP007", 24)]
+
+
+def test_stale_suppressions_are_inventoried():
+    report = run_lint([FIXTURES])
+    stale = [
+        (Path(s.path).name, s.line, s.rule_id, s.reason)
+        for s in report.stale
+    ]
+    assert ("stale.py", 10, "REP002", "unused") in stale
+    assert ("stale.py", 14, "REP999", "unknown-rule") in stale
+    # suppressed.py line 8 names REP004+REP006 but only REP006 fires
+    # there -- the rotted half of the comma list is flagged.
+    assert ("suppressed.py", 8, "REP004", "unused") in stale
+    assert len(stale) == 3
+    # Stale markers never affect the exit-status contract by default.
+    assert all(not s.path.endswith("stale.py") for s in report.suppressed)
 
 
 def test_rule_filter_restricts_findings():

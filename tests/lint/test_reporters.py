@@ -49,11 +49,12 @@ def test_json_schema_is_stable():
     data = json.loads(render_json(report))
     assert set(data) == {
         "ok", "files_scanned", "rules_run", "counts", "violations",
-        "suppressed", "errors",
+        "suppressed", "stale_suppressions", "errors",
     }
     assert data["ok"] is True
     assert data["rules_run"] == [
-        "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
+        "REP001", "REP002", "REP003", "REP004", "REP005",
+        "REP006", "REP007", "REP008", "REP009",
     ]
 
 

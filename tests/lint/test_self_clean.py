@@ -24,9 +24,68 @@ RECORDED_SUPPRESSIONS = [
 ]
 
 
+#: The reviewed benchmark-sweep inventory (REP002/REP003/REP006 over
+#: benchmarks/ and examples/): exact-sentinel assertions only --
+#: piecewise SoC curves saturating to exactly 0/1 and Table VI
+#: configuration constants.
+BENCH_SUPPRESSIONS = [
+    ("benchmarks/bench_fig13_runtime_soctime.py", "REP002", 3),
+    ("benchmarks/bench_fig3_satisfaction_curves.py", "REP002", 5),
+    ("benchmarks/bench_table4_kernel_detail.py", "REP002", 2),
+]
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
 def test_package_has_zero_unsuppressed_violations():
     report = run_lint([PACKAGE_ROOT])
     assert report.ok, "\n".join(v.render() for v in report.violations)
+
+
+def test_package_has_zero_stale_suppressions():
+    # Every marker in the package must still cover a live finding --
+    # the suppression inventory cannot rot silently.
+    report = run_lint([PACKAGE_ROOT])
+    assert report.stale == [], "\n".join(
+        stale.render() for stale in report.stale
+    )
+
+
+def test_whole_program_rules_are_clean_standalone():
+    # REP007..REP009 alone (interprocedural taint, spawn contract,
+    # hook purity): zero findings and zero suppressions in the
+    # package -- the call-graph rules hold without any carve-outs.
+    report = run_lint(
+        [PACKAGE_ROOT], rule_ids=["REP007", "REP008", "REP009"]
+    )
+    assert report.ok, "\n".join(v.render() for v in report.violations)
+    assert not report.suppressed, [
+        v.render() for v in report.suppressed
+    ]
+
+
+def test_benchmarks_and_examples_sweep_is_clean():
+    # Satellite scope: the module-local correctness rules also hold
+    # over benchmarks/ and examples/, modulo the recorded exact
+    # -sentinel suppressions above.
+    report = run_lint(
+        [REPO_ROOT / "benchmarks", REPO_ROOT / "examples"],
+        rule_ids=["REP002", "REP003", "REP006"],
+    )
+    assert report.ok, "\n".join(v.render() for v in report.violations)
+    assert report.stale == [], [s.render() for s in report.stale]
+    actual = {}
+    for violation in report.suppressed:
+        key = (violation.path, violation.rule_id)
+        actual[key] = actual.get(key, 0) + 1
+    expected_total = sum(count for _, _, count in BENCH_SUPPRESSIONS)
+    assert len(report.suppressed) == expected_total, sorted(actual)
+    for suffix, rule_id, count in BENCH_SUPPRESSIONS:
+        matches = sum(
+            n for (path, rule), n in actual.items()
+            if rule == rule_id and path.endswith(str(Path(suffix)))
+        )
+        assert matches == count, (suffix, rule_id, sorted(actual))
 
 
 def test_package_scans_every_module():
