@@ -52,6 +52,14 @@ QUICK_N_REQUESTS = 3000
 #: The PR's acceptance bar: degradation vs FIFO-baseline hit-rate.
 MIN_HIT_RATIO = 1.5
 
+#: The vectorized backend's acceptance bar: serving this storm at
+#: least this many times faster than the reference event loop, at a
+#: bit-identical fingerprint.  Measured at QUICK_N_REQUESTS so the
+#: bar is the same in --quick CI runs and full local runs (the ratio
+#: thins slightly as the storm grows).
+MIN_VEC_SPEEDUP = 10.0
+SPEEDUP_ROUNDS = 5
+
 #: Tracing bars: the Chrome export must cover at least this fraction
 #: of the dispatched (completed) requests, and disabled-by-default
 #: instrumentation may cost at most this much relative wall-clock.
@@ -94,16 +102,17 @@ def _loads(spec, rate_hz, n_requests):
     return [TenantLoad(tenant, trace)]
 
 
-def reproduce(n_requests=N_REQUESTS):
+def reproduce(n_requests=N_REQUESTS, backend="reference"):
     spec, fleet = _fleet()
     capacity = _capacity_rps(fleet)
     loads = _loads(spec, OVERLOAD * capacity, n_requests)
 
-    degraded = RequestRouter(fleet, RouterConfig()).run(loads)
+    degraded = RequestRouter(fleet, RouterConfig(), backend=backend).run(loads)
     # Determinism bar: a second same-seed invocation is bit-identical.
-    rerun = RequestRouter(fleet, RouterConfig()).run(loads)
+    rerun = RequestRouter(fleet, RouterConfig(), backend=backend).run(loads)
     baseline = RequestRouter(
-        fleet, RouterConfig(degradation=False, policy="fifo")
+        fleet, RouterConfig(degradation=False, policy="fifo"),
+        backend=backend,
     ).run(loads)
 
     rows = []
@@ -194,10 +203,10 @@ def test_bench_router_tracing(benchmark, quick):
 
 
 @pytest.mark.benchmark(group="serving")
-def test_bench_router_overload(benchmark, quick):
+def test_bench_router_overload(benchmark, quick, router_backend):
     n = QUICK_N_REQUESTS if quick else N_REQUESTS
     text, degraded, rerun, baseline, hit_ratio = run_once(
-        benchmark, lambda: reproduce(n)
+        benchmark, lambda: reproduce(n, backend=router_backend)
     )
     emit("router_overload", text)
     emit_json("router_overload", degraded.to_dict(include_events=False))
@@ -214,4 +223,58 @@ def test_bench_router_overload(benchmark, quick):
     assert hit_ratio >= MIN_HIT_RATIO, (
         "degradation hit-rate only %.2fx of baseline (bar: %.1fx)"
         % (hit_ratio, MIN_HIT_RATIO)
+    )
+
+
+def measure_backend_speedup(n_requests=QUICK_N_REQUESTS,
+                            rounds=SPEEDUP_ROUNDS):
+    """Best-of-N wall clock of both backends on the same storm.
+
+    Returns ``(ref_s, vec_s, fingerprint)`` after asserting the two
+    backends' reports are bit-identical.  One warm-up run per backend
+    precedes timing so neither pays compile/ladder setup inside the
+    measured window; the minimum over rounds suppresses scheduler
+    noise (wall clock is fine here -- benchmarks sit outside the
+    REP001 simulation packages).
+    """
+    spec, fleet = _fleet()
+    capacity = _capacity_rps(fleet)
+    loads = _loads(spec, OVERLOAD * capacity, n_requests)
+    ref_report = RequestRouter(fleet, RouterConfig()).run(loads)
+    vec_report = RequestRouter(
+        fleet, RouterConfig(), backend="vectorized"
+    ).run(loads)
+    fingerprint = ref_report.fingerprint()
+    assert vec_report.fingerprint() == fingerprint, (
+        "backends diverged on the overload storm"
+    )
+
+    def best(backend):
+        timings = []
+        for _ in range(rounds):
+            router = RequestRouter(fleet, RouterConfig(), backend=backend)
+            start = time.perf_counter()
+            router.run(loads)
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    return best("reference"), best("vectorized"), fingerprint
+
+
+@pytest.mark.benchmark(group="serving")
+def test_bench_vectorized_speedup(benchmark):
+    ref_s, vec_s, _fingerprint = run_once(
+        benchmark, measure_backend_speedup
+    )
+    speedup = ref_s / vec_s
+    emit(
+        "router_overload_speedup",
+        "vectorized backend: %.1f ms vs reference %.1f ms -- %.1fx "
+        "(%d requests, bar: %.0fx)"
+        % (vec_s * 1e3, ref_s * 1e3, speedup, QUICK_N_REQUESTS,
+           MIN_VEC_SPEEDUP),
+    )
+    assert speedup >= MIN_VEC_SPEEDUP, (
+        "vectorized backend only %.2fx faster than reference "
+        "(bar: %.0fx)" % (speedup, MIN_VEC_SPEEDUP)
     )

@@ -15,6 +15,7 @@ from repro.analysis.metrics import (
 from repro.analysis.profiling import LayerProfile, NetworkProfile, profile_network
 from repro.analysis.reporting import banner, format_series, format_table
 from repro.analysis.roofline import RooflinePoint, machine_balance, roofline_point
+from repro.analysis.vec_score import batched_kernel_scores
 
 __all__ = [
     "LayerLatency",
@@ -33,4 +34,5 @@ __all__ = [
     "RooflinePoint",
     "machine_balance",
     "roofline_point",
+    "batched_kernel_scores",
 ]

@@ -1,0 +1,89 @@
+"""Vectorized candidate scoring for the offline kernel tuner.
+
+:func:`repro.core.offline.kernel_tuning.tune_layer_kernel` walks every
+(tile, stair-point) candidate of one layer's GEMM and minimizes the
+analytic execution time
+(:func:`repro.sim.engine.analytic_kernel_time_s`).  The scalar path
+re-enters the closed-form model once per candidate; this module scores
+the whole candidate set of one shape in a single numpy array program.
+
+Bit-exactness with the scalar model is by construction: every float64
+element goes through the *same* operations in the *same* order as the
+scalar expression -- ``(w / R) * (g + h * max(g / tlp, 1))``, the
+cycles-to-seconds division, and the DRAM bandwidth floor via
+``np.maximum`` -- and IEEE-754 arithmetic is deterministic per
+element, so ``batched_kernel_scores(...)[i]`` equals the scalar
+``analytic_kernel_time_s`` for candidate ``i`` bit for bit
+(differentially tested in ``tests/sim/test_vec_equivalence.py``).
+That makes the tuner's winner identical too: ``np.argmin`` returns
+the first minimum, exactly like the scalar loop's strict ``<``
+best-so-far update.
+
+Validation reuses the scalar model's error messages verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.gpu.architecture import GPUArchitecture
+from repro.gpu.kernels import GemmShape, SgemmKernel
+from repro.gpu.libraries import KernelLibrary
+from repro.sim.engine import cta_work
+from repro.sim.sm import DEFAULT_TLP_HALF
+
+__all__ = ["batched_kernel_scores"]
+
+
+def batched_kernel_scores(
+    arch: GPUArchitecture,
+    kernels: Sequence[SgemmKernel],
+    tlps: Sequence[int],
+    shape: GemmShape,
+    library: Optional[KernelLibrary] = None,
+    n_sms: Optional[int] = None,
+) -> np.ndarray:
+    """Analytic execution time of every candidate, one array program.
+
+    ``kernels[i]`` is scored at residency ``tlps[i]`` over ``shape``;
+    the return value is a float64 array with
+    ``scores[i] == analytic_kernel_time_s(arch, kernels[i], shape,
+    library=library, tlp=tlps[i], n_sms=n_sms)`` bit for bit.
+    """
+    if len(kernels) != len(tlps):
+        raise ValueError(
+            "kernels and tlps lengths differ: %d vs %d"
+            % (len(kernels), len(tlps))
+        )
+    if n_sms is None:
+        n_sms = arch.n_sms
+    if not 1 <= n_sms <= arch.n_sms:
+        raise ValueError(
+            "n_sms must be in [1, %d], got %r" % (arch.n_sms, n_sms)
+        )
+    count = len(kernels)
+    if count == 0:
+        return np.empty(0, dtype=np.float64)
+    tlp_arr = np.asarray(tlps, dtype=np.int64)
+    if np.any(tlp_arr < 1):
+        raise ValueError("kernel does not fit: occupancy limit is 0")
+    issue_eff = library.issue_efficiency if library else 1.0
+    overhead = library.transform_overhead if library else 1.0
+    peak_rate = arch.cores_per_sm * issue_eff
+    weighted = np.empty(count, dtype=np.float64)
+    dram_bytes = np.empty(count, dtype=np.float64)
+    grid = np.empty(count, dtype=np.float64)
+    for index, kernel in enumerate(kernels):
+        work = cta_work(kernel, shape)
+        weighted[index] = work.weighted
+        dram_bytes[index] = work.dram_bytes
+        grid[index] = kernel.grid_size(shape)
+    g = grid / n_sms
+    cycles = (weighted / peak_rate) * (
+        g + DEFAULT_TLP_HALF * np.maximum(g / tlp_arr, 1.0)
+    )
+    seconds = arch.cycles_to_seconds(cycles * overhead)
+    bandwidth_floor = dram_bytes * grid / arch.mem_bandwidth_bytes_per_s
+    return np.maximum(seconds, bandwidth_floor)

@@ -28,6 +28,14 @@ and one :class:`~repro.core.runtime.scheduler.RuntimeKernelManager`
 per configuration, so cross-platform deployments of the same network
 reuse tuned kernels per architecture.
 
+Compile-side cost: each cache miss runs the offline compiler, whose
+per-layer kernel tuning scores its whole (tile, stair-point) candidate
+set with one vectorized sweep per GEMM shape
+(:func:`repro.analysis.vec_score.batched_kernel_scores`) instead of
+one analytic-model entry per candidate; scores -- and therefore the
+tuned plans this engine caches -- are bit-identical to the scalar
+path.
+
 Cached objects are shared, not copied: :class:`CompiledPlan` is frozen
 and :class:`ExecutionReport` is immutable by convention (nothing in
 the library mutates a report after the manager returns it), so a cache

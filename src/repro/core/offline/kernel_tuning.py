@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.gpu import occupancy
 from repro.gpu.architecture import GPUArchitecture
 from repro.gpu.kernels import COMMON_TILES, GemmShape, SgemmKernel, make_kernel
@@ -158,22 +160,37 @@ def tune_layer_kernel(
     global -- Section IV.B.2), and keep the design with the smallest
     :func:`kernel_score`.  The chosen TLP is the paper's optTLP.
     """
+    # cycle-breaker: repro.analysis pulls repro.core.engine at
+    # package init (profiling), which imports this module back.
+    from repro.analysis.vec_score import batched_kernel_scores
+
     candidates = candidate_kernels(arch, tiles or COMMON_TILES)
     if not candidates:
         raise ValueError("no candidate kernel fits on %s" % (arch.name,))
-    best: Optional[TunedKernel] = None
+    kernels: List[SgemmKernel] = []
+    tlps: List[int] = []
+    spills: List[SpillPlan] = []
     for base in candidates:
         for tlp, regs in stair_points(arch, base):
             spill = plan_spill(arch, base, regs, tlp)
-            tuned = apply_spill(base, spill)
-            score = kernel_score(arch, tuned, shape, tlp, backend)
-            if best is None or score < best.score:
-                best = TunedKernel(
-                    kernel=tuned,
-                    tlp=tlp,
-                    spill=spill,
-                    score=score,
-                    s_kernel_value=s_kernel(arch, tuned, shape, tlp, spill),
-                )
-    assert best is not None
-    return best
+            kernels.append(apply_spill(base, spill))
+            tlps.append(tlp)
+            spills.append(spill)
+    # One vectorized scoring sweep per shape instead of one analytic
+    # model entry per candidate; scores are bit-identical to the
+    # scalar kernel_score, and argmin's first-minimum tie-break
+    # matches the old loop's strict ``<`` best-so-far update.
+    scores = batched_kernel_scores(
+        arch, kernels, tlps, shape, library=backend
+    )
+    index = int(np.argmin(scores))
+    winner = kernels[index]
+    tlp = tlps[index]
+    spill = spills[index]
+    return TunedKernel(
+        kernel=winner,
+        tlp=tlp,
+        spill=spill,
+        score=float(scores[index]),
+        s_kernel_value=s_kernel(arch, winner, shape, tlp, spill),
+    )

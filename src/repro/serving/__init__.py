@@ -29,7 +29,13 @@ re-dispatch off dead platforms (:mod:`repro.serving.resilience`),
 with recovery metrics reported as :class:`ResilienceStats`.
 
 Everything is simulated time: the router is bit-identical across runs
-with the same seed and configuration.
+with the same seed and configuration.  Two interchangeable backends
+implement the event loop -- the object-per-event ``"reference"``
+implementation and the struct-of-arrays ``"vectorized"`` twin
+(:mod:`repro.serving.vec_router`), selected per router via
+``RequestRouter(..., backend=...)``; same-seed fingerprints are
+bit-identical across backends (``tests/serving/
+test_backend_equivalence.py``).
 
 The shard layer (:mod:`repro.serving.shard`) scales one router into a
 fleet of fleets: a :class:`FleetCoordinator` launches N router shards
@@ -63,7 +69,7 @@ from repro.serving.report import (
 )
 from repro.serving.request import Request, Tenant, TenantLoad, merge_loads
 from repro.serving.resilience import BREAKER_STATES, CircuitBreaker, RetryPolicy
-from repro.serving.router import RequestRouter, RouterConfig
+from repro.serving.router import ROUTER_BACKENDS, RequestRouter, RouterConfig
 from repro.serving.shard import (
     FleetCoordinator,
     FleetRunOutcome,
@@ -96,6 +102,7 @@ __all__ = [
     "InFlightBatch",
     "PlatformState",
     "PlatformStats",
+    "ROUTER_BACKENDS",
     "RejectedRequest",
     "Request",
     "RequestRouter",

@@ -80,7 +80,13 @@ from repro.serving.report import (
 from repro.serving.request import Request, TenantLoad, merge_loads
 from repro.serving.resilience import CircuitBreaker, RetryPolicy
 
-__all__ = ["RouterConfig", "RequestRouter"]
+__all__ = ["RouterConfig", "RequestRouter", "ROUTER_BACKENDS"]
+
+#: Selectable router engines: ``reference`` is the object-per-event
+#: oracle below; ``vectorized`` replays the same simulation over
+#: struct-of-arrays state (:mod:`repro.serving.vec_router`) with
+#: bit-identical report fingerprints.
+ROUTER_BACKENDS = ("reference", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -255,7 +261,13 @@ class RequestRouter:
         self,
         deployments: Union[FleetManager, Mapping[str, Deployment]],
         config: Optional[RouterConfig] = None,
+        backend: str = "reference",
     ) -> None:
+        if backend not in ROUTER_BACKENDS:
+            raise ValueError(
+                "unknown router backend %r (known: %s)"
+                % (backend, ", ".join(ROUTER_BACKENDS))
+            )
         if isinstance(deployments, FleetManager):
             deployments = deployments.deploy_all()
         if not deployments:
@@ -264,6 +276,7 @@ class RequestRouter:
             name: deployments[name] for name in sorted(deployments)
         }
         self.config = config if config is not None else RouterConfig()
+        self.backend = backend
 
     # -- run -------------------------------------------------------------
     def run(
@@ -296,6 +309,14 @@ class RequestRouter:
         controller instance observes one run; the report then carries
         a ``control`` section.
         """
+        if self.backend == "vectorized":
+            # cycle-breaker: the vectorized twin imports this
+            # module back for the report types.
+            from repro.serving.vec_router import run_vectorized
+
+            return run_vectorized(
+                self, loads, faults=faults, obs=obs, controller=controller
+            )
         config = self.config
         if faults is not None:
             unknown = sorted(
@@ -767,7 +788,11 @@ class RequestRouter:
                 state.inflight = None
             stranded.extend(state.queue)
             state.queue.clear()
-            for request in stranded:
+            # Explicit rid order: the inflight batch's internal order
+            # and the queue's policy order are incidental here, and a
+            # policy-ordered queue with colliding deadlines would
+            # otherwise leak dict/insertion order into the event log.
+            for request in sorted(stranded, key=lambda r: r.rid):
                 self._reject(request, "stranded", run, platform=name)
 
     def _retarget_ladder(self, state: PlatformState) -> None:

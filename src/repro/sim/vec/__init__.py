@@ -1,0 +1,42 @@
+"""Vectorized (struct-of-arrays) twins of the simulation hot paths.
+
+This package rewrites the discrete-event inner loops as numpy array
+programs while the original object-per-event implementations stay in
+place as the *reference oracle*:
+
+* :mod:`repro.sim.vec.events` -- the SoA primitives: a ``(time, seq)``
+  keyed binary heap over parallel float64/int64 arrays
+  (:class:`SoAEventQueue`, pop-order bit-identical to ``heapq``) and
+  the column-major arrival stream (:class:`ArrivalColumns`, ordering
+  bit-identical to :func:`repro.serving.request.merge_loads`).
+* :mod:`repro.sim.vec.scoring` -- element-wise SoC curves evaluated
+  across whole request vectors with the exact scalar op order of
+  :mod:`repro.core.satisfaction`.
+* :mod:`repro.sim.vec.kernel` -- :func:`simulate_kernel_vec`, the
+  batched SM-residency stepper mirroring
+  :func:`repro.sim.engine.simulate_kernel` field for field.
+
+The serving-side consumer is :mod:`repro.serving.vec_router`
+(selected via ``RequestRouter(..., backend="vectorized")``); the
+equivalence contract -- bit-identical ``RouterReport`` fingerprints,
+event logs and obs exports on every seed -- is enforced by
+``tests/sim/test_vec_equivalence.py`` and
+``tests/serving/test_backend_equivalence.py``.
+"""
+
+from repro.sim.vec.events import ArrivalColumns, SoAEventQueue
+from repro.sim.vec.kernel import simulate_kernel_vec
+from repro.sim.vec.scoring import (
+    soc_accuracy_vec,
+    soc_time_vec,
+    soc_value_vec,
+)
+
+__all__ = [
+    "ArrivalColumns",
+    "SoAEventQueue",
+    "simulate_kernel_vec",
+    "soc_accuracy_vec",
+    "soc_time_vec",
+    "soc_value_vec",
+]

@@ -1,0 +1,185 @@
+"""Batched SM-residency kernel simulation (array twin of
+:func:`repro.sim.engine.simulate_kernel`).
+
+The reference simulator walks Python ``CTA``/``SMState`` objects:
+per event it scans every SM for its next completion, subtracts
+progress CTA by CTA and rebuilds residency lists.  This twin keeps
+the whole residency matrix as one ``(n_sms, max_ctas_per_sm)``
+float64 array of remaining work (empty slots hold ``+inf``) plus
+int64 residency counts, and advances all SMs with three array
+operations per event: a row-min, a broadcast subtract, and a retire
+mask.
+
+Bit-exactness with the reference is by construction:
+
+* the per-CTA progress rate is the same expression
+  (``peak * (t / (t + t_half)) / t``) evaluated element-wise;
+* the global step is the minimum of per-SM ``min(remaining) / rate``
+  values -- each computed by the identical scalar division, and a
+  minimum is order-independent -- so the advanced interval is the
+  same float;
+* retirement uses the same ``remaining <= 1e-9`` post-subtraction
+  test, and the CTA scheduler is the *real* strategy object driven
+  through a synchronized Python residency list, preserving its
+  internal state (e.g. Round-Robin's cursor) and therefore placement.
+
+Differences are declared, not silent: trace collection is rejected
+(use the reference when you need an :class:`ExecutionTrace`), and all
+validation errors reuse the reference's messages.  The differential
+suite (``tests/sim/test_vec_equivalence.py``) asserts field-for-field
+equality of :class:`~repro.sim.engine.KernelResult` across
+architectures, schedulers and libraries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gpu import occupancy
+from repro.gpu.architecture import GPUArchitecture
+from repro.gpu.kernels import GemmShape, SgemmKernel
+from repro.gpu.libraries import KernelLibrary
+from repro.sim.cta_scheduler import CTAScheduler, RoundRobinScheduler
+from repro.sim.engine import KernelResult, _energy, cta_work
+from repro.sim.sm import DEFAULT_TLP_HALF
+
+__all__ = ["simulate_kernel_vec"]
+
+
+def simulate_kernel_vec(
+    arch: GPUArchitecture,
+    kernel: SgemmKernel,
+    shape: GemmShape,
+    library: Optional[KernelLibrary] = None,
+    scheduler: Optional[CTAScheduler] = None,
+    max_ctas_per_sm: Optional[int] = None,
+    collect_trace: bool = False,
+) -> KernelResult:
+    """Vectorized :func:`repro.sim.engine.simulate_kernel`.
+
+    Accepts the same arguments; returns a bit-identical
+    :class:`~repro.sim.engine.KernelResult` (modulo ``trace``, which
+    this backend does not produce).
+    """
+    if collect_trace:
+        raise ValueError(
+            "simulate_kernel_vec does not collect traces; use "
+            "repro.sim.engine.simulate_kernel for ExecutionTrace runs"
+        )
+    scheduler = scheduler or RoundRobinScheduler()
+    scheduler.reset()
+    if max_ctas_per_sm is None:
+        max_ctas_per_sm = occupancy.ctas_per_sm(arch, kernel)
+    if max_ctas_per_sm < 1:
+        raise ValueError(
+            "kernel %s cannot fit on %s (occupancy limit is 0)"
+            % (kernel.name, arch.name)
+        )
+    issue_eff = library.issue_efficiency if library else 1.0
+    overhead = library.transform_overhead if library else 1.0
+    work = cta_work(kernel, shape)
+    grid = kernel.grid_size(shape)
+    peak_rate = arch.cores_per_sm * issue_eff
+
+    n_sms = arch.n_sms
+    cta_cost = work.weighted
+    # Residency matrix: remaining work per (SM, slot); +inf marks an
+    # empty slot, so row minima and retire masks ignore it naturally.
+    remaining = np.full((n_sms, max_ctas_per_sm), np.inf, dtype=np.float64)
+    counts = np.zeros(n_sms, dtype=np.int64)
+    # The scheduler reads a plain-Python residency vector (like the
+    # reference's list comprehension) -- kept in sync with `counts`.
+    counts_list = [0] * n_sms
+    busy_cycles = np.zeros(n_sms, dtype=np.float64)
+    retired = np.zeros(n_sms, dtype=np.int64)
+    next_cta = 0
+    now = 0.0
+    tlp_time_integral = 0.0
+
+    def dispatch_until_stalled() -> None:
+        nonlocal next_cta
+        while next_cta < grid:
+            target = scheduler.select_sm(counts_list, max_ctas_per_sm)
+            if target is None:
+                return
+            remaining[target, counts_list[target]] = cta_cost
+            counts_list[target] += 1
+            counts[target] += 1
+            next_cta += 1
+
+    dispatch_until_stalled()
+    left = grid
+    while left > 0:
+        active = counts > 0
+        if not np.any(active):
+            raise RuntimeError(
+                "simulation deadlock: %d CTAs left but no SM is executing"
+                % left
+            )
+        # rate[i] = peak * lhf(t_i) / t_i, the reference's exact ops.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            hiding = counts / (counts + DEFAULT_TLP_HALF)
+            rates = peak_rate * hiding / counts
+            row_min = remaining.min(axis=1)
+            step = float(np.min(row_min[active] / rates[active]))
+        resident_now = int(counts.sum())
+        tlp_time_integral += resident_now * step
+        progressed = step * rates
+        remaining[active] -= progressed[active, None]
+        done = remaining <= 1e-9
+        if done.any():
+            row_done = done.sum(axis=1)
+            remaining[done] = np.inf
+            # Compact finite slots to the row front (ascending sort
+            # parks the +inf vacancies at the tail); slot order inside
+            # a row never affects any computed quantity.
+            changed = row_done > 0
+            remaining[changed] = np.sort(remaining[changed], axis=1)
+            counts -= row_done
+            retired += row_done
+            left -= int(row_done.sum())
+            for sm_id in np.flatnonzero(changed):
+                counts_list[sm_id] = int(counts[sm_id])
+        busy_cycles[active] += step
+        now += step
+        dispatch_until_stalled()
+
+    cycles = now * overhead
+    seconds = arch.cycles_to_seconds(cycles)
+    dram_total = work.dram_bytes * grid
+    bandwidth_floor = dram_total / arch.mem_bandwidth_bytes_per_s
+    seconds = max(seconds, bandwidth_floor)
+    cycles = arch.seconds_to_cycles(seconds)
+
+    used = [sm_id for sm_id in range(n_sms) if retired[sm_id] > 0]
+    sms_used = len(used)
+    powered = max(scheduler.powered_sms(n_sms), sms_used)
+    busy_list = busy_cycles.tolist()
+    busy_sm_seconds = sum(
+        arch.cycles_to_seconds(busy_list[sm_id] * overhead)
+        for sm_id in used
+    )
+    avg_tlp = tlp_time_integral / now / max(sms_used, 1) if now > 0 else 0.0
+    issued_capacity = (
+        sum(busy_list[sm_id] for sm_id in used) * arch.cores_per_sm
+    )
+    activity = (
+        min(1.0, (work.total_insts * grid) / issued_capacity)
+        if issued_capacity
+        else 0.0
+    )
+    energy_joules = _energy(arch, seconds, powered, busy_sm_seconds, activity)
+    return KernelResult(
+        cycles=cycles,
+        seconds=seconds,
+        grid_size=grid,
+        sms_used=sms_used,
+        powered_sms=powered,
+        avg_tlp=avg_tlp,
+        activity=activity,
+        energy_joules=energy_joules,
+        dram_bytes=dram_total,
+        trace=None,
+    )

@@ -173,3 +173,28 @@ def test_resilience_package_is_rep001_clean():
     path, rule_id = suppressed[0]
     assert rule_id == "REP001"
     assert path.endswith("supervisor.py")
+
+def test_vectorized_backend_is_rep001_rep007_clean():
+    # The vectorized backend (repro.sim.vec plus the serving twin)
+    # re-implements the fingerprinted hot path as array programs, so
+    # it inherits REP001's determinism scope through the repro.sim /
+    # repro.serving prefixes -- pinned explicitly so a package move
+    # cannot silently unscope it.  Both the module-local rule and the
+    # interprocedural taint rule must hold with zero suppressions.
+    from repro.lint.rules.determinism import SIMULATION_PACKAGES
+
+    assert any(
+        "repro.sim.vec".startswith(package)
+        for package in SIMULATION_PACKAGES
+    )
+    vec_root = PACKAGE_ROOT / "sim" / "vec"
+    vec_router = PACKAGE_ROOT / "serving" / "vec_router.py"
+    assert vec_router.exists()
+    report = run_lint(
+        [vec_root, vec_router], rule_ids=["REP001", "REP007"]
+    )
+    assert report.ok, "\n".join(v.render() for v in report.violations)
+    assert report.files_scanned == len(list(vec_root.rglob("*.py"))) + 1
+    assert not report.suppressed, (
+        "the vectorized backend must not carry suppressions"
+    )

@@ -1,0 +1,227 @@
+"""Property tests for the SoA event-queue primitives.
+
+:class:`repro.sim.vec.SoAEventQueue` must pop in exactly the order
+``heapq`` pops ``(time_s, seq)`` tuples -- including FIFO draining of
+equal timestamps -- and the float64 clocks that flow through it (and
+through :class:`ArrivalColumns`) must round-trip bit-exactly, because
+the vectorized router's fingerprint contract leaves no room for even
+one ULP of drift.
+"""
+
+import heapq
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.satisfaction import TimeRequirement
+from repro.serving import Tenant, TenantLoad
+from repro.serving.request import merge_loads
+from repro.sim.vec import ArrivalColumns, SoAEventQueue
+from repro.workloads import bursty_trace, diurnal_trace, pareto_trace
+
+#: Times drawn for the heap-order properties: finite floats plus a
+#: deliberately collision-happy coarse grid (two buckets), so equal
+#: timestamps are common and the tie-break is genuinely exercised.
+_times = st.one_of(
+    st.floats(
+        min_value=0.0, max_value=1e6,
+        allow_nan=False, allow_infinity=False,
+    ),
+    st.sampled_from([0.0, 1.0]),
+)
+
+
+class TestHeapOrder:
+    @settings(max_examples=200, deadline=None)
+    @given(times=st.lists(_times, min_size=0, max_size=64))
+    def test_pop_order_matches_heapq(self, times):
+        queue = SoAEventQueue()
+        mirror = []
+        for kind, time_s in enumerate(times):
+            seq = queue.push(time_s, kind, kind + 100)
+            heapq.heappush(mirror, (time_s, seq, kind, kind + 100))
+        assert len(queue) == len(times)
+        drained = [queue.pop() for _ in times]
+        expected = [heapq.heappop(mirror) for _ in times]
+        assert drained == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        times=st.lists(_times, min_size=1, max_size=48),
+        pop_points=st.lists(
+            st.integers(min_value=0, max_value=47),
+            min_size=0, max_size=24,
+        ),
+    )
+    def test_interleaved_push_pop_matches_heapq(self, times, pop_points):
+        """Pops interleaved mid-stream drain identically too (the
+        sift-down path, not just a fully-built heap)."""
+        pops = set(pop_points)
+        queue = SoAEventQueue()
+        mirror = []
+        drained = []
+        expected = []
+        for step, time_s in enumerate(times):
+            seq = queue.push(time_s, step, 0)
+            heapq.heappush(mirror, (time_s, seq, step, 0))
+            if step in pops:
+                drained.append(queue.pop())
+                expected.append(heapq.heappop(mirror))
+        while mirror:
+            drained.append(queue.pop())
+            expected.append(heapq.heappop(mirror))
+        assert drained == expected
+        assert len(queue) == 0
+
+    def test_equal_timestamps_drain_fifo(self):
+        queue = SoAEventQueue()
+        for payload in range(10):
+            queue.push(1.5, 0, payload)
+        assert [queue.pop()[3] for _ in range(10)] == list(range(10))
+
+    @settings(max_examples=50, deadline=None)
+    @given(times=st.lists(_times, min_size=1, max_size=32))
+    def test_version_bumps_on_every_mutation(self, times):
+        queue = SoAEventQueue()
+        version = queue.version
+        for time_s in times:
+            queue.push(time_s, 0, 0)
+            assert queue.version > version
+            version = queue.version
+        for _ in times:
+            queue.pop()
+            assert queue.version > version
+            version = queue.version
+
+    def test_first_seq_and_next_seq(self):
+        queue = SoAEventQueue(first_seq=7)
+        assert queue.next_seq == 7
+        assert queue.push(0.0, 0, 0) == 7
+        assert queue.push(0.0, 0, 0) == 8
+        assert queue.next_seq == 9
+
+    def test_empty_queue_behaviour(self):
+        queue = SoAEventQueue()
+        assert queue.peek_time() == math.inf
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity must be >= 1"):
+            SoAEventQueue(capacity=0)
+
+
+class TestFloat64RoundTrip:
+    @pytest.mark.parametrize(
+        "trace",
+        [
+            bursty_trace(n_requests=200, rate_hz=317.0, seed=5),
+            pareto_trace(n_requests=200, rate_hz=317.0, alpha=1.2, seed=5),
+            diurnal_trace(
+                n_requests=200, base_rate_hz=200.0, amplitude=0.7,
+                period_s=0.9, seed=5,
+            ),
+        ],
+        ids=["mmpp", "pareto", "diurnal"],
+    )
+    def test_workload_clocks_round_trip_exactly(self, trace):
+        """Every generator's float64 arrival clock survives the heap
+        bit-identically -- push the raw numpy scalars, pop plain
+        Python floats, compare with exact equality."""
+        queue = SoAEventQueue()
+        for time_s in trace.arrivals_s:
+            queue.push(float(time_s), 0, 0)
+        popped = [queue.pop()[0] for _ in range(trace.n_requests)]
+        expected = sorted(float(t) for t in trace.arrivals_s)
+        assert popped == expected
+        assert [t.hex() for t in popped] == [t.hex() for t in expected]
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(allow_nan=False, width=64),
+            min_size=1, max_size=64,
+        )
+    )
+    def test_ndarray_tolist_is_bit_identical(self, values):
+        """The list mirrors ArrivalColumns keeps are exact:
+        ``float64 -> Python float`` loses nothing, ever."""
+        array = np.asarray(values, dtype=np.float64)
+        assert [v.hex() for v in array.tolist()] == [
+            float(v).hex() for v in values
+        ]
+
+
+def _loads():
+    snappy = Tenant(
+        "snappy", TimeRequirement(imperceptible_s=0.1, unusable_s=0.5),
+        priority=1,
+    )
+    calm = Tenant(
+        "calm", TimeRequirement(imperceptible_s=0.5, unusable_s=2.0),
+        priority=0,
+    )
+    return [
+        TenantLoad(snappy, bursty_trace(n_requests=120, rate_hz=300.0,
+                                        seed=3)),
+        TenantLoad(calm, pareto_trace(n_requests=90, rate_hz=250.0,
+                                      alpha=1.4, seed=4)),
+    ]
+
+
+class TestArrivalColumns:
+    def test_ordering_matches_merge_loads(self):
+        loads = _loads()
+        columns = ArrivalColumns(loads)
+        reference = merge_loads(loads)
+        assert columns.n == len(reference)
+        for rid, request in enumerate(reference):
+            assert columns.arrivals_list[rid] == request.arrival_s
+            assert columns.difficulty_list[rid] == request.difficulty
+            assert (
+                columns.tenants[columns.tenant_index_list[rid]]
+                is request.tenant
+            )
+
+    def test_materialized_requests_equal_reference(self):
+        loads = _loads()
+        columns = ArrivalColumns(loads)
+        reference = merge_loads(loads)
+        materialized = columns.materialize_all()
+        assert [
+            (r.rid, r.tenant.name, r.arrival_s, r.difficulty)
+            for r in materialized
+        ] == [
+            (r.rid, r.tenant.name, r.arrival_s, r.difficulty)
+            for r in reference
+        ]
+
+    def test_request_at_caches(self):
+        columns = ArrivalColumns(_loads())
+        assert columns.request_at(5) is columns.request_at(5)
+
+    def test_deadlines_follow_tenant_requirement(self):
+        columns = ArrivalColumns(_loads())
+        for rid in range(columns.n):
+            tenant = columns.tenants[columns.tenant_index_list[rid]]
+            assert columns.deadlines_list[rid] == (
+                columns.arrivals_list[rid] + tenant.requirement.unusable_s
+            )
+            assert columns.has_deadline_list[rid] == math.isfinite(
+                columns.deadlines_list[rid]
+            )
+
+    def test_duplicate_tenant_rejected(self):
+        loads = _loads()
+        dupe = loads + [loads[0]]
+        with pytest.raises(ValueError, match="duplicate tenant"):
+            ArrivalColumns(dupe)
+
+    def test_empty_loads(self):
+        columns = ArrivalColumns([])
+        assert columns.n == 0
+        assert columns.arrivals_list == []
+        assert columns.materialize_all() == []

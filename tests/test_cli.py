@@ -268,3 +268,38 @@ class TestServeFleetSupervised:
         second = json.loads(capsys.readouterr().out)
         assert second["sharding"]["statuses"] == ["resumed", "resumed"]
         assert second["fingerprint"] == first["fingerprint"]
+
+
+class TestServeFleetBackend:
+    _BASE = ["serve-fleet", "--gpus", "tx1", "--requests", "40",
+             "--seed", "3", "--json"]
+
+    def test_backend_choices_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve-fleet", "--backend", "vectorized"]
+        )
+        assert args.backend == "vectorized"
+        assert parser.parse_args(["serve-fleet"]).backend == "reference"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve-fleet", "--backend", "simd"])
+
+    def test_backends_serve_identical_payloads(self, capsys):
+        payloads = {}
+        for backend in ("reference", "vectorized"):
+            code = main(self._BASE + ["--backend", backend])
+            assert code == 0
+            payloads[backend] = json.loads(capsys.readouterr().out)
+        ref = payloads["reference"]
+        vec = payloads["vectorized"]
+        assert vec["summary"] == ref["summary"]
+        assert vec["platforms"] == ref["platforms"]
+
+    def test_vectorized_refuses_controller(self, capsys):
+        code = main(
+            self._BASE
+            + ["--backend", "vectorized", "--controller", "ewma"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--backend reference" in err
